@@ -1,0 +1,126 @@
+//! **Fig 10 (a)–(c)** — checkpoint and restart of the OpenMP offload
+//! benchmarks: checkpoint-time breakdown (pause / host snapshot+write /
+//! device snapshot+write), checkpoint file sizes (host snapshot, device
+//! snapshot, local store), and restart-time breakdown (host restart /
+//! offload restore / resume).
+//!
+//! Paper shape targets: checkpoint 3–21 s, restart 3–24 s; snapshot files
+//! from ~8 MB to ~1.3 GB; SS/SG pause dominated by their local stores and
+//! their restart dominated by the host snapshot; for all but the
+//! store-heavy benchmarks the device side finishes after the host side.
+
+use coi_sim::FunctionRegistry;
+use phi_platform::PlatformParams;
+use simkernel::Kernel;
+use snapify_bench::{bytes, header, secs, Table};
+use snapify::{checkpoint_application, restart_application, SnapifyWorld};
+use workloads::{register_suite, suite, WorkloadRun, WorkloadSpec};
+
+struct Row {
+    name: &'static str,
+    ckpt: snapify::CheckpointReport,
+    restart: snapify::RestartReport,
+}
+
+fn run_one(spec: WorkloadSpec) -> Row {
+    Kernel::run_root(move || {
+        let registry = FunctionRegistry::new();
+        register_suite(&registry, std::slice::from_ref(&spec));
+        let world = SnapifyWorld::boot(registry);
+        let run = WorkloadRun::launch(world.coi(), &spec, 0).unwrap();
+        let handle = run.handle().clone();
+        let host_proc = run.host_proc().clone();
+        let state_view = std::sync::Arc::new(run);
+
+        // Drive the iteration loop on its own thread.
+        let driver = {
+            let r = std::sync::Arc::clone(&state_view);
+            host_proc.spawn_thread("driver", move || r.run_to_completion())
+        };
+        // Checkpoint mid-run.
+        simkernel::sleep(simkernel::time::ms(300));
+        let host_state = state_view.host_state();
+        let path = format!("/snap/fig10/{}", spec.name);
+        let (_snap, ckpt) =
+            checkpoint_application(&world, &handle, &host_state, &path).unwrap();
+
+        // The application finishes correctly after the checkpoint.
+        let result = driver.join().unwrap();
+        assert!(result.verified, "{} failed after checkpoint", spec.name);
+
+        // Kill everything and restart from the snapshot on device 1.
+        state_view.destroy().unwrap();
+        host_proc.exit();
+        let restarted = restart_application(&world, &path, &spec.binary_name(), 1).unwrap();
+        let restart = restarted.report.clone();
+        let resumed = WorkloadRun::resume_after_restart(
+            &spec,
+            &restarted.handle,
+            &restarted.host_proc,
+            &restarted.host_state,
+        );
+        let result = resumed.run_to_completion().unwrap();
+        assert!(result.verified, "{} failed after restart", spec.name);
+        resumed.destroy().unwrap();
+        Row { name: spec.name, ckpt, restart }
+    })
+}
+
+fn main() {
+    let params = PlatformParams::default();
+    header("Fig 10(a-c): checkpoint and restart of the OpenMP benchmarks", &params);
+
+    let rows: Vec<Row> = suite().into_iter().map(run_one).collect();
+
+    println!("Fig 10(a): checkpoint time breakdown (s)");
+    let mut t = Table::new(vec![
+        "benchmark", "pause", "snap+write (host)", "snap+write (device)", "resume", "total",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.name.to_string(),
+            secs(r.ckpt.pause),
+            secs(r.ckpt.host_snapshot),
+            secs(r.ckpt.device_capture),
+            secs(r.ckpt.resume),
+            secs(r.ckpt.total),
+        ]);
+    }
+    t.print();
+    println!();
+
+    println!("Fig 10(b): checkpoint file sizes");
+    let mut t = Table::new(vec!["benchmark", "host snapshot", "device snapshot", "local store"]);
+    for r in &rows {
+        t.row(vec![
+            r.name.to_string(),
+            bytes(r.ckpt.host_snapshot_bytes),
+            bytes(r.ckpt.device_snapshot_bytes),
+            bytes(r.ckpt.local_store_bytes),
+        ]);
+    }
+    t.print();
+    println!();
+
+    println!("Fig 10(c): restart time breakdown (s)");
+    let mut t = Table::new(vec![
+        "benchmark", "host restart", "lib copy", "store copy", "blcr restart", "offload total", "total",
+    ]);
+    for r in &rows {
+        let bd = r.restart.offload_breakdown.unwrap_or_default();
+        let s_ns = |ns: u64| format!("{:.3}", ns as f64 / 1e9);
+        t.row(vec![
+            r.name.to_string(),
+            secs(r.restart.host_restart),
+            s_ns(bd.library_copy_ns),
+            s_ns(bd.store_copy_ns),
+            s_ns(bd.blcr_restart_ns),
+            secs(r.restart.offload_restore),
+            secs(r.restart.total),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("shape checks: checkpoint 3-21 s / restart 3-24 s in the paper; SS/SG pause");
+    println!("dominated by local store; SS/SG restart dominated by host snapshot restore.");
+}

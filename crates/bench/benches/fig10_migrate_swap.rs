@@ -1,0 +1,100 @@
+//! **Fig 10 (d)–(f)** — process migration and swapping of the OpenMP
+//! offload benchmarks.
+//!
+//! Paper shape targets: migration 4.9 s (MC) – 31.6 s (SS), strongly
+//! correlated with local store + snapshot size; swap-out 2.1–11.8 s;
+//! swap-in 2–14.8 s; capture+save (phi→host) faster than read+restore
+//! (host→phi).
+
+use coi_sim::FunctionRegistry;
+use phi_platform::PlatformParams;
+use simkernel::Kernel;
+use snapify_bench::{bytes, header, secs, Table};
+use snapify::{snapify_capture, snapify_pause, snapify_swapin, snapify_wait, SnapifyT, SnapifyWorld};
+use workloads::{register_suite, suite, WorkloadRun, WorkloadSpec};
+
+struct Row {
+    name: &'static str,
+    pause: simkernel::SimDuration,
+    capture: simkernel::SimDuration,
+    swap_out: simkernel::SimDuration,
+    swap_in: simkernel::SimDuration,
+    migration: simkernel::SimDuration,
+    moved_bytes: u64,
+}
+
+fn run_one(spec: WorkloadSpec) -> Row {
+    Kernel::run_root(move || {
+        let registry = FunctionRegistry::new();
+        register_suite(&registry, std::slice::from_ref(&spec));
+        let world = SnapifyWorld::boot(registry);
+        let run = WorkloadRun::launch(world.coi(), &spec, 0).unwrap();
+        let handle = run.handle().clone();
+        let host_proc = run.host_proc().clone();
+        let run = std::sync::Arc::new(run);
+
+        let driver = {
+            let r = std::sync::Arc::clone(&run);
+            host_proc.spawn_thread("driver", move || r.run_to_completion())
+        };
+        simkernel::sleep(simkernel::time::ms(300));
+
+        // Swap-out with a phase breakdown (Fig 6(a) body, timed).
+        let snapshot = SnapifyT::new(&handle, format!("/snap/swap/{}", spec.name));
+        let t0 = simkernel::now();
+        snapify_pause(&snapshot).unwrap();
+        let t_pause = simkernel::now();
+        snapify_capture(&snapshot, true).unwrap();
+        let dev_bytes = snapify_wait(&snapshot).unwrap();
+        let t_out = simkernel::now();
+
+        // Swap-in on the other coprocessor (the migration target).
+        snapify_swapin(&snapshot, 1).unwrap();
+        let t_in = simkernel::now();
+
+        // The migrated application completes and verifies.
+        let result = driver.join().unwrap();
+        assert!(result.verified, "{} failed after migration", spec.name);
+        assert_eq!(handle.device(), 1);
+        run.destroy().unwrap();
+
+        let local_store = spec.local_store_bytes();
+        Row {
+            name: spec.name,
+            pause: t_pause - t0,
+            capture: t_out - t_pause,
+            swap_out: t_out - t0,
+            swap_in: t_in - t_out,
+            migration: t_in - t0,
+            moved_bytes: dev_bytes + local_store,
+        }
+    })
+}
+
+fn main() {
+    let params = PlatformParams::default();
+    header("Fig 10(d-f): migration and swapping of the OpenMP benchmarks", &params);
+
+    let rows: Vec<Row> = suite().into_iter().map(run_one).collect();
+
+    println!("Fig 10(e): swap-out (s)   Fig 10(f): swap-in (s)   Fig 10(d): migration (s)");
+    let mut t = Table::new(vec![
+        "benchmark", "pause", "capture", "swap-out", "swap-in", "migration", "snapshot+store",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.name.to_string(),
+            secs(r.pause),
+            secs(r.capture),
+            secs(r.swap_out),
+            secs(r.swap_in),
+            secs(r.migration),
+            bytes(r.moved_bytes),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("shape checks: migration 4.9 s (MC) - 31.6 s (SS) in the paper, correlated with");
+    println!("snapshot+store size; swap-in slower than swap-out (host->phi reads are slower);");
+    println!("SS/SG pause >> capture (local store saved during pause).");
+}

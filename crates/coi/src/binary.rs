@@ -1,0 +1,238 @@
+//! Device binaries and offload functions.
+//!
+//! The Xeon Phi compiler emits one shared library per offload application;
+//! each offload region becomes a named function in it (§2). Here a
+//! [`DeviceBinary`] is a registry of [`OffloadFn`]s plus the sizes that
+//! drive the cost model (bytes shipped over PCIe at load; resident private
+//! memory, which is what the device-side BLCR snapshot captures).
+//!
+//! # Resumable execution
+//!
+//! Real BLCR can snapshot a thread mid-instruction. The simulated
+//! equivalent is that offload functions are *step machines*: `step(ctx,
+//! cursor)` performs one slice of work (charging virtual compute time and
+//! mutating buffers/regions) and returns [`StepOutcome::Yield`] until it
+//! finishes. The cursor is part of the pipeline state that a snapshot
+//! saves, so a capture taken mid-function restores and resumes from the
+//! last completed step — the observable behaviour §4.1 (case 4) requires.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use phi_platform::{Payload, SimNode};
+
+use crate::offload::OffloadRuntime;
+
+/// Outcome of one offload-function step.
+pub enum StepOutcome {
+    /// More steps remain; the cursor advances by one.
+    Yield,
+    /// The function finished with this return value.
+    Done(Vec<u8>),
+}
+
+/// Execution context handed to an [`OffloadFn`] step.
+pub struct OffloadCtx<'a> {
+    pub(crate) rt: &'a OffloadRuntime,
+    /// Misc argument bytes from the run request.
+    pub args: Vec<u8>,
+    pub(crate) buffers: Vec<u64>,
+}
+
+impl OffloadCtx<'_> {
+    /// The node executing this function.
+    pub fn node(&self) -> &SimNode {
+        self.rt.node()
+    }
+
+    /// Execute `flops` of parallel work on `threads` threads (blocks for
+    /// the modeled time).
+    pub fn compute(&self, flops: f64, threads: u32) {
+        self.rt.node().parallel_compute(flops, threads);
+    }
+
+    /// Number of buffers passed to this run.
+    pub fn buffer_count(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Size of the `i`-th buffer.
+    pub fn buffer_len(&self, i: usize) -> u64 {
+        self.rt.buffer_payload(self.buffers[i]).len()
+    }
+
+    /// Read the `i`-th buffer's contents (charges a device memcpy).
+    pub fn read_buffer(&self, i: usize) -> Payload {
+        let p = self.rt.buffer_payload(self.buffers[i]);
+        self.rt.node().memcpy(p.len());
+        p
+    }
+
+    /// Overwrite the `i`-th buffer (must keep its size; charges a device
+    /// memcpy).
+    pub fn write_buffer(&self, i: usize, data: Payload) {
+        self.rt.node().memcpy(data.len());
+        self.rt.buffer_store(self.buffers[i], data);
+    }
+
+    /// Read a private (offload-process-local) region, or `None` if it has
+    /// not been created. Private regions persist across offload regions
+    /// (§3 "Saving data private to an offload process") and are captured
+    /// in the device snapshot.
+    pub fn private(&self, name: &str) -> Option<Payload> {
+        let full = format!("app/{name}");
+        if self.rt.proc().memory().has_region(&full) {
+            Some(self.rt.proc().memory().region(&full))
+        } else {
+            None
+        }
+    }
+
+    /// Create or replace a private region.
+    pub fn set_private(&self, name: &str, data: Payload) {
+        let full = format!("app/{name}");
+        let mem = self.rt.proc().memory();
+        if mem.has_region(&full) {
+            mem.update_region(&full, data)
+                .expect("private region update OOM");
+        } else {
+            mem.map_region(&full, data).expect("private region map OOM");
+        }
+    }
+
+    /// Emit a log record (queued; a dedicated client thread ships it to
+    /// the host over the COI log channel).
+    pub fn log(&self, record: Vec<u8>) {
+        self.rt.enqueue_log(record);
+    }
+}
+
+/// One offload function (the body of an `#pragma offload` region).
+pub trait OffloadFn: Send + Sync {
+    /// Execute step `cursor`. Must be deterministic given the process
+    /// state; the runtime persists `cursor` across snapshots.
+    fn step(&self, ctx: &mut OffloadCtx<'_>, cursor: u64) -> StepOutcome;
+}
+
+/// Adapter: a plain closure as a single-step offload function.
+pub struct FnOnceStep<F>(pub F);
+
+impl<F> OffloadFn for FnOnceStep<F>
+where
+    F: Fn(&mut OffloadCtx<'_>) -> Vec<u8> + Send + Sync,
+{
+    fn step(&self, ctx: &mut OffloadCtx<'_>, _cursor: u64) -> StepOutcome {
+        StepOutcome::Done((self.0)(ctx))
+    }
+}
+
+/// The compiled device side of an offload application.
+pub struct DeviceBinary {
+    name: String,
+    /// Bytes shipped host→device when the process is created.
+    pub image_bytes: u64,
+    /// Private memory mapped at load (text + data + initial heap): the
+    /// base size of the device snapshot.
+    pub resident_bytes: u64,
+    functions: HashMap<String, Arc<dyn OffloadFn>>,
+}
+
+impl DeviceBinary {
+    /// New binary with the given transfer/resident sizes.
+    pub fn new(name: impl Into<String>, image_bytes: u64, resident_bytes: u64) -> DeviceBinary {
+        DeviceBinary {
+            name: name.into(),
+            image_bytes,
+            resident_bytes,
+            functions: HashMap::new(),
+        }
+    }
+
+    /// The binary's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Register an offload function.
+    pub fn function(mut self, name: impl Into<String>, f: Arc<dyn OffloadFn>) -> DeviceBinary {
+        self.functions.insert(name.into(), f);
+        self
+    }
+
+    /// Register a single-step closure function.
+    pub fn simple_function<F>(self, name: impl Into<String>, f: F) -> DeviceBinary
+    where
+        F: Fn(&mut OffloadCtx<'_>) -> Vec<u8> + Send + Sync + 'static,
+    {
+        self.function(name, Arc::new(FnOnceStep(f)))
+    }
+
+    /// Look up a function.
+    pub fn get(&self, name: &str) -> Option<Arc<dyn OffloadFn>> {
+        self.functions.get(name).cloned()
+    }
+}
+
+/// World-wide registry of device binaries (what the MPSS loader would find
+/// on the host file system).
+#[derive(Clone, Default)]
+pub struct FunctionRegistry {
+    binaries: Arc<Mutex<HashMap<String, Arc<DeviceBinary>>>>,
+}
+
+impl FunctionRegistry {
+    /// Empty registry.
+    pub fn new() -> FunctionRegistry {
+        FunctionRegistry::default()
+    }
+
+    /// Register a binary (replaces a same-named one).
+    pub fn register(&self, binary: DeviceBinary) {
+        self.binaries
+            .lock()
+            .unwrap()
+            .insert(binary.name().to_string(), Arc::new(binary));
+    }
+
+    /// Look up a binary by name.
+    pub fn get(&self, name: &str) -> Option<Arc<DeviceBinary>> {
+        self.binaries.lock().unwrap().get(name).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TwoStep;
+    impl OffloadFn for TwoStep {
+        fn step(&self, _ctx: &mut OffloadCtx<'_>, cursor: u64) -> StepOutcome {
+            if cursor < 1 {
+                StepOutcome::Yield
+            } else {
+                StepOutcome::Done(vec![cursor as u8])
+            }
+        }
+    }
+
+    #[test]
+    fn registry_lookup() {
+        let reg = FunctionRegistry::new();
+        reg.register(
+            DeviceBinary::new("md.so", 1 << 20, 8 << 20).function("f", Arc::new(TwoStep)),
+        );
+        let b = reg.get("md.so").unwrap();
+        assert_eq!(b.name(), "md.so");
+        assert!(b.get("f").is_some());
+        assert!(b.get("g").is_none());
+        assert!(reg.get("nope.so").is_none());
+    }
+
+    #[test]
+    fn registry_replaces() {
+        let reg = FunctionRegistry::new();
+        reg.register(DeviceBinary::new("a.so", 1, 1));
+        reg.register(DeviceBinary::new("a.so", 2, 2));
+        assert_eq!(reg.get("a.so").unwrap().image_bytes, 2);
+    }
+}

@@ -1,0 +1,744 @@
+//! The host side of COI: `COIProcess*` and the COI library calls an
+//! offload application makes.
+//!
+//! A [`CoiProcessHandle`] owns the host's four SCIF connections to its
+//! offload process, the host-side server threads (log/event), the result
+//! dispatcher, and — when Snapify is enabled — the host half of the drain
+//! locks (§4.1 cases 1–4).
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use phi_platform::{NodeId, Payload};
+use scif_sim::{ports, RdmaAddr, Scif, ScifEndpoint};
+use simkernel::{SimChannel, SimMutex};
+use simproc::SimProcess;
+
+use crate::config::CoiConfig;
+
+/// Map of in-flight run ids to their result channels.
+type PendingRuns = SimMutex<HashMap<u64, SimChannel<Result<Vec<u8>, String>>>>;
+use crate::locks::DrainLock;
+use crate::msgs::{CmdMsg, CtlMsg, RunMsg, StreamMsg};
+use crate::CoiError;
+
+/// A COI buffer as seen by the host: id, size, current RDMA address.
+#[derive(Debug)]
+pub struct CoiBuffer {
+    /// Buffer id (host-assigned).
+    pub id: u64,
+    /// Size in bytes.
+    pub size: u64,
+    addr: SimMutex<RdmaAddr>,
+}
+
+impl CoiBuffer {
+    /// The buffer's current RDMA window address. Changes after a restore
+    /// (§4.3's (old, new) lookup table is applied by the Snapify runtime).
+    pub fn addr(&self) -> RdmaAddr {
+        *self.addr.lock()
+    }
+}
+
+/// An in-flight offload-function invocation.
+pub struct RunHandle {
+    /// Run id.
+    pub id: u64,
+    rx: SimChannel<Result<Vec<u8>, String>>,
+}
+
+impl RunHandle {
+    /// Block until the function's return value arrives (Fig 4 step 8).
+    pub fn wait(self) -> Result<Vec<u8>, CoiError> {
+        match self.rx.recv() {
+            Ok(Ok(ret)) => Ok(ret),
+            Ok(Err(msg)) => Err(CoiError::Function(msg)),
+            Err(_) => Err(CoiError::Closed),
+        }
+    }
+}
+
+struct Endpoints {
+    run: ScifEndpoint,
+    cmd: ScifEndpoint,
+    log: ScifEndpoint,
+    event: ScifEndpoint,
+    ctl: ScifEndpoint,
+}
+
+pub(crate) struct HandleInner {
+    pub(crate) config: CoiConfig,
+    pub(crate) scif: Scif,
+    pub(crate) host_proc: SimProcess,
+    pub(crate) binary: String,
+    pub(crate) binary_image_bytes: u64,
+
+    pub(crate) device: SimMutex<usize>,
+    pub(crate) pid: SimMutex<u64>,
+    eps: SimMutex<Option<Endpoints>>,
+
+    pending: Arc<PendingRuns>,
+    next_run_id: SimMutex<u64>,
+    next_buf_id: SimMutex<u64>,
+    pub(crate) buffers: SimMutex<BTreeMap<u64, Arc<CoiBuffer>>>,
+
+    // Host-side drain locks (§4.1): process lifecycle (case 1), RDMA
+    // buffer transfers (case 2), the cmd client channel (case 3), and the
+    // run-function request send (case 4).
+    pub(crate) lifecycle: DrainLock,
+    pub(crate) rdma: DrainLock,
+    pub(crate) cmd_lock: DrainLock,
+    pub(crate) run_send: DrainLock,
+
+    // Ctl routing: most exchanges are synchronous request/reply, but the
+    // capture completion arrives asynchronously (snapify_capture is
+    // non-blocking).
+    ctl_replies: SimChannel<CtlMsg>,
+    capture_done: SimChannel<CtlMsg>,
+
+    /// Collected log records (host-side COI log server).
+    pub(crate) logs: SimMutex<Vec<Vec<u8>>>,
+    /// Collected event records.
+    pub(crate) events: SimMutex<Vec<Vec<u8>>>,
+}
+
+/// Host-side handle to an offload process (`COIProcess*`). Cheap to clone.
+#[derive(Clone)]
+pub struct CoiProcessHandle {
+    pub(crate) inner: Arc<HandleInner>,
+}
+
+impl std::fmt::Debug for CoiProcessHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoiProcessHandle")
+            .field("pid", &*self.inner.pid.lock())
+            .field("device", &*self.inner.device.lock())
+            .finish()
+    }
+}
+
+impl CoiProcessHandle {
+    /// Create an offload process on device `device` running `binary`
+    /// (i.e. `COIProcessCreateFromFile`).
+    pub fn create(
+        config: &CoiConfig,
+        scif: &Scif,
+        host_proc: &SimProcess,
+        device: usize,
+        binary: &str,
+        binary_image_bytes: u64,
+    ) -> Result<CoiProcessHandle, CoiError> {
+        let pid_tag = host_proc.pid().0;
+        let inner = Arc::new(HandleInner {
+            config: config.clone(),
+            scif: scif.clone(),
+            host_proc: host_proc.clone(),
+            binary: binary.to_string(),
+            binary_image_bytes,
+            device: SimMutex::new(format!("hdl dev {pid_tag}"), device),
+            pid: SimMutex::new(format!("hdl pid {pid_tag}"), 0),
+            eps: SimMutex::new(format!("hdl eps {pid_tag}"), None),
+            pending: Arc::new(SimMutex::new(format!("hdl pending {pid_tag}"), HashMap::new())),
+            next_run_id: SimMutex::new(format!("hdl runid {pid_tag}"), 1),
+            next_buf_id: SimMutex::new(format!("hdl bufid {pid_tag}"), 1),
+            buffers: SimMutex::new(format!("hdl buffers {pid_tag}"), BTreeMap::new()),
+            lifecycle: DrainLock::new(format!("lifecycle {pid_tag}")),
+            rdma: DrainLock::new(format!("rdma {pid_tag}")),
+            cmd_lock: DrainLock::new(format!("cmd-client {pid_tag}")),
+            run_send: DrainLock::new(format!("run-send {pid_tag}")),
+            ctl_replies: SimChannel::unbounded(format!("ctl-replies {pid_tag}")),
+            capture_done: SimChannel::unbounded(format!("capture-done {pid_tag}")),
+            logs: SimMutex::new(format!("hdl logs {pid_tag}"), Vec::new()),
+            events: SimMutex::new(format!("hdl events {pid_tag}"), Vec::new()),
+        });
+        let handle = CoiProcessHandle { inner };
+
+        // Case 1 critical region: process creation.
+        handle.inner.lifecycle.acquire();
+        let result = handle.create_locked(device, binary);
+        handle.inner.lifecycle.release();
+        result?;
+        Ok(handle)
+    }
+
+    fn create_locked(&self, device: usize, binary: &str) -> Result<(), CoiError> {
+        let ctl = self.connect_ctl(device)?;
+        ctl.send(
+            CtlMsg::CreateProcess { host_pid: self.inner.host_proc.pid().0, binary: binary.into() }
+                .encode(),
+        )
+        .map_err(CoiError::Scif)?;
+        let reply = self.await_reply()?;
+        let CtlMsg::CreateProcessReply { pid, ports } = reply else {
+            return Err(CoiError::Protocol(format!("unexpected reply {reply:?}")));
+        };
+        if pid == 0 {
+            return Err(CoiError::BadBinary(binary.to_string()));
+        }
+        *self.inner.pid.lock() = pid;
+        self.connect_data_channels(device, ports, ctl)?;
+        Ok(())
+    }
+
+    /// Connect the ctl channel to `device`'s daemon and start its
+    /// dispatcher thread.
+    fn connect_ctl(&self, device: usize) -> Result<ScifEndpoint, CoiError> {
+        let ctl = self
+            .inner
+            .scif
+            .connect(NodeId::HOST, NodeId::device(device), ports::COI_DAEMON)
+            .map_err(CoiError::Scif)?;
+        let ctl2 = ctl.clone();
+        let replies = self.inner.ctl_replies.clone();
+        let capture_done = self.inner.capture_done.clone();
+        self.inner.host_proc.spawn_service("ctl-dispatch", move || {
+            while let Ok(p) = ctl2.recv() {
+                match CtlMsg::decode(&p) {
+                    Ok(msg @ CtlMsg::SnapifyCaptureComplete { .. }) => {
+                        let _ = capture_done.send(msg);
+                    }
+                    Ok(msg) => {
+                        let _ = replies.send(msg);
+                    }
+                    Err(_) => {}
+                }
+            }
+        });
+        Ok(ctl)
+    }
+
+    /// Connect run/cmd/log/event to `ports` on `device`, install the
+    /// endpoint set, and start the host-side threads.
+    pub(crate) fn connect_data_channels(
+        &self,
+        device: usize,
+        ports: [u16; 4],
+        ctl: ScifEndpoint,
+    ) -> Result<(), CoiError> {
+        let dev_node = NodeId::device(device);
+        let mut eps = Vec::new();
+        for p in ports {
+            eps.push(
+                self.inner
+                    .scif
+                    .connect(NodeId::HOST, dev_node, p)
+                    .map_err(CoiError::Scif)?,
+            );
+        }
+        let endpoints = Endpoints {
+            run: eps[0].clone(),
+            cmd: eps[1].clone(),
+            log: eps[2].clone(),
+            event: eps[3].clone(),
+            ctl,
+        };
+        // Result dispatcher (the receiving half of Fig 4's Pipe_Thread1).
+        {
+            let run = endpoints.run.clone();
+            let pending = Arc::clone(&self.inner.pending);
+            self.inner.host_proc.spawn_service("run-dispatch", move || {
+                while let Ok(p) = run.recv() {
+                    let (id, outcome) = match RunMsg::decode(&p) {
+                        Ok(RunMsg::Result { id, ret }) => (id, Ok(ret)),
+                        Ok(RunMsg::Error { id, message }) => (id, Err(message)),
+                        _ => continue,
+                    };
+                    let ch = pending.lock().remove(&id);
+                    if let Some(ch) = ch {
+                        let _ = ch.send(outcome);
+                    }
+                }
+            });
+        }
+        // Log / event server threads (§4.1 case 3, host-server side).
+        for (is_log, ep) in [(true, endpoints.log.clone()), (false, endpoints.event.clone())] {
+            let me = self.clone();
+            let name = if is_log { "log-server" } else { "event-server" };
+            self.inner.host_proc.spawn_service(name, move || {
+                while let Ok(p) = ep.recv() {
+                    match StreamMsg::decode(&p) {
+                        Ok(StreamMsg::Record(rec)) => {
+                            if is_log {
+                                me.inner.logs.lock().push(rec);
+                            } else {
+                                me.inner.events.lock().push(rec);
+                            }
+                        }
+                        Ok(StreamMsg::Shutdown) => {
+                            let _ = ep.send(StreamMsg::ShutdownAck.encode());
+                        }
+                        _ => {}
+                    }
+                }
+            });
+        }
+        *self.inner.eps.lock() = Some(endpoints);
+        Ok(())
+    }
+
+    fn await_reply(&self) -> Result<CtlMsg, CoiError> {
+        self.inner.ctl_replies.recv().map_err(|_| CoiError::Closed)
+    }
+
+    fn eps(&self) -> Result<(ScifEndpoint, ScifEndpoint, ScifEndpoint), CoiError> {
+        let eps = self.inner.eps.lock();
+        match eps.as_ref() {
+            Some(e) => Ok((e.run.clone(), e.cmd.clone(), e.ctl.clone())),
+            None => Err(CoiError::Closed),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Public COI API
+    // ------------------------------------------------------------------
+
+    /// The offload process's pid.
+    pub fn pid(&self) -> u64 {
+        *self.inner.pid.lock()
+    }
+
+    /// The device index the offload process currently runs on (changes
+    /// after a migration).
+    pub fn device(&self) -> usize {
+        *self.inner.device.lock()
+    }
+
+    /// The host process that owns this handle.
+    pub fn host_proc(&self) -> &SimProcess {
+        &self.inner.host_proc
+    }
+
+    /// The device binary name.
+    pub fn binary(&self) -> &str {
+        &self.inner.binary
+    }
+
+    /// Size of the device binary image on the host fs (for the
+    /// library-copy steps of pause and restore).
+    pub fn binary_image_bytes(&self) -> u64 {
+        self.inner.binary_image_bytes
+    }
+
+    /// The host file system (where snapshots live).
+    pub fn host_fs(&self) -> phi_platform::SimFs {
+        self.inner.scif.server().host().fs().clone()
+    }
+
+    /// Create a COI buffer of `size` bytes (`COIBufferCreate`).
+    pub fn create_buffer(&self, size: u64) -> Result<Arc<CoiBuffer>, CoiError> {
+        let id = {
+            let mut n = self.inner.next_buf_id.lock();
+            let id = *n;
+            *n += 1;
+            id
+        };
+        // Acquire the client lock *before* resolving the endpoint: a call
+        // that blocks across a swap must use the post-restore channel.
+        self.inner.cmd_lock.acquire();
+        let cmd = match self.eps() {
+            Ok((_, cmd, _)) => cmd,
+            Err(e) => {
+                self.inner.cmd_lock.release();
+                return Err(e);
+            }
+        };
+        self.inner.config.charge_hook();
+        let send = cmd.send(CmdMsg::CreateBuffer { id, size }.encode());
+        let reply = if send.is_ok() { Self::await_cmd(&cmd) } else { Err(CoiError::Closed) };
+        self.inner.cmd_lock.release();
+        match reply? {
+            CmdMsg::BufferCreated { id: rid, addr, error } => {
+                if rid != id {
+                    return Err(CoiError::Protocol("buffer id mismatch".into()));
+                }
+                if addr == 0 {
+                    return Err(CoiError::OutOfMemory(error));
+                }
+                let buf = Arc::new(CoiBuffer {
+                    id,
+                    size,
+                    addr: SimMutex::new(format!("buf addr {id}"), RdmaAddr(addr)),
+                });
+                self.inner.buffers.lock().insert(id, Arc::clone(&buf));
+                Ok(buf)
+            }
+            other => Err(CoiError::Protocol(format!("unexpected cmd reply {other:?}"))),
+        }
+    }
+
+    /// Destroy a COI buffer (`COIBufferDestroy`).
+    pub fn destroy_buffer(&self, buf: &CoiBuffer) -> Result<(), CoiError> {
+        self.inner.cmd_lock.acquire();
+        let cmd = match self.eps() {
+            Ok((_, cmd, _)) => cmd,
+            Err(e) => {
+                self.inner.cmd_lock.release();
+                return Err(e);
+            }
+        };
+        self.inner.config.charge_hook();
+        let send = cmd.send(CmdMsg::DestroyBuffer { id: buf.id }.encode());
+        let reply = if send.is_ok() { Self::await_cmd(&cmd) } else { Err(CoiError::Closed) };
+        self.inner.cmd_lock.release();
+        reply?;
+        self.inner.buffers.lock().remove(&buf.id);
+        Ok(())
+    }
+
+    fn await_cmd(cmd: &ScifEndpoint) -> Result<CmdMsg, CoiError> {
+        loop {
+            let p = cmd.recv().map_err(CoiError::Scif)?;
+            match CmdMsg::decode(&p) {
+                Ok(m) => return Ok(m),
+                Err(_) => continue,
+            }
+        }
+    }
+
+    /// Write `data` into a buffer over RDMA (`COIBufferWrite` — §4.1
+    /// case 2 lock around the `scif_writeto` call site).
+    pub fn buffer_write(&self, buf: &CoiBuffer, data: Payload) -> Result<(), CoiError> {
+        assert_eq!(data.len(), buf.size, "COI buffer writes are whole-buffer");
+        self.inner.rdma.acquire();
+        self.inner.config.charge_hook();
+        let r = self
+            .inner
+            .scif
+            .rdma_write_from(NodeId::HOST, buf.addr(), 0, data)
+            .map_err(CoiError::Scif);
+        self.inner.rdma.release();
+        r
+    }
+
+    /// Read a buffer's contents over RDMA (`COIBufferRead`).
+    pub fn buffer_read(&self, buf: &CoiBuffer) -> Result<Payload, CoiError> {
+        self.inner.rdma.acquire();
+        self.inner.config.charge_hook();
+        let r = self
+            .inner
+            .scif
+            .rdma_read_from(NodeId::HOST, buf.addr(), 0, buf.size)
+            .map_err(CoiError::Scif);
+        self.inner.rdma.release();
+        r
+    }
+
+    /// Launch an offload function asynchronously (`COIPipelineRunFunction`;
+    /// Fig 4 step 1 — a blocking send inside a critical region under
+    /// Snapify).
+    pub fn run(
+        &self,
+        function: &str,
+        args: Vec<u8>,
+        buffers: &[&CoiBuffer],
+    ) -> Result<RunHandle, CoiError> {
+        let id = {
+            let mut n = self.inner.next_run_id.lock();
+            let id = *n;
+            *n += 1;
+            id
+        };
+        let ch = SimChannel::unbounded(format!("run-result-{id}"));
+        self.inner.pending.lock().insert(id, ch.clone());
+        let msg = RunMsg::Request {
+            id,
+            function: function.to_string(),
+            args,
+            buffers: buffers.iter().map(|b| b.id).collect(),
+        };
+        // Acquire the case-4 lock before resolving the endpoint (see
+        // create_buffer).
+        self.inner.run_send.acquire();
+        let run = match self.eps() {
+            Ok((run, _, _)) => run,
+            Err(e) => {
+                self.inner.run_send.release();
+                self.inner.pending.lock().remove(&id);
+                return Err(e);
+            }
+        };
+        self.inner.config.charge_hook();
+        let sent = run.send(msg.encode());
+        self.inner.run_send.release();
+        if sent.is_err() {
+            self.inner.pending.lock().remove(&id);
+            return Err(CoiError::Closed);
+        }
+        Ok(RunHandle { id, rx: ch })
+    }
+
+    /// Launch an offload function and wait for its return value.
+    pub fn run_sync(
+        &self,
+        function: &str,
+        args: Vec<u8>,
+        buffers: &[&CoiBuffer],
+    ) -> Result<Vec<u8>, CoiError> {
+        self.run(function, args, buffers)?.wait()
+    }
+
+    /// Host-collected COI log records.
+    pub fn logs(&self) -> Vec<Vec<u8>> {
+        self.inner.logs.lock().clone()
+    }
+
+    /// Host-collected COI event records.
+    pub fn events(&self) -> Vec<Vec<u8>> {
+        self.inner.events.lock().clone()
+    }
+
+    /// Ping the offload process over the cmd channel.
+    pub fn ping(&self) -> Result<(), CoiError> {
+        self.inner.cmd_lock.acquire();
+        let cmd = match self.eps() {
+            Ok((_, cmd, _)) => cmd,
+            Err(e) => {
+                self.inner.cmd_lock.release();
+                return Err(e);
+            }
+        };
+        self.inner.config.charge_hook();
+        let send = cmd.send(CmdMsg::Ping.encode());
+        let reply = if send.is_ok() { Self::await_cmd(&cmd) } else { Err(CoiError::Closed) };
+        self.inner.cmd_lock.release();
+        match reply? {
+            CmdMsg::Pong => Ok(()),
+            other => Err(CoiError::Protocol(format!("unexpected ping reply {other:?}"))),
+        }
+    }
+
+    /// Destroy the offload process (`COIProcessDestroy`; §4.1 case 1
+    /// critical region).
+    pub fn destroy(&self) -> Result<(), CoiError> {
+        self.inner.lifecycle.acquire();
+        let r = self.destroy_locked();
+        self.inner.lifecycle.release();
+        r
+    }
+
+    fn destroy_locked(&self) -> Result<(), CoiError> {
+        let (_, _, ctl) = self.eps()?;
+        ctl.send(CtlMsg::DestroyProcess { pid: self.pid() }.encode())
+            .map_err(CoiError::Scif)?;
+        let reply = self.await_reply()?;
+        if !matches!(reply, CtlMsg::DestroyAck) {
+            return Err(CoiError::Protocol(format!("unexpected destroy reply {reply:?}")));
+        }
+        self.close_endpoints();
+        Ok(())
+    }
+
+    fn close_endpoints(&self) {
+        let mut eps = self.inner.eps.lock();
+        if let Some(e) = eps.take() {
+            e.run.close();
+            e.cmd.close();
+            e.log.close();
+            e.event.close();
+            e.ctl.close();
+        }
+    }
+
+    /// Close the current endpoint set but keep `keep` (a freshly-opened
+    /// ctl to the restore target, which may be the same daemon).
+    fn close_endpoints_except(&self, keep: &ScifEndpoint) {
+        let mut eps = self.inner.eps.lock();
+        if let Some(e) = eps.take() {
+            e.run.close();
+            e.cmd.close();
+            e.log.close();
+            e.event.close();
+            if e.ctl.conn_id() != keep.conn_id() {
+                e.ctl.close();
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Snapify plumbing (used by the `snapify` crate's API functions)
+    // ------------------------------------------------------------------
+
+    /// Drain the host side (§4.1): acquire the lifecycle (case 1), RDMA
+    /// (case 2), cmd-client (case 3, with shutdown marker), and
+    /// run-request (case 4) locks, then wait for the outbound run channel
+    /// to empty. Held until [`CoiProcessHandle::snapify_release_host`].
+    pub fn snapify_drain_host(&self) -> Result<(), CoiError> {
+        self.inner.lifecycle.acquire();
+        self.inner.rdma.acquire();
+        // Case 3 (host is the client of the cmd channel): lock, then send
+        // the shutdown marker and wait for the server's ack.
+        let (run, cmd, _) = match self.eps() {
+            Ok(e) => e,
+            Err(e) => {
+                self.inner.lifecycle.release();
+                self.inner.rdma.release();
+                return Err(e);
+            }
+        };
+        self.inner.cmd_lock.acquire();
+        self.inner.config.charge_hook();
+        cmd.send(CmdMsg::Shutdown.encode()).map_err(CoiError::Scif)?;
+        loop {
+            let p = cmd.recv().map_err(CoiError::Scif)?;
+            if matches!(CmdMsg::decode(&p), Ok(CmdMsg::ShutdownAck)) {
+                break;
+            }
+        }
+        // Case 4: no further run-function requests.
+        self.inner.run_send.acquire();
+        while run.outbound_pending() > 0 {
+            simkernel::sleep(self.inner.config.poll_interval);
+        }
+        Ok(())
+    }
+
+    /// Acquire every host-side drain lock without touching channels.
+    /// Used on a freshly-detached handle after a host restart, where the
+    /// checkpoint was taken inside the paused region: the locks are
+    /// conceptually held until the post-restore resume.
+    pub fn snapify_hold_host_locks(&self) {
+        self.inner.lifecycle.acquire();
+        self.inner.rdma.acquire();
+        self.inner.cmd_lock.acquire();
+        self.inner.run_send.acquire();
+    }
+
+    /// Release every host-side drain lock (the host half of
+    /// `snapify_resume`).
+    pub fn snapify_release_host(&self) {
+        self.inner.run_send.release_if_held();
+        self.inner.cmd_lock.release_if_held();
+        self.inner.rdma.release_if_held();
+        self.inner.lifecycle.release_if_held();
+    }
+
+    /// Send a Snapify control message to the daemon.
+    pub fn snapify_send_ctl(&self, msg: CtlMsg) -> Result<(), CoiError> {
+        let (_, _, ctl) = self.eps()?;
+        ctl.send(msg.encode()).map_err(CoiError::Scif)
+    }
+
+    /// Await the next synchronous daemon reply.
+    pub fn snapify_await_reply(&self) -> Result<CtlMsg, CoiError> {
+        self.await_reply()
+    }
+
+    /// Await an asynchronous capture-completion notification.
+    pub fn snapify_await_capture(&self) -> Result<CtlMsg, CoiError> {
+        self.inner.capture_done.recv().map_err(|_| CoiError::Closed)
+    }
+
+    /// After a capture with `terminate` (swap-out): tear down the host
+    /// side of the now-dead connections.
+    pub fn snapify_detach(&self) {
+        self.close_endpoints();
+    }
+
+    /// Rewire the handle to a restored offload process: fresh ctl to
+    /// `device`'s daemon, fresh data channels on `ports`, new pid, and the
+    /// (buffer, old, new) RDMA address translations applied.
+    pub fn snapify_attach(
+        &self,
+        device: usize,
+        pid: u64,
+        ports: [u16; 4],
+        addr_table: &[(u64, u64, u64, u64)],
+        ctl: ScifEndpoint,
+    ) -> Result<(), CoiError> {
+        self.close_endpoints_except(&ctl);
+        self.connect_data_channels(device, ports, ctl)?;
+        *self.inner.device.lock() = device;
+        *self.inner.pid.lock() = pid;
+        let mut buffers = self.inner.buffers.lock();
+        let mut max_id = 0;
+        for (id, size, old, new) in addr_table {
+            max_id = max_id.max(*id);
+            match buffers.get(id) {
+                Some(buf) => {
+                    // Existing handle: apply the (old, new) translation.
+                    let mut addr = buf.addr.lock();
+                    debug_assert_eq!(addr.0, *old, "stale RDMA address in translation table");
+                    *addr = RdmaAddr(*new);
+                }
+                None => {
+                    // Restart path (a restored *host* process adopting the
+                    // snapshot's buffers): recreate the handle entry.
+                    buffers.insert(
+                        *id,
+                        Arc::new(CoiBuffer {
+                            id: *id,
+                            size: *size,
+                            addr: SimMutex::new(format!("buf addr {id}"), RdmaAddr(*new)),
+                        }),
+                    );
+                }
+            }
+        }
+        drop(buffers);
+        let mut next = self.inner.next_buf_id.lock();
+        *next = (*next).max(max_id + 1);
+        Ok(())
+    }
+
+    /// A detached handle: no offload process yet. Used when a restarted
+    /// host process re-adopts a swapped-out/checkpointed offload process
+    /// via `snapify_restore`.
+    pub fn new_detached(
+        config: &CoiConfig,
+        scif: &Scif,
+        host_proc: &SimProcess,
+        binary: &str,
+        binary_image_bytes: u64,
+    ) -> CoiProcessHandle {
+        let pid_tag = host_proc.pid().0;
+        CoiProcessHandle {
+            inner: Arc::new(HandleInner {
+                config: config.clone(),
+                scif: scif.clone(),
+                host_proc: host_proc.clone(),
+                binary: binary.to_string(),
+                binary_image_bytes,
+                device: SimMutex::new(format!("hdl dev {pid_tag}"), 0),
+                pid: SimMutex::new(format!("hdl pid {pid_tag}"), 0),
+                eps: SimMutex::new(format!("hdl eps {pid_tag}"), None),
+                pending: Arc::new(SimMutex::new(
+                    format!("hdl pending {pid_tag}"),
+                    HashMap::new(),
+                )),
+                next_run_id: SimMutex::new(format!("hdl runid {pid_tag}"), 1),
+                next_buf_id: SimMutex::new(format!("hdl bufid {pid_tag}"), 1),
+                buffers: SimMutex::new(format!("hdl buffers {pid_tag}"), BTreeMap::new()),
+                lifecycle: DrainLock::new(format!("lifecycle {pid_tag}")),
+                rdma: DrainLock::new(format!("rdma {pid_tag}")),
+                cmd_lock: DrainLock::new(format!("cmd-client {pid_tag}")),
+                run_send: DrainLock::new(format!("run-send {pid_tag}")),
+                ctl_replies: SimChannel::unbounded(format!("ctl-replies {pid_tag}")),
+                capture_done: SimChannel::unbounded(format!("capture-done {pid_tag}")),
+                logs: SimMutex::new(format!("hdl logs {pid_tag}"), Vec::new()),
+                events: SimMutex::new(format!("hdl events {pid_tag}"), Vec::new()),
+            }),
+        }
+    }
+
+    /// Buffer handles, sorted by id (used after a restart to re-adopt
+    /// the restored process's buffers).
+    pub fn buffers(&self) -> Vec<Arc<CoiBuffer>> {
+        self.inner.buffers.lock().values().cloned().collect()
+    }
+
+    /// Restore-time ctl connection: used by `snapify_restore` to reach the
+    /// *target* device's daemon before the handle is rewired.
+    pub fn snapify_connect_ctl(&self, device: usize) -> Result<ScifEndpoint, CoiError> {
+        self.connect_ctl(device)
+    }
+
+    /// The run endpoint's outbound in-flight count (drain diagnostics).
+    pub fn run_outbound_pending(&self) -> usize {
+        self.inner
+            .eps
+            .lock()
+            .as_ref()
+            .map(|e| e.run.outbound_pending())
+            .unwrap_or(0)
+    }
+}

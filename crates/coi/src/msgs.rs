@@ -1,0 +1,518 @@
+//! COI control-plane message types and their wire encodings.
+//!
+//! Four message families, one per SCIF use case of §4.1:
+//!
+//! 1. [`CtlMsg`] — host ↔ COI daemon process-lifecycle traffic (and the
+//!    Snapify service requests the daemon coordinates);
+//! 2. (bulk RDMA carries no control messages — it is case 2);
+//! 3. [`CmdMsg`] — host-client → offload-server commands, plus the
+//!    offload-client → host-server [`StreamMsg`] log/event channels —
+//!    all of which understand the Snapify **shutdown marker**;
+//! 4. [`RunMsg`] — the offload-function pipeline (Fig 4).
+//!
+//! [`PipeMsg`] is the daemon ↔ offload-process UNIX-pipe protocol created
+//! by `snapify_pause` (Fig 3).
+
+use phi_platform::Payload;
+
+use crate::wire::{Dec, DecodeError, Enc};
+
+/// Host ↔ daemon control messages (SCIF use case 1 + Snapify service).
+#[derive(Clone, Debug, PartialEq)]
+pub enum CtlMsg {
+    /// Launch an offload process for `host_pid` running `binary`.
+    CreateProcess {
+        /// Host process id (daemon monitors it).
+        host_pid: u64,
+        /// Device binary name to load.
+        binary: String,
+    },
+    /// Reply to [`CtlMsg::CreateProcess`].
+    CreateProcessReply {
+        /// New offload process id.
+        pid: u64,
+        /// SCIF ports for the run/cmd/log/event channels, in that order.
+        ports: [u16; 4],
+    },
+    /// Terminate the offload process (normal application exit).
+    DestroyProcess {
+        /// Offload process id.
+        pid: u64,
+    },
+    /// Acknowledgement of [`CtlMsg::DestroyProcess`].
+    DestroyAck,
+    /// Snapify: pause the offload process (drain + local store save).
+    SnapifyPause {
+        /// Offload process id.
+        pid: u64,
+        /// Host-side snapshot directory.
+        path: String,
+    },
+    /// Daemon: pause finished.
+    SnapifyPauseComplete {
+        /// Whether the pause succeeded.
+        ok: bool,
+    },
+    /// Snapify: capture the offload process snapshot.
+    SnapifyCapture {
+        /// Offload process id.
+        pid: u64,
+        /// Host-side snapshot directory.
+        path: String,
+        /// Terminate the process after capture (swap-out).
+        terminate: bool,
+    },
+    /// Daemon: capture finished; carries the device snapshot size.
+    SnapifyCaptureComplete {
+        /// Whether the capture succeeded.
+        ok: bool,
+        /// Bytes in the device snapshot file.
+        snapshot_bytes: u64,
+    },
+    /// Snapify: resume the offload process.
+    SnapifyResume {
+        /// Offload process id.
+        pid: u64,
+    },
+    /// Daemon: resume finished.
+    SnapifyResumeComplete,
+    /// Snapify: restore an offload process from a snapshot directory.
+    SnapifyRestore {
+        /// Host-side snapshot directory.
+        path: String,
+        /// Host process id adopting the restored process.
+        host_pid: u64,
+    },
+    /// Reply to [`CtlMsg::SnapifyRestore`].
+    SnapifyRestoreReply {
+        /// New offload process id.
+        pid: u64,
+        /// SCIF ports for the run/cmd/log/event channels.
+        ports: [u16; 4],
+        /// RDMA address translations: (buffer id, size, old addr, new
+        /// addr).
+        addr_table: Vec<(u64, u64, u64, u64)>,
+        /// Restore phase timings: (library copy, store copy, blcr
+        /// restart, re-registration), in nanoseconds.
+        breakdown: (u64, u64, u64, u64),
+        /// Error message if the restore failed ports/table are invalid.
+        error: String,
+    },
+}
+
+impl CtlMsg {
+    /// Encode for a SCIF message channel.
+    pub fn encode(&self) -> Payload {
+        match self {
+            CtlMsg::CreateProcess { host_pid, binary } => {
+                Enc::new().tag(1).u64(*host_pid).string(binary).payload()
+            }
+            CtlMsg::CreateProcessReply { pid, ports } => Enc::new()
+                .tag(2)
+                .u64(*pid)
+                .u16(ports[0])
+                .u16(ports[1])
+                .u16(ports[2])
+                .u16(ports[3])
+                .payload(),
+            CtlMsg::DestroyProcess { pid } => Enc::new().tag(3).u64(*pid).payload(),
+            CtlMsg::DestroyAck => Enc::new().tag(4).payload(),
+            CtlMsg::SnapifyPause { pid, path } => {
+                Enc::new().tag(5).u64(*pid).string(path).payload()
+            }
+            CtlMsg::SnapifyPauseComplete { ok } => Enc::new().tag(6).boolean(*ok).payload(),
+            CtlMsg::SnapifyCapture { pid, path, terminate } => Enc::new()
+                .tag(7)
+                .u64(*pid)
+                .string(path)
+                .boolean(*terminate)
+                .payload(),
+            CtlMsg::SnapifyCaptureComplete { ok, snapshot_bytes } => Enc::new()
+                .tag(8)
+                .boolean(*ok)
+                .u64(*snapshot_bytes)
+                .payload(),
+            CtlMsg::SnapifyResume { pid } => Enc::new().tag(9).u64(*pid).payload(),
+            CtlMsg::SnapifyResumeComplete => Enc::new().tag(10).payload(),
+            CtlMsg::SnapifyRestore { path, host_pid } => {
+                Enc::new().tag(11).string(path).u64(*host_pid).payload()
+            }
+            CtlMsg::SnapifyRestoreReply { pid, ports, addr_table, breakdown, error } => {
+                Enc::new()
+                    .tag(12)
+                    .u64(*pid)
+                    .u16(ports[0])
+                    .u16(ports[1])
+                    .u16(ports[2])
+                    .u16(ports[3])
+                    .list(addr_table, |e, (id, size, old, new)| {
+                        e.u64(*id).u64(*size).u64(*old).u64(*new)
+                    })
+                    .u64(breakdown.0)
+                    .u64(breakdown.1)
+                    .u64(breakdown.2)
+                    .u64(breakdown.3)
+                    .string(error)
+                    .payload()
+            }
+        }
+    }
+
+    /// Decode from channel bytes.
+    pub fn decode(p: &Payload) -> Result<CtlMsg, DecodeError> {
+        let bytes = p.to_bytes();
+        let mut d = Dec::new(&bytes);
+        let msg = match d.tag()? {
+            1 => CtlMsg::CreateProcess {
+                host_pid: d.u64()?,
+                binary: d.string()?,
+            },
+            2 => CtlMsg::CreateProcessReply {
+                pid: d.u64()?,
+                ports: [d.u16()?, d.u16()?, d.u16()?, d.u16()?],
+            },
+            3 => CtlMsg::DestroyProcess { pid: d.u64()? },
+            4 => CtlMsg::DestroyAck,
+            5 => CtlMsg::SnapifyPause {
+                pid: d.u64()?,
+                path: d.string()?,
+            },
+            6 => CtlMsg::SnapifyPauseComplete { ok: d.boolean()? },
+            7 => CtlMsg::SnapifyCapture {
+                pid: d.u64()?,
+                path: d.string()?,
+                terminate: d.boolean()?,
+            },
+            8 => CtlMsg::SnapifyCaptureComplete {
+                ok: d.boolean()?,
+                snapshot_bytes: d.u64()?,
+            },
+            9 => CtlMsg::SnapifyResume { pid: d.u64()? },
+            10 => CtlMsg::SnapifyResumeComplete,
+            11 => CtlMsg::SnapifyRestore {
+                path: d.string()?,
+                host_pid: d.u64()?,
+            },
+            12 => CtlMsg::SnapifyRestoreReply {
+                pid: d.u64()?,
+                ports: [d.u16()?, d.u16()?, d.u16()?, d.u16()?],
+                addr_table: d.list(|d| Ok((d.u64()?, d.u64()?, d.u64()?, d.u64()?)))?,
+                breakdown: (d.u64()?, d.u64()?, d.u64()?, d.u64()?),
+                error: d.string()?,
+            },
+            t => return Err(DecodeError(format!("bad CtlMsg tag {t}"))),
+        };
+        Ok(msg)
+    }
+}
+
+/// Host-client → offload-server command channel (SCIF use case 3).
+#[derive(Clone, Debug, PartialEq)]
+pub enum CmdMsg {
+    /// Liveness probe.
+    Ping,
+    /// Reply to [`CmdMsg::Ping`].
+    Pong,
+    /// Create a COI buffer of `size` bytes with client-assigned `id`.
+    CreateBuffer {
+        /// Buffer id.
+        id: u64,
+        /// Buffer size in bytes.
+        size: u64,
+    },
+    /// Reply: buffer created and registered for RDMA at `addr`.
+    BufferCreated {
+        /// Buffer id.
+        id: u64,
+        /// RDMA window address (0 = creation failed, see `error`).
+        addr: u64,
+        /// Error message, empty on success.
+        error: String,
+    },
+    /// Destroy a COI buffer.
+    DestroyBuffer {
+        /// Buffer id.
+        id: u64,
+    },
+    /// Reply to [`CmdMsg::DestroyBuffer`].
+    BufferDestroyed {
+        /// Buffer id.
+        id: u64,
+    },
+    /// Snapify shutdown marker: no more commands until resume (§4.1
+    /// case 3).
+    Shutdown,
+    /// Server acknowledgement of [`CmdMsg::Shutdown`].
+    ShutdownAck,
+}
+
+impl CmdMsg {
+    /// Encode for a SCIF message channel.
+    pub fn encode(&self) -> Payload {
+        match self {
+            CmdMsg::Ping => Enc::new().tag(1).payload(),
+            CmdMsg::Pong => Enc::new().tag(2).payload(),
+            CmdMsg::CreateBuffer { id, size } => {
+                Enc::new().tag(3).u64(*id).u64(*size).payload()
+            }
+            CmdMsg::BufferCreated { id, addr, error } => {
+                Enc::new().tag(4).u64(*id).u64(*addr).string(error).payload()
+            }
+            CmdMsg::DestroyBuffer { id } => Enc::new().tag(5).u64(*id).payload(),
+            CmdMsg::BufferDestroyed { id } => Enc::new().tag(6).u64(*id).payload(),
+            CmdMsg::Shutdown => Enc::new().tag(7).payload(),
+            CmdMsg::ShutdownAck => Enc::new().tag(8).payload(),
+        }
+    }
+
+    /// Decode from channel bytes.
+    pub fn decode(p: &Payload) -> Result<CmdMsg, DecodeError> {
+        let bytes = p.to_bytes();
+        let mut d = Dec::new(&bytes);
+        let msg = match d.tag()? {
+            1 => CmdMsg::Ping,
+            2 => CmdMsg::Pong,
+            3 => CmdMsg::CreateBuffer {
+                id: d.u64()?,
+                size: d.u64()?,
+            },
+            4 => CmdMsg::BufferCreated {
+                id: d.u64()?,
+                addr: d.u64()?,
+                error: d.string()?,
+            },
+            5 => CmdMsg::DestroyBuffer { id: d.u64()? },
+            6 => CmdMsg::BufferDestroyed { id: d.u64()? },
+            7 => CmdMsg::Shutdown,
+            8 => CmdMsg::ShutdownAck,
+            t => return Err(DecodeError(format!("bad CmdMsg tag {t}"))),
+        };
+        Ok(msg)
+    }
+}
+
+/// Offload-client → host-server stream channels (COI events and logs —
+/// the other half of SCIF use case 3).
+#[derive(Clone, Debug, PartialEq)]
+pub enum StreamMsg {
+    /// One log/event record.
+    Record(Vec<u8>),
+    /// Snapify shutdown marker.
+    Shutdown,
+    /// Server acknowledgement of [`StreamMsg::Shutdown`].
+    ShutdownAck,
+}
+
+impl StreamMsg {
+    /// Encode for a SCIF message channel.
+    pub fn encode(&self) -> Payload {
+        match self {
+            StreamMsg::Record(b) => Enc::new().tag(1).bytes(b).payload(),
+            StreamMsg::Shutdown => Enc::new().tag(2).payload(),
+            StreamMsg::ShutdownAck => Enc::new().tag(3).payload(),
+        }
+    }
+
+    /// Decode from channel bytes.
+    pub fn decode(p: &Payload) -> Result<StreamMsg, DecodeError> {
+        let bytes = p.to_bytes();
+        let mut d = Dec::new(&bytes);
+        let msg = match d.tag()? {
+            1 => StreamMsg::Record(d.bytes()?),
+            2 => StreamMsg::Shutdown,
+            3 => StreamMsg::ShutdownAck,
+            t => return Err(DecodeError(format!("bad StreamMsg tag {t}"))),
+        };
+        Ok(msg)
+    }
+}
+
+/// The offload-function pipeline channel (SCIF use case 4, Fig 4).
+#[derive(Clone, Debug, PartialEq)]
+pub enum RunMsg {
+    /// Run `function` with `args` against `buffers`.
+    Request {
+        /// Run id (host-assigned, echoed in the result).
+        id: u64,
+        /// Offload function name (must exist in the device binary).
+        function: String,
+        /// Misc argument bytes.
+        args: Vec<u8>,
+        /// Buffer ids passed to the function.
+        buffers: Vec<u64>,
+    },
+    /// Function completed with a return value.
+    Result {
+        /// Run id.
+        id: u64,
+        /// Return value bytes.
+        ret: Vec<u8>,
+    },
+    /// Function failed.
+    Error {
+        /// Run id.
+        id: u64,
+        /// Error description.
+        message: String,
+    },
+}
+
+impl RunMsg {
+    /// Encode for a SCIF message channel.
+    pub fn encode(&self) -> Payload {
+        match self {
+            RunMsg::Request { id, function, args, buffers } => Enc::new()
+                .tag(1)
+                .u64(*id)
+                .string(function)
+                .bytes(args)
+                .list(buffers, |e, b| e.u64(*b))
+                .payload(),
+            RunMsg::Result { id, ret } => Enc::new().tag(2).u64(*id).bytes(ret).payload(),
+            RunMsg::Error { id, message } => {
+                Enc::new().tag(3).u64(*id).string(message).payload()
+            }
+        }
+    }
+
+    /// Decode from channel bytes.
+    pub fn decode(p: &Payload) -> Result<RunMsg, DecodeError> {
+        let bytes = p.to_bytes();
+        let mut d = Dec::new(&bytes);
+        let msg = match d.tag()? {
+            1 => RunMsg::Request {
+                id: d.u64()?,
+                function: d.string()?,
+                args: d.bytes()?,
+                buffers: d.list(|d| d.u64())?,
+            },
+            2 => RunMsg::Result {
+                id: d.u64()?,
+                ret: d.bytes()?,
+            },
+            3 => RunMsg::Error {
+                id: d.u64()?,
+                message: d.string()?,
+            },
+            t => return Err(DecodeError(format!("bad RunMsg tag {t}"))),
+        };
+        Ok(msg)
+    }
+}
+
+/// Daemon ↔ offload-process pipe protocol (Fig 3). These travel over a
+/// local (same-node) channel, not SCIF.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PipeMsg {
+    /// Daemon → offload: begin the pause (drain + save local store to
+    /// `path`).
+    PauseReq {
+        /// Host snapshot directory.
+        path: String,
+    },
+    /// Offload → daemon: handshake acknowledgement (Fig 3 step 2).
+    PauseAck,
+    /// Offload → daemon: channels drained, local store saved.
+    PauseComplete {
+        /// Whether the pause succeeded.
+        ok: bool,
+    },
+    /// Daemon → offload: capture a snapshot into `path`.
+    CaptureReq {
+        /// Host snapshot directory.
+        path: String,
+        /// Exit after capturing.
+        terminate: bool,
+    },
+    /// Offload → daemon: snapshot written.
+    CaptureComplete {
+        /// Whether the capture succeeded.
+        ok: bool,
+        /// Device snapshot size in bytes.
+        snapshot_bytes: u64,
+    },
+    /// Daemon → offload: release all locks and resume.
+    ResumeReq,
+    /// Offload → daemon: resumed.
+    ResumeAck,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctl_roundtrip() {
+        let msgs = vec![
+            CtlMsg::CreateProcess { host_pid: 7, binary: "md.so".into() },
+            CtlMsg::CreateProcessReply { pid: 9, ports: [1, 2, 3, 4] },
+            CtlMsg::DestroyProcess { pid: 9 },
+            CtlMsg::DestroyAck,
+            CtlMsg::SnapifyPause { pid: 9, path: "/snap".into() },
+            CtlMsg::SnapifyPauseComplete { ok: true },
+            CtlMsg::SnapifyCapture { pid: 9, path: "/snap".into(), terminate: false },
+            CtlMsg::SnapifyCaptureComplete { ok: true, snapshot_bytes: 12345 },
+            CtlMsg::SnapifyResume { pid: 9 },
+            CtlMsg::SnapifyResumeComplete,
+            CtlMsg::SnapifyRestore { path: "/snap".into(), host_pid: 7 },
+            CtlMsg::SnapifyRestoreReply {
+                pid: 10,
+                ports: [5, 6, 7, 8],
+                addr_table: vec![(0, 4096, 0x1000, 0x2000), (1, 8192, 0x3000, 0x4000)],
+                breakdown: (1, 2, 3, 4),
+                error: String::new(),
+            },
+        ];
+        for m in msgs {
+            assert_eq!(CtlMsg::decode(&m.encode()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn cmd_roundtrip() {
+        let msgs = vec![
+            CmdMsg::Ping,
+            CmdMsg::Pong,
+            CmdMsg::CreateBuffer { id: 3, size: 1 << 20 },
+            CmdMsg::BufferCreated { id: 3, addr: 0x5000, error: String::new() },
+            CmdMsg::BufferCreated { id: 4, addr: 0, error: "oom".into() },
+            CmdMsg::DestroyBuffer { id: 3 },
+            CmdMsg::BufferDestroyed { id: 3 },
+            CmdMsg::Shutdown,
+            CmdMsg::ShutdownAck,
+        ];
+        for m in msgs {
+            assert_eq!(CmdMsg::decode(&m.encode()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn stream_and_run_roundtrip() {
+        for m in [
+            StreamMsg::Record(vec![1, 2, 3]),
+            StreamMsg::Shutdown,
+            StreamMsg::ShutdownAck,
+        ] {
+            assert_eq!(StreamMsg::decode(&m.encode()).unwrap(), m);
+        }
+        for m in [
+            RunMsg::Request {
+                id: 1,
+                function: "lj_step".into(),
+                args: vec![9, 9],
+                buffers: vec![0, 1, 2],
+            },
+            RunMsg::Result { id: 1, ret: vec![5] },
+            RunMsg::Error { id: 2, message: "no such function".into() },
+        ] {
+            assert_eq!(RunMsg::decode(&m.encode()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(CtlMsg::decode(&Payload::bytes(vec![99])).is_err());
+        assert!(CmdMsg::decode(&Payload::bytes(vec![])).is_err());
+        assert!(RunMsg::decode(&Payload::bytes(vec![1, 2])).is_err());
+    }
+}

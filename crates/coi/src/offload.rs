@@ -1,0 +1,1109 @@
+//! The offload process runtime: the device side of COI, with the Snapify
+//! modifications.
+//!
+//! One [`OffloadRuntime`] drives one offload process (`offload_proc` in
+//! Fig 1). Its threads mirror the real COI process:
+//!
+//! * a **run receiver** and an **executor** implementing the offload
+//!   pipeline (Fig 4's `Pipe_Thread2`);
+//! * a **command server** (buffer management — SCIF use case 3, server
+//!   side);
+//! * **log and event clients** shipping records to host-side server
+//!   threads (use case 3, client side);
+//! * a transient **pipe handler** spawned by the Snapify signal, which
+//!   runs the offload half of pause / capture / resume (Fig 3).
+//!
+//! # Snapshot-ability
+//!
+//! Everything the executor may be doing is recorded in [`PipelineState`]
+//! *before* any blocking operation: queued requests live in the state's
+//! queue (not in a channel), an executing run carries its step cursor, and
+//! a finished-but-unsent result is `ResultPending`. The capture path
+//! therefore only needs to (a) park the executor at a step boundary and
+//! (b) serialize the state — every in-flight intention is recoverable.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+use blcr_sim::BlcrConfig;
+use phi_platform::{NodeId, Payload, SimNode};
+use scif_sim::{RdmaAddr, Scif, ScifEndpoint};
+use simkernel::{SimChannel, SimCondvar, SimMutex};
+use simproc::{signum, PidAllocator, Signals, SimProcess};
+
+use crate::binary::{DeviceBinary, FunctionRegistry, OffloadCtx, StepOutcome};
+use crate::config::CoiConfig;
+use crate::locks::DrainLock;
+use crate::msgs::{CmdMsg, PipeMsg, RunMsg, StreamMsg};
+use crate::storage::SnapshotStorage;
+use crate::wire::{Dec, Enc};
+use crate::CoiError;
+
+/// Chunk size used when streaming local stores and snapshots.
+pub const IO_CHUNK: u64 = 4 << 20;
+
+/// Region-name prefix of COI buffer backing stores (excluded from the
+/// BLCR process image; saved separately as the local store).
+pub const BUF_REGION_PREFIX: &str = "coi_buf_";
+
+fn buf_region(id: u64) -> String {
+    format!("{BUF_REGION_PREFIX}{id}")
+}
+
+/// RDMA address translation entries: `(buffer id, size, old, new)`.
+pub type AddrTable = Vec<(u64, u64, u64, u64)>;
+
+/// Timing breakdown of an offload-process restore (§4.3), in nanoseconds
+/// of virtual time. Carried back to the host in the restore reply so
+/// Fig 10(c)'s stacked bars can be reported per phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RestoreBreakdown {
+    /// Copying the runtime libraries to the coprocessor.
+    pub library_copy_ns: u64,
+    /// Copying the local store (COI buffer files) to the coprocessor.
+    pub store_copy_ns: u64,
+    /// BLCR restart of the process image.
+    pub blcr_restart_ns: u64,
+    /// Buffer re-mapping + RDMA re-registration.
+    pub reregistration_ns: u64,
+}
+
+/// The daemon ↔ offload-process pipe (a pair of local channels).
+#[derive(Clone)]
+pub struct SnapifyPipe {
+    /// Daemon → offload direction.
+    pub to_offload: SimChannel<PipeMsg>,
+    /// Offload → daemon direction.
+    pub to_daemon: SimChannel<PipeMsg>,
+}
+
+impl SnapifyPipe {
+    /// Create a pipe pair.
+    pub fn new(pid: u64) -> SnapifyPipe {
+        SnapifyPipe {
+            to_offload: SimChannel::unbounded(format!("pipe-d2o-{pid}")),
+            to_daemon: SimChannel::unbounded(format!("pipe-o2d-{pid}")),
+        }
+    }
+}
+
+/// One queued offload-function invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunRequest {
+    /// Host-assigned run id.
+    pub id: u64,
+    /// Function name.
+    pub function: String,
+    /// Misc argument bytes.
+    pub args: Vec<u8>,
+    /// Buffer ids.
+    pub buffers: Vec<u64>,
+}
+
+/// Execution phase of the active run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RunPhase {
+    /// Executing; the cursor counts completed steps.
+    Executing(u64),
+    /// Finished; the result has not yet been sent to the host.
+    ResultPending(Result<Vec<u8>, String>),
+}
+
+#[derive(Clone, Debug)]
+struct ActiveRun {
+    req: RunRequest,
+    phase: RunPhase,
+}
+
+/// The snapshot-able pipeline state.
+pub struct PipelineState {
+    queue: VecDeque<RunRequest>,
+    active: Option<ActiveRun>,
+    /// Requests moved from the run channel into `queue` (matched against
+    /// the channel's receive counter to prove nothing is in flight).
+    enqueued: u64,
+    /// Capture barrier: the executor parks at the next step boundary.
+    barrier: bool,
+    /// Whether the executor is parked at the barrier.
+    parked: bool,
+}
+
+struct BufMeta {
+    size: u64,
+    addr: RdmaAddr,
+}
+
+struct Endpoints {
+    run: ScifEndpoint,
+    cmd: ScifEndpoint,
+    log: ScifEndpoint,
+    event: ScifEndpoint,
+}
+
+struct Inner {
+    config: CoiConfig,
+    blcr: BlcrConfig,
+    scif: Scif,
+    node: SimNode,
+    proc: SimProcess,
+    binary: Arc<DeviceBinary>,
+    host_pid: u64,
+    storage: Arc<dyn SnapshotStorage>,
+
+    pstate: SimMutex<PipelineState>,
+    pcv: SimCondvar,
+
+    eps: SimMutex<Option<Endpoints>>,
+    log_q: SimChannel<Vec<u8>>,
+    event_q: SimChannel<Vec<u8>>,
+
+    log_lock: DrainLock,
+    event_lock: DrainLock,
+    result_lock: DrainLock,
+
+    buffers: SimMutex<BTreeMap<u64, BufMeta>>,
+    terminated: SimMutex<bool>,
+    signals: Signals,
+    pipe: SimMutex<Option<SnapifyPipe>>,
+}
+
+/// Handle to an offload process runtime. Cheap to clone.
+#[derive(Clone)]
+pub struct OffloadRuntime {
+    inner: Arc<Inner>,
+}
+
+impl OffloadRuntime {
+    /// Create a fresh offload process for `host_pid` on `node`, running
+    /// `binary`. Returns the runtime and the four SCIF ports
+    /// (run/cmd/log/event) the host must connect to.
+    #[allow(clippy::too_many_arguments)]
+    pub fn launch(
+        config: &CoiConfig,
+        blcr: &BlcrConfig,
+        scif: &Scif,
+        node: &SimNode,
+        pids: &PidAllocator,
+        binary: Arc<DeviceBinary>,
+        host_pid: u64,
+        storage: Arc<dyn SnapshotStorage>,
+        signal_latency: simkernel::SimDuration,
+    ) -> Result<(OffloadRuntime, [u16; 4]), CoiError> {
+        let proc = SimProcess::new(pids.alloc(), format!("offload:{}", binary.name()), node);
+        proc.memory()
+            .map_region("base", Payload::synthetic(0xBA5E, binary.resident_bytes))
+            .map_err(|e| CoiError::OutOfMemory(e.to_string()))?;
+        let rt = Self::build(
+            config, blcr, scif, node, proc, binary, host_pid, storage, signal_latency,
+            PipelineState {
+                queue: VecDeque::new(),
+                active: None,
+                enqueued: 0,
+                barrier: false,
+                parked: false,
+            },
+            BTreeMap::new(),
+        );
+        let ports = rt.open_ports();
+        Ok((rt, ports))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        config: &CoiConfig,
+        blcr: &BlcrConfig,
+        scif: &Scif,
+        node: &SimNode,
+        proc: SimProcess,
+        binary: Arc<DeviceBinary>,
+        host_pid: u64,
+        storage: Arc<dyn SnapshotStorage>,
+        signal_latency: simkernel::SimDuration,
+        pstate: PipelineState,
+        buffers: BTreeMap<u64, BufMeta>,
+    ) -> OffloadRuntime {
+        let pid = proc.pid();
+        let rt = OffloadRuntime {
+            inner: Arc::new(Inner {
+                config: config.clone(),
+                blcr: blcr.clone(),
+                scif: scif.clone(),
+                node: node.clone(),
+                binary,
+                host_pid,
+                storage,
+                pstate: SimMutex::new(format!("pipeline {pid}"), pstate),
+                pcv: SimCondvar::new(format!("pipeline {pid}")),
+                eps: SimMutex::new(format!("eps {pid}"), None),
+                log_q: SimChannel::unbounded(format!("logq {pid}")),
+                event_q: SimChannel::unbounded(format!("eventq {pid}")),
+                log_lock: DrainLock::new(format!("log-client {pid}")),
+                event_lock: DrainLock::new(format!("event-client {pid}")),
+                result_lock: DrainLock::new(format!("result-send {pid}")),
+                buffers: SimMutex::new(format!("buffers {pid}"), buffers),
+                terminated: SimMutex::new(format!("terminated {pid}"), false),
+                signals: Signals::new(&format!("{pid}"), signal_latency),
+                pipe: SimMutex::new(format!("pipe {pid}"), None),
+                proc,
+            }),
+        };
+        // The Snapify signal spawns the pipe handler (Fig 3 step 2).
+        let rt2 = rt.clone();
+        rt.inner.signals.register(signum::SIGSNAPIFY, move || {
+            let rt3 = rt2.clone();
+            rt2.inner.proc.spawn_service("snapify-pipe", move || {
+                rt3.pipe_handler();
+            });
+        });
+        rt
+    }
+
+    /// Bind four ephemeral ports and start the runtime's threads once the
+    /// host has connected to each.
+    fn open_ports(&self) -> [u16; 4] {
+        let scif = &self.inner.scif;
+        let node = self.inner.node.id();
+        let ports = [
+            scif.ephemeral_port(),
+            scif.ephemeral_port(),
+            scif.ephemeral_port(),
+            scif.ephemeral_port(),
+        ];
+        let listeners: Vec<_> = ports.iter().map(|p| scif.listen(node, *p)).collect();
+        let rt = self.clone();
+        self.inner.proc.spawn_service("acceptor", move || {
+            let mut eps = Vec::new();
+            for l in &listeners {
+                match l.accept() {
+                    Ok(ep) => eps.push(ep),
+                    Err(_) => return,
+                }
+            }
+            for l in &listeners {
+                l.close();
+            }
+            let endpoints = Endpoints {
+                run: eps[0].clone(),
+                cmd: eps[1].clone(),
+                log: eps[2].clone(),
+                event: eps[3].clone(),
+            };
+            *rt.inner.eps.lock() = Some(endpoints);
+            rt.start_threads();
+        });
+        ports
+    }
+
+    fn start_threads(&self) {
+        let rt = self.clone();
+        self.inner.proc.spawn_service("run-recv", move || rt.run_receiver());
+        let rt = self.clone();
+        self.inner.proc.spawn_service("executor", move || rt.executor());
+        let rt = self.clone();
+        self.inner.proc.spawn_service("cmd-server", move || rt.cmd_server());
+        let rt = self.clone();
+        self.inner.proc.spawn_service("log-client", move || {
+            rt.stream_client(true);
+        });
+        let rt = self.clone();
+        self.inner.proc.spawn_service("event-client", move || {
+            rt.stream_client(false);
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The offload process.
+    pub fn proc(&self) -> &SimProcess {
+        &self.inner.proc
+    }
+
+    /// The node the process runs on.
+    pub fn node(&self) -> &SimNode {
+        &self.inner.node
+    }
+
+    /// The device binary.
+    pub fn binary(&self) -> &Arc<DeviceBinary> {
+        &self.inner.binary
+    }
+
+    /// Owning host process id.
+    pub fn host_pid(&self) -> u64 {
+        self.inner.host_pid
+    }
+
+    /// The process's signal table (the daemon signals through this).
+    pub fn signals(&self) -> &Signals {
+        &self.inner.signals
+    }
+
+    /// Install the daemon's pipe (before signalling).
+    pub fn install_pipe(&self, pipe: SnapifyPipe) {
+        *self.inner.pipe.lock() = Some(pipe);
+    }
+
+    /// Whether the runtime has been terminated.
+    pub fn is_terminated(&self) -> bool {
+        *self.inner.terminated.lock()
+    }
+
+    /// Total bytes of local store (all COI buffers).
+    pub fn local_store_bytes(&self) -> u64 {
+        self.inner.buffers.lock().values().map(|b| b.size).sum()
+    }
+
+    /// Device-snapshot size a capture would produce right now.
+    pub fn snapshot_size(&self) -> u64 {
+        let state_len = self.serialize_state().len() as u64;
+        blcr_sim::image_size_filtered(&self.inner.blcr, &self.inner.proc, state_len, &|n| {
+            !n.starts_with(BUF_REGION_PREFIX)
+        })
+    }
+
+    /// True if every SCIF channel of this process is empty in both
+    /// directions *and* every received run request is recorded in the
+    /// pipeline state — the consistency predicate of §3.
+    pub fn channels_drained(&self) -> bool {
+        let eps = self.inner.eps.lock();
+        let Some(eps) = eps.as_ref() else {
+            return true;
+        };
+        let st = self.inner.pstate.lock();
+        let (_, received) = eps.run.inbound_stats();
+        eps.run.inbound_pending() == 0
+            && eps.run.outbound_pending() == 0
+            && eps.cmd.inbound_pending() == 0
+            && eps.cmd.outbound_pending() == 0
+            && eps.log.inbound_pending() == 0
+            && eps.log.outbound_pending() == 0
+            && eps.event.inbound_pending() == 0
+            && eps.event.outbound_pending() == 0
+            && received == st.enqueued
+    }
+
+    /// Digest over the process's private (non-buffer) memory image.
+    pub fn private_digest(&self) -> u64 {
+        let mut combined = Payload::empty();
+        for (name, content) in self.inner.proc.memory().snapshot_regions() {
+            if !name.starts_with(BUF_REGION_PREFIX) {
+                combined.append(Payload::bytes(name.as_bytes().to_vec()));
+                combined.append(content);
+            }
+        }
+        combined.digest()
+    }
+
+    /// Digest over the local store (buffer contents, by id).
+    pub fn local_store_digest(&self) -> u64 {
+        let bufs = self.inner.buffers.lock();
+        let mut combined = Payload::empty();
+        for (id, _) in bufs.iter() {
+            combined.append(Payload::bytes(id.to_le_bytes().to_vec()));
+            combined.append(self.inner.proc.memory().region(&buf_region(*id)));
+        }
+        combined.digest()
+    }
+
+    // ------------------------------------------------------------------
+    // Buffer plumbing (used by OffloadCtx and the cmd server)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn buffer_payload(&self, id: u64) -> Payload {
+        self.inner.proc.memory().region(&buf_region(id))
+    }
+
+    pub(crate) fn buffer_store(&self, id: u64, data: Payload) {
+        let expected = self.inner.buffers.lock().get(&id).map(|b| b.size);
+        let expected = expected.unwrap_or_else(|| panic!("no buffer {id}"));
+        assert_eq!(data.len(), expected, "buffer {id} write must match size");
+        self.inner
+            .proc
+            .memory()
+            .update_region(&buf_region(id), data)
+            .expect("same-size buffer update cannot OOM");
+    }
+
+    pub(crate) fn enqueue_log(&self, rec: Vec<u8>) {
+        let _ = self.inner.log_q.try_send(rec);
+    }
+
+    fn enqueue_event(&self, rec: Vec<u8>) {
+        let _ = self.inner.event_q.try_send(rec);
+    }
+
+    // ------------------------------------------------------------------
+    // Worker threads
+    // ------------------------------------------------------------------
+
+    fn run_receiver(&self) {
+        loop {
+            let ep = match self.inner.eps.lock().as_ref() {
+                Some(e) => e.run.clone(),
+                None => return,
+            };
+            let payload = match ep.recv() {
+                Ok(p) => p,
+                Err(_) => return,
+            };
+            match RunMsg::decode(&payload) {
+                Ok(RunMsg::Request { id, function, args, buffers }) => {
+                    let mut st = self.inner.pstate.lock();
+                    st.queue.push_back(RunRequest { id, function, args, buffers });
+                    st.enqueued += 1;
+                    drop(st);
+                    self.inner.pcv.notify_all();
+                }
+                _ => { /* results/errors never flow host→offload */ }
+            }
+        }
+    }
+
+    fn executor(&self) {
+        loop {
+            // Acquire work (or park at the barrier).
+            let work = {
+                let mut st = self.inner.pstate.lock();
+                loop {
+                    if self.is_terminated() {
+                        return;
+                    }
+                    if st.barrier {
+                        st.parked = true;
+                        self.inner.pcv.notify_all();
+                        while st.barrier && !self.is_terminated() {
+                            st = self.inner.pcv.wait(st);
+                        }
+                        st.parked = false;
+                        continue;
+                    }
+                    if st.active.is_some() {
+                        break;
+                    }
+                    if let Some(req) = st.queue.pop_front() {
+                        st.active = Some(ActiveRun {
+                            req,
+                            phase: RunPhase::Executing(0),
+                        });
+                        break;
+                    }
+                    st = self.inner.pcv.wait(st);
+                }
+                st.active.clone().unwrap()
+            };
+            match work.phase {
+                RunPhase::Executing(cursor) => self.execute(work.req, cursor),
+                RunPhase::ResultPending(ret) => self.send_result(work.req.id, ret),
+            }
+        }
+    }
+
+    fn execute(&self, req: RunRequest, start_cursor: u64) {
+        let func = self.inner.binary.get(&req.function);
+        let Some(func) = func else {
+            let mut st = self.inner.pstate.lock();
+            if let Some(a) = st.active.as_mut() {
+                a.phase =
+                    RunPhase::ResultPending(Err(format!("no such function '{}'", req.function)));
+            }
+            drop(st);
+            self.inner.pcv.notify_all();
+            return;
+        };
+        let mut cursor = start_cursor;
+        loop {
+            // Step boundary: honour the capture barrier and termination.
+            {
+                let mut st = self.inner.pstate.lock();
+                if self.is_terminated() {
+                    return;
+                }
+                if st.barrier {
+                    st.parked = true;
+                    self.inner.pcv.notify_all();
+                    while st.barrier && !self.is_terminated() {
+                        st = self.inner.pcv.wait(st);
+                    }
+                    st.parked = false;
+                    if self.is_terminated() {
+                        return;
+                    }
+                }
+            }
+            let mut ctx = OffloadCtx {
+                rt: self,
+                args: req.args.clone(),
+                buffers: req.buffers.clone(),
+            };
+            match func.step(&mut ctx, cursor) {
+                StepOutcome::Yield => {
+                    cursor += 1;
+                    let mut st = self.inner.pstate.lock();
+                    if let Some(a) = st.active.as_mut() {
+                        a.phase = RunPhase::Executing(cursor);
+                    }
+                }
+                StepOutcome::Done(ret) => {
+                    let mut st = self.inner.pstate.lock();
+                    if let Some(a) = st.active.as_mut() {
+                        a.phase = RunPhase::ResultPending(Ok(ret));
+                    }
+                    drop(st);
+                    self.inner.pcv.notify_all();
+                    return;
+                }
+            }
+        }
+    }
+
+    fn send_result(&self, id: u64, ret: Result<Vec<u8>, String>) {
+        // §4.1 case 4: the result send is blocking and inside a critical
+        // region; pause holds this lock until resume.
+        if !self
+            .inner
+            .result_lock
+            .acquire_unless(self.inner.config.poll_interval, || self.is_terminated())
+        {
+            return;
+        }
+        self.inner.config.charge_hook();
+        let ep = self.inner.eps.lock().as_ref().map(|e| e.run.clone());
+        if let Some(ep) = ep {
+            let msg = match &ret {
+                Ok(r) => RunMsg::Result { id, ret: r.clone() },
+                Err(m) => RunMsg::Error { id, message: m.clone() },
+            };
+            let _ = ep.send(msg.encode());
+        }
+        self.inner.result_lock.release();
+        {
+            let mut st = self.inner.pstate.lock();
+            st.active = None;
+        }
+        self.inner.pcv.notify_all();
+        self.enqueue_event(format!("run:{id}:done").into_bytes());
+        self.enqueue_log(format!("offload function {id} completed").into_bytes());
+    }
+
+    fn cmd_server(&self) {
+        let ep = match self.inner.eps.lock().as_ref() {
+            Some(e) => e.cmd.clone(),
+            None => return,
+        };
+        loop {
+            let payload = match ep.recv() {
+                Ok(p) => p,
+                Err(_) => return,
+            };
+            let msg = match CmdMsg::decode(&payload) {
+                Ok(m) => m,
+                Err(_) => continue,
+            };
+            match msg {
+                CmdMsg::Ping => {
+                    let _ = ep.send(CmdMsg::Pong.encode());
+                }
+                CmdMsg::CreateBuffer { id, size } => {
+                    let reply = match self
+                        .inner
+                        .proc
+                        .memory()
+                        .map_region(&buf_region(id), Payload::synthetic(0, size))
+                    {
+                        Ok(()) => {
+                            let addr = self.inner.scif.register(&self.inner.proc, &buf_region(id));
+                            self.inner.buffers.lock().insert(id, BufMeta { size, addr });
+                            self.enqueue_event(format!("buffer:{id}:created").into_bytes());
+                            CmdMsg::BufferCreated { id, addr: addr.0, error: String::new() }
+                        }
+                        Err(oom) => CmdMsg::BufferCreated { id, addr: 0, error: oom.to_string() },
+                    };
+                    let _ = ep.send(reply.encode());
+                }
+                CmdMsg::DestroyBuffer { id } => {
+                    if let Some(meta) = self.inner.buffers.lock().remove(&id) {
+                        self.inner.scif.unregister(meta.addr);
+                        self.inner.proc.memory().unmap_region(&buf_region(id));
+                        self.enqueue_event(format!("buffer:{id}:destroyed").into_bytes());
+                    }
+                    let _ = ep.send(CmdMsg::BufferDestroyed { id }.encode());
+                }
+                CmdMsg::Shutdown => {
+                    // §4.1 case 3 marker: ack and go quiet (the client lock
+                    // guarantees nothing follows until resume).
+                    let _ = ep.send(CmdMsg::ShutdownAck.encode());
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Log (`is_log`) or event client: drains the local queue into the
+    /// SCIF channel under the channel's client lock.
+    fn stream_client(&self, is_log: bool) {
+        let q = if is_log { &self.inner.log_q } else { &self.inner.event_q };
+        let lock = if is_log { &self.inner.log_lock } else { &self.inner.event_lock };
+        loop {
+            let rec = match q.recv() {
+                Ok(r) => r,
+                Err(_) => return,
+            };
+            let ep = {
+                let eps = self.inner.eps.lock();
+                match eps.as_ref() {
+                    Some(e) => {
+                        if is_log {
+                            e.log.clone()
+                        } else {
+                            e.event.clone()
+                        }
+                    }
+                    None => return,
+                }
+            };
+            if !lock.acquire_unless(self.inner.config.poll_interval, || self.is_terminated()) {
+                return;
+            }
+            self.inner.config.charge_hook();
+            let _ = ep.send(StreamMsg::Record(rec).encode());
+            lock.release();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Snapify: the offload half of pause / capture / resume (Fig 3)
+    // ------------------------------------------------------------------
+
+    fn pipe_handler(&self) {
+        let pipe = match self.inner.pipe.lock().clone() {
+            Some(p) => p,
+            None => return,
+        };
+        // Fig 3 step 2: acknowledge the daemon's handshake.
+        let _ = pipe.to_daemon.send(PipeMsg::PauseAck);
+        loop {
+            match pipe.to_offload.recv() {
+                Ok(PipeMsg::PauseReq { path }) => {
+                    let ok = self.do_pause(&path);
+                    let _ = pipe.to_daemon.send(PipeMsg::PauseComplete { ok });
+                }
+                Ok(PipeMsg::CaptureReq { path, terminate }) => {
+                    let result = self.do_capture(&path, terminate);
+                    let (ok, bytes) = match result {
+                        Ok(b) => (true, b),
+                        Err(_) => (false, 0),
+                    };
+                    let _ = pipe.to_daemon.send(PipeMsg::CaptureComplete {
+                        ok,
+                        snapshot_bytes: bytes,
+                    });
+                    if terminate && ok {
+                        self.release_pause_locks();
+                        self.terminate();
+                        return;
+                    }
+                }
+                Ok(PipeMsg::ResumeReq) => {
+                    self.release_pause_locks();
+                    {
+                        let mut st = self.inner.pstate.lock();
+                        st.barrier = false;
+                    }
+                    self.inner.pcv.notify_all();
+                    let _ = pipe.to_daemon.send(PipeMsg::ResumeAck);
+                    *self.inner.pipe.lock() = None;
+                    return;
+                }
+                Ok(_) | Err(_) => return,
+            }
+        }
+    }
+
+    /// Drain the offload side: quiesce the stream clients (case 3), block
+    /// result sends and wait for the pipeline channels to empty (case 4),
+    /// then save the local store to the host snapshot directory.
+    fn do_pause(&self, path: &str) -> bool {
+        let eps = match self.inner.eps.lock().as_ref() {
+            Some(e) => Endpoints {
+                run: e.run.clone(),
+                cmd: e.cmd.clone(),
+                log: e.log.clone(),
+                event: e.event.clone(),
+            },
+            None => return false,
+        };
+        // Case 3, offload-client channels: lock out the clients and send
+        // the shutdown marker; the host-side server acks when it has seen
+        // it, proving the channel carries nothing after the marker.
+        for (lock, ep) in [(&self.inner.log_lock, &eps.log), (&self.inner.event_lock, &eps.event)] {
+            lock.acquire();
+            self.inner.config.charge_hook();
+            if ep.send(StreamMsg::Shutdown.encode()).is_err() {
+                return false;
+            }
+            loop {
+                match ep.recv() {
+                    Ok(p) => match StreamMsg::decode(&p) {
+                        Ok(StreamMsg::ShutdownAck) => break,
+                        _ => continue,
+                    },
+                    Err(_) => return false,
+                }
+            }
+        }
+        // Case 4: no result may be sent until resume.
+        self.inner.result_lock.acquire();
+        // Wait until every run request the host sent is recorded in the
+        // pipeline state (channel empty + receiver idle).
+        loop {
+            let (_, received) = eps.run.inbound_stats();
+            let enq = self.inner.pstate.lock().enqueued;
+            if eps.run.inbound_pending() == 0 && received == enq {
+                break;
+            }
+            simkernel::sleep(self.inner.config.poll_interval);
+        }
+        // Wait until previously-sent results have landed at the host.
+        while eps.run.outbound_pending() > 0 {
+            simkernel::sleep(self.inner.config.poll_interval);
+        }
+        // Park the executor at a step boundary before touching the local
+        // store: otherwise a running offload function could keep mutating
+        // COI buffers after their contents were saved, making the local
+        // store inconsistent with the later process snapshot. The barrier
+        // stays up until resume ("resume the ... partially-blocked
+        // execution", §4.2).
+        self.park_executor();
+        // Save the local store "on the fly" to the host (§4.1; the bars
+        // labelled Pause in Fig 10 are dominated by this for SS/SG).
+        self.save_local_store(path).is_ok()
+    }
+
+    fn save_local_store(&self, path: &str) -> Result<(), CoiError> {
+        let bufs: Vec<(u64, u64, RdmaAddr)> = {
+            let b = self.inner.buffers.lock();
+            b.iter().map(|(id, m)| (*id, m.size, m.addr)).collect()
+        };
+        // Manifest: binary name + (id, size, old RDMA address) triples.
+        let manifest = Enc::new()
+            .string(self.inner.binary.name())
+            .u64(self.inner.host_pid)
+            .list(&bufs, |e, (id, size, addr)| e.u64(*id).u64(*size).u64(addr.0))
+            .into_bytes();
+        let mut sink = self
+            .inner
+            .storage
+            .sink(self.inner.node.id(), &format!("{path}/local_store/manifest"))
+            .map_err(|e| CoiError::Io(e.to_string()))?;
+        sink.write(Payload::bytes(manifest))
+            .and_then(|_| sink.close())
+            .map_err(|e| CoiError::Io(e.to_string()))?;
+        for (id, _, _) in &bufs {
+            let content = self.buffer_payload(*id);
+            let mut sink = self
+                .inner
+                .storage
+                .sink(
+                    self.inner.node.id(),
+                    &format!("{path}/local_store/buf_{id}"),
+                )
+                .map_err(|e| CoiError::Io(e.to_string()))?;
+            for chunk in content.chunks(IO_CHUNK) {
+                sink.write(chunk).map_err(|e| CoiError::Io(e.to_string()))?;
+            }
+            sink.close().map_err(|e| CoiError::Io(e.to_string()))?;
+        }
+        Ok(())
+    }
+
+    /// Raise the capture barrier and wait until the executor is parked at
+    /// a step boundary (or is blocked with its state fully recorded as
+    /// `ResultPending`).
+    fn park_executor(&self) {
+        let mut st = self.inner.pstate.lock();
+        st.barrier = true;
+        self.inner.pcv.notify_all();
+        while !st.parked
+            && matches!(
+                st.active.as_ref().map(|a| &a.phase),
+                Some(RunPhase::Executing(_))
+            )
+        {
+            st = self.inner.pcv.wait(st);
+        }
+    }
+
+    /// Capture the device snapshot at a safe point. The executor is
+    /// already parked (the pause raised the barrier); the barrier stays up
+    /// until resume.
+    fn do_capture(&self, path: &str, terminate: bool) -> Result<u64, CoiError> {
+        let _ = terminate;
+        self.park_executor();
+        let runtime_state = self.serialize_state();
+        let mut sink = self
+            .inner
+            .storage
+            .sink(self.inner.node.id(), &format!("{path}/device_snapshot"))
+            .map_err(|e| CoiError::Io(e.to_string()))?;
+        let stats = blcr_sim::checkpoint_filtered(
+            &self.inner.blcr,
+            &self.inner.proc,
+            &runtime_state,
+            sink.as_mut(),
+            &|name| !name.starts_with(BUF_REGION_PREFIX),
+        )
+        .map_err(|e| CoiError::Io(e.to_string()))?;
+        Ok(stats.snapshot_bytes)
+    }
+
+    fn release_pause_locks(&self) {
+        self.inner.log_lock.release_if_held();
+        self.inner.event_lock.release_if_held();
+        self.inner.result_lock.release_if_held();
+    }
+
+    /// Serialize the pipeline + buffer table into the opaque runtime-state
+    /// blob stored in the device snapshot.
+    fn serialize_state(&self) -> Vec<u8> {
+        let st = self.inner.pstate.lock();
+        let bufs = self.inner.buffers.lock();
+        let mut e = Enc::new()
+            .string(self.inner.binary.name())
+            .u64(self.inner.host_pid)
+            .u64(st.enqueued);
+        // Active run.
+        match &st.active {
+            None => e = e.tag(0),
+            Some(a) => {
+                e = e
+                    .tag(1)
+                    .u64(a.req.id)
+                    .string(&a.req.function)
+                    .bytes(&a.req.args)
+                    .list(&a.req.buffers, |e, b| e.u64(*b));
+                e = match &a.phase {
+                    RunPhase::Executing(cursor) => e.tag(0).u64(*cursor),
+                    RunPhase::ResultPending(Ok(r)) => e.tag(1).bytes(r),
+                    RunPhase::ResultPending(Err(m)) => e.tag(2).string(m),
+                };
+            }
+        }
+        // Pending queue.
+        let queue: Vec<RunRequest> = st.queue.iter().cloned().collect();
+        e = e.list(&queue, |e, r| {
+            e.u64(r.id)
+                .string(&r.function)
+                .bytes(&r.args)
+                .list(&r.buffers, |e, b| e.u64(*b))
+        });
+        // Buffer table.
+        let table: Vec<(u64, u64, u64)> =
+            bufs.iter().map(|(id, m)| (*id, m.size, m.addr.0)).collect();
+        e = e.list(&table, |e, (id, size, addr)| e.u64(*id).u64(*size).u64(*addr));
+        e.into_bytes()
+    }
+
+    /// Restore an offload process from `path` onto `node`. Returns the
+    /// runtime, its new ports, and the (buffer, old, new) RDMA address
+    /// translation table (§4.3).
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore(
+        config: &CoiConfig,
+        blcr: &BlcrConfig,
+        scif: &Scif,
+        node: &SimNode,
+        pids: &PidAllocator,
+        registry: &FunctionRegistry,
+        storage: Arc<dyn SnapshotStorage>,
+        path: &str,
+        signal_latency: simkernel::SimDuration,
+        library_copy: impl FnOnce(u64),
+    ) -> Result<(OffloadRuntime, [u16; 4], AddrTable, RestoreBreakdown), CoiError> {
+        let mut breakdown = RestoreBreakdown::default();
+        // 1. Manifest: which buffers (and their old addresses) exist.
+        let manifest = read_all(&*storage, node.id(), &format!("{path}/local_store/manifest"))?;
+        let manifest_bytes = manifest.to_bytes();
+        let mut d = Dec::new(&manifest_bytes);
+        let binary_name = d.string().map_err(|e| CoiError::Protocol(e.to_string()))?;
+        let _host_pid = d.u64().map_err(|e| CoiError::Protocol(e.to_string()))?;
+        let buf_list: Vec<(u64, u64, u64)> = d
+            .list(|d| Ok((d.u64()?, d.u64()?, d.u64()?)))
+            .map_err(|e| CoiError::Protocol(e.to_string()))?;
+
+        let binary = registry
+            .get(&binary_name)
+            .ok_or_else(|| CoiError::Protocol(format!("unknown binary '{binary_name}'")))?;
+
+        // 2. Copy the runtime libraries to the coprocessor "on the fly".
+        let t0 = simkernel::now();
+        library_copy(binary.image_bytes);
+        breakdown.library_copy_ns = (simkernel::now() - t0).as_nanos();
+
+        // 3. Copy the local store to the coprocessor.
+        let t0 = simkernel::now();
+        let mut stores: Vec<(u64, u64, u64, Payload)> = Vec::new();
+        for (id, size, old_addr) in &buf_list {
+            let content = read_all(
+                &*storage,
+                node.id(),
+                &format!("{path}/local_store/buf_{id}"),
+            )?;
+            assert_eq!(content.len(), *size, "local store size mismatch for buf {id}");
+            stores.push((*id, *size, *old_addr, content));
+        }
+        breakdown.store_copy_ns = (simkernel::now() - t0).as_nanos();
+
+        // 4. BLCR restart of the process image.
+        let t0 = simkernel::now();
+        let mut src = storage
+            .source(node.id(), &format!("{path}/device_snapshot"))
+            .map_err(|e| CoiError::Io(e.to_string()))?;
+        let restarted = blcr_sim::restart(blcr, node, pids, src.as_mut())
+            .map_err(|e| CoiError::Io(e.to_string()))?;
+        breakdown.blcr_restart_ns = (simkernel::now() - t0).as_nanos();
+        let proc = restarted.proc;
+
+        // 5. Parse the runtime state.
+        let state = restarted.runtime_state;
+        let mut d = Dec::new(&state);
+        let perr = |e: crate::wire::DecodeError| CoiError::Protocol(e.to_string());
+        let state_binary = d.string().map_err(perr)?;
+        debug_assert_eq!(state_binary, binary_name);
+        let host_pid = d.u64().map_err(perr)?;
+        let enqueued = d.u64().map_err(perr)?;
+        let active = match d.tag().map_err(perr)? {
+            0 => None,
+            _ => {
+                let id = d.u64().map_err(perr)?;
+                let function = d.string().map_err(perr)?;
+                let args = d.bytes().map_err(perr)?;
+                let buffers = d.list(|d| d.u64()).map_err(perr)?;
+                let phase = match d.tag().map_err(perr)? {
+                    0 => RunPhase::Executing(d.u64().map_err(perr)?),
+                    1 => RunPhase::ResultPending(Ok(d.bytes().map_err(perr)?)),
+                    _ => RunPhase::ResultPending(Err(d.string().map_err(perr)?)),
+                };
+                Some(ActiveRun {
+                    req: RunRequest { id, function, args, buffers },
+                    phase,
+                })
+            }
+        };
+        let queue: VecDeque<RunRequest> = d
+            .list(|d| {
+                Ok(RunRequest {
+                    id: d.u64()?,
+                    function: d.string()?,
+                    args: d.bytes()?,
+                    buffers: d.list(|d| d.u64())?,
+                })
+            })
+            .map_err(perr)?
+            .into();
+        let _buffer_table: Vec<(u64, u64, u64)> =
+            d.list(|d| Ok((d.u64()?, d.u64()?, d.u64()?))).map_err(perr)?;
+
+        // 6. Re-map the local store and re-register the windows; the
+        //    re-registration returns *new* addresses, so build the
+        //    (old, new) lookup table.
+        let t0 = simkernel::now();
+        let mut buffers = BTreeMap::new();
+        let mut addr_table = Vec::new();
+        for (id, size, old_addr, content) in stores {
+            proc.memory()
+                .map_region(&buf_region(id), content)
+                .map_err(|e| CoiError::OutOfMemory(e.to_string()))?;
+            let new_addr = scif.register(&proc, &buf_region(id));
+            buffers.insert(id, BufMeta { size, addr: new_addr });
+            addr_table.push((id, size, old_addr, new_addr.0));
+        }
+        breakdown.reregistration_ns = (simkernel::now() - t0).as_nanos();
+
+        // 7. Build the runtime, initially paused (barrier up) until
+        //    snapify_resume (§4.3: "not fully active after restore").
+        //    `enqueued` counts receives on the *current* run channel, which
+        //    is brand new after a restore — start it from zero.
+        let _ = enqueued;
+        let rt = Self::build(
+            config,
+            blcr,
+            scif,
+            node,
+            proc,
+            binary,
+            host_pid,
+            storage,
+            signal_latency,
+            PipelineState {
+                queue,
+                active,
+                enqueued: 0,
+                barrier: true,
+                parked: false,
+            },
+            buffers,
+        );
+        let ports = rt.open_ports();
+        Ok((rt, ports, addr_table, breakdown))
+    }
+
+    pub(crate) fn pipe_slot(&self) -> &SimMutex<Option<SnapifyPipe>> {
+        &self.inner.pipe
+    }
+
+    pub(crate) fn clear_barrier_and_resume(&self) {
+        {
+            let mut st = self.inner.pstate.lock();
+            st.barrier = false;
+        }
+        self.inner.pcv.notify_all();
+        *self.inner.pipe.lock() = None;
+    }
+
+    /// Terminate the offload process: close every channel, wake every
+    /// thread, release memory and RDMA windows.
+    pub fn terminate(&self) {
+        {
+            let mut t = self.inner.terminated.lock();
+            if *t {
+                return;
+            }
+            *t = true;
+        }
+        self.inner.pcv.notify_all();
+        if let Some(eps) = self.inner.eps.lock().as_ref() {
+            eps.run.close();
+            eps.cmd.close();
+            eps.log.close();
+            eps.event.close();
+        }
+        self.inner.log_q.close();
+        self.inner.event_q.close();
+        if let Some(pipe) = self.inner.pipe.lock().as_ref() {
+            pipe.to_offload.close();
+            pipe.to_daemon.close();
+        }
+        self.inner.scif.unregister_process(&self.inner.proc);
+        self.inner.proc.exit();
+    }
+}
+
+fn read_all(
+    storage: &dyn SnapshotStorage,
+    node: NodeId,
+    path: &str,
+) -> Result<Payload, CoiError> {
+    let mut src = storage
+        .source(node, path)
+        .map_err(|e| CoiError::Io(e.to_string()))?;
+    let mut out = Payload::empty();
+    loop {
+        match src.read(IO_CHUNK) {
+            Ok(Some(chunk)) => out.append(chunk),
+            Ok(None) => return Ok(out),
+            Err(e) => return Err(CoiError::Io(e.to_string())),
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Snapshot storage abstraction.
+//!
+//! The COI-side Snapify machinery streams local stores and process images
+//! to and from *the host's* file system without caring how the bytes cross
+//! the PCIe bus. [`SnapshotStorage`] is that seam: the `snapify-io` crate
+//! provides the RDMA-based implementation (and the NFS/scp baselines);
+//! [`DirectStorage`] is a simple pass-through used by COI's own tests,
+//! which charges only the PCIe RDMA and host-fs costs.
+
+use phi_platform::{NodeId, Payload, PhiServer};
+use simproc::{ByteSink, ByteSource, FsSink, FsSource, IoError};
+
+pub use simproc::SnapshotStorage;
+
+/// Pass-through storage: charges the raw PCIe RDMA cost per chunk plus the
+/// host file-system cost, with no daemon pipeline. A lower bound useful
+/// for tests; real experiments use the `snapify-io` implementations.
+pub struct DirectStorage {
+    server: PhiServer,
+}
+
+impl DirectStorage {
+    /// Direct storage over `server`'s links.
+    pub fn new(server: &PhiServer) -> DirectStorage {
+        DirectStorage {
+            server: server.clone(),
+        }
+    }
+}
+
+struct DirectSink {
+    server: PhiServer,
+    local: NodeId,
+    inner: FsSink,
+}
+
+impl ByteSink for DirectSink {
+    fn write(&mut self, data: Payload) -> Result<(), IoError> {
+        if !self.local.is_host() {
+            self.server
+                .rdma_between(self.local, NodeId::HOST, data.len().max(1));
+        }
+        self.inner.write(data)
+    }
+
+    fn close(&mut self) -> Result<(), IoError> {
+        self.inner.close()
+    }
+}
+
+struct DirectSource {
+    server: PhiServer,
+    local: NodeId,
+    inner: FsSource,
+}
+
+impl ByteSource for DirectSource {
+    fn read(&mut self, max: u64) -> Result<Option<Payload>, IoError> {
+        let chunk = self.inner.read(max)?;
+        if let Some(c) = &chunk {
+            if !self.local.is_host() {
+                self.server
+                    .rdma_between(NodeId::HOST, self.local, c.len().max(1));
+            }
+        }
+        Ok(chunk)
+    }
+}
+
+impl SnapshotStorage for DirectStorage {
+    fn sink(&self, local: NodeId, path: &str) -> Result<Box<dyn ByteSink>, IoError> {
+        Ok(Box::new(DirectSink {
+            server: self.server.clone(),
+            local,
+            inner: FsSink::create(self.server.host().fs(), path),
+        }))
+    }
+
+    fn source(&self, local: NodeId, path: &str) -> Result<Box<dyn ByteSource>, IoError> {
+        Ok(Box::new(DirectSource {
+            server: self.server.clone(),
+            local,
+            inner: FsSource::open(self.server.host().fs(), path)?,
+        }))
+    }
+
+    fn label(&self) -> &'static str {
+        "direct"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phi_platform::GB;
+    use simkernel::{now, Kernel};
+
+    #[test]
+    fn direct_roundtrip_charges_pcie() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            let storage = DirectStorage::new(&server);
+            let dev = NodeId::device(0);
+            let mut sink = storage.sink(dev, "/snap/ls").unwrap();
+            let data = Payload::synthetic(1, GB);
+            let t0 = now();
+            for chunk in data.chunks(4 << 20) {
+                sink.write(chunk).unwrap();
+            }
+            sink.close().unwrap();
+            let elapsed = now() - t0;
+            // ≥ 1 GiB / 6 GB/s ≈ 179 ms of DMA time.
+            assert!(elapsed.as_secs_f64() > 0.15, "elapsed = {elapsed}");
+            let (bytes, _) = server.link(0).rdma_stats();
+            assert_eq!(bytes, GB);
+
+            let mut src = storage.source(dev, "/snap/ls").unwrap();
+            let mut got = Payload::empty();
+            while let Some(c) = src.read(4 << 20).unwrap() {
+                got.append(c);
+            }
+            assert_eq!(got.digest(), data.digest());
+        });
+    }
+
+    #[test]
+    fn source_for_missing_path_fails() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            let storage = DirectStorage::new(&server);
+            assert!(storage.source(NodeId::device(0), "/nope").is_err());
+        });
+    }
+}

@@ -1,0 +1,318 @@
+//! A COSMIC-style coprocessor scheduler built on process swapping.
+//!
+//! The paper motivates swapping with multi-tenancy: "the size of Xeon
+//! Phi's physical memory puts a hard limit on the number of processes
+//! that can concurrently run on the coprocessor" (§1), and defers
+//! placement policy to "a job scheduler like COSMIC" (§5 Remark). This
+//! module provides that scheduler as a library extension: a round-robin
+//! time-slicer that keeps at most one tenant resident per coprocessor and
+//! swaps the others out to host storage.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use coi_sim::CoiProcessHandle;
+use simkernel::SimMutex;
+
+use crate::api::{snapify_swapin, snapify_swapout, SnapifyT};
+use crate::SnapifyError;
+
+/// Identifier the scheduler assigns to a managed job.
+pub type JobId = u64;
+
+enum JobState {
+    /// Resident on a device.
+    Resident {
+        /// Device index the job occupies.
+        device: usize,
+    },
+    /// Swapped out; the snapshot needed to bring it back.
+    SwappedOut(SnapifyT),
+}
+
+struct Job {
+    id: JobId,
+    handle: CoiProcessHandle,
+    state: JobState,
+}
+
+struct SchedState {
+    jobs: HashMap<JobId, Job>,
+    /// Jobs waiting for a turn, FIFO.
+    ready: VecDeque<JobId>,
+    /// Device → resident job.
+    resident: HashMap<usize, JobId>,
+    next_id: JobId,
+    swaps: u64,
+}
+
+/// A round-robin swap scheduler for one server's coprocessors.
+#[derive(Clone)]
+pub struct SwapScheduler {
+    devices: usize,
+    swap_dir: String,
+    state: Arc<SimMutex<SchedState>>,
+}
+
+impl SwapScheduler {
+    /// Create a scheduler for `devices` coprocessors, storing swapped-out
+    /// snapshots under `swap_dir` on the host fs.
+    pub fn new(devices: usize, swap_dir: impl Into<String>) -> SwapScheduler {
+        assert!(devices > 0);
+        SwapScheduler {
+            devices,
+            swap_dir: swap_dir.into(),
+            state: Arc::new(SimMutex::new(
+                "swap-scheduler",
+                SchedState {
+                    jobs: HashMap::new(),
+                    ready: VecDeque::new(),
+                    resident: HashMap::new(),
+                    next_id: 1,
+                    swaps: 0,
+                },
+            )),
+        }
+    }
+
+    /// Register a freshly-created offload process (currently resident on
+    /// `device`) with the scheduler. Returns its job id.
+    pub fn admit(&self, handle: &CoiProcessHandle, device: usize) -> JobId {
+        let mut st = self.state.lock();
+        let id = st.next_id;
+        st.next_id += 1;
+        st.jobs.insert(
+            id,
+            Job {
+                id,
+                handle: handle.clone(),
+                state: JobState::Resident { device },
+            },
+        );
+        assert!(
+            st.resident.insert(device, id).is_none(),
+            "device {device} already has a resident job"
+        );
+        id
+    }
+
+    /// Remove a finished job from the scheduler (it must be resident; the
+    /// caller destroys the process).
+    pub fn retire(&self, id: JobId) {
+        let mut st = self.state.lock();
+        let job = st.jobs.remove(&id).expect("unknown job");
+        match job.state {
+            JobState::Resident { device } => {
+                st.resident.remove(&device);
+            }
+            JobState::SwappedOut(_) => panic!("retiring a swapped-out job"),
+        }
+        st.ready.retain(|j| *j != id);
+    }
+
+    /// Whether `id` is currently resident.
+    pub fn is_resident(&self, id: JobId) -> bool {
+        matches!(
+            self.state.lock().jobs.get(&id).map(|j| &j.state),
+            Some(JobState::Resident { .. })
+        )
+    }
+
+    /// Number of swap operations performed so far.
+    pub fn swap_count(&self) -> u64 {
+        self.state.lock().swaps
+    }
+
+    /// Give every waiting job a turn: for each device in turn, swap the
+    /// resident job out and the longest-waiting job in. Jobs keep
+    /// executing while resident; their host threads simply block (on the
+    /// drain locks) while swapped out.
+    ///
+    /// Returns the number of context switches performed.
+    pub fn rotate(&self) -> Result<usize, SnapifyError> {
+        let mut switches = 0;
+        for device in 0..self.devices {
+            // Pick the next waiting job, if any.
+            let (incoming, outgoing) = {
+                let mut st = self.state.lock();
+                let Some(incoming) = st.ready.pop_front() else {
+                    continue;
+                };
+                let outgoing = st.resident.get(&device).copied();
+                (incoming, outgoing)
+            };
+            // Swap the resident job out.
+            if let Some(out_id) = outgoing {
+                let handle = self.state.lock().jobs[&out_id].handle.clone();
+                let path = format!("{}/job{}", self.swap_dir, out_id);
+                let snapshot = snapify_swapout(&handle, &path)?;
+                let mut st = self.state.lock();
+                st.jobs.get_mut(&out_id).unwrap().state = JobState::SwappedOut(snapshot);
+                st.resident.remove(&device);
+                st.ready.push_back(out_id);
+                st.swaps += 1;
+            }
+            // Swap the waiting job in.
+            {
+                let snapshot = {
+                    let mut st = self.state.lock();
+                    let job = st.jobs.get_mut(&incoming).unwrap();
+                    match std::mem::replace(&mut job.state, JobState::Resident { device }) {
+                        JobState::SwappedOut(s) => s,
+                        JobState::Resident { .. } => {
+                            panic!("ready job {} was already resident", job.id)
+                        }
+                    }
+                };
+                snapify_swapin(&snapshot, device)?;
+                let mut st = self.state.lock();
+                st.resident.insert(device, incoming);
+                st.swaps += 1;
+                switches += 1;
+            }
+        }
+        Ok(switches)
+    }
+
+    /// Voluntarily park a resident job (swap it out and queue it), e.g.
+    /// when it blocks on host-side work for a long time.
+    pub fn park(&self, id: JobId) -> Result<(), SnapifyError> {
+        let (handle, device) = {
+            let st = self.state.lock();
+            let job = st.jobs.get(&id).expect("unknown job");
+            match &job.state {
+                JobState::Resident { device } => (job.handle.clone(), *device),
+                JobState::SwappedOut(_) => return Ok(()), // already parked
+            }
+        };
+        let path = format!("{}/job{id}", self.swap_dir);
+        let snapshot = snapify_swapout(&handle, &path)?;
+        let mut st = self.state.lock();
+        st.jobs.get_mut(&id).unwrap().state = JobState::SwappedOut(snapshot);
+        st.resident.remove(&device);
+        st.ready.push_back(id);
+        st.swaps += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::SnapifyWorld;
+    use coi_sim::{DeviceBinary, FunctionRegistry};
+    use phi_platform::{Payload, GB, MB};
+    use simkernel::Kernel;
+
+    fn registry() -> FunctionRegistry {
+        let reg = FunctionRegistry::new();
+        reg.register(
+            DeviceBinary::new("tenant.so", MB, 32 * MB).simple_function("bump", |ctx| {
+                ctx.compute(1e9, 60);
+                let n = ctx
+                    .private("count")
+                    .map(|p| u64::from_le_bytes(p.to_bytes().try_into().unwrap()))
+                    .unwrap_or(0);
+                ctx.set_private("count", Payload::bytes((n + 1).to_le_bytes().to_vec()));
+                (n + 1).to_le_bytes().to_vec()
+            }),
+        );
+        reg
+    }
+
+    #[test]
+    fn three_tenants_time_share_one_card() {
+        Kernel::run_root(|| {
+            let world = SnapifyWorld::boot(registry());
+            let sched = SwapScheduler::new(1, "/swap/sched");
+
+            // Jobs start resident one at a time; each is parked before the
+            // next is admitted, so only one ever occupies the card.
+            let mut handles = Vec::new();
+            let mut ids = Vec::new();
+            for i in 0..3 {
+                let host = world.coi().create_host_process(&format!("tenant{i}"));
+                let h = world.coi().create_process(&host, 0, "tenant.so").unwrap();
+                // Each tenant holds 2 GiB: only one fits comfortably.
+                let buf = h.create_buffer(2 * GB).unwrap();
+                h.buffer_write(&buf, Payload::synthetic(i, 2 * GB)).unwrap();
+                let id = sched.admit(&h, 0);
+                handles.push((h, buf));
+                ids.push(id);
+                if i < 2 {
+                    sched.park(id).unwrap();
+                }
+            }
+            // Now job 3 is resident, jobs 1 and 2 queued. Each rotation
+            // gives the next tenant a turn; every tenant computes during
+            // its slice, accumulating private state across swaps.
+            for _round in 0..3 {
+                for (h, _) in &handles {
+                    // Only the resident tenant's call completes now; the
+                    // others block until their turn. Run them from their
+                    // own threads.
+                    let h2 = h.clone();
+                    h.host_proc().clone().spawn_thread("slice", move || {
+                        let _ = h2.run_sync("bump", Vec::new(), &[]);
+                    });
+                }
+                simkernel::sleep(simkernel::time::ms(50));
+                sched.rotate().unwrap();
+            }
+            // Let the last slices complete.
+            simkernel::sleep(simkernel::time::ms(100));
+            assert!(sched.swap_count() >= 6, "swaps = {}", sched.swap_count());
+
+            // Every tenant made progress (private count > 0) and kept its
+            // buffer intact.
+            for (i, (h, buf)) in handles.iter().enumerate() {
+                if !sched.is_resident(ids[i]) {
+                    // Bring it back for inspection.
+                    while !sched.is_resident(ids[i]) {
+                        sched.rotate().unwrap();
+                        simkernel::sleep(simkernel::time::ms(10));
+                    }
+                }
+                let count = h.run_sync("bump", Vec::new(), &[]).unwrap();
+                let count = u64::from_le_bytes(count.try_into().unwrap());
+                assert!(count >= 2, "tenant {i} made no progress: {count}");
+                assert_eq!(
+                    h.buffer_read(buf).unwrap().digest(),
+                    Payload::synthetic(i as u64, 2 * GB).digest(),
+                    "tenant {i} buffer corrupted"
+                );
+                sched.park(ids[i]).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn admit_and_retire() {
+        Kernel::run_root(|| {
+            let world = SnapifyWorld::boot(registry());
+            let sched = SwapScheduler::new(2, "/swap/ar");
+            let host = world.coi().create_host_process("t");
+            let h = world.coi().create_process(&host, 1, "tenant.so").unwrap();
+            let id = sched.admit(&h, 1);
+            assert!(sched.is_resident(id));
+            sched.retire(id);
+            h.destroy().unwrap();
+            assert_eq!(sched.swap_count(), 0);
+        });
+    }
+
+    #[test]
+    fn park_is_idempotent() {
+        Kernel::run_root(|| {
+            let world = SnapifyWorld::boot(registry());
+            let sched = SwapScheduler::new(1, "/swap/idem");
+            let host = world.coi().create_host_process("t");
+            let h = world.coi().create_process(&host, 0, "tenant.so").unwrap();
+            let id = sched.admit(&h, 0);
+            sched.park(id).unwrap();
+            sched.park(id).unwrap();
+            assert!(!sched.is_resident(id));
+            assert_eq!(sched.swap_count(), 1);
+        });
+    }
+}

@@ -1,0 +1,62 @@
+//! One-call bootstrap of a complete Snapify-enabled Xeon Phi server.
+
+use std::sync::Arc;
+
+use coi_sim::{CoiConfig, CoiWorld, FunctionRegistry};
+use phi_platform::{PhiServer, PlatformParams};
+use snapify_io::{SnapifyIo, SnapifyIoConfig};
+
+/// A fully-assembled world: simulated server + COI (with Snapify
+/// modifications) + Snapify-IO as the snapshot transport. Cheap to clone.
+#[derive(Clone)]
+pub struct SnapifyWorld {
+    server: PhiServer,
+    io: SnapifyIo,
+    coi: CoiWorld,
+}
+
+impl SnapifyWorld {
+    /// Boot with explicit parameters and COI configuration.
+    pub fn boot_with(
+        params: PlatformParams,
+        coi_config: CoiConfig,
+        registry: FunctionRegistry,
+    ) -> SnapifyWorld {
+        let server = PhiServer::new(params);
+        let io = SnapifyIo::new(&server, SnapifyIoConfig::default());
+        let coi = CoiWorld::boot(&server, coi_config, registry, Arc::new(io.clone()));
+        SnapifyWorld { server, io, coi }
+    }
+
+    /// Boot with default (paper Table 2) parameters and Snapify enabled.
+    pub fn boot(registry: FunctionRegistry) -> SnapifyWorld {
+        SnapifyWorld::boot_with(PlatformParams::default(), CoiConfig::default(), registry)
+    }
+
+    /// Boot on an existing server (used by `mpi-sim`, whose cluster owns
+    /// the servers).
+    pub fn boot_on_server(
+        server: PhiServer,
+        coi_config: CoiConfig,
+        registry: FunctionRegistry,
+    ) -> SnapifyWorld {
+        let io = SnapifyIo::new(&server, SnapifyIoConfig::default());
+        let coi = CoiWorld::boot(&server, coi_config, registry, Arc::new(io.clone()));
+        SnapifyWorld { server, io, coi }
+    }
+
+    /// The simulated server.
+    pub fn server(&self) -> &PhiServer {
+        &self.server
+    }
+
+    /// The Snapify-IO service.
+    pub fn io(&self) -> &SnapifyIo {
+        &self.io
+    }
+
+    /// The COI world.
+    pub fn coi(&self) -> &CoiWorld {
+        &self.coi
+    }
+}

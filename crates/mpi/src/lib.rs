@@ -1,0 +1,380 @@
+//! # mpi-sim — a minimal MPI runtime over the simulated cluster
+//!
+//! The Fig 11 experiments run NAS multi-zone benchmarks with 1–4 MPI
+//! ranks, one rank per cluster node, each node carrying one Xeon Phi.
+//! This crate provides exactly what those experiments need:
+//!
+//! * [`MpiWorld`] — `n` simulated Xeon Phi servers (each with its own
+//!   Snapify-enabled COI world) joined by a network;
+//! * [`Comm`] — rank-to-rank messages (charged to both NICs), barriers,
+//!   and allreduce;
+//! * [`checkpoint_all`] / [`restart_all`] — BLCR-style *coordinated*
+//!   checkpointing: ranks quiesce at a barrier (the LAM/MPI
+//!   system-initiated model the paper's §5 refers to), then every rank
+//!   checkpoints its host + offload pair concurrently via Snapify.
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use coi_sim::{CoiConfig, CoiProcessHandle, FunctionRegistry};
+use phi_platform::{Cluster, Payload, PlatformParams};
+use simkernel::{Barrier, SimChannel, SimDuration, SimMutex};
+use snapify::{
+    checkpoint_application, restart_application, CheckpointReport, RestartedApp, SnapifyError,
+    SnapifyWorld,
+};
+
+/// A cluster of Snapify-enabled Xeon Phi servers, one MPI rank each.
+#[derive(Clone)]
+pub struct MpiWorld {
+    inner: Arc<MpiInner>,
+}
+
+struct MpiInner {
+    cluster: Cluster,
+    worlds: Vec<SnapifyWorld>,
+    /// Point-to-point message queues, keyed by (src, dst).
+    channels: SimMutex<HashMap<(usize, usize), SimChannel<Payload>>>,
+    barrier: Barrier,
+    net_latency: SimDuration,
+}
+
+impl MpiWorld {
+    /// Build an `n`-rank world. Each rank's server gets one coprocessor
+    /// (as in the paper's 4-node cluster, one Phi per node) and its own
+    /// COI world booted from `registry`.
+    pub fn new(n: usize, mut params: PlatformParams, registry: FunctionRegistry) -> MpiWorld {
+        assert!(n > 0);
+        params.num_devices = 1;
+        let cluster = Cluster::new(n, params.clone());
+        let worlds = (0..n)
+            .map(|i| {
+                SnapifyWorld::boot_on_server(
+                    cluster.server(i).clone(),
+                    CoiConfig::default(),
+                    registry.clone(),
+                )
+            })
+            .collect();
+        MpiWorld {
+            inner: Arc::new(MpiInner {
+                net_latency: cluster.net_latency(),
+                cluster,
+                worlds,
+                channels: SimMutex::new("mpi channels", HashMap::new()),
+                barrier: Barrier::new("mpi", n),
+            }),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.inner.worlds.len()
+    }
+
+    /// The Snapify world of rank `r`.
+    pub fn world(&self, r: usize) -> &SnapifyWorld {
+        &self.inner.worlds[r]
+    }
+
+    /// The communicator handle for rank `r`.
+    pub fn comm(&self, r: usize) -> Comm {
+        assert!(r < self.size());
+        Comm {
+            world: self.clone(),
+            rank: r,
+        }
+    }
+
+    fn channel(&self, src: usize, dst: usize) -> SimChannel<Payload> {
+        let mut chans = self.inner.channels.lock();
+        chans
+            .entry((src, dst))
+            .or_insert_with(|| SimChannel::unbounded(format!("mpi {src}->{dst}")))
+            .clone()
+    }
+
+    /// True if no rank-to-rank message is queued or in flight — the
+    /// quiescence predicate coordinated checkpointing relies on.
+    pub fn network_drained(&self) -> bool {
+        self.inner.channels.lock().values().all(|c| c.is_drained())
+    }
+}
+
+/// The per-rank communicator.
+#[derive(Clone)]
+pub struct Comm {
+    world: MpiWorld,
+    rank: usize,
+}
+
+impl Comm {
+    /// This rank's index.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.world.size()
+    }
+
+    /// Blocking send to `dst` (charges both NICs).
+    pub fn send(&self, dst: usize, data: Payload) {
+        assert_ne!(dst, self.rank, "send to self");
+        self.world
+            .inner
+            .cluster
+            .net_transfer(self.rank, dst, data.len().max(1));
+        self.world
+            .channel(self.rank, dst)
+            .send(data)
+            .expect("mpi channel closed");
+    }
+
+    /// Blocking receive from `src`.
+    pub fn recv(&self, src: usize) -> Payload {
+        assert_ne!(src, self.rank, "recv from self");
+        self.world
+            .channel(src, self.rank)
+            .recv()
+            .expect("mpi channel closed")
+    }
+
+    /// Barrier across all ranks (costs one network round trip).
+    pub fn barrier(&self) {
+        if self.size() > 1 {
+            simkernel::sleep(self.world.inner.net_latency * 2);
+        }
+        self.world.inner.barrier.wait();
+    }
+
+    /// Sum-allreduce of one `u64` (tree not modeled; costs one gather +
+    /// broadcast round).
+    pub fn allreduce_sum(&self, value: u64) -> u64 {
+        if self.size() == 1 {
+            return value;
+        }
+        if self.rank == 0 {
+            let mut total = value;
+            for src in 1..self.size() {
+                let p = self.recv(src);
+                total += u64::from_le_bytes(p.to_bytes().try_into().unwrap());
+            }
+            for dst in 1..self.size() {
+                self.send(dst, Payload::bytes(total.to_le_bytes().to_vec()));
+            }
+            total
+        } else {
+            self.send(0, Payload::bytes(value.to_le_bytes().to_vec()));
+            let p = self.recv(0);
+            u64::from_le_bytes(p.to_bytes().try_into().unwrap())
+        }
+    }
+}
+
+/// One rank's application state for coordinated CR.
+pub struct RankApp {
+    /// The rank's offload process handle.
+    pub handle: CoiProcessHandle,
+    /// The rank's host control state (phase counter blob).
+    pub host_state: Vec<u8>,
+}
+
+/// Coordinated checkpoint of every rank (the LAM/MPI-style
+/// system-initiated flow of §5): verifies the network is drained, then
+/// checkpoints every rank's host+offload pair concurrently. Returns the
+/// per-rank reports.
+pub fn checkpoint_all(
+    world: &MpiWorld,
+    apps: &[RankApp],
+    path_prefix: &str,
+) -> Result<Vec<CheckpointReport>, SnapifyError> {
+    assert!(
+        world.network_drained(),
+        "coordinated checkpoint requires quiesced MPI channels"
+    );
+    assert_eq!(apps.len(), world.size());
+    let mut joins = Vec::new();
+    for (r, app) in apps.iter().enumerate() {
+        let w = world.world(r).clone();
+        let handle = app.handle.clone();
+        let host_state = app.host_state.clone();
+        let path = format!("{path_prefix}/rank{r}");
+        joins.push(simkernel::spawn(format!("ckpt-rank{r}"), move || {
+            checkpoint_application(&w, &handle, &host_state, &path).map(|(_, report)| report)
+        }));
+    }
+    joins.into_iter().map(|j| j.join()).collect()
+}
+
+/// Coordinated restart of every rank from `path_prefix` onto each rank's
+/// device 0. Returns the restarted applications, in rank order.
+pub fn restart_all(
+    world: &MpiWorld,
+    binary: &str,
+    path_prefix: &str,
+) -> Result<Vec<RestartedApp>, SnapifyError> {
+    let mut joins = Vec::new();
+    for r in 0..world.size() {
+        let w = world.world(r).clone();
+        let path = format!("{path_prefix}/rank{r}");
+        let binary = binary.to_string();
+        joins.push(simkernel::spawn(format!("restart-rank{r}"), move || {
+            restart_application(&w, &path, &binary, 0)
+        }));
+    }
+    joins.into_iter().map(|j| j.join()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coi_sim::DeviceBinary;
+    use phi_platform::MB;
+    use simkernel::Kernel;
+
+    fn registry() -> FunctionRegistry {
+        let reg = FunctionRegistry::new();
+        reg.register(
+            DeviceBinary::new("mz.so", MB, 8 * MB).simple_function("kernel", |ctx| {
+                ctx.compute(1e9, 60);
+                let n = ctx.buffer_len(0);
+                ctx.write_buffer(0, Payload::synthetic(0x42, n));
+                Vec::new()
+            }),
+        );
+        reg
+    }
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        Kernel::run_root(|| {
+            let world = MpiWorld::new(2, PlatformParams::default(), registry());
+            let c1 = world.comm(1);
+            let h = simkernel::spawn("rank1", move || c1.recv(0).to_bytes());
+            let c0 = world.comm(0);
+            c0.send(1, Payload::bytes(vec![1, 2, 3]));
+            assert_eq!(h.join(), vec![1, 2, 3]);
+            assert!(world.network_drained());
+        });
+    }
+
+    #[test]
+    fn network_transfer_takes_time() {
+        Kernel::run_root(|| {
+            let world = MpiWorld::new(2, PlatformParams::default(), registry());
+            let c1 = world.comm(1);
+            let h = simkernel::spawn("rank1", move || c1.recv(0));
+            let c0 = world.comm(0);
+            let t0 = simkernel::now();
+            c0.send(1, Payload::synthetic(1, 1_250_000_000)); // 1 s per NIC
+            h.join();
+            let elapsed = (simkernel::now() - t0).as_secs_f64();
+            assert!(elapsed >= 2.0, "two NIC crossings expected, got {elapsed}");
+        });
+    }
+
+    #[test]
+    fn barrier_synchronizes_ranks() {
+        Kernel::run_root(|| {
+            let world = MpiWorld::new(3, PlatformParams::default(), registry());
+            let mut joins = Vec::new();
+            for r in 0..3u64 {
+                let c = world.comm(r as usize);
+                joins.push(simkernel::spawn(format!("rank{r}"), move || {
+                    simkernel::sleep(simkernel::time::ms(10 * (r + 1)));
+                    c.barrier();
+                    simkernel::now()
+                }));
+            }
+            let times: Vec<_> = joins.into_iter().map(|j| j.join()).collect();
+            assert!(times.iter().all(|t| *t == times[0]));
+        });
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        Kernel::run_root(|| {
+            let world = MpiWorld::new(4, PlatformParams::default(), registry());
+            let mut joins = Vec::new();
+            for r in 0..4 {
+                let c = world.comm(r);
+                joins.push(simkernel::spawn(format!("rank{r}"), move || {
+                    c.allreduce_sum((r as u64 + 1) * 10)
+                }));
+            }
+            for j in joins {
+                assert_eq!(j.join(), 100);
+            }
+        });
+    }
+
+    #[test]
+    fn coordinated_checkpoint_and_restart() {
+        Kernel::run_root(|| {
+            let world = MpiWorld::new(2, PlatformParams::default(), registry());
+            let mut apps = Vec::new();
+            for r in 0..2 {
+                let coi = world.world(r).coi();
+                let host = coi.create_host_process(&format!("rank{r}"));
+                host.memory()
+                    .map_region("rank_data", Payload::bytes(vec![r as u8; 512]))
+                    .unwrap();
+                let handle = coi.create_process(&host, 0, "mz.so").unwrap();
+                let buf = handle.create_buffer(4 * MB).unwrap();
+                handle
+                    .buffer_write(&buf, Payload::synthetic(r as u64, 4 * MB))
+                    .unwrap();
+                handle.run_sync("kernel", Vec::new(), &[&buf]).unwrap();
+                apps.push(RankApp {
+                    handle,
+                    host_state: format!("rank{r}:iter=5").into_bytes(),
+                });
+            }
+            let reports = checkpoint_all(&world, &apps, "/snap/mpi").unwrap();
+            assert_eq!(reports.len(), 2);
+            for rep in &reports {
+                assert!(rep.device_snapshot_bytes > MB);
+                assert_eq!(rep.local_store_bytes, 4 * MB);
+            }
+            // Kill everything, restart.
+            for app in &apps {
+                app.handle.destroy().unwrap();
+                app.handle.host_proc().exit();
+            }
+            let restarted = restart_all(&world, "mz.so", "/snap/mpi").unwrap();
+            assert_eq!(restarted.len(), 2);
+            for (r, app) in restarted.iter().enumerate() {
+                assert_eq!(app.host_state, format!("rank{r}:iter=5").into_bytes());
+                assert_eq!(
+                    app.host_proc.memory().region("rank_data").to_bytes(),
+                    vec![r as u8; 512]
+                );
+                let bufs = app.handle.buffers();
+                // Buffer content is the kernel's deterministic output.
+                assert_eq!(
+                    app.handle.buffer_read(&bufs[0]).unwrap().digest(),
+                    Payload::synthetic(0x42, 4 * MB).digest()
+                );
+                app.handle.destroy().unwrap();
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "quiesced")]
+    fn checkpoint_with_in_flight_messages_refused() {
+        let k = Kernel::new();
+        k.spawn("root", || {
+            let world = MpiWorld::new(2, PlatformParams::default(), registry());
+            // Leave a message in flight.
+            world.comm(0).send(1, Payload::bytes(vec![1]));
+            let _ = checkpoint_all(&world, &[], "/snap/x");
+        });
+        k.run();
+        unreachable!("test must panic inside the simulation");
+    }
+}

@@ -1,0 +1,454 @@
+//! Simulated data payloads.
+//!
+//! The evaluation of Snapify moves gigabytes (snapshots, COI buffers, local
+//! stores). Materializing those as real byte vectors would make the
+//! simulation memory-bound for no benefit, so a [`Payload`] represents data
+//! either as **real bytes** (used by correctness tests, byte-exact) or as a
+//! **synthetic extent** — a `(tag, offset, length)` triple standing for
+//! `length` bytes of deterministic content identified by `tag`.
+//!
+//! Synthetic extents behave like real data for everything the simulation
+//! cares about: they can be sliced, concatenated, and digested, and a
+//! digest survives *any* re-chunking (transfer pipelines split payloads at
+//! buffer granularity) because [`Payload::normalize`] re-merges contiguous
+//! extents before hashing. A data-path bug that drops, duplicates, or
+//! reorders a chunk therefore changes the digest even for synthetic data.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// One segment of a payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Segment {
+    /// Real bytes (shared, cheap to clone).
+    Bytes(Arc<Vec<u8>>),
+    /// `len` bytes of deterministic synthetic content: the bytes of extent
+    /// `tag` starting at `offset`.
+    Synthetic {
+        /// Content identity (e.g. "buffer 7 of process 3").
+        tag: u64,
+        /// Starting offset within the tagged content.
+        offset: u64,
+        /// Extent length in bytes.
+        len: u64,
+    },
+}
+
+impl Segment {
+    /// Segment length in bytes.
+    pub fn len(&self) -> u64 {
+        match self {
+            Segment::Bytes(b) => b.len() as u64,
+            Segment::Synthetic { len, .. } => *len,
+        }
+    }
+
+    /// Whether the segment is zero-length.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A logical byte string: a sequence of segments.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Payload {
+    segments: Vec<Segment>,
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Payload[{} bytes, {} segs]", self.len(), self.segments.len())
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+#[inline]
+fn fnv_byte(state: u64, b: u8) -> u64 {
+    (state ^ b as u64).wrapping_mul(FNV_PRIME)
+}
+
+fn fnv_u64(mut state: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        state = fnv_byte(state, b);
+    }
+    state
+}
+
+impl Payload {
+    /// The empty payload.
+    pub fn empty() -> Payload {
+        Payload::default()
+    }
+
+    /// A payload of real bytes.
+    pub fn bytes(data: impl Into<Vec<u8>>) -> Payload {
+        let v: Vec<u8> = data.into();
+        if v.is_empty() {
+            return Payload::empty();
+        }
+        Payload {
+            segments: vec![Segment::Bytes(Arc::new(v))],
+        }
+    }
+
+    /// A synthetic payload of `len` bytes tagged `tag` (offset 0).
+    pub fn synthetic(tag: u64, len: u64) -> Payload {
+        if len == 0 {
+            return Payload::empty();
+        }
+        Payload {
+            segments: vec![Segment::Synthetic { tag, offset: 0, len }],
+        }
+    }
+
+    /// Total length in bytes.
+    pub fn len(&self) -> u64 {
+        self.segments.iter().map(Segment::len).sum()
+    }
+
+    /// Whether the payload is zero-length.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// The segments, in order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Append another payload.
+    pub fn append(&mut self, other: Payload) {
+        self.segments.extend(other.segments);
+    }
+
+    /// Concatenate payloads.
+    pub fn concat<I: IntoIterator<Item = Payload>>(parts: I) -> Payload {
+        let mut out = Payload::empty();
+        for p in parts {
+            out.append(p);
+        }
+        out
+    }
+
+    /// Extract `len` bytes starting at `offset`. Panics if out of range.
+    pub fn slice(&self, offset: u64, len: u64) -> Payload {
+        assert!(
+            offset + len <= self.len(),
+            "slice [{offset}, {offset}+{len}) out of range for payload of {} bytes",
+            self.len()
+        );
+        let mut out = Vec::new();
+        let mut pos = 0u64;
+        let mut remaining_skip = offset;
+        let mut remaining_take = len;
+        for seg in &self.segments {
+            if remaining_take == 0 {
+                break;
+            }
+            let seg_len = seg.len();
+            if remaining_skip >= seg_len {
+                remaining_skip -= seg_len;
+                pos += seg_len;
+                continue;
+            }
+            let start = remaining_skip;
+            let take = (seg_len - start).min(remaining_take);
+            remaining_skip = 0;
+            remaining_take -= take;
+            pos += seg_len;
+            let _ = pos;
+            match seg {
+                Segment::Bytes(b) => {
+                    out.push(Segment::Bytes(Arc::new(
+                        b[start as usize..(start + take) as usize].to_vec(),
+                    )));
+                }
+                Segment::Synthetic { tag, offset: so, .. } => {
+                    out.push(Segment::Synthetic {
+                        tag: *tag,
+                        offset: so + start,
+                        len: take,
+                    });
+                }
+            }
+        }
+        Payload { segments: out }
+    }
+
+    /// Split into chunks of at most `chunk` bytes (transfer granularity).
+    pub fn chunks(&self, chunk: u64) -> Vec<Payload> {
+        assert!(chunk > 0);
+        let total = self.len();
+        let mut out = Vec::with_capacity(total.div_ceil(chunk) as usize);
+        let mut off = 0;
+        while off < total {
+            let take = chunk.min(total - off);
+            out.push(self.slice(off, take));
+            off += take;
+        }
+        out
+    }
+
+    /// Canonical form: adjacent synthetic extents with the same tag and
+    /// contiguous offsets are merged; adjacent real-byte segments are
+    /// coalesced. Two payloads representing the same logical byte string
+    /// normalize to equal values regardless of how they were chunked.
+    pub fn normalize(&self) -> Payload {
+        let mut out: Vec<Segment> = Vec::new();
+        for seg in &self.segments {
+            if seg.is_empty() {
+                continue;
+            }
+            match (out.last_mut(), seg) {
+                (
+                    Some(Segment::Synthetic { tag: t1, offset: o1, len: l1 }),
+                    Segment::Synthetic { tag: t2, offset: o2, len: l2 },
+                ) if *t1 == *t2 && *o1 + *l1 == *o2 => {
+                    *l1 += *l2;
+                }
+                (Some(Segment::Bytes(b1)), Segment::Bytes(b2)) => {
+                    let mut merged = (**b1).clone();
+                    merged.extend_from_slice(b2);
+                    *out.last_mut().unwrap() = Segment::Bytes(Arc::new(merged));
+                }
+                _ => out.push(seg.clone()),
+            }
+        }
+        Payload { segments: out }
+    }
+
+    /// Chunking-invariant content digest (FNV-1a over the normalized
+    /// segment stream). Equal digests ⇒ same logical content, with
+    /// overwhelming probability.
+    pub fn digest(&self) -> u64 {
+        let norm = self.normalize();
+        let mut h = FNV_OFFSET;
+        for seg in &norm.segments {
+            match seg {
+                Segment::Bytes(b) => {
+                    h = fnv_byte(h, 0x01);
+                    for &byte in b.iter() {
+                        h = fnv_byte(h, byte);
+                    }
+                }
+                Segment::Synthetic { tag, offset, len } => {
+                    h = fnv_byte(h, 0x02);
+                    h = fnv_u64(h, *tag);
+                    h = fnv_u64(h, *offset);
+                    h = fnv_u64(h, *len);
+                }
+            }
+        }
+        h
+    }
+
+    /// Replace the byte range `[offset, offset + replacement.len())` with
+    /// `replacement`, leaving the rest unchanged (an RDMA write into a
+    /// registered window). Panics if the range exceeds the payload.
+    pub fn replace(&self, offset: u64, replacement: Payload) -> Payload {
+        let rep_len = replacement.len();
+        assert!(
+            offset + rep_len <= self.len(),
+            "replace [{offset}, {offset}+{rep_len}) out of range for payload of {} bytes",
+            self.len()
+        );
+        let mut out = self.slice(0, offset);
+        out.append(replacement);
+        out.append(self.slice(offset + rep_len, self.len() - offset - rep_len));
+        out
+    }
+
+    /// Materialize to real bytes. Panics on synthetic segments (tests that
+    /// need byte access must use real-byte payloads).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.len() as usize);
+        for seg in &self.segments {
+            match seg {
+                Segment::Bytes(b) => out.extend_from_slice(b),
+                Segment::Synthetic { .. } => {
+                    panic!("cannot materialize synthetic payload to bytes")
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether any segment is synthetic.
+    pub fn is_synthetic(&self) -> bool {
+        self.segments
+            .iter()
+            .any(|s| matches!(s, Segment::Synthetic { .. }))
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Payload {
+        Payload::bytes(v)
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(v: &[u8]) -> Payload {
+        Payload::bytes(v.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_roundtrip() {
+        let p = Payload::bytes(vec![1, 2, 3, 4]);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.to_bytes(), vec![1, 2, 3, 4]);
+        assert!(!p.is_synthetic());
+    }
+
+    #[test]
+    fn synthetic_basics() {
+        let p = Payload::synthetic(42, 1 << 30);
+        assert_eq!(p.len(), 1 << 30);
+        assert!(p.is_synthetic());
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        assert!(Payload::empty().is_empty());
+        assert_eq!(Payload::bytes(Vec::new()).len(), 0);
+        assert_eq!(Payload::synthetic(1, 0).len(), 0);
+        assert_eq!(Payload::empty().digest(), Payload::empty().digest());
+    }
+
+    #[test]
+    fn slice_bytes() {
+        let p = Payload::bytes(vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(p.slice(2, 3).to_bytes(), vec![2, 3, 4]);
+        assert_eq!(p.slice(0, 0).len(), 0);
+        assert_eq!(p.slice(6, 0).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_out_of_range_panics() {
+        Payload::bytes(vec![1, 2, 3]).slice(2, 5);
+    }
+
+    #[test]
+    fn slice_spanning_segments() {
+        let p = Payload::concat([
+            Payload::bytes(vec![0, 1, 2]),
+            Payload::bytes(vec![3, 4, 5]),
+        ]);
+        assert_eq!(p.slice(1, 4).to_bytes(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn synthetic_slice_tracks_offset() {
+        let p = Payload::synthetic(7, 100);
+        let s = p.slice(10, 20);
+        assert_eq!(
+            s.segments(),
+            &[Segment::Synthetic { tag: 7, offset: 10, len: 20 }]
+        );
+    }
+
+    #[test]
+    fn digest_is_chunking_invariant_synthetic() {
+        let p = Payload::synthetic(99, 10_000_000);
+        let rechunked = Payload::concat(p.chunks(4096));
+        let rechunked2 = Payload::concat(p.chunks(777));
+        assert_eq!(p.digest(), rechunked.digest());
+        assert_eq!(p.digest(), rechunked2.digest());
+    }
+
+    #[test]
+    fn digest_is_chunking_invariant_bytes() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let p = Payload::bytes(data);
+        let rechunked = Payload::concat(p.chunks(333));
+        assert_eq!(p.digest(), rechunked.digest());
+    }
+
+    #[test]
+    fn digest_detects_dropped_chunk() {
+        let p = Payload::synthetic(5, 1000);
+        let mut chunks = p.chunks(100);
+        chunks.remove(3);
+        assert_ne!(p.digest(), Payload::concat(chunks).digest());
+    }
+
+    #[test]
+    fn digest_detects_reordered_chunks() {
+        let p = Payload::synthetic(5, 1000);
+        let mut chunks = p.chunks(100);
+        chunks.swap(2, 7);
+        assert_ne!(p.digest(), Payload::concat(chunks).digest());
+    }
+
+    #[test]
+    fn digest_detects_duplicated_chunk() {
+        let p = Payload::synthetic(5, 1000);
+        let mut chunks = p.chunks(100);
+        let dup = chunks[4].clone();
+        chunks.insert(4, dup);
+        assert_ne!(p.digest(), Payload::concat(chunks).digest());
+    }
+
+    #[test]
+    fn different_tags_have_different_digests() {
+        assert_ne!(
+            Payload::synthetic(1, 100).digest(),
+            Payload::synthetic(2, 100).digest()
+        );
+    }
+
+    #[test]
+    fn bytes_digest_differs_on_content() {
+        assert_ne!(
+            Payload::bytes(vec![1, 2, 3]).digest(),
+            Payload::bytes(vec![1, 2, 4]).digest()
+        );
+    }
+
+    #[test]
+    fn normalize_merges_bytes() {
+        let p = Payload::concat([Payload::bytes(vec![1]), Payload::bytes(vec![2, 3])]);
+        let n = p.normalize();
+        assert_eq!(n.segments().len(), 1);
+        assert_eq!(n.to_bytes(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn replace_middle_range() {
+        let p = Payload::bytes(vec![0, 1, 2, 3, 4, 5]);
+        let r = p.replace(2, Payload::bytes(vec![9, 9]));
+        assert_eq!(r.to_bytes(), vec![0, 1, 9, 9, 4, 5]);
+    }
+
+    #[test]
+    fn replace_whole_and_edges() {
+        let p = Payload::bytes(vec![1, 2, 3]);
+        assert_eq!(p.replace(0, Payload::bytes(vec![7, 8, 9])).to_bytes(), vec![7, 8, 9]);
+        assert_eq!(p.replace(0, Payload::bytes(vec![7])).to_bytes(), vec![7, 2, 3]);
+        assert_eq!(p.replace(2, Payload::bytes(vec![7])).to_bytes(), vec![1, 2, 7]);
+        assert_eq!(p.replace(3, Payload::empty()).to_bytes(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn replace_out_of_range_panics() {
+        Payload::bytes(vec![1, 2]).replace(1, Payload::bytes(vec![1, 2]));
+    }
+
+    #[test]
+    fn chunks_cover_exactly() {
+        let p = Payload::synthetic(3, 1050);
+        let chunks = p.chunks(100);
+        assert_eq!(chunks.len(), 11);
+        assert_eq!(chunks.iter().map(Payload::len).sum::<u64>(), 1050);
+        assert_eq!(chunks.last().unwrap().len(), 50);
+    }
+}

@@ -1,0 +1,248 @@
+//! Physical-memory accounting for simulated nodes.
+//!
+//! The paper's storage problem is a memory problem: the Xeon Phi's root
+//! file system lives in the card's 8 GB of RAM, so a locally-saved snapshot
+//! competes with live processes for physical memory (§3 "Storing and
+//! retrieving snapshots"). [`MemPool`] makes that competition explicit —
+//! process allocations, COI buffers, and RAM-fs file bytes all charge the
+//! same pool, and exhaustion is a first-class, testable error.
+
+use std::fmt;
+use std::sync::Arc;
+
+use simkernel::SimMutex;
+
+/// Error returned when a [`MemPool`] allocation exceeds available memory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Pool name (e.g. `"mic0"`).
+    pub pool: String,
+    /// Requested allocation in bytes.
+    pub requested: u64,
+    /// Bytes available at the time of the request.
+    pub available: u64,
+}
+
+impl fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out of memory on '{}': requested {} bytes, only {} available",
+            self.pool, self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+struct PoolState {
+    used: u64,
+    peak: u64,
+}
+
+/// A fixed-capacity physical memory pool. Cheap to clone (shared handle).
+#[derive(Clone)]
+pub struct MemPool {
+    inner: Arc<PoolInner>,
+}
+
+struct PoolInner {
+    name: String,
+    capacity: u64,
+    state: SimMutex<PoolState>,
+}
+
+impl MemPool {
+    /// Create a pool of `capacity` bytes.
+    pub fn new(name: impl Into<String>, capacity: u64) -> MemPool {
+        let name = name.into();
+        MemPool {
+            inner: Arc::new(PoolInner {
+                state: SimMutex::new(format!("mempool '{name}'"), PoolState { used: 0, peak: 0 }),
+                name,
+                capacity,
+            }),
+        }
+    }
+
+    /// Reserve `bytes` from the pool.
+    pub fn alloc(&self, bytes: u64) -> Result<(), OutOfMemory> {
+        let mut st = self.inner.state.lock();
+        let available = self.inner.capacity - st.used;
+        if bytes > available {
+            return Err(OutOfMemory {
+                pool: self.inner.name.clone(),
+                requested: bytes,
+                available,
+            });
+        }
+        st.used += bytes;
+        st.peak = st.peak.max(st.used);
+        Ok(())
+    }
+
+    /// Return `bytes` to the pool. Panics on over-free (accounting bug).
+    pub fn free(&self, bytes: u64) {
+        let mut st = self.inner.state.lock();
+        assert!(
+            st.used >= bytes,
+            "over-free on pool '{}': freeing {} with only {} used",
+            self.inner.name,
+            bytes,
+            st.used
+        );
+        st.used -= bytes;
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.inner.state.lock().used
+    }
+
+    /// Bytes currently free.
+    pub fn available(&self) -> u64 {
+        self.inner.capacity - self.used()
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.inner.capacity
+    }
+
+    /// High-water mark of usage.
+    pub fn peak(&self) -> u64 {
+        self.inner.state.lock().peak
+    }
+
+    /// Pool name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+}
+
+impl fmt::Debug for MemPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemPool")
+            .field("name", &self.inner.name)
+            .field("capacity", &self.inner.capacity)
+            .field("used", &self.used())
+            .finish()
+    }
+}
+
+/// RAII allocation: frees its bytes when dropped.
+pub struct MemAlloc {
+    pool: MemPool,
+    bytes: u64,
+}
+
+impl MemAlloc {
+    /// Allocate `bytes` from `pool`, returning a guard that frees on drop.
+    pub fn new(pool: &MemPool, bytes: u64) -> Result<MemAlloc, OutOfMemory> {
+        pool.alloc(bytes)?;
+        Ok(MemAlloc {
+            pool: pool.clone(),
+            bytes,
+        })
+    }
+
+    /// Size of this allocation.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Grow or shrink the allocation in place.
+    pub fn resize(&mut self, new_bytes: u64) -> Result<(), OutOfMemory> {
+        if new_bytes > self.bytes {
+            self.pool.alloc(new_bytes - self.bytes)?;
+        } else {
+            self.pool.free(self.bytes - new_bytes);
+        }
+        self.bytes = new_bytes;
+        Ok(())
+    }
+}
+
+impl Drop for MemAlloc {
+    fn drop(&mut self) {
+        self.pool.free(self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkernel::Kernel;
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        Kernel::run_root(|| {
+            let pool = MemPool::new("p", 100);
+            pool.alloc(60).unwrap();
+            assert_eq!(pool.used(), 60);
+            assert_eq!(pool.available(), 40);
+            pool.free(60);
+            assert_eq!(pool.used(), 0);
+        });
+    }
+
+    #[test]
+    fn oom_reports_details() {
+        Kernel::run_root(|| {
+            let pool = MemPool::new("mic0", 100);
+            pool.alloc(90).unwrap();
+            let err = pool.alloc(20).unwrap_err();
+            assert_eq!(err.requested, 20);
+            assert_eq!(err.available, 10);
+            assert_eq!(err.pool, "mic0");
+            assert!(err.to_string().contains("mic0"));
+        });
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        Kernel::run_root(|| {
+            let pool = MemPool::new("p", 100);
+            pool.alloc(80).unwrap();
+            pool.free(50);
+            pool.alloc(10).unwrap();
+            assert_eq!(pool.peak(), 80);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "over-free")]
+    fn over_free_panics() {
+        Kernel::run_root(|| {
+            let pool = MemPool::new("p", 100);
+            pool.free(1);
+        });
+    }
+
+    #[test]
+    fn raii_alloc_frees_on_drop() {
+        Kernel::run_root(|| {
+            let pool = MemPool::new("p", 100);
+            {
+                let _a = MemAlloc::new(&pool, 70).unwrap();
+                assert_eq!(pool.used(), 70);
+                assert!(MemAlloc::new(&pool, 50).is_err());
+            }
+            assert_eq!(pool.used(), 0);
+        });
+    }
+
+    #[test]
+    fn raii_resize() {
+        Kernel::run_root(|| {
+            let pool = MemPool::new("p", 100);
+            let mut a = MemAlloc::new(&pool, 10).unwrap();
+            a.resize(40).unwrap();
+            assert_eq!(pool.used(), 40);
+            a.resize(5).unwrap();
+            assert_eq!(pool.used(), 5);
+            assert!(a.resize(200).is_err());
+            assert_eq!(pool.used(), 5);
+        });
+    }
+}

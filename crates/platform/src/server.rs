@@ -1,0 +1,265 @@
+//! Server and cluster assembly: one host plus its coprocessors, and
+//! multi-node clusters for the MPI experiments.
+
+use std::fmt;
+use std::sync::Arc;
+
+use simkernel::{BandwidthResource, SimDuration};
+
+use crate::bus::PcieLink;
+use crate::node::{NodeId, SimNode};
+use crate::params::PlatformParams;
+
+struct ServerInner {
+    params: PlatformParams,
+    host: SimNode,
+    devices: Vec<SimNode>,
+    links: Vec<PcieLink>,
+}
+
+/// A simulated Xeon Phi server: one host node, `num_devices` coprocessors,
+/// one PCIe link per coprocessor. Cheap to clone (shared handle).
+#[derive(Clone)]
+pub struct PhiServer {
+    inner: Arc<ServerInner>,
+}
+
+impl PhiServer {
+    /// Build a server from parameters.
+    pub fn new(params: PlatformParams) -> PhiServer {
+        let host = SimNode::host(&params);
+        let devices: Vec<SimNode> = (0..params.num_devices)
+            .map(|i| SimNode::phi(&params, i))
+            .collect();
+        let links: Vec<PcieLink> = (0..params.num_devices)
+            .map(|i| PcieLink::new(&params, NodeId::device(i)))
+            .collect();
+        PhiServer {
+            inner: Arc::new(ServerInner {
+                params,
+                host,
+                devices,
+                links,
+            }),
+        }
+    }
+
+    /// Build a server with default (paper Table 2) parameters.
+    pub fn default_server() -> PhiServer {
+        PhiServer::new(PlatformParams::default())
+    }
+
+    /// The platform parameters this server was built with.
+    pub fn params(&self) -> &PlatformParams {
+        &self.inner.params
+    }
+
+    /// The host node.
+    pub fn host(&self) -> &SimNode {
+        &self.inner.host
+    }
+
+    /// Coprocessor `index` (zero-based). Panics if out of range.
+    pub fn device(&self, index: usize) -> &SimNode {
+        &self.inner.devices[index]
+    }
+
+    /// All coprocessors.
+    pub fn devices(&self) -> &[SimNode] {
+        &self.inner.devices
+    }
+
+    /// Number of coprocessors.
+    pub fn num_devices(&self) -> usize {
+        self.inner.devices.len()
+    }
+
+    /// The PCIe link of coprocessor `index`.
+    pub fn link(&self, index: usize) -> &PcieLink {
+        &self.inner.links[index]
+    }
+
+    /// Resolve a SCIF node id to a node.
+    pub fn node(&self, id: NodeId) -> &SimNode {
+        match id.device_index() {
+            None => &self.inner.host,
+            Some(i) => &self.inner.devices[i],
+        }
+    }
+
+    /// The PCIe link used for traffic between `a` and `b`. For
+    /// device-to-device traffic (peer-to-peer over the PCIe switch), the
+    /// transfer crosses both devices' links; this returns the link of the
+    /// *lower-numbered* endpoint for accounting and the caller charges both
+    /// via [`PhiServer::rdma_between`].
+    pub fn link_between(&self, a: NodeId, b: NodeId) -> &PcieLink {
+        assert_ne!(a, b, "no link from a node to itself");
+        let dev = match (a.device_index(), b.device_index()) {
+            (None, Some(i)) | (Some(i), None) => i,
+            (Some(i), Some(j)) => i.min(j),
+            (None, None) => unreachable!("host-to-host has no PCIe link"),
+        };
+        &self.inner.links[dev]
+    }
+
+    /// RDMA `bytes` between two nodes of this server, charging every PCIe
+    /// link the transfer crosses (device↔device crosses two).
+    pub fn rdma_between(&self, a: NodeId, b: NodeId, bytes: u64) -> SimDuration {
+        match (a.device_index(), b.device_index()) {
+            (None, Some(i)) | (Some(i), None) => self.inner.links[i].rdma_transfer(bytes),
+            (Some(i), Some(j)) if i != j => {
+                // Peer-to-peer: occupy both links, serialized (store &
+                // forward through the PCIe switch at link speed).
+                let d1 = self.inner.links[i].rdma_transfer(bytes);
+                let d2 = self.inner.links[j].rdma_transfer(bytes);
+                d1 + d2
+            }
+            _ => panic!("rdma_between requires two distinct nodes with a PCIe path"),
+        }
+    }
+}
+
+impl fmt::Debug for PhiServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PhiServer")
+            .field("devices", &self.inner.devices.len())
+            .finish()
+    }
+}
+
+struct ClusterInner {
+    servers: Vec<PhiServer>,
+    /// One NIC resource per server (full-duplex not modeled).
+    nics: Vec<BandwidthResource>,
+    net_latency: SimDuration,
+}
+
+/// A cluster of Xeon Phi servers connected by a network, for the MPI
+/// experiments (Fig 11). Cheap to clone.
+#[derive(Clone)]
+pub struct Cluster {
+    inner: Arc<ClusterInner>,
+}
+
+impl Cluster {
+    /// Build a cluster of `n` identical servers.
+    pub fn new(n: usize, params: PlatformParams) -> Cluster {
+        let servers: Vec<PhiServer> = (0..n).map(|_| PhiServer::new(params.clone())).collect();
+        let nics = (0..n)
+            .map(|i| BandwidthResource::new(format!("nic{i}"), params.net_bw, params.net_latency))
+            .collect();
+        Cluster {
+            inner: Arc::new(ClusterInner {
+                servers,
+                nics,
+                net_latency: params.net_latency,
+            }),
+        }
+    }
+
+    /// Number of servers.
+    pub fn len(&self) -> usize {
+        self.inner.servers.len()
+    }
+
+    /// Whether the cluster is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.servers.is_empty()
+    }
+
+    /// Server `i`.
+    pub fn server(&self, i: usize) -> &PhiServer {
+        &self.inner.servers[i]
+    }
+
+    /// Transfer `bytes` from server `from` to server `to` over the
+    /// network, occupying both NICs.
+    pub fn net_transfer(&self, from: usize, to: usize, bytes: u64) -> SimDuration {
+        assert_ne!(from, to, "network transfer to self");
+        let d1 = self.inner.nics[from].transfer(bytes);
+        let d2 = self.inner.nics[to].transfer(bytes);
+        d1 + d2
+    }
+
+    /// One-way network message latency.
+    pub fn net_latency(&self) -> SimDuration {
+        self.inner.net_latency
+    }
+}
+
+impl fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cluster").field("servers", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::GB;
+    use simkernel::Kernel;
+
+    #[test]
+    fn server_topology() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            assert_eq!(server.num_devices(), 2);
+            assert!(server.host().id().is_host());
+            assert_eq!(server.device(0).id(), NodeId::device(0));
+            assert_eq!(server.node(NodeId::device(1)).name(), "mic1");
+            assert_eq!(server.node(NodeId::HOST).name(), "host");
+        });
+    }
+
+    #[test]
+    fn device_memories_are_independent() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            server.device(0).mem().alloc(4 * GB).unwrap();
+            assert_eq!(server.device(1).mem().used(), 0);
+        });
+    }
+
+    #[test]
+    fn link_between_resolves() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            let l = server.link_between(NodeId::HOST, NodeId::device(1));
+            assert_eq!(l.device(), NodeId::device(1));
+            let l = server.link_between(NodeId::device(0), NodeId::device(1));
+            assert_eq!(l.device(), NodeId::device(0));
+        });
+    }
+
+    #[test]
+    fn p2p_rdma_charges_both_links() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            server.rdma_between(NodeId::device(0), NodeId::device(1), GB);
+            let (b0, _) = server.link(0).rdma_stats();
+            let (b1, _) = server.link(1).rdma_stats();
+            assert_eq!(b0, GB);
+            assert_eq!(b1, GB);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct nodes")]
+    fn rdma_to_self_panics() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            server.rdma_between(NodeId::device(0), NodeId::device(0), 1);
+        });
+    }
+
+    #[test]
+    fn cluster_transfer_charges_both_nics() {
+        Kernel::run_root(|| {
+            let cluster = Cluster::new(4, PlatformParams::default());
+            assert_eq!(cluster.len(), 4);
+            cluster.net_transfer(0, 3, 1_000_000);
+            let d = cluster.net_transfer(1, 2, 1_250_000_000);
+            assert!(d.as_secs_f64() >= 2.0); // two NIC crossings at 1.25 GB/s
+        });
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests of the payload algebra: slicing, chunking,
+//! concatenation and digesting must behave like operations on a real byte
+//! string, for both real-byte and synthetic payloads. Every transport and
+//! snapshot format in the workspace leans on these laws.
+
+use phi_platform::{Payload, Segment};
+use proptest::prelude::*;
+
+/// A payload mixing real and synthetic segments.
+fn mixed_payload() -> impl Strategy<Value = Payload> {
+    prop::collection::vec(
+        prop_oneof![
+            prop::collection::vec(any::<u8>(), 0..64).prop_map(Payload::bytes),
+            (any::<u64>(), 0u64..10_000).prop_map(|(tag, len)| Payload::synthetic(tag, len)),
+        ],
+        0..8,
+    )
+    .prop_map(Payload::concat)
+}
+
+proptest! {
+    /// slice(0, len) is the identity (up to normalization).
+    #[test]
+    fn full_slice_is_identity(p in mixed_payload()) {
+        let s = p.slice(0, p.len());
+        prop_assert_eq!(s.len(), p.len());
+        prop_assert_eq!(s.digest(), p.digest());
+    }
+
+    /// Chunk-and-reassemble preserves length and digest for any chunk size.
+    #[test]
+    fn chunking_roundtrips(p in mixed_payload(), chunk in 1u64..5000) {
+        let again = Payload::concat(p.chunks(chunk));
+        prop_assert_eq!(again.len(), p.len());
+        prop_assert_eq!(again.digest(), p.digest());
+    }
+
+    /// Adjacent slices concatenate to the covering slice.
+    #[test]
+    fn slice_concat_associates(p in mixed_payload(), cut in any::<prop::sample::Index>()) {
+        prop_assume!(!p.is_empty());
+        let mid = cut.index(p.len() as usize) as u64;
+        let left = p.slice(0, mid);
+        let right = p.slice(mid, p.len() - mid);
+        let joined = Payload::concat([left, right]);
+        prop_assert_eq!(joined.digest(), p.digest());
+    }
+
+    /// replace() preserves total length, changes the digest iff the
+    /// replacement differs from the original range.
+    #[test]
+    fn replace_laws(
+        data in prop::collection::vec(any::<u8>(), 1..256),
+        rep in prop::collection::vec(any::<u8>(), 0..64),
+        at in any::<prop::sample::Index>(),
+    ) {
+        let p = Payload::bytes(data.clone());
+        prop_assume!(rep.len() <= data.len());
+        let offset = at.index(data.len() - rep.len() + 1) as u64;
+        let replaced = p.replace(offset, Payload::bytes(rep.clone()));
+        prop_assert_eq!(replaced.len(), p.len());
+        let mut expect = data.clone();
+        expect[offset as usize..offset as usize + rep.len()].copy_from_slice(&rep);
+        prop_assert_eq!(replaced.to_bytes(), expect);
+    }
+
+    /// Digest distinguishes different synthetic contents (no trivial
+    /// collisions across tag/len).
+    #[test]
+    fn digest_separates_synthetic(tag1 in any::<u64>(), tag2 in any::<u64>(), len in 1u64..10_000) {
+        prop_assume!(tag1 != tag2);
+        prop_assert_ne!(
+            Payload::synthetic(tag1, len).digest(),
+            Payload::synthetic(tag2, len).digest()
+        );
+    }
+
+    /// normalize() is idempotent and digest-preserving.
+    #[test]
+    fn normalize_idempotent(p in mixed_payload()) {
+        let n1 = p.normalize();
+        let n2 = n1.normalize();
+        prop_assert_eq!(n1.segments().len(), n2.segments().len());
+        prop_assert_eq!(p.digest(), n1.digest());
+    }
+
+    /// Synthetic slices track absolute offsets, so re-slicing composes.
+    #[test]
+    fn synthetic_slice_composes(tag in any::<u64>(), len in 10u64..10_000, a in any::<prop::sample::Index>(), b in any::<prop::sample::Index>()) {
+        let p = Payload::synthetic(tag, len);
+        let off1 = a.index((len - 1) as usize) as u64;
+        let len1 = len - off1;
+        let s1 = p.slice(off1, len1);
+        prop_assume!(len1 > 1);
+        let off2 = b.index((len1 - 1) as usize) as u64;
+        let s2 = s1.slice(off2, len1 - off2);
+        // Equivalent to one direct slice.
+        let direct = p.slice(off1 + off2, len1 - off2);
+        prop_assert_eq!(s2.digest(), direct.digest());
+        match (s2.segments().first(), direct.segments().first()) {
+            (Some(Segment::Synthetic { offset: o1, .. }), Some(Segment::Synthetic { offset: o2, .. })) => {
+                prop_assert_eq!(o1, o2);
+            }
+            _ => prop_assert!(false, "expected synthetic segments"),
+        }
+    }
+}

@@ -1,0 +1,891 @@
+//! The cooperative virtual-time scheduler.
+//!
+//! # Execution model
+//!
+//! Every *simulated thread* is a real OS thread, but **exactly one simulated
+//! thread executes at any moment**. A single "token" is handed from thread to
+//! thread by the scheduler: a thread runs until it performs a blocking
+//! simulation operation (sleep, lock acquisition, channel receive, join, …),
+//! at which point it selects the next runnable thread — the one with the
+//! earliest pending wake-up time — advances the virtual clock to that time,
+//! grants it the token, and parks itself.
+//!
+//! This "single token" discipline has two important consequences that the
+//! rest of the workspace relies on:
+//!
+//! 1. **Determinism.** Wake-ups are ordered by `(virtual time, sequence
+//!    number)`, and sequence numbers are assigned in program order, so the
+//!    whole simulation is a deterministic function of its inputs. Running the
+//!    same scenario twice produces an identical event trace (see
+//!    [`Kernel::trace`]), which makes "checkpoint at a random virtual time"
+//!    a reproducible property test rather than a flaky stress test.
+//!
+//! 2. **No data races between simulated threads.** Because only one
+//!    simulated thread runs at a time, the internal bookkeeping of the
+//!    higher-level primitives ([`crate::sync`], [`crate::channel`]) only
+//!    needs uncontended `std::sync::Mutex`es; a simulated thread never
+//!    blocks on a *real* lock held by another simulated thread.
+//!
+//! # Deadlock detection
+//!
+//! If every live simulated thread is blocked and no timed wake-up is
+//! pending, the simulation cannot make progress. The kernel detects this,
+//! aborts the run, and panics in [`Kernel::run`] with a dump of every
+//! blocked thread and the reason it blocked. This turns protocol bugs (e.g.
+//! an incorrect drain order in Snapify's pause) into crisp test failures.
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a simulated thread.
+pub type Tid = u32;
+
+
+/// An entry in the deterministic event trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time at which the event occurred.
+    pub time: SimTime,
+    /// Thread the event concerns.
+    pub tid: Tid,
+    /// Human-readable event label (e.g. `"spawn"`, `"block: sleep"`).
+    pub label: String,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TState {
+    /// Queued in the run queue (possibly with a future wake-up time).
+    Runnable,
+    /// Currently holds the token.
+    Running,
+    /// Waiting on a primitive; not in the run queue.
+    Blocked,
+    /// The thread's closure has returned.
+    Finished,
+}
+
+struct ThreadInfo {
+    name: String,
+    state: TState,
+    /// Daemon threads (service loops) do not keep the simulation alive:
+    /// the run ends when the last non-daemon thread finishes.
+    daemon: bool,
+    /// Why the thread is blocked (for deadlock dumps).
+    block_reason: String,
+    /// Threads waiting in `join()` on this thread.
+    joiners: Vec<Tid>,
+    /// Generation counter: incremented every time the thread blocks, so
+    /// stale run-queue entries (from cancelled timed waits) can be skipped.
+    generation: u64,
+}
+
+struct Sched {
+    now: SimTime,
+    seq: u64,
+    next_tid: Tid,
+    /// Min-heap of `(wake time, sequence, tid, generation)`.
+    runq: BinaryHeap<Reverse<(SimTime, u64, Tid, u64)>>,
+    threads: HashMap<Tid, ThreadInfo>,
+    /// The thread that currently may run (token holder-elect).
+    granted: Option<Tid>,
+    live: usize,
+    done: bool,
+    shutdown: bool,
+    failure: Option<String>,
+    trace: Option<Vec<TraceEvent>>,
+    spawned_os: Vec<(thread::JoinHandle<()>, bool)>,
+}
+
+struct Inner {
+    sched: Mutex<Sched>,
+    /// Simulated threads park here waiting for their grant.
+    cv: Condvar,
+    /// The driver of `Kernel::run` parks here waiting for completion.
+    driver_cv: Condvar,
+}
+
+/// Handle to a simulation kernel. Cheap to clone; all clones refer to the
+/// same virtual clock and scheduler.
+#[derive(Clone)]
+pub struct Kernel {
+    inner: Arc<Inner>,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Kernel, Tid)>> = const { RefCell::new(None) };
+}
+
+/// Returns the kernel and thread id of the calling simulated thread.
+///
+/// # Panics
+/// Panics if called from outside a simulated thread.
+pub fn current() -> (Kernel, Tid) {
+    CTX.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("not inside a simulated thread: simkernel primitives may only be used from threads spawned via Kernel::spawn")
+    })
+}
+
+/// Returns `true` if the calling OS thread is a simulated thread.
+pub fn in_simulation() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+impl fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.inner.sched.lock().unwrap();
+        f.debug_struct("Kernel")
+            .field("now", &s.now)
+            .field("live", &s.live)
+            .finish()
+    }
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Kernel {
+    /// Create a new kernel with the clock at `t = 0` and no threads.
+    pub fn new() -> Kernel {
+        Kernel {
+            inner: Arc::new(Inner {
+                sched: Mutex::new(Sched {
+                    now: SimTime::ZERO,
+                    seq: 0,
+                    next_tid: 1,
+                    runq: BinaryHeap::new(),
+                    threads: HashMap::new(),
+                    granted: None,
+                    live: 0,
+                    done: false,
+                    shutdown: false,
+                    failure: None,
+                    trace: None,
+                    spawned_os: Vec::new(),
+                }),
+                cv: Condvar::new(),
+                driver_cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Enable event tracing. Must be called before [`Kernel::run`].
+    pub fn enable_trace(&self) {
+        let mut s = self.inner.sched.lock().unwrap();
+        if s.trace.is_none() {
+            s.trace = Some(Vec::new());
+        }
+    }
+
+    /// Take the recorded event trace (empty unless [`Kernel::enable_trace`]
+    /// was called).
+    pub fn trace(&self) -> Vec<TraceEvent> {
+        let mut s = self.inner.sched.lock().unwrap();
+        s.trace.take().unwrap_or_default()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.sched.lock().unwrap().now
+    }
+
+    /// Spawn a simulated thread. The thread becomes runnable at the current
+    /// virtual time; it does not run until the spawner blocks (or, before
+    /// [`Kernel::run`], until the simulation starts).
+    pub fn spawn<T, F>(&self, name: impl Into<String>, f: F) -> JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.spawn_inner(name, f, false)
+    }
+
+    /// Spawn a *daemon* (service) thread: a loop that serves others and
+    /// blocks indefinitely. Daemon threads do not keep the simulation
+    /// alive — when the last non-daemon thread finishes, the run completes
+    /// and remaining daemons are parked.
+    pub fn spawn_daemon<T, F>(&self, name: impl Into<String>, f: F) -> JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.spawn_inner(name, f, true)
+    }
+
+    fn spawn_inner<T, F>(&self, name: impl Into<String>, f: F, daemon: bool) -> JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let name = name.into();
+        let result: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+        let result2 = Arc::clone(&result);
+        let kernel = self.clone();
+
+        let tid = {
+            let mut s = self.inner.sched.lock().unwrap();
+            assert!(!s.done, "cannot spawn after the simulation finished");
+            let tid = s.next_tid;
+            s.next_tid += 1;
+            s.threads.insert(
+                tid,
+                ThreadInfo {
+                    name: name.clone(),
+                    state: TState::Runnable,
+                    daemon,
+                    block_reason: String::new(),
+                    joiners: Vec::new(),
+                    generation: 0,
+                },
+            );
+            if !daemon {
+                s.live += 1;
+            }
+            let (now, seq) = (s.now, s.seq);
+            s.seq += 1;
+            s.runq.push(Reverse((now, seq, tid, 0)));
+            trace(&mut s, tid, "spawn");
+            tid
+        };
+
+        let os = thread::Builder::new()
+            .name(format!("sim-{tid}-{name}"))
+            .spawn(move || {
+                CTX.with(|c| *c.borrow_mut() = Some((kernel.clone(), tid)));
+                // Park until granted for the first time.
+                kernel.wait_for_grant(tid);
+                let out = panic::catch_unwind(AssertUnwindSafe(f));
+                match out {
+                    Ok(v) => {
+                        *result2.lock().unwrap() = Some(v);
+                        kernel.thread_exit(tid, daemon, None);
+                    }
+                    Err(payload) => {
+                        let msg = payload_to_string(payload.as_ref());
+                        kernel.thread_exit(tid, daemon, Some(msg));
+                    }
+                }
+            })
+            .expect("failed to spawn OS thread for simulated thread");
+
+        self.inner.sched.lock().unwrap().spawned_os.push((os, daemon));
+
+        JoinHandle {
+            kernel: self.clone(),
+            tid,
+            name,
+            result,
+        }
+    }
+
+    /// Run the simulation to completion. Blocks the calling (real) thread
+    /// until every simulated thread has finished.
+    ///
+    /// # Panics
+    /// Panics if any simulated thread panicked, or if the simulation
+    /// deadlocked (every live thread blocked with no pending wake-up).
+    pub fn run(&self) {
+        let mut s = self.inner.sched.lock().unwrap();
+        assert!(s.granted.is_none(), "Kernel::run called re-entrantly");
+        if s.live == 0 {
+            s.done = true;
+        } else {
+            self.dispatch(&mut s);
+        }
+        while !s.done {
+            s = self.inner.driver_cv.wait(s).unwrap();
+        }
+        let failure = s.failure.clone();
+        let handles = std::mem::take(&mut s.spawned_os);
+        drop(s);
+        if let Some(msg) = failure {
+            // Aborted simulation: surviving simulated threads are parked
+            // forever (see `wait_for_grant`), so they cannot be joined.
+            // Unwinding them instead would run user destructors concurrently
+            // against a dead scheduler.
+            panic!("simulation failed: {msg}");
+        }
+        for (h, daemon) in handles {
+            // Daemon threads may be parked forever (shutdown at completion);
+            // only non-daemon threads are guaranteed to have exited.
+            if !daemon {
+                let _ = h.join();
+            }
+        }
+    }
+
+    /// Convenience: create a kernel, run `f` as the root simulated thread,
+    /// and return its result.
+    pub fn run_root<T, F>(f: F) -> T
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let kernel = Kernel::new();
+        let h = kernel.spawn("root", f);
+        kernel.run();
+        h.take_result().expect("root thread produced no result")
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling internals (used by sync/channel/resource modules).
+    // ------------------------------------------------------------------
+
+    /// Block the calling simulated thread until another thread makes it
+    /// runnable via [`Kernel::make_runnable`]. `reason` appears in deadlock
+    /// dumps.
+    pub(crate) fn block(&self, me: Tid, reason: &str) {
+        let mut s = self.inner.sched.lock().unwrap();
+        {
+            let info = s.threads.get_mut(&me).expect("unknown tid");
+            debug_assert_eq!(info.state, TState::Running);
+            info.state = TState::Blocked;
+            info.block_reason = reason.to_string();
+            info.generation += 1;
+        }
+        trace(&mut s, me, &format!("block: {reason}"));
+        self.dispatch(&mut s);
+        drop(s);
+        self.wait_for_grant(me);
+    }
+
+    /// Block the calling simulated thread until virtual time `deadline`
+    /// *or* until another thread makes it runnable earlier, whichever comes
+    /// first. Returns the wake-up time.
+    pub(crate) fn block_until(&self, me: Tid, deadline: SimTime, reason: &str) -> SimTime {
+        let mut s = self.inner.sched.lock().unwrap();
+        {
+            let seq = s.seq;
+            s.seq += 1;
+            let info = s.threads.get_mut(&me).expect("unknown tid");
+            debug_assert_eq!(info.state, TState::Running);
+            info.state = TState::Runnable;
+            info.block_reason = format!("{reason} (until {deadline})");
+            info.generation += 1;
+            let generation = info.generation;
+            s.runq.push(Reverse((deadline, seq, me, generation)));
+        }
+        trace(&mut s, me, &format!("block_until: {reason}"));
+        self.dispatch(&mut s);
+        drop(s);
+        self.wait_for_grant(me);
+        self.now()
+    }
+
+    /// Make `tid` runnable at the current virtual time. Panics if the
+    /// thread is not blocked (waking a runnable/running thread indicates a
+    /// bookkeeping bug in a primitive).
+    pub(crate) fn make_runnable(&self, tid: Tid) {
+        let mut s = self.inner.sched.lock().unwrap();
+        let (now, seq) = (s.now, s.seq);
+        s.seq += 1;
+        let info = s.threads.get_mut(&tid).expect("unknown tid");
+        match info.state {
+            TState::Blocked => {
+                info.state = TState::Runnable;
+                info.generation += 1;
+                let generation = info.generation;
+                s.runq.push(Reverse((now, seq, tid, generation)));
+            }
+            TState::Runnable => {
+                // The thread is in a timed wait (`block_until`) and is being
+                // woken early: supersede the timer entry via the generation
+                // counter.
+                info.generation += 1;
+                let generation = info.generation;
+                s.runq.push(Reverse((now, seq, tid, generation)));
+            }
+            other => panic!("make_runnable on thread {tid} in state {other:?}"),
+        }
+        trace(&mut s, tid, "wake");
+    }
+
+    /// Yield the token: stay runnable at the current time but let any other
+    /// thread scheduled for the current time run first.
+    pub fn yield_now(&self) {
+        let (_, me) = current();
+        let now = self.now();
+        self.block_until(me, now, "yield");
+    }
+
+    /// Advance virtual time by `d` for the calling simulated thread.
+    pub fn sleep(&self, d: SimDuration) {
+        let (_, me) = current();
+        let deadline = self.now() + d;
+        self.block_until(me, deadline, "sleep");
+        debug_assert!(self.now() >= deadline);
+    }
+
+    /// Record a labeled event in the trace (no-op unless tracing enabled).
+    pub fn trace_event(&self, label: &str) {
+        let me = CTX.with(|c| c.borrow().as_ref().map(|(_, t)| *t)).unwrap_or(0);
+        let mut s = self.inner.sched.lock().unwrap();
+        trace(&mut s, me, label);
+    }
+
+    /// Number of live (unfinished) simulated threads.
+    pub fn live_threads(&self) -> usize {
+        self.inner.sched.lock().unwrap().live
+    }
+
+    fn wait_for_grant(&self, me: Tid) {
+        let mut s = self.inner.sched.lock().unwrap();
+        loop {
+            if s.shutdown {
+                // The simulation was aborted (panic or deadlock elsewhere).
+                // Park this OS thread forever: unwinding through arbitrary
+                // user code here would run destructors (which may touch the
+                // scheduler) concurrently with other aborting threads.
+                drop(s);
+                loop {
+                    thread::park();
+                }
+            }
+            if s.granted == Some(me) {
+                s.granted = None;
+                let info = s.threads.get_mut(&me).unwrap();
+                info.state = TState::Running;
+                info.block_reason.clear();
+                return;
+            }
+            s = self.inner.cv.wait(s).unwrap();
+        }
+    }
+
+    /// Select the next runnable thread, advance the clock, and grant it the
+    /// token. Must be called with no thread currently granted.
+    fn dispatch(&self, s: &mut Sched) {
+        debug_assert!(s.granted.is_none());
+        loop {
+            match s.runq.pop() {
+                Some(Reverse((t, _seq, tid, generation))) => {
+                    let info = match s.threads.get(&tid) {
+                        Some(i) => i,
+                        None => continue, // thread already finished
+                    };
+                    if info.generation != generation || info.state != TState::Runnable {
+                        continue; // stale entry superseded by an early wake
+                    }
+                    debug_assert!(t >= s.now, "time went backwards");
+                    s.now = s.now.max(t);
+                    s.granted = Some(tid);
+                    self.inner.cv.notify_all();
+                    return;
+                }
+                None => {
+                    if s.live == 0 {
+                        s.done = true;
+                        s.shutdown = true;
+                        self.inner.cv.notify_all();
+                        self.inner.driver_cv.notify_all();
+                    } else {
+                        let dump = deadlock_dump(s);
+                        s.failure = Some(dump);
+                        s.shutdown = true;
+                        s.done = true;
+                        self.inner.cv.notify_all();
+                        self.inner.driver_cv.notify_all();
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Exit protocol for a finishing simulated thread.
+    fn thread_exit(&self, me: Tid, daemon: bool, panic_msg: Option<String>) {
+        let mut s = self.inner.sched.lock().unwrap();
+        if !daemon {
+            s.live -= 1;
+        }
+        let joiners = {
+            let info = s.threads.get_mut(&me).expect("unknown tid");
+            info.state = TState::Finished;
+            std::mem::take(&mut info.joiners)
+        };
+        trace(&mut s, me, "exit");
+        for j in joiners {
+            let (now, seq) = (s.now, s.seq);
+            s.seq += 1;
+            let info = s.threads.get_mut(&j).unwrap();
+            debug_assert_eq!(info.state, TState::Blocked);
+            info.state = TState::Runnable;
+            info.generation += 1;
+            let generation = info.generation;
+            s.runq.push(Reverse((now, seq, j, generation)));
+        }
+        if let Some(msg) = panic_msg {
+            let name = s.threads[&me].name.clone();
+            s.failure
+                .get_or_insert_with(|| format!("thread '{name}' panicked: {msg}"));
+            s.shutdown = true;
+            s.done = true;
+            self.inner.cv.notify_all();
+            self.inner.driver_cv.notify_all();
+        } else if !daemon && s.live == 0 {
+            // Last non-daemon thread finished: the simulation is complete.
+            // Remaining daemon (service) threads are parked via shutdown.
+            s.done = true;
+            s.shutdown = true;
+            self.inner.cv.notify_all();
+            self.inner.driver_cv.notify_all();
+        } else if !s.shutdown {
+            self.dispatch(&mut s);
+        }
+        CTX.with(|c| *c.borrow_mut() = None);
+    }
+
+    /// Join on a thread: block until it finishes.
+    fn join_tid(&self, target: Tid) {
+        let (_, me) = current();
+        assert_ne!(me, target, "a simulated thread cannot join itself");
+        {
+            let mut s = self.inner.sched.lock().unwrap();
+            let tinfo = s.threads.get_mut(&target).expect("unknown join target");
+            if tinfo.state == TState::Finished {
+                return;
+            }
+            tinfo.joiners.push(me);
+        }
+        // Note: between releasing the lock above and blocking below, no
+        // other simulated thread can run (single-token discipline), so the
+        // target cannot finish in between.
+        let (_, me2) = current();
+        debug_assert_eq!(me, me2);
+        self.block(me, "join");
+    }
+}
+
+fn trace(s: &mut Sched, tid: Tid, label: &str) {
+    let now = s.now;
+    if let Some(tr) = s.trace.as_mut() {
+        tr.push(TraceEvent {
+            time: now,
+            tid,
+            label: label.to_string(),
+        });
+    }
+}
+
+fn deadlock_dump(s: &Sched) -> String {
+    let mut out = format!(
+        "deadlock at {}: {} live thread(s) blocked with no pending wake-up:\n",
+        s.now, s.live
+    );
+    let mut entries: Vec<_> = s
+        .threads
+        .iter()
+        .filter(|(_, i)| i.state == TState::Blocked)
+        .collect();
+    entries.sort_by_key(|(tid, _)| **tid);
+    for (tid, info) in entries {
+        out.push_str(&format!(
+            "  [{}] '{}'{} blocked on: {}\n",
+            tid,
+            info.name,
+            if info.daemon { " (daemon)" } else { "" },
+            info.block_reason
+        ));
+    }
+    out
+}
+
+fn payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Handle returned by [`Kernel::spawn`]; allows joining the thread and
+/// retrieving its result.
+pub struct JoinHandle<T> {
+    kernel: Kernel,
+    tid: Tid,
+    name: String,
+    result: Arc<Mutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// The simulated thread id.
+    pub fn tid(&self) -> Tid {
+        self.tid
+    }
+
+    /// The thread's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Block the calling *simulated* thread until the target finishes, then
+    /// return its result.
+    pub fn join(self) -> T {
+        self.kernel.join_tid(self.tid);
+        self.take_result()
+            .expect("joined thread produced no result (panicked?)")
+    }
+
+    /// Retrieve the result without joining (for use after [`Kernel::run`]
+    /// returned). Returns `None` if the thread has not finished or panicked.
+    pub fn take_result(&self) -> Option<T> {
+        self.result.lock().unwrap().take()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Free-function conveniences for use inside simulated threads.
+// ---------------------------------------------------------------------
+
+/// Current virtual time (callable only from a simulated thread).
+pub fn now() -> SimTime {
+    current().0.now()
+}
+
+/// Sleep for `d` of virtual time (callable only from a simulated thread).
+pub fn sleep(d: SimDuration) {
+    let (k, _) = current();
+    k.sleep(d);
+}
+
+/// Yield the token to other threads runnable at the current time.
+pub fn yield_now() {
+    let (k, _) = current();
+    k.yield_now();
+}
+
+/// Spawn a simulated thread from within a simulated thread.
+pub fn spawn<T, F>(name: impl Into<String>, f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let (k, _) = current();
+    k.spawn(name, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{ms, secs};
+
+    #[test]
+    fn empty_simulation_completes() {
+        let k = Kernel::new();
+        k.run();
+        assert_eq!(k.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn single_thread_sleep_advances_clock() {
+        let k = Kernel::new();
+        k.spawn("a", || {
+            sleep(ms(10));
+            sleep(ms(5));
+        });
+        k.run();
+        assert_eq!(k.now(), SimTime::ZERO + ms(15));
+    }
+
+    #[test]
+    fn run_root_returns_value() {
+        let v = Kernel::run_root(|| {
+            sleep(ms(1));
+            42
+        });
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn two_threads_interleave_by_time() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let k = Kernel::new();
+        let o1 = Arc::clone(&order);
+        k.spawn("a", move || {
+            sleep(ms(10));
+            o1.lock().unwrap().push(("a", now()));
+        });
+        let o2 = Arc::clone(&order);
+        k.spawn("b", move || {
+            sleep(ms(5));
+            o2.lock().unwrap().push(("b", now()));
+        });
+        k.run();
+        let order = order.lock().unwrap();
+        assert_eq!(order[0].0, "b");
+        assert_eq!(order[1].0, "a");
+        assert_eq!(order[0].1, SimTime::ZERO + ms(5));
+        assert_eq!(order[1].1, SimTime::ZERO + ms(10));
+    }
+
+    #[test]
+    fn spawn_order_breaks_ties_deterministically() {
+        for _ in 0..10 {
+            let order = Arc::new(Mutex::new(Vec::new()));
+            let k = Kernel::new();
+            for i in 0..5 {
+                let o = Arc::clone(&order);
+                k.spawn(format!("t{i}"), move || {
+                    o.lock().unwrap().push(i);
+                });
+            }
+            k.run();
+            assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn join_returns_value_and_waits() {
+        let v = Kernel::run_root(|| {
+            let h = spawn("child", || {
+                sleep(secs(3));
+                "done"
+            });
+            let r = h.join();
+            assert_eq!(now(), SimTime::ZERO + secs(3));
+            r
+        });
+        assert_eq!(v, "done");
+    }
+
+    #[test]
+    fn join_finished_thread_is_immediate() {
+        Kernel::run_root(|| {
+            let h = spawn("child", || 7);
+            sleep(ms(100)); // child certainly finished (it never blocks)
+            assert_eq!(h.join(), 7);
+            assert_eq!(now(), SimTime::ZERO + ms(100));
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "simulation failed")]
+    fn panic_in_thread_propagates() {
+        let k = Kernel::new();
+        k.spawn("bad", || panic!("boom"));
+        k.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_is_detected() {
+        let k = Kernel::new();
+        let k2 = k.clone();
+        k.spawn("stuck", move || {
+            let (_, me) = current();
+            k2.block(me, "waiting for godot");
+        });
+        k.run();
+    }
+
+    #[test]
+    fn yield_now_round_robins_same_time() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let k = Kernel::new();
+        for i in 0..3 {
+            let o = Arc::clone(&order);
+            k.spawn(format!("t{i}"), move || {
+                for _ in 0..2 {
+                    o.lock().unwrap().push(i);
+                    yield_now();
+                }
+            });
+        }
+        k.run();
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 0, 1, 2]);
+        assert_eq!(k.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let run = || {
+            let k = Kernel::new();
+            k.enable_trace();
+            for i in 0..4 {
+                k.spawn(format!("t{i}"), move || {
+                    sleep(ms(i as u64 * 3 % 7));
+                    sleep(ms(2));
+                });
+            }
+            k.run();
+            k.trace()
+        };
+        let t1 = run();
+        let t2 = run();
+        assert!(!t1.is_empty());
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn nested_spawn_inherits_clock() {
+        Kernel::run_root(|| {
+            sleep(ms(7));
+            let h = spawn("child", now);
+            let child_start = h.join();
+            assert_eq!(child_start, SimTime::ZERO + ms(7));
+        });
+    }
+
+    #[test]
+    fn early_wake_supersedes_timer() {
+        // A thread in block_until is woken early by make_runnable; the stale
+        // timer entry must not wake it a second time.
+        Kernel::run_root(|| {
+            let (k, _) = current();
+            let h = spawn("sleeper", || {
+                let (k, me) = current();
+                
+                k.block_until(me, now() + secs(100), "long wait")
+            });
+            sleep(ms(50));
+            let (k2, _) = current();
+            k2.make_runnable(h.tid());
+            let woke_at = h.join();
+            assert_eq!(woke_at, SimTime::ZERO + ms(50));
+            // Let the (stale) 100s timer entry surface: it should be skipped
+            // and not panic / not advance the clock.
+            sleep(ms(1));
+            assert_eq!(k.now(), SimTime::ZERO + ms(51));
+        });
+    }
+
+    #[test]
+    fn live_threads_counts() {
+        let k = Kernel::new();
+        let k2 = k.clone();
+        k.spawn("a", move || {
+            assert!(k2.live_threads() >= 1);
+            sleep(ms(1));
+        });
+        k.run();
+        assert_eq!(k.live_threads(), 0);
+    }
+
+    #[test]
+    fn many_threads_scale() {
+        let k = Kernel::new();
+        let counter = Arc::new(Mutex::new(0u64));
+        for i in 0..200 {
+            let c = Arc::clone(&counter);
+            k.spawn(format!("w{i}"), move || {
+                sleep(ms(i % 13));
+                *c.lock().unwrap() += 1;
+            });
+        }
+        k.run();
+        assert_eq!(*counter.lock().unwrap(), 200);
+    }
+}

@@ -1,0 +1,55 @@
+//! # simkernel — deterministic virtual-time simulation kernel
+//!
+//! The foundation of the Snapify reproduction: a cooperative scheduler in
+//! which every *simulated thread* is a real OS thread but exactly one runs
+//! at a time, under a single global virtual clock. See [`kernel`] for the
+//! execution model and its determinism/data-race-freedom guarantees.
+//!
+//! The crate provides:
+//!
+//! * [`Kernel`] / [`spawn`] / [`sleep`] / [`now`] — thread and clock control;
+//! * [`SimMutex`], [`SimCondvar`], [`Semaphore`], [`Barrier`] — virtual-time
+//!   synchronization (the same shapes Snapify's pause protocol uses);
+//! * [`SimChannel`] — message channels with latency, capacity, and an
+//!   observable *drained* predicate;
+//! * [`BandwidthResource`] — FIFO-serialized transports with
+//!   latency + bandwidth cost models (PCIe links, disks).
+//!
+//! ## Example
+//!
+//! ```
+//! use simkernel::{Kernel, spawn, sleep, now, time::ms, SimChannel};
+//!
+//! let total = Kernel::run_root(|| {
+//!     let ch = SimChannel::unbounded("work");
+//!     let tx = ch.clone();
+//!     spawn("producer", move || {
+//!         for i in 0..3u64 {
+//!             sleep(ms(10));
+//!             tx.send(i).unwrap();
+//!         }
+//!         tx.close();
+//!     });
+//!     let mut total = 0;
+//!     while let Ok(v) = ch.recv() {
+//!         total += v;
+//!     }
+//!     assert_eq!(now().as_nanos(), 30_000_000); // 30ms of virtual time
+//!     total
+//! });
+//! assert_eq!(total, 3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod kernel;
+pub mod resource;
+pub mod sync;
+pub mod time;
+
+pub use channel::{RecvError, SendError, SimChannel};
+pub use kernel::{current, in_simulation, now, sleep, spawn, yield_now, JoinHandle, Kernel, Tid, TraceEvent};
+pub use resource::{Bandwidth, BandwidthResource};
+pub use sync::{Barrier, Semaphore, SimCondvar, SimMutex, SimMutexGuard};
+pub use time::{ms, secs, us, SimDuration, SimTime};

@@ -1,0 +1,324 @@
+//! Byte-stream abstractions: the simulated equivalent of UNIX file
+//! descriptors.
+//!
+//! Snapify's key I/O trick is that BLCR on the coprocessor is handed a
+//! plain file descriptor and neither knows nor cares whether it writes to
+//! a local file or to a Snapify-IO socket that RDMAs the stream to the
+//! host (§6). [`ByteSink`] and [`ByteSource`] play that role here: the
+//! checkpointer streams [`Payload`] chunks into *some* sink; local files,
+//! NFS mounts, scp pipes, and Snapify-IO all implement the same trait pair.
+
+use std::fmt;
+
+use phi_platform::{FsError, Payload, SimFs};
+
+/// Errors from simulated stream I/O.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IoError {
+    /// Underlying file-system error.
+    Fs(FsError),
+    /// The peer closed the stream.
+    Closed,
+    /// Anything else (message carries detail).
+    Other(String),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Fs(e) => write!(f, "{e}"),
+            IoError::Closed => write!(f, "stream closed"),
+            IoError::Other(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<FsError> for IoError {
+    fn from(e: FsError) -> IoError {
+        IoError::Fs(e)
+    }
+}
+
+/// A writable byte stream (simulated `write(2)` target).
+pub trait ByteSink: Send {
+    /// Write one chunk.
+    fn write(&mut self, data: Payload) -> Result<(), IoError>;
+
+    /// Finish the stream: flush buffered data and signal end-of-stream to
+    /// the consumer. Must be called exactly once.
+    fn close(&mut self) -> Result<(), IoError>;
+
+    /// Declare the granularity at which the writer *logically* issues
+    /// writes. A checkpointer that dumps memory page-by-page calls
+    /// `set_write_granularity(Some(4096))` and may then pass large payload
+    /// chunks to [`ByteSink::write`]; a per-operation-priced sink (NFS)
+    /// charges one operation per `granularity` bytes. Sinks that buffer or
+    /// that are bandwidth-priced ignore this. Default: no-op.
+    fn set_write_granularity(&mut self, granularity: Option<u64>) {
+        let _ = granularity;
+    }
+}
+
+/// A readable byte stream (simulated `read(2)` source).
+pub trait ByteSource: Send {
+    /// Read the next chunk of at most `max` bytes. `Ok(None)` = EOF.
+    fn read(&mut self, max: u64) -> Result<Option<Payload>, IoError>;
+}
+
+/// Factory for cross-node snapshot streams.
+///
+/// `local` is the node performing the I/O; `path` names a file on the
+/// target file system (usually the host's). The returned sink/source
+/// charge whatever transport the implementation models — Snapify-IO's
+/// RDMA pipeline, an NFS mount, scp, or the local RAM fs.
+pub trait SnapshotStorage: Send + Sync {
+    /// Open `path` for writing from node `local`.
+    fn sink(&self, local: phi_platform::NodeId, path: &str) -> Result<Box<dyn ByteSink>, IoError>;
+    /// Open `path` for reading from node `local`.
+    fn source(
+        &self,
+        local: phi_platform::NodeId,
+        path: &str,
+    ) -> Result<Box<dyn ByteSource>, IoError>;
+    /// Human-readable method name (benchmark labels).
+    fn label(&self) -> &'static str;
+}
+
+/// Sink appending to a file on a [`SimFs`] (costs charged by the fs model).
+pub struct FsSink {
+    fs: SimFs,
+    path: String,
+    closed: bool,
+}
+
+impl FsSink {
+    /// Create (truncate) `path` on `fs` and return a sink appending to it.
+    pub fn create(fs: &SimFs, path: &str) -> FsSink {
+        fs.create_or_truncate(path);
+        FsSink {
+            fs: fs.clone(),
+            path: path.to_string(),
+            closed: false,
+        }
+    }
+
+    /// The destination path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl ByteSink for FsSink {
+    fn write(&mut self, data: Payload) -> Result<(), IoError> {
+        assert!(!self.closed, "write after close on {}", self.path);
+        self.fs.append(&self.path, data)?;
+        Ok(())
+    }
+
+    fn close(&mut self) -> Result<(), IoError> {
+        self.closed = true;
+        Ok(())
+    }
+}
+
+/// Source streaming a file from a [`SimFs`].
+pub struct FsSource {
+    fs: SimFs,
+    path: String,
+    offset: u64,
+}
+
+impl FsSource {
+    /// Open `path` on `fs` for sequential reading.
+    pub fn open(fs: &SimFs, path: &str) -> Result<FsSource, IoError> {
+        if !fs.exists(path) {
+            return Err(IoError::Fs(FsError::NotFound(path.to_string())));
+        }
+        Ok(FsSource {
+            fs: fs.clone(),
+            path: path.to_string(),
+            offset: 0,
+        })
+    }
+}
+
+impl ByteSource for FsSource {
+    fn read(&mut self, max: u64) -> Result<Option<Payload>, IoError> {
+        let size = self.fs.len(&self.path)?;
+        if self.offset >= size {
+            return Ok(None);
+        }
+        let take = max.min(size - self.offset);
+        let chunk = self.fs.read(&self.path, self.offset, take)?;
+        self.offset += take;
+        Ok(Some(chunk))
+    }
+}
+
+/// An in-memory sink that just accumulates chunks (testing aid).
+#[derive(Default)]
+pub struct VecSink {
+    /// Chunks written so far.
+    pub chunks: Vec<Payload>,
+    /// Whether the stream was closed.
+    pub closed: bool,
+}
+
+impl VecSink {
+    /// New empty sink.
+    pub fn new() -> VecSink {
+        VecSink::default()
+    }
+
+    /// Everything written, concatenated.
+    pub fn payload(&self) -> Payload {
+        Payload::concat(self.chunks.iter().cloned())
+    }
+}
+
+impl ByteSink for VecSink {
+    fn write(&mut self, data: Payload) -> Result<(), IoError> {
+        assert!(!self.closed, "write after close");
+        self.chunks.push(data);
+        Ok(())
+    }
+
+    fn close(&mut self) -> Result<(), IoError> {
+        self.closed = true;
+        Ok(())
+    }
+}
+
+/// An in-memory source over a payload (testing aid).
+pub struct PayloadSource {
+    payload: Payload,
+    offset: u64,
+}
+
+impl PayloadSource {
+    /// Source reading from `payload`.
+    pub fn new(payload: Payload) -> PayloadSource {
+        PayloadSource { payload, offset: 0 }
+    }
+}
+
+impl ByteSource for PayloadSource {
+    fn read(&mut self, max: u64) -> Result<Option<Payload>, IoError> {
+        let size = self.payload.len();
+        if self.offset >= size {
+            return Ok(None);
+        }
+        let take = max.min(size - self.offset);
+        let chunk = self.payload.slice(self.offset, take);
+        self.offset += take;
+        Ok(Some(chunk))
+    }
+}
+
+/// Copy a source to a sink in `chunk`-byte reads. Returns bytes copied.
+pub fn copy(
+    src: &mut dyn ByteSource,
+    dst: &mut dyn ByteSink,
+    chunk: u64,
+) -> Result<u64, IoError> {
+    assert!(chunk > 0);
+    let mut total = 0;
+    while let Some(data) = src.read(chunk)? {
+        total += data.len();
+        dst.write(data)?;
+    }
+    dst.close()?;
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phi_platform::{FsConfig, MemPool, SimFs};
+    use simkernel::{Bandwidth, Kernel, SimDuration};
+
+    fn test_fs() -> SimFs {
+        SimFs::new(
+            "t",
+            FsConfig::ram(Bandwidth::gb_per_sec(1.0), SimDuration::ZERO),
+            None,
+        )
+    }
+
+    #[test]
+    fn fs_sink_source_roundtrip() {
+        Kernel::run_root(|| {
+            let fs = test_fs();
+            let mut sink = FsSink::create(&fs, "/f");
+            sink.write(Payload::bytes(vec![1, 2, 3])).unwrap();
+            sink.write(Payload::bytes(vec![4])).unwrap();
+            sink.close().unwrap();
+            let mut src = FsSource::open(&fs, "/f").unwrap();
+            let a = src.read(2).unwrap().unwrap();
+            assert_eq!(a.to_bytes(), vec![1, 2]);
+            let b = src.read(100).unwrap().unwrap();
+            assert_eq!(b.to_bytes(), vec![3, 4]);
+            assert!(src.read(100).unwrap().is_none());
+        });
+    }
+
+    #[test]
+    fn fs_source_missing_file() {
+        Kernel::run_root(|| {
+            let fs = test_fs();
+            assert!(FsSource::open(&fs, "/missing").is_err());
+        });
+    }
+
+    #[test]
+    fn fs_sink_truncates_existing() {
+        Kernel::run_root(|| {
+            let fs = test_fs();
+            fs.append("/f", Payload::bytes(vec![9; 10])).unwrap();
+            let mut sink = FsSink::create(&fs, "/f");
+            sink.write(Payload::bytes(vec![1])).unwrap();
+            sink.close().unwrap();
+            assert_eq!(fs.len("/f").unwrap(), 1);
+        });
+    }
+
+    #[test]
+    fn copy_preserves_digest() {
+        Kernel::run_root(|| {
+            let src_payload = Payload::synthetic(42, 1_000_000);
+            let mut src = PayloadSource::new(src_payload.clone());
+            let mut sink = VecSink::new();
+            let n = copy(&mut src, &mut sink, 4096).unwrap();
+            assert_eq!(n, 1_000_000);
+            assert!(sink.closed);
+            assert_eq!(sink.payload().digest(), src_payload.digest());
+        });
+    }
+
+    #[test]
+    fn copy_empty_source() {
+        Kernel::run_root(|| {
+            let mut src = PayloadSource::new(Payload::empty());
+            let mut sink = VecSink::new();
+            assert_eq!(copy(&mut src, &mut sink, 64).unwrap(), 0);
+            assert!(sink.closed);
+        });
+    }
+
+    #[test]
+    fn ram_fs_sink_oom_propagates() {
+        Kernel::run_root(|| {
+            let pool = MemPool::new("p", 100);
+            let fs = SimFs::new(
+                "ram",
+                FsConfig::ram(Bandwidth::gb_per_sec(1.0), SimDuration::ZERO),
+                Some(pool),
+            );
+            let mut sink = FsSink::create(&fs, "/f");
+            let err = sink.write(Payload::synthetic(1, 200)).unwrap_err();
+            assert!(matches!(err, IoError::Fs(FsError::OutOfMemory(_))));
+        });
+    }
+}

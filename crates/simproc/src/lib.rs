@@ -1,0 +1,23 @@
+//! # simproc — simulated OS process model
+//!
+//! The process-level substrate under COI and Snapify:
+//!
+//! * [`SimProcess`] — pid, node, liveness, threads, and a memory image of
+//!   named regions charged to the node's physical memory pool;
+//! * [`ProcMemory`] — the snapshot-able memory image (regions are what
+//!   BLCR serializes);
+//! * [`Signals`] — asynchronous signal delivery (how the COI daemon pokes
+//!   the offload process, and how BLCR checkpoints are triggered);
+//! * [`io`] — `ByteSink`/`ByteSource`, the simulated file-descriptor
+//!   abstraction that lets the checkpointer stream to a local file, an NFS
+//!   mount, or a Snapify-IO socket without knowing which.
+
+#![warn(missing_docs)]
+
+pub mod io;
+pub mod proc;
+pub mod signal;
+
+pub use io::{copy, ByteSink, ByteSource, FsSink, FsSource, IoError, PayloadSource, SnapshotStorage, VecSink};
+pub use proc::{Pid, PidAllocator, ProcMemory, Region, SimProcess};
+pub use signal::{signum, Signals};

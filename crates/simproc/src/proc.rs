@@ -1,0 +1,458 @@
+//! The simulated process: identity, memory regions, threads, liveness.
+//!
+//! A [`SimProcess`] is the unit Snapify snapshots. Its state is held in
+//! *memory regions* — named, sized, content-carrying allocations charged to
+//! the owning node's physical memory pool. Offload-private data (thread
+//! stacks, `malloc`ed regions, COI local stores) are all regions, which is
+//! exactly the property that makes the GPU-style "save only host-visible
+//! buffers" approach insufficient for Xeon Phi (§3 "Saving data private to
+//! an offload process") and a full process-image checkpointer necessary.
+//!
+//! Threads of a process are simulated threads tagged with the process
+//! identity. Termination is cooperative: process code observes
+//! [`SimProcess::is_alive`] at its blocking points (its control channels
+//! are closed on termination), mirroring how the real offload daemon tears
+//! processes down through its control plane.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use phi_platform::{MemPool, OutOfMemory, Payload, SimNode};
+use simkernel::{JoinHandle, SimCondvar, SimMutex};
+
+/// Process identifier, unique within one simulated world.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pid(pub u64);
+
+impl fmt::Debug for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Allocates process ids deterministically within a simulated world.
+#[derive(Clone)]
+pub struct PidAllocator {
+    next: Arc<SimMutex<u64>>,
+}
+
+impl Default for PidAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PidAllocator {
+    /// New allocator starting at pid 1.
+    pub fn new() -> PidAllocator {
+        PidAllocator {
+            next: Arc::new(SimMutex::new("pid-alloc", 1)),
+        }
+    }
+
+    /// Allocate the next pid.
+    pub fn alloc(&self) -> Pid {
+        let mut n = self.next.lock();
+        let pid = Pid(*n);
+        *n += 1;
+        pid
+    }
+}
+
+/// One memory region of a process.
+#[derive(Clone)]
+pub struct Region {
+    /// Region contents (length == region size).
+    pub content: Payload,
+    /// Mutation counter: bumped on every update. Incremental
+    /// checkpointing uses it to find dirty regions.
+    pub version: u64,
+}
+
+struct MemState {
+    regions: BTreeMap<String, Region>,
+    total: u64,
+}
+
+/// The memory image of a process: named regions charged to a node's pool.
+pub struct ProcMemory {
+    pool: MemPool,
+    state: SimMutex<MemState>,
+}
+
+impl ProcMemory {
+    fn new(pool: MemPool, tag: &str) -> ProcMemory {
+        ProcMemory {
+            pool,
+            state: SimMutex::new(
+                format!("procmem {tag}"),
+                MemState {
+                    regions: BTreeMap::new(),
+                    total: 0,
+                },
+            ),
+        }
+    }
+
+    /// Map a new region with the given contents. Fails (leaving the image
+    /// unchanged) if the node's memory pool cannot satisfy it or the name
+    /// is taken.
+    pub fn map_region(&self, name: &str, content: Payload) -> Result<(), OutOfMemory> {
+        let mut st = self.state.lock();
+        assert!(
+            !st.regions.contains_key(name),
+            "region '{name}' already mapped"
+        );
+        let len = content.len();
+        self.pool.alloc(len)?;
+        st.total += len;
+        st.regions
+            .insert(name.to_string(), Region { content, version: 0 });
+        Ok(())
+    }
+
+    /// Replace a region's contents (size may change).
+    pub fn update_region(&self, name: &str, content: Payload) -> Result<(), OutOfMemory> {
+        let mut st = self.state.lock();
+        let region = st
+            .regions
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("no region '{name}'"));
+        let old = region.content.len();
+        let new = content.len();
+        if new > old {
+            self.pool.alloc(new - old)?;
+        } else {
+            self.pool.free(old - new);
+        }
+        region.content = content;
+        region.version += 1;
+        st.total = st.total + new - old;
+        Ok(())
+    }
+
+    /// Read a region's contents.
+    pub fn region(&self, name: &str) -> Payload {
+        self.state
+            .lock()
+            .regions
+            .get(name)
+            .unwrap_or_else(|| panic!("no region '{name}'"))
+            .content
+            .clone()
+    }
+
+    /// Whether a region exists.
+    pub fn has_region(&self, name: &str) -> bool {
+        self.state.lock().regions.contains_key(name)
+    }
+
+    /// Unmap a region, returning its memory to the pool.
+    pub fn unmap_region(&self, name: &str) -> Payload {
+        let mut st = self.state.lock();
+        let region = st
+            .regions
+            .remove(name)
+            .unwrap_or_else(|| panic!("no region '{name}'"));
+        let len = region.content.len();
+        st.total -= len;
+        self.pool.free(len);
+        region.content
+    }
+
+    /// Total mapped bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.state.lock().total
+    }
+
+    /// Region names and contents, in deterministic (sorted) order — the
+    /// raw material of a process snapshot.
+    pub fn snapshot_regions(&self) -> Vec<(String, Payload)> {
+        self.state
+            .lock()
+            .regions
+            .iter()
+            .map(|(k, v)| (k.clone(), v.content.clone()))
+            .collect()
+    }
+
+    /// Region names, contents and mutation counters, in sorted order —
+    /// the raw material of an *incremental* snapshot.
+    pub fn snapshot_regions_versioned(&self) -> Vec<(String, Payload, u64)> {
+        self.state
+            .lock()
+            .regions
+            .iter()
+            .map(|(k, v)| (k.clone(), v.content.clone(), v.version))
+            .collect()
+    }
+
+    /// Drop every region, returning all memory to the pool (process exit).
+    pub fn unmap_all(&self) {
+        let mut st = self.state.lock();
+        let total = st.total;
+        st.regions.clear();
+        st.total = 0;
+        self.pool.free(total);
+    }
+
+    /// Digest of the entire memory image (region names + contents).
+    pub fn digest(&self) -> u64 {
+        let st = self.state.lock();
+        let mut combined = Payload::empty();
+        for (name, region) in &st.regions {
+            combined.append(Payload::bytes(name.as_bytes().to_vec()));
+            combined.append(region.content.clone());
+        }
+        combined.digest()
+    }
+}
+
+struct ProcInner {
+    pid: Pid,
+    name: String,
+    node: SimNode,
+    memory: ProcMemory,
+    alive: SimMutex<bool>,
+    exit_cv: SimCondvar,
+}
+
+/// A simulated process. Cheap to clone (shared handle).
+#[derive(Clone)]
+pub struct SimProcess {
+    inner: Arc<ProcInner>,
+}
+
+impl SimProcess {
+    /// Create a process on `node`.
+    pub fn new(pid: Pid, name: impl Into<String>, node: &SimNode) -> SimProcess {
+        let name = name.into();
+        SimProcess {
+            inner: Arc::new(ProcInner {
+                pid,
+                memory: ProcMemory::new(node.mem().clone(), &format!("{pid}:{name}")),
+                alive: SimMutex::new(format!("{pid} alive"), true),
+                exit_cv: SimCondvar::new(format!("{pid} exit")),
+                node: node.clone(),
+                name,
+            }),
+        }
+    }
+
+    /// Process id.
+    pub fn pid(&self) -> Pid {
+        self.inner.pid
+    }
+
+    /// Process name (diagnostics).
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// The node this process runs on.
+    pub fn node(&self) -> &SimNode {
+        &self.inner.node
+    }
+
+    /// The process memory image.
+    pub fn memory(&self) -> &ProcMemory {
+        &self.inner.memory
+    }
+
+    /// Spawn a thread belonging to this process.
+    pub fn spawn_thread<T, F>(&self, name: &str, f: F) -> JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        simkernel::spawn(format!("{}:{}", self.inner.name, name), f)
+    }
+
+    /// Spawn a *service* thread of this process: a server loop that blocks
+    /// indefinitely waiting for requests. Service threads do not keep the
+    /// simulation alive (see [`simkernel::Kernel::spawn_daemon`]).
+    pub fn spawn_service<T, F>(&self, name: &str, f: F) -> JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let (kernel, _) = simkernel::current();
+        kernel.spawn_daemon(format!("{}:{}", self.inner.name, name), f)
+    }
+
+    /// Whether the process is still alive.
+    pub fn is_alive(&self) -> bool {
+        *self.inner.alive.lock()
+    }
+
+    /// Mark the process exited: releases all memory and wakes waiters.
+    /// Idempotent.
+    pub fn exit(&self) {
+        let mut alive = self.inner.alive.lock();
+        if !*alive {
+            return;
+        }
+        *alive = false;
+        drop(alive);
+        self.inner.memory.unmap_all();
+        self.inner.exit_cv.notify_all();
+    }
+
+    /// Block until the process exits (used by the COI daemon to monitor
+    /// its processes).
+    pub fn wait_exit(&self) {
+        let mut alive = self.inner.alive.lock();
+        while *alive {
+            alive = self.inner.exit_cv.wait(alive);
+        }
+    }
+}
+
+impl fmt::Debug for SimProcess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimProcess")
+            .field("pid", &self.inner.pid)
+            .field("name", &self.inner.name)
+            .field("node", &self.inner.node.id())
+            .field("alive", &self.is_alive())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phi_platform::{PlatformParams, GB, MB};
+    use simkernel::{sleep, time::ms, Kernel};
+
+    fn phi_node() -> SimNode {
+        SimNode::phi(&PlatformParams::default(), 0)
+    }
+
+    #[test]
+    fn pid_allocation_is_sequential() {
+        Kernel::run_root(|| {
+            let alloc = PidAllocator::new();
+            assert_eq!(alloc.alloc(), Pid(1));
+            assert_eq!(alloc.alloc(), Pid(2));
+        });
+    }
+
+    #[test]
+    fn regions_charge_node_memory() {
+        Kernel::run_root(|| {
+            let node = phi_node();
+            let proc = SimProcess::new(Pid(1), "offload", &node);
+            proc.memory()
+                .map_region("heap", Payload::synthetic(1, GB))
+                .unwrap();
+            assert_eq!(node.mem().used(), GB);
+            assert_eq!(proc.memory().total_bytes(), GB);
+            proc.memory().unmap_region("heap");
+            assert_eq!(node.mem().used(), 0);
+        });
+    }
+
+    #[test]
+    fn oom_on_oversized_region() {
+        Kernel::run_root(|| {
+            let node = phi_node();
+            let proc = SimProcess::new(Pid(1), "p", &node);
+            let err = proc
+                .memory()
+                .map_region("big", Payload::synthetic(1, 9 * GB))
+                .unwrap_err();
+            assert_eq!(err.requested, 9 * GB);
+            assert!(!proc.memory().has_region("big"));
+        });
+    }
+
+    #[test]
+    fn update_region_adjusts_accounting() {
+        Kernel::run_root(|| {
+            let node = phi_node();
+            let proc = SimProcess::new(Pid(1), "p", &node);
+            proc.memory()
+                .map_region("buf", Payload::synthetic(1, 10 * MB))
+                .unwrap();
+            proc.memory()
+                .update_region("buf", Payload::synthetic(2, 4 * MB))
+                .unwrap();
+            assert_eq!(node.mem().used(), 4 * MB);
+            proc.memory()
+                .update_region("buf", Payload::synthetic(3, 20 * MB))
+                .unwrap();
+            assert_eq!(node.mem().used(), 20 * MB);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "already mapped")]
+    fn duplicate_region_panics() {
+        Kernel::run_root(|| {
+            let node = phi_node();
+            let proc = SimProcess::new(Pid(1), "p", &node);
+            proc.memory().map_region("r", Payload::empty()).unwrap();
+            proc.memory().map_region("r", Payload::empty()).unwrap();
+        });
+    }
+
+    #[test]
+    fn snapshot_regions_sorted_and_digest_stable() {
+        Kernel::run_root(|| {
+            let node = phi_node();
+            let proc = SimProcess::new(Pid(1), "p", &node);
+            proc.memory().map_region("b", Payload::synthetic(2, 100)).unwrap();
+            proc.memory().map_region("a", Payload::synthetic(1, 50)).unwrap();
+            let snap = proc.memory().snapshot_regions();
+            assert_eq!(snap[0].0, "a");
+            assert_eq!(snap[1].0, "b");
+            let d1 = proc.memory().digest();
+            proc.memory()
+                .update_region("a", Payload::synthetic(9, 50))
+                .unwrap();
+            assert_ne!(proc.memory().digest(), d1);
+        });
+    }
+
+    #[test]
+    fn exit_releases_memory_and_wakes_waiters() {
+        Kernel::run_root(|| {
+            let node = phi_node();
+            let proc = SimProcess::new(Pid(1), "p", &node);
+            proc.memory()
+                .map_region("heap", Payload::synthetic(1, GB))
+                .unwrap();
+            let p2 = proc.clone();
+            let waiter = proc.spawn_thread("monitor", move || {
+                p2.wait_exit();
+                simkernel::now()
+            });
+            sleep(ms(5));
+            assert!(proc.is_alive());
+            proc.exit();
+            proc.exit(); // idempotent
+            assert!(!proc.is_alive());
+            assert_eq!(node.mem().used(), 0);
+            let woke = waiter.join();
+            assert_eq!(woke.as_nanos(), 5_000_000);
+        });
+    }
+
+    #[test]
+    fn wait_exit_on_dead_process_returns_immediately() {
+        Kernel::run_root(|| {
+            let node = phi_node();
+            let proc = SimProcess::new(Pid(1), "p", &node);
+            proc.exit();
+            proc.wait_exit();
+        });
+    }
+}

@@ -1,0 +1,179 @@
+//! Asynchronous signal delivery between simulated processes.
+//!
+//! Snapify's pause protocol begins with the COI daemon *signalling* the
+//! offload process; the process's signal handler then opens the pipe the
+//! daemon created and acknowledges (§4.1, Fig 3). BLCR's checkpoint request
+//! is likewise signal-initiated. [`Signals`] reproduces that shape: a
+//! handler is registered per signal number, and [`Signals::kill`] runs it
+//! on a fresh thread of the target process after the configured delivery
+//! latency, concurrently with the process's other threads — the same
+//! concurrency structure as a real signal handler thread.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use simkernel::{SimDuration, SimMutex};
+
+use crate::proc::SimProcess;
+
+/// Conventional signal numbers used by the reproduction.
+pub mod signum {
+    /// Checkpoint-trigger signal (BLCR uses a real-time signal).
+    pub const SIGCKPT: i32 = 64;
+    /// Snapify command signal (the `snapify` CLI signals the host process).
+    pub const SIGSNAPIFY: i32 = 63;
+}
+
+type Handler = Arc<dyn Fn() + Send + Sync>;
+
+/// Per-process signal-handler table.
+#[derive(Clone)]
+pub struct Signals {
+    latency: SimDuration,
+    handlers: Arc<SimMutex<HashMap<i32, Handler>>>,
+}
+
+impl Signals {
+    /// Create a table with the given delivery latency.
+    pub fn new(tag: &str, latency: SimDuration) -> Signals {
+        Signals {
+            latency,
+            handlers: Arc::new(SimMutex::new(format!("signals {tag}"), HashMap::new())),
+        }
+    }
+
+    /// Install (or replace) the handler for `signo`.
+    pub fn register(&self, signo: i32, handler: impl Fn() + Send + Sync + 'static) {
+        self.handlers.lock().insert(signo, Arc::new(handler));
+    }
+
+    /// Remove the handler for `signo`.
+    pub fn unregister(&self, signo: i32) {
+        self.handlers.lock().remove(&signo);
+    }
+
+    /// Deliver `signo` to `target`: after the delivery latency, the
+    /// registered handler runs on a new thread of the target process.
+    /// Returns `false` (without running anything) if no handler is
+    /// installed or the process is dead — the simulated equivalent of the
+    /// default disposition being to ignore.
+    pub fn kill(&self, target: &SimProcess, signo: i32) -> bool {
+        let handler = match self.handlers.lock().get(&signo) {
+            Some(h) => Arc::clone(h),
+            None => return false,
+        };
+        if !target.is_alive() {
+            return false;
+        }
+        let latency = self.latency;
+        let target = target.clone();
+        target.clone().spawn_thread(&format!("sig{signo}"), move || {
+            simkernel::sleep(latency);
+            if target.is_alive() {
+                handler();
+            }
+        });
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proc::{Pid, SimProcess};
+    use phi_platform::{PlatformParams, SimNode};
+    use simkernel::time::us;
+    use simkernel::{now, sleep, Kernel};
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn setup() -> (SimProcess, Signals) {
+        let node = SimNode::phi(&PlatformParams::default(), 0);
+        let proc = SimProcess::new(Pid(7), "offload", &node);
+        let sig = Signals::new("test", us(50));
+        (proc, sig)
+    }
+
+    #[test]
+    fn handler_runs_after_latency() {
+        Kernel::run_root(|| {
+            let (proc, sig) = setup();
+            let fired = Arc::new(SimMutex::new("fired", None));
+            let f2 = Arc::clone(&fired);
+            sig.register(signum::SIGCKPT, move || {
+                *f2.lock() = Some(now());
+            });
+            let t0 = now();
+            assert!(sig.kill(&proc, signum::SIGCKPT));
+            sleep(us(200));
+            let fired_at = fired.lock().expect("handler did not run");
+            assert_eq!(fired_at - t0, us(50));
+        });
+    }
+
+    #[test]
+    fn unhandled_signal_is_ignored() {
+        Kernel::run_root(|| {
+            let (proc, sig) = setup();
+            assert!(!sig.kill(&proc, 99));
+        });
+    }
+
+    #[test]
+    fn unregister_removes_handler() {
+        Kernel::run_root(|| {
+            let (proc, sig) = setup();
+            sig.register(signum::SIGCKPT, || {});
+            sig.unregister(signum::SIGCKPT);
+            assert!(!sig.kill(&proc, signum::SIGCKPT));
+        });
+    }
+
+    #[test]
+    fn signal_to_dead_process_is_dropped() {
+        Kernel::run_root(|| {
+            let (proc, sig) = setup();
+            let count = Arc::new(AtomicU32::new(0));
+            let c2 = Arc::clone(&count);
+            sig.register(signum::SIGSNAPIFY, move || {
+                c2.fetch_add(1, Ordering::Relaxed);
+            });
+            proc.exit();
+            assert!(!sig.kill(&proc, signum::SIGSNAPIFY));
+            sleep(us(500));
+            assert_eq!(count.load(Ordering::Relaxed), 0);
+        });
+    }
+
+    #[test]
+    fn process_dying_mid_delivery_suppresses_handler() {
+        Kernel::run_root(|| {
+            let (proc, sig) = setup();
+            let count = Arc::new(AtomicU32::new(0));
+            let c2 = Arc::clone(&count);
+            sig.register(signum::SIGSNAPIFY, move || {
+                c2.fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(sig.kill(&proc, signum::SIGSNAPIFY));
+            proc.exit(); // dies before the 50us delivery completes
+            sleep(us(500));
+            assert_eq!(count.load(Ordering::Relaxed), 0);
+        });
+    }
+
+    #[test]
+    fn multiple_signals_each_delivered() {
+        Kernel::run_root(|| {
+            let (proc, sig) = setup();
+            let count = Arc::new(AtomicU32::new(0));
+            let c2 = Arc::clone(&count);
+            sig.register(signum::SIGCKPT, move || {
+                c2.fetch_add(1, Ordering::Relaxed);
+            });
+            for _ in 0..3 {
+                sig.kill(&proc, signum::SIGCKPT);
+            }
+            sleep(us(500));
+            assert_eq!(count.load(Ordering::Relaxed), 3);
+        });
+    }
+}

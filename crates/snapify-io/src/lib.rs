@@ -1,0 +1,155 @@
+//! # snapify-io — the RDMA remote file access service and its baselines
+//!
+//! Section 6 of the paper: Snapify stores every snapshot on the host file
+//! system, and this crate provides all the ways of getting bytes there
+//! (and back) that the evaluation compares:
+//!
+//! | method | write path | bottleneck |
+//! |---|---|---|
+//! | [`SnapifyIo`] | socket copy → 4 MB RDMA staging buffer → DMA → async host append | device memcpy + PCIe DMA |
+//! | [`Nfs`] ([`NfsMode::Plain`]) | serial `wsize` RPCs, per-write client cost | RPC latency |
+//! | [`Nfs`] ([`NfsMode::BufferedKernel`]) | kernel-coalesced, pipelined stream | wire bandwidth |
+//! | [`Nfs`] ([`NfsMode::BufferedUser`]) | user-coalesced (+1 copy, pipe costs) | wire bandwidth + copy |
+//! | [`Scp`] | ssh stream | single-core cipher (~34 MB/s) |
+//! | [`LocalStorage`] | node's own (RAM) fs | device memory capacity |
+//!
+//! All of them implement [`SnapshotStorage`], the seam COI's Snapify
+//! machinery writes local stores and BLCR images through — so Table 3
+//! (raw file copies), Table 4 (BLCR checkpoints of native apps), and the
+//! full Snapify experiments all exercise the same code.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod local;
+pub mod nfs;
+pub mod scp;
+pub mod service;
+pub mod storage;
+
+use phi_platform::NodeId;
+use simproc::{ByteSink, ByteSource, IoError};
+
+pub use config::{NfsConfig, ScpConfig, SnapifyIoConfig};
+pub use local::LocalStorage;
+pub use nfs::{Nfs, NfsMode, NfsSink, NfsSource};
+pub use scp::Scp;
+pub use service::{SnapifyIo, SnapifyIoSink, SnapifyIoSource};
+pub use storage::SnapshotStorage;
+
+impl SnapshotStorage for SnapifyIo {
+    fn sink(&self, local: NodeId, path: &str) -> Result<Box<dyn ByteSink>, IoError> {
+        Ok(Box::new(self.open_write(local, NodeId::HOST, path)?))
+    }
+
+    fn source(&self, local: NodeId, path: &str) -> Result<Box<dyn ByteSource>, IoError> {
+        Ok(Box::new(self.open_read(local, NodeId::HOST, path)?))
+    }
+
+    fn label(&self) -> &'static str {
+        "Snapify-IO"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phi_platform::{Payload, PhiServer, GB, MB};
+    use simkernel::{now, Kernel};
+    use std::sync::Arc;
+
+    fn all_methods(server: &PhiServer) -> Vec<Arc<dyn SnapshotStorage>> {
+        vec![
+            Arc::new(SnapifyIo::new_default(server)),
+            Arc::new(Nfs::new(server, NfsConfig::default(), NfsMode::Plain)),
+            Arc::new(Nfs::new(server, NfsConfig::default(), NfsMode::BufferedKernel)),
+            Arc::new(Nfs::new(server, NfsConfig::default(), NfsMode::BufferedUser)),
+            Arc::new(Scp::new(server, ScpConfig::default())),
+            Arc::new(LocalStorage::new(server)),
+        ]
+    }
+
+    #[test]
+    fn every_method_roundtrips_content() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            for (i, method) in all_methods(&server).into_iter().enumerate() {
+                let data = Payload::synthetic(i as u64 + 1, 8 * MB);
+                let path = format!("/snap/rt_{i}");
+                let mut sink = method.sink(NodeId::device(0), &path).unwrap();
+                for chunk in data.chunks(1 << 20) {
+                    sink.write(chunk).unwrap();
+                }
+                sink.close().unwrap();
+                let mut src = method.source(NodeId::device(0), &path).unwrap();
+                let mut out = Payload::empty();
+                while let Some(c) = src.read(1 << 20).unwrap() {
+                    out.append(c);
+                }
+                assert_eq!(out.digest(), data.digest(), "method {}", method.label());
+            }
+        });
+    }
+
+    #[test]
+    fn table3_shape_write_ordering_at_1gb() {
+        // Snapify-IO < NFS < scp for 1 GiB writes (Table 3).
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            let time_write = |method: &dyn SnapshotStorage, tag: u64| {
+                let t0 = now();
+                let mut sink = method.sink(NodeId::device(0), "/snap/t3").unwrap();
+                for chunk in Payload::synthetic(tag, GB).chunks(8 << 20) {
+                    sink.write(chunk).unwrap();
+                }
+                sink.close().unwrap();
+                (now() - t0).as_secs_f64()
+            };
+            let sio = SnapifyIo::new_default(&server);
+            let nfs = Nfs::new(&server, NfsConfig::default(), NfsMode::Plain);
+            let scp = Scp::new(&server, ScpConfig::default());
+            let t_sio = time_write(&sio, 1);
+            let t_nfs = time_write(&nfs, 2);
+            let t_scp = time_write(&scp, 3);
+            // Paper: ≈6× vs NFS, ≈30× vs scp at 1 GB.
+            let vs_nfs = t_nfs / t_sio;
+            let vs_scp = t_scp / t_sio;
+            assert!(vs_nfs > 3.0 && vs_nfs < 12.0, "vs_nfs = {vs_nfs:.1}");
+            assert!(vs_scp > 15.0 && vs_scp < 50.0, "vs_scp = {vs_scp:.1}");
+        });
+    }
+
+    #[test]
+    fn table3_shape_nfs_wins_at_1mb() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            let time_write = |method: &dyn SnapshotStorage, tag: u64| {
+                let t0 = now();
+                let mut sink = method.sink(NodeId::device(0), "/snap/t3s").unwrap();
+                sink.write(Payload::synthetic(tag, MB)).unwrap();
+                sink.close().unwrap();
+                (now() - t0).as_secs_f64()
+            };
+            let sio = SnapifyIo::new_default(&server);
+            let nfs = Nfs::new(&server, NfsConfig::default(), NfsMode::Plain);
+            let t_sio = time_write(&sio, 1);
+            let t_nfs = time_write(&nfs, 2);
+            assert!(
+                t_nfs < t_sio,
+                "NFS should win at 1MB: nfs={t_nfs} sio={t_sio}"
+            );
+        });
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            let labels: Vec<&str> = all_methods(&server).iter().map(|m| m.label()).collect();
+            let mut dedup = labels.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(dedup.len(), labels.len());
+        });
+    }
+}

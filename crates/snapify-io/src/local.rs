@@ -1,0 +1,90 @@
+//! Local storage baseline: snapshots saved on the node's *own* file
+//! system (Table 4's `Local` column).
+//!
+//! On a coprocessor this is the RAM file system, so the snapshot competes
+//! with live processes for the card's physical memory — fast when it fits,
+//! impossible at 4 GB (§7).
+
+use phi_platform::NodeId;
+use phi_platform::PhiServer;
+use simproc::{ByteSink, ByteSource, FsSink, FsSource, IoError};
+
+use crate::storage::SnapshotStorage;
+
+/// Storage on the calling node's own file system.
+#[derive(Clone)]
+pub struct LocalStorage {
+    server: PhiServer,
+}
+
+impl LocalStorage {
+    /// Local storage over `server`'s nodes.
+    pub fn new(server: &PhiServer) -> LocalStorage {
+        LocalStorage {
+            server: server.clone(),
+        }
+    }
+}
+
+impl SnapshotStorage for LocalStorage {
+    fn sink(&self, local: NodeId, path: &str) -> Result<Box<dyn ByteSink>, IoError> {
+        Ok(Box::new(FsSink::create(self.server.node(local).fs(), path)))
+    }
+
+    fn source(&self, local: NodeId, path: &str) -> Result<Box<dyn ByteSource>, IoError> {
+        Ok(Box::new(FsSource::open(self.server.node(local).fs(), path)?))
+    }
+
+    fn label(&self) -> &'static str {
+        "Local"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phi_platform::{Payload, GB};
+    use simkernel::Kernel;
+
+    #[test]
+    fn local_write_charges_device_memory() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            let storage = LocalStorage::new(&server);
+            let mut sink = storage.sink(NodeId::device(0), "/tmp/snap").unwrap();
+            sink.write(Payload::synthetic(1, GB)).unwrap();
+            sink.close().unwrap();
+            assert_eq!(server.device(0).mem().used(), GB);
+        });
+    }
+
+    #[test]
+    fn local_write_fails_when_card_is_full() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            // A 4 GB process on an 8 GB card: its 4 GB snapshot + the
+            // process itself exceed physical memory.
+            server.device(0).mem().alloc(5 * GB).unwrap();
+            let storage = LocalStorage::new(&server);
+            let mut sink = storage.sink(NodeId::device(0), "/tmp/snap").unwrap();
+            let err = sink.write(Payload::synthetic(1, 4 * GB)).unwrap_err();
+            assert!(matches!(err, IoError::Fs(_)));
+        });
+    }
+
+    #[test]
+    fn local_is_fast() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            let storage = LocalStorage::new(&server);
+            let mut sink = storage.sink(NodeId::device(0), "/tmp/snap").unwrap();
+            let t0 = simkernel::now();
+            sink.write(Payload::synthetic(1, GB)).unwrap();
+            sink.close().unwrap();
+            let t = (simkernel::now() - t0).as_secs_f64();
+            // RAM fs at 1.5 GB/s: ~0.7 s per GiB; no PCIe crossing.
+            assert!(t < 1.0, "t = {t}");
+            assert_eq!(server.link(0).rdma_stats().0, 0);
+        });
+    }
+}

@@ -1,0 +1,210 @@
+//! scp baseline: streaming copy over ssh (Table 3's slowest method).
+//!
+//! The bottleneck is the cipher running on a single in-order Xeon Phi
+//! core: the stream is encrypted/decrypted at ~34 MB/s regardless of the
+//! PCIe link's capability, which is why Snapify-IO beats scp by 20–30×.
+
+use std::sync::Arc;
+
+use phi_platform::{NodeId, Payload, PhiServer};
+use simkernel::{BandwidthResource, SimDuration, SimMutex};
+use simproc::{ByteSink, ByteSource, IoError};
+
+use crate::config::ScpConfig;
+use crate::storage::SnapshotStorage;
+
+struct ScpInner {
+    server: PhiServer,
+    config: ScpConfig,
+    /// One cipher engine per node (a single busy core).
+    ciphers: SimMutex<Vec<Option<BandwidthResource>>>,
+}
+
+/// The scp transport.
+#[derive(Clone)]
+pub struct Scp {
+    inner: Arc<ScpInner>,
+}
+
+impl Scp {
+    /// Create the scp model for `server`.
+    pub fn new(server: &PhiServer, config: ScpConfig) -> Scp {
+        let slots = server.num_devices() + 1;
+        Scp {
+            inner: Arc::new(ScpInner {
+                server: server.clone(),
+                config,
+                ciphers: SimMutex::new(
+                    "scp ciphers",
+                    (0..slots).map(|_| None).collect(),
+                ),
+            }),
+        }
+    }
+
+    fn cipher(&self, node: NodeId) -> BandwidthResource {
+        let mut ciphers = self.inner.ciphers.lock();
+        let slot = node.0 as usize;
+        if ciphers[slot].is_none() {
+            ciphers[slot] = Some(BandwidthResource::new(
+                format!("scp-cipher-{node}"),
+                self.inner.config.cipher_bw,
+                SimDuration::ZERO,
+            ));
+        }
+        ciphers[slot].clone().unwrap()
+    }
+
+    fn stream_cost(&self, local: NodeId, bytes: u64) {
+        // Encrypt on the slow side, ship over the virtio network path.
+        self.cipher(local).transfer(bytes);
+        if !local.is_host() {
+            self.inner
+                .server
+                .link_between(local, NodeId::HOST)
+                .message_transfer(bytes);
+        }
+    }
+}
+
+/// scp push (local → host file).
+pub struct ScpSink {
+    scp: Scp,
+    local: NodeId,
+    path: String,
+    closed: bool,
+}
+
+impl ByteSink for ScpSink {
+    fn write(&mut self, data: Payload) -> Result<(), IoError> {
+        assert!(!self.closed);
+        for chunk in data.chunks(self.scp.inner.config.chunk) {
+            self.scp.stream_cost(self.local, chunk.len());
+            self.scp
+                .inner
+                .server
+                .host()
+                .fs()
+                .append_async(&self.path, chunk)?;
+        }
+        Ok(())
+    }
+
+    fn close(&mut self) -> Result<(), IoError> {
+        self.closed = true;
+        Ok(())
+    }
+}
+
+/// scp pull (host file → local).
+pub struct ScpSource {
+    scp: Scp,
+    local: NodeId,
+    path: String,
+    offset: u64,
+}
+
+impl ByteSource for ScpSource {
+    fn read(&mut self, max: u64) -> Result<Option<Payload>, IoError> {
+        let fs = self.scp.inner.server.host().fs();
+        let size = fs.len(&self.path)?;
+        if self.offset >= size {
+            return Ok(None);
+        }
+        let take = max.min(size - self.offset).min(self.scp.inner.config.chunk);
+        let chunk = fs.read(&self.path, self.offset, take)?;
+        self.offset += take;
+        self.scp.stream_cost(self.local, take);
+        Ok(Some(chunk))
+    }
+}
+
+impl SnapshotStorage for Scp {
+    fn sink(&self, local: NodeId, path: &str) -> Result<Box<dyn ByteSink>, IoError> {
+        simkernel::sleep(self.inner.config.setup);
+        self.inner.server.host().fs().create_or_truncate(path);
+        Ok(Box::new(ScpSink {
+            scp: self.clone(),
+            local,
+            path: path.to_string(),
+            closed: false,
+        }))
+    }
+
+    fn source(&self, local: NodeId, path: &str) -> Result<Box<dyn ByteSource>, IoError> {
+        if !self.inner.server.host().fs().exists(path) {
+            return Err(IoError::Fs(phi_platform::FsError::NotFound(path.to_string())));
+        }
+        simkernel::sleep(self.inner.config.setup);
+        Ok(Box::new(ScpSource {
+            scp: self.clone(),
+            local,
+            path: path.to_string(),
+            offset: 0,
+        }))
+    }
+
+    fn label(&self) -> &'static str {
+        "scp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phi_platform::GB;
+    use simkernel::{now, Kernel};
+
+    #[test]
+    fn scp_is_cipher_bound() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            let scp = Scp::new(&server, ScpConfig::default());
+            let mut sink = scp.sink(NodeId::device(0), "/snap/f").unwrap();
+            let t0 = now();
+            for chunk in Payload::synthetic(1, GB).chunks(8 << 20) {
+                sink.write(chunk).unwrap();
+            }
+            sink.close().unwrap();
+            let t = (now() - t0).as_secs_f64();
+            // ≈ 1 GiB / 34 MB/s ≈ 31 s.
+            assert!(t > 25.0 && t < 40.0, "t = {t}");
+        });
+    }
+
+    #[test]
+    fn scp_read_roughly_matches_write() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            let scp = Scp::new(&server, ScpConfig::default());
+            server
+                .host()
+                .fs()
+                .append("/snap/r", Payload::synthetic(1, 256 << 20))
+                .unwrap();
+            let mut src = scp.source(NodeId::device(0), "/snap/r").unwrap();
+            let t0 = now();
+            while src.read(8 << 20).unwrap().is_some() {}
+            let read = (now() - t0).as_secs_f64();
+            assert!(read > 6.0 && read < 12.0, "read = {read}");
+        });
+    }
+
+    #[test]
+    fn roundtrip_content() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            let scp = Scp::new(&server, ScpConfig::default());
+            let data = Payload::bytes(vec![9u8; 1000]);
+            let mut sink = scp.sink(NodeId::device(1), "/snap/rt").unwrap();
+            sink.write(data.clone()).unwrap();
+            sink.close().unwrap();
+            let mut src = scp.source(NodeId::device(1), "/snap/rt").unwrap();
+            let mut out = Payload::empty();
+            while let Some(c) = src.read(512).unwrap() {
+                out.append(c);
+            }
+            assert_eq!(out.to_bytes(), data.to_bytes());
+        });
+    }
+}

@@ -1,0 +1,3 @@
+//! Re-export of the storage seam shared with COI.
+
+pub use simproc::SnapshotStorage;

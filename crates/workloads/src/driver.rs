@@ -1,0 +1,263 @@
+//! The host-side workload driver: the "sequential part" of an offload
+//! application.
+//!
+//! A [`WorkloadRun`] owns the offload process and its buffers, executes
+//! the iteration loop, and — crucially for checkpoint/restart — exposes
+//! its control state as a serializable phase counter, the simulated
+//! equivalent of the host stack BLCR would capture mid-callback.
+
+use coi_sim::{CoiBuffer, CoiProcessHandle, CoiWorld};
+use phi_platform::Payload;
+use simkernel::{SimDuration, SimMutex};
+use simproc::SimProcess;
+use snapify::SnapifyError;
+use std::sync::Arc;
+
+use crate::kernel::out_tag;
+use crate::spec::WorkloadSpec;
+
+/// Outcome of a completed workload run.
+#[derive(Clone, Debug)]
+pub struct WorkloadResult {
+    /// Virtual runtime of the iteration loop (excludes setup).
+    pub runtime: SimDuration,
+    /// Iterations executed in this run (a restarted run reports the
+    /// remainder).
+    pub iterations_run: u64,
+    /// Whether the final output digest matched the expected value.
+    pub verified: bool,
+}
+
+/// A running (or resumable) workload instance.
+pub struct WorkloadRun {
+    spec: WorkloadSpec,
+    handle: CoiProcessHandle,
+    host_proc: SimProcess,
+    in_buf: Option<Arc<CoiBuffer>>,
+    out_buf: Option<Arc<CoiBuffer>>,
+    store_buf: Option<Arc<CoiBuffer>>,
+    /// The resumable phase counter (next iteration to execute). Shared so
+    /// a checkpoint observer can serialize it while the loop runs.
+    next_iteration: Arc<SimMutex<u64>>,
+}
+
+impl WorkloadRun {
+    /// Launch the workload on `device`: create the host process, the
+    /// offload process, the buffers, and the host data region.
+    pub fn launch(
+        coi: &CoiWorld,
+        spec: &WorkloadSpec,
+        device: usize,
+    ) -> Result<WorkloadRun, SnapifyError> {
+        let host_proc = coi.create_host_process(&format!("host:{}", spec.name));
+        host_proc
+            .memory()
+            .map_region("app_data", Payload::synthetic(out_tag(spec.name, u64::MAX), spec.host_bytes))
+            .map_err(|e| SnapifyError::Io(e.to_string()))?;
+        let handle = coi.create_process(&host_proc, device, &spec.binary_name())?;
+        let run = WorkloadRun {
+            spec: spec.clone(),
+            handle,
+            host_proc,
+            in_buf: None,
+            out_buf: None,
+            store_buf: None,
+            next_iteration: Arc::new(SimMutex::new(format!("{} iter", spec.name), 0)),
+        };
+        let run = run.create_buffers()?;
+        Ok(run)
+    }
+
+    fn create_buffers(mut self) -> Result<WorkloadRun, SnapifyError> {
+        let spec = &self.spec;
+        if spec.in_bytes > 0 {
+            self.in_buf = Some(self.handle.create_buffer(spec.in_bytes)?);
+        }
+        if spec.store_bytes > 0 {
+            let store = self.handle.create_buffer(spec.store_bytes)?;
+            // Populate the resident store once (part of the local store a
+            // snapshot must preserve).
+            self.handle
+                .buffer_write(&store, Payload::synthetic(out_tag(spec.name, 1 << 40), spec.store_bytes))?;
+            self.store_buf = Some(store);
+        }
+        if spec.out_bytes > 0 {
+            self.out_buf = Some(self.handle.create_buffer(spec.out_bytes)?);
+        }
+        Ok(self)
+    }
+
+    /// The offload process handle (for snapshots, swaps, migrations).
+    pub fn handle(&self) -> &CoiProcessHandle {
+        &self.handle
+    }
+
+    /// The host process.
+    pub fn host_proc(&self) -> &SimProcess {
+        &self.host_proc
+    }
+
+    /// The workload spec.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// The next iteration to execute (the resumable host control state).
+    pub fn host_state(&self) -> Vec<u8> {
+        let mut v = self.next_iteration.lock().to_le_bytes().to_vec();
+        v.extend_from_slice(self.spec.name.as_bytes());
+        v
+    }
+
+    /// Parse a host-state blob back into an iteration counter.
+    pub fn parse_host_state(state: &[u8]) -> u64 {
+        u64::from_le_bytes(state[..8].try_into().expect("bad host state"))
+    }
+
+    /// Execute one iteration of the offload loop.
+    fn iteration(&self, i: u64) -> Result<(), SnapifyError> {
+        let spec = &self.spec;
+        if let Some(in_buf) = &self.in_buf {
+            self.handle
+                .buffer_write(in_buf, Payload::synthetic(out_tag(spec.name, i) ^ 0xA5, spec.in_bytes))?;
+        }
+        let buffers: Vec<&CoiBuffer> = [&self.in_buf, &self.store_buf, &self.out_buf]
+            .iter()
+            .filter_map(|b| b.as_deref())
+            .collect();
+        self.handle
+            .run_sync("kernel", i.to_le_bytes().to_vec(), &buffers)?;
+        if spec.read_back {
+            if let Some(out) = &self.out_buf {
+                self.handle.buffer_read(out)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Run the iteration loop to completion (from wherever the phase
+    /// counter stands), then verify the final output.
+    pub fn run_to_completion(&self) -> Result<WorkloadResult, SnapifyError> {
+        let t0 = simkernel::now();
+        let start = *self.next_iteration.lock();
+        for i in start..self.spec.iterations {
+            self.iteration(i)?;
+            *self.next_iteration.lock() = i + 1;
+        }
+        let runtime = simkernel::now() - t0;
+        Ok(WorkloadResult {
+            runtime,
+            iterations_run: self.spec.iterations - start,
+            verified: self.verify()?,
+        })
+    }
+
+    /// Check that the output buffer holds exactly the last iteration's
+    /// deterministic content — the end-to-end integrity predicate used
+    /// after checkpoints, restores, swaps and migrations.
+    pub fn verify(&self) -> Result<bool, SnapifyError> {
+        let Some(out) = &self.out_buf else {
+            return Ok(true);
+        };
+        let got = self.handle.buffer_read(out)?;
+        let expect = Payload::synthetic(
+            out_tag(self.spec.name, self.spec.iterations - 1),
+            self.spec.out_bytes,
+        );
+        Ok(got.digest() == expect.digest())
+    }
+
+    /// Tear down the offload process.
+    pub fn destroy(&self) -> Result<(), SnapifyError> {
+        self.handle.destroy()?;
+        Ok(())
+    }
+
+    /// Rebuild a run after a checkpoint/restart: the restored host
+    /// process, the rewired handle (with adopted buffers), and the
+    /// restart-time host state.
+    pub fn resume_after_restart(
+        spec: &WorkloadSpec,
+        handle: &CoiProcessHandle,
+        host_proc: &SimProcess,
+        host_state: &[u8],
+    ) -> WorkloadRun {
+        let next = Self::parse_host_state(host_state);
+        let bufs = handle.buffers();
+        // Buffers were created in order: in, store, out (ids ascending).
+        let mut iter = bufs.into_iter();
+        let in_buf = if spec.in_bytes > 0 { iter.next() } else { None };
+        let store_buf = if spec.store_bytes > 0 { iter.next() } else { None };
+        let out_buf = if spec.out_bytes > 0 { iter.next() } else { None };
+        WorkloadRun {
+            spec: spec.clone(),
+            handle: handle.clone(),
+            host_proc: host_proc.clone(),
+            in_buf,
+            out_buf,
+            store_buf,
+            next_iteration: Arc::new(SimMutex::new(format!("{} iter", spec.name), next)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::register_suite;
+    use crate::spec::{by_name, suite};
+    use coi_sim::FunctionRegistry;
+    use simkernel::Kernel;
+    use snapify::SnapifyWorld;
+
+    fn small_world() -> (SnapifyWorld, Vec<WorkloadSpec>) {
+        let specs: Vec<WorkloadSpec> = suite().iter().map(|s| s.scaled(256, 50)).collect();
+        let registry = FunctionRegistry::new();
+        register_suite(&registry, &specs);
+        (SnapifyWorld::boot(registry), specs)
+    }
+
+    #[test]
+    fn every_workload_runs_and_verifies() {
+        Kernel::run_root(|| {
+            let (world, specs) = small_world();
+            for spec in &specs {
+                let run = WorkloadRun::launch(world.coi(), spec, 0).unwrap();
+                let result = run.run_to_completion().unwrap();
+                assert!(result.verified, "{} failed verification", spec.name);
+                assert_eq!(result.iterations_run, spec.iterations);
+                assert!(result.runtime.as_nanos() > 0);
+                run.destroy().unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn workload_survives_mid_run_migration() {
+        Kernel::run_root(|| {
+            let (world, _) = small_world();
+            let spec = by_name("JAC").unwrap().scaled(256, 50);
+            let run = WorkloadRun::launch(world.coi(), &spec, 0).unwrap();
+            let handle = run.handle().clone();
+            // Drive the loop on a separate thread; migrate mid-run.
+            let h = run.host_proc().clone().spawn_thread("driver", move || {
+                run.run_to_completion().map(|r| r.verified)
+            });
+            simkernel::sleep(simkernel::time::ms(10));
+            snapify::snapify_migrate(&handle, 1).unwrap();
+            assert_eq!(handle.device(), 1);
+            assert!(h.join().unwrap());
+        });
+    }
+
+    #[test]
+    fn host_state_roundtrip() {
+        Kernel::run_root(|| {
+            let (world, specs) = small_world();
+            let run = WorkloadRun::launch(world.coi(), &specs[0], 0).unwrap();
+            let st = run.host_state();
+            assert_eq!(WorkloadRun::parse_host_state(&st), 0);
+            run.destroy().unwrap();
+        });
+    }
+}

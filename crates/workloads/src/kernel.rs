@@ -1,0 +1,100 @@
+//! The device-side kernel used by every suite workload.
+//!
+//! [`BenchKernel`] is a resumable step machine: each step charges the
+//! modeled parallel compute time; the final step writes a deterministic
+//! output into the last buffer (so end-to-end verification survives
+//! checkpoints, swaps and migrations) and updates the offload process's
+//! private state (so the snapshot really carries offload-private data,
+//! §3).
+
+use std::sync::Arc;
+
+use coi_sim::{DeviceBinary, FunctionRegistry, OffloadCtx, OffloadFn, StepOutcome};
+use phi_platform::Payload;
+
+use crate::spec::WorkloadSpec;
+
+/// Deterministic content tag for workload output at a given iteration.
+pub fn out_tag(name: &str, iteration: u64) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h ^ iteration.wrapping_mul(0x9e3779b97f4a7c15)
+}
+
+/// The kernel of one suite workload.
+pub struct BenchKernel {
+    name: String,
+    steps: u64,
+    flops_per_step: f64,
+    threads: u32,
+}
+
+impl OffloadFn for BenchKernel {
+    fn step(&self, ctx: &mut OffloadCtx<'_>, cursor: u64) -> StepOutcome {
+        ctx.compute(self.flops_per_step, self.threads);
+        if cursor + 1 < self.steps {
+            return StepOutcome::Yield;
+        }
+        // Final step: produce the iteration's output and update private
+        // offload state.
+        let iteration = u64::from_le_bytes(ctx.args[..8].try_into().unwrap());
+        if ctx.buffer_count() > 0 {
+            let out = ctx.buffer_count() - 1;
+            let len = ctx.buffer_len(out);
+            ctx.write_buffer(out, Payload::synthetic(out_tag(&self.name, iteration), len));
+        }
+        ctx.set_private("last_iteration", Payload::bytes(iteration.to_le_bytes().to_vec()));
+        ctx.log(format!("{}: iteration {} done", self.name, iteration).into_bytes());
+        StepOutcome::Done(iteration.to_le_bytes().to_vec())
+    }
+}
+
+/// Build the device binary for a workload spec.
+pub fn build_binary(spec: &WorkloadSpec) -> DeviceBinary {
+    DeviceBinary::new(
+        spec.binary_name(),
+        spec.binary_bytes,
+        spec.device_resident_bytes,
+    )
+    .function(
+        "kernel",
+        Arc::new(BenchKernel {
+            name: spec.name.to_string(),
+            steps: spec.steps_per_iter.max(1),
+            flops_per_step: spec.flops_per_step,
+            threads: 240, // 4 hardware threads per core, capped at cores
+        }),
+    )
+}
+
+/// Register every workload in `specs` into `registry`.
+pub fn register_suite(registry: &FunctionRegistry, specs: &[WorkloadSpec]) {
+    for spec in specs {
+        registry.register(build_binary(spec));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_tags_differ_by_workload_and_iteration() {
+        assert_ne!(out_tag("MD", 0), out_tag("MD", 1));
+        assert_ne!(out_tag("MD", 3), out_tag("MC", 3));
+        assert_eq!(out_tag("SS", 7), out_tag("SS", 7));
+    }
+
+    #[test]
+    fn binaries_register() {
+        let reg = FunctionRegistry::new();
+        register_suite(&reg, &crate::spec::suite());
+        for spec in crate::spec::suite() {
+            let bin = reg.get(&spec.binary_name()).unwrap();
+            assert!(bin.get("kernel").is_some());
+            assert_eq!(bin.resident_bytes, spec.device_resident_bytes);
+        }
+    }
+}

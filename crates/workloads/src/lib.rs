@@ -1,0 +1,20 @@
+//! # workloads — the paper's benchmark applications
+//!
+//! * [`spec`] — the eight OpenMP-style offload benchmarks (the Table 5
+//!   substitute, size profiles matched to the paper's figures);
+//! * [`kernel`] — the resumable device kernels and registry builder;
+//! * [`driver`] — the host-side iteration loop with checkpointable
+//!   control state;
+//! * [`nas`] — the NAS multi-zone MPI benchmarks (LU-MZ, SP-MZ, BT-MZ)
+//!   used in Fig 11 (built on `mpi-sim`).
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod kernel;
+pub mod nas;
+pub mod spec;
+
+pub use driver::{WorkloadResult, WorkloadRun};
+pub use kernel::{build_binary, out_tag, register_suite};
+pub use spec::{by_name, suite, WorkloadSpec};

@@ -1,0 +1,259 @@
+//! The OpenMP offload benchmark suite (the paper's Table 5 workloads).
+//!
+//! The exact contents of Table 5 are not recoverable from the paper text
+//! (the table is an image); the names MD, MC, SS and SG appear in the
+//! figures and prose. The suite below substitutes eight kernels whose
+//! *size profiles* reproduce the figure shapes the paper reports:
+//! snapshot files spanning ~8 MB to ~1.3 GB, SS/SG dominated by their
+//! local stores, MC smallest and fastest to migrate, MD with the most
+//! frequent offload regions (hence the worst Snapify runtime overhead,
+//! Fig 9).
+
+use phi_platform::{KB, MB};
+
+/// Parameters of one offload benchmark.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Short name as used in the paper's figures (e.g. "MD").
+    pub name: &'static str,
+    /// What the kernel models (documentation).
+    pub description: &'static str,
+    /// Host-process data (regions captured in the host snapshot).
+    pub host_bytes: u64,
+    /// Offload-process private memory (text/heap — the device snapshot).
+    pub device_resident_bytes: u64,
+    /// Device binary size shipped over PCIe at load.
+    pub binary_bytes: u64,
+    /// Per-iteration input buffer (host→device each iteration).
+    pub in_bytes: u64,
+    /// Per-iteration output buffer (device→host when `read_back`).
+    pub out_bytes: u64,
+    /// Resident COI store buffer written once at setup (the bulk of the
+    /// local store for SS/SG).
+    pub store_bytes: u64,
+    /// Number of offload-region invocations.
+    pub iterations: u64,
+    /// Steps per offload region (snapshot granularity inside a kernel).
+    pub steps_per_iter: u64,
+    /// FLOPs per step (per offload region = steps × this).
+    pub flops_per_step: f64,
+    /// Whether the host reads the output buffer back each iteration.
+    pub read_back: bool,
+}
+
+impl WorkloadSpec {
+    /// Total local store (all COI buffers).
+    pub fn local_store_bytes(&self) -> u64 {
+        self.in_bytes + self.out_bytes + self.store_bytes
+    }
+
+    /// The device binary name for this workload.
+    pub fn binary_name(&self) -> String {
+        format!("{}.so", self.name.to_lowercase())
+    }
+
+    /// A size/duration-scaled copy for fast tests: data divided by
+    /// `size_div`, iterations divided by `iter_div` (minimum 2).
+    pub fn scaled(&self, size_div: u64, iter_div: u64) -> WorkloadSpec {
+        let mut s = self.clone();
+        s.host_bytes = (s.host_bytes / size_div).max(4 * KB);
+        s.device_resident_bytes = (s.device_resident_bytes / size_div).max(64 * KB);
+        s.binary_bytes = (s.binary_bytes / size_div).max(64 * KB);
+        s.in_bytes = (s.in_bytes / size_div).max(KB);
+        s.out_bytes = (s.out_bytes / size_div).max(KB);
+        s.store_bytes /= size_div;
+        s.iterations = (s.iterations / iter_div).max(2);
+        s
+    }
+}
+
+/// The eight-workload suite with paper-shape sizes.
+pub fn suite() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec {
+            name: "MD",
+            description: "Lennard-Jones molecular dynamics; many short offload regions",
+            host_bytes: 60 * MB,
+            device_resident_bytes: 200 * MB,
+            binary_bytes: 6 * MB,
+            in_bytes: 64 * KB,
+            out_bytes: 64 * KB,
+            store_bytes: 48 * MB,
+            iterations: 2500,
+            steps_per_iter: 1,
+            flops_per_step: 4.5e8, // ~0.45 ms per region
+            read_back: true,
+        },
+        WorkloadSpec {
+            name: "MC",
+            description: "Monte Carlo option pricing; few long regions, tiny state",
+            host_bytes: 24 * MB,
+            device_resident_bytes: 32 * MB,
+            binary_bytes: 2 * MB,
+            in_bytes: 256 * KB,
+            out_bytes: 8 * MB,
+            store_bytes: 0,
+            iterations: 20,
+            steps_per_iter: 64,
+            flops_per_step: 3e9, // ~3 ms per step, ~190 ms per region
+            read_back: true,
+        },
+        WorkloadSpec {
+            name: "SS",
+            description: "sample sort; huge in/out buffers and host arrays",
+            host_bytes: 1100 * MB,
+            device_resident_bytes: 100 * MB,
+            binary_bytes: 3 * MB,
+            in_bytes: 256 * MB,
+            out_bytes: 256 * MB,
+            store_bytes: 800 * MB,
+            iterations: 10,
+            steps_per_iter: 32,
+            flops_per_step: 8e9,
+            read_back: true,
+        },
+        WorkloadSpec {
+            name: "SG",
+            description: "scatter-gather sparse update; large index+value store",
+            host_bytes: 780 * MB,
+            device_resident_bytes: 72 * MB,
+            binary_bytes: 3 * MB,
+            in_bytes: 128 * MB,
+            out_bytes: 128 * MB,
+            store_bytes: 650 * MB,
+            iterations: 12,
+            steps_per_iter: 24,
+            flops_per_step: 6e9,
+            read_back: true,
+        },
+        WorkloadSpec {
+            name: "JAC",
+            description: "Jacobi 2-D stencil; per-sweep offload regions",
+            host_bytes: 90 * MB,
+            device_resident_bytes: 330 * MB,
+            binary_bytes: 4 * MB,
+            in_bytes: 256 * KB,
+            out_bytes: 256 * KB,
+            store_bytes: 128 * MB,
+            iterations: 800,
+            steps_per_iter: 1,
+            flops_per_step: 1.4e9, // ~1.4 ms per sweep
+            read_back: true,
+        },
+        WorkloadSpec {
+            name: "KM",
+            description: "k-means clustering; per-pass centroid exchange",
+            host_bytes: 130 * MB,
+            device_resident_bytes: 250 * MB,
+            binary_bytes: 4 * MB,
+            in_bytes: MB,
+            out_bytes: 64 * KB,
+            store_bytes: 160 * MB,
+            iterations: 800,
+            steps_per_iter: 1,
+            flops_per_step: 1.5e9,
+            read_back: true,
+        },
+        WorkloadSpec {
+            name: "FFT",
+            description: "batched 1-D FFT; medium buffers, medium regions",
+            host_bytes: 200 * MB,
+            device_resident_bytes: 410 * MB,
+            binary_bytes: 5 * MB,
+            in_bytes: 8 * MB,
+            out_bytes: 8 * MB,
+            store_bytes: 240 * MB,
+            iterations: 400,
+            steps_per_iter: 4,
+            flops_per_step: 1.25e9,
+            read_back: true,
+        },
+        WorkloadSpec {
+            name: "NB",
+            description: "direct n-body; long compute-bound regions",
+            host_bytes: 40 * MB,
+            device_resident_bytes: 510 * MB,
+            binary_bytes: 3 * MB,
+            in_bytes: 128 * KB,
+            out_bytes: 128 * KB,
+            store_bytes: 24 * MB,
+            iterations: 30,
+            steps_per_iter: 64,
+            flops_per_step: 3e9,
+            read_back: true,
+        },
+    ]
+}
+
+/// Look up a suite workload by name.
+pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+    suite().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phi_platform::GB;
+
+    #[test]
+    fn suite_has_eight_named_workloads() {
+        let s = suite();
+        assert_eq!(s.len(), 8);
+        let names: Vec<&str> = s.iter().map(|w| w.name).collect();
+        for n in ["MD", "MC", "SS", "SG"] {
+            assert!(names.contains(&n), "figure-named workload {n} missing");
+        }
+    }
+
+    #[test]
+    fn ss_and_sg_are_local_store_dominated() {
+        // The Fig 10 shape driver: SS/SG local store ≫ device snapshot.
+        for name in ["SS", "SG"] {
+            let w = by_name(name).unwrap();
+            assert!(w.local_store_bytes() > 4 * w.device_resident_bytes);
+        }
+    }
+
+    #[test]
+    fn size_profile_spans_paper_range() {
+        let s = suite();
+        let min_snap = s.iter().map(|w| w.device_resident_bytes).min().unwrap();
+        let max_store = s.iter().map(|w| w.local_store_bytes()).max().unwrap();
+        assert!(min_snap <= 40 * MB, "MC-class small snapshot expected");
+        assert!(max_store > GB, "SS-class 1.3 GB local store expected");
+    }
+
+    #[test]
+    fn md_has_most_frequent_regions() {
+        let s = suite();
+        let md = by_name("MD").unwrap();
+        for w in &s {
+            assert!(md.iterations >= w.iterations);
+        }
+    }
+
+    #[test]
+    fn everything_fits_on_a_card() {
+        for w in suite() {
+            assert!(
+                w.device_resident_bytes + w.local_store_bytes() < 7 * GB,
+                "{} exceeds the 8 GB card",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_keeps_minimums() {
+        let w = by_name("SS").unwrap().scaled(1024, 100);
+        assert!(w.in_bytes >= KB);
+        assert!(w.iterations >= 2);
+        assert!(w.local_store_bytes() < by_name("SS").unwrap().local_store_bytes());
+    }
+
+    #[test]
+    fn binary_names() {
+        assert_eq!(by_name("MD").unwrap().binary_name(), "md.so");
+        assert!(by_name("NOPE").is_none());
+    }
+}

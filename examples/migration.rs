@@ -1,0 +1,74 @@
+//! Proactive migration: a fault predictor flags a coprocessor as
+//! failing, and the scheduler migrates the offload process to a healthy
+//! card *mid-kernel* — the motivating scenario of §1 ("by using fault
+//! prediction methods, it is possible to avoid imminent coprocessor
+//! failures by proactively migrating processes").
+//!
+//! Run with: `cargo run --release --example migration`
+
+use snapify_repro::prelude::*;
+use std::sync::Arc;
+
+use snapify_repro::coi_sim::{OffloadCtx, OffloadFn, StepOutcome};
+
+/// A long-running iterative solver: 200 steps of ~5 ms each, updating a
+/// private residual and the solution buffer.
+struct Solver;
+
+impl OffloadFn for Solver {
+    fn step(&self, ctx: &mut OffloadCtx<'_>, cursor: u64) -> StepOutcome {
+        ctx.compute(5e9, 240);
+        let residual = 1.0f64 / (cursor + 1) as f64;
+        ctx.set_private("residual", Payload::bytes(residual.to_le_bytes().to_vec()));
+        if cursor + 1 >= 200 {
+            let n = ctx.buffer_len(0);
+            ctx.write_buffer(0, Payload::synthetic(0x501_7ED, n));
+            StepOutcome::Done(residual.to_le_bytes().to_vec())
+        } else {
+            StepOutcome::Yield
+        }
+    }
+}
+
+fn main() {
+    Kernel::run_root(|| {
+        let registry = FunctionRegistry::new();
+        registry.register(
+            DeviceBinary::new("solver.so", 4 * MB, 256 * MB).function("solve", Arc::new(Solver)),
+        );
+        let world = SnapifyWorld::boot(registry);
+
+        let host = world.coi().create_host_process("solver-app");
+        let proc = world.coi().create_process(&host, 0, "solver.so").unwrap();
+        let buf = proc.create_buffer(64 * MB).unwrap();
+        proc.buffer_write(&buf, Payload::synthetic(1, 64 * MB)).unwrap();
+
+        // Kick off the ~1s solve.
+        let run = proc.run("solve", Vec::new(), &[&buf]).unwrap();
+        println!("[{}] solver started on mic0", now());
+
+        // The "fault predictor": after 300 ms it predicts mic0 will fail.
+        sleep(SimDuration::from_millis(300));
+        println!("[{}] fault predictor: mic0 degrading — migrating to mic1", now());
+
+        let t0 = now();
+        snapify_migrate(&proc, 1).unwrap();
+        println!(
+            "[{}] migration complete in {} (process now on mic{})",
+            now(),
+            now() - t0,
+            proc.device()
+        );
+        assert_eq!(proc.device(), 1);
+        assert_eq!(world.coi().daemon(0).live_processes(), 0);
+
+        // mic0 "fails" — too late to hurt us.
+        println!("[{}] mic0 failed (no effect: nothing runs there)", now());
+
+        // The solve finishes on the healthy card with the right answer.
+        let residual = f64::from_le_bytes(run.wait().unwrap().try_into().unwrap());
+        println!("[{}] solver finished, final residual {residual:.6}", now());
+        assert!((residual - 1.0 / 200.0).abs() < 1e-12);
+        proc.destroy().unwrap();
+    });
+}

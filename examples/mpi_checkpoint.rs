@@ -1,0 +1,46 @@
+//! Fault tolerance for an MPI offload application: a 4-rank NAS-style
+//! multi-zone run with coordinated checkpointing, a node failure, and a
+//! cluster-wide restart — the paper's §5 "Checkpoint and restart for MPI"
+//! scenario on the 4-node cluster of §7.
+//!
+//! Run with: `cargo run --release --example mpi_checkpoint`
+
+use snapify_repro::prelude::*;
+use snapify_repro::workloads::nas::{nas_by_name, run_mz_cr_experiment};
+
+fn main() {
+    // Scale LU-MZ down so the example runs in a couple of seconds while
+    // keeping the class-C structure (zones over ranks, halo exchange,
+    // coordinated CR).
+    let mut mz = nas_by_name("LU-MZ").unwrap();
+    mz.total_host_bytes /= 8;
+    mz.total_device_bytes /= 8;
+    mz.total_store_bytes /= 8;
+    mz.halo_bytes /= 8;
+    mz.iterations = 6;
+    mz.flops_per_iter /= 20.0;
+
+    let result = Kernel::run_root(move || run_mz_cr_experiment(&mz, 4, 2).unwrap());
+
+    println!("LU-MZ (scaled class C) on 4 ranks, one Xeon Phi per node");
+    println!("---------------------------------------------------------");
+    println!("coordinated checkpoint : {}", result.checkpoint_time);
+    println!("coordinated restart    : {}", result.restart_time);
+    println!(
+        "per-rank snapshot      : {:.1} MiB (host {:.1} + device {:.1} + store {:.1})",
+        result.per_rank_checkpoint_bytes as f64 / (1 << 20) as f64,
+        result.reports[0].host_snapshot_bytes as f64 / (1 << 20) as f64,
+        result.reports[0].device_snapshot_bytes as f64 / (1 << 20) as f64,
+        result.reports[0].local_store_bytes as f64 / (1 << 20) as f64,
+    );
+    for (r, rep) in result.reports.iter().enumerate() {
+        println!(
+            "rank {r}: pause {}, host snap {}, device snap {}",
+            rep.pause, rep.host_snapshot, rep.device_capture
+        );
+    }
+    println!();
+    println!("after the injected failure, all 4 ranks restarted from the snapshot,");
+    println!("resumed at the checkpointed iteration, and completed a further solver");
+    println!("iteration (verified inside the experiment).");
+}

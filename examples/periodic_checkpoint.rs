@@ -1,0 +1,81 @@
+//! Periodic checkpointing for fault tolerance: the classic HPC pattern
+//! the paper's introduction motivates. An offload application runs with a
+//! checkpoint every N milliseconds of virtual time; a failure strikes at
+//! an arbitrary point; the job restarts from the most recent complete
+//! snapshot and loses only the work since then.
+//!
+//! Run with: `cargo run --release --example periodic_checkpoint`
+
+use snapify_repro::coi_sim::FunctionRegistry;
+use snapify_repro::prelude::*;
+use snapify_repro::workloads::{by_name, register_suite, WorkloadRun};
+use std::sync::Arc;
+
+fn main() {
+    Kernel::run_root(|| {
+        // The JAC workload, scaled to run for roughly a second.
+        let spec = by_name("JAC").unwrap().scaled(16, 1);
+        let registry = FunctionRegistry::new();
+        register_suite(&registry, std::slice::from_ref(&spec));
+        let world = SnapifyWorld::boot(registry);
+
+        let run = Arc::new(WorkloadRun::launch(world.coi(), &spec, 0).unwrap());
+        let handle = run.handle().clone();
+        let host = run.host_proc().clone();
+
+        // Drive the solver on its own thread.
+        let driver = {
+            let r = Arc::clone(&run);
+            host.spawn_thread("driver", move || r.run_to_completion())
+        };
+
+        // Checkpoint every 120 ms of virtual time until the "failure".
+        let mut checkpoints = Vec::new();
+        for i in 0..4 {
+            sleep(SimDuration::from_millis(120));
+            let path = format!("/ckpt/periodic/{i}");
+            let (_snap, report) =
+                checkpoint_application(&world, &handle, &run.host_state(), &path).unwrap();
+            println!(
+                "[{}] checkpoint #{i}: total {}, device snapshot {}",
+                now(),
+                report.total,
+                report.device_capture
+            );
+            checkpoints.push(path);
+        }
+
+        // Disaster: the whole application dies mid-run.
+        println!("[{}] !!! injected failure: killing host and offload process", now());
+        let rt = world.coi().daemon(handle.device()).runtime(handle.pid()).unwrap();
+        rt.terminate();
+        host.exit();
+        drop(driver); // the driver thread errors out with Closed; that's the crash
+
+        // Recovery: restart from the last completed checkpoint.
+        let last = checkpoints.last().unwrap();
+        println!("[{}] restarting from {last}", now());
+        let restarted = restart_application(&world, last, &spec.binary_name(), 1).unwrap();
+        let resumed_iter = WorkloadRun::parse_host_state(&restarted.host_state);
+        println!(
+            "[{}] restart done in {} — resuming at iteration {resumed_iter}/{}",
+            now(),
+            restarted.report.total,
+            spec.iterations
+        );
+        let resumed = WorkloadRun::resume_after_restart(
+            &spec,
+            &restarted.handle,
+            &restarted.host_proc,
+            &restarted.host_state,
+        );
+        let result = resumed.run_to_completion().unwrap();
+        assert!(result.verified, "restarted run must produce the correct output");
+        println!(
+            "[{}] job completed and verified; only {} iterations were re-executed",
+            now(),
+            result.iterations_run
+        );
+        resumed.destroy().unwrap();
+    });
+}

@@ -1,0 +1,91 @@
+//! Quickstart: build an offload application, take a consistent snapshot,
+//! checkpoint it, kill it, and restart it — the paper's headline flow.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use snapify_repro::prelude::*;
+
+fn main() {
+    Kernel::run_root(|| {
+        // 1. A "device binary": one offload function that squares every
+        //    byte of its buffer (think of it as the compiled #pragma
+        //    offload region).
+        let registry = FunctionRegistry::new();
+        registry.register(
+            DeviceBinary::new("square.so", 2 * MB, 32 * MB).simple_function("square", |ctx| {
+                let mut v = ctx.read_buffer(0).to_bytes();
+                for b in v.iter_mut() {
+                    *b = b.wrapping_mul(*b);
+                }
+                ctx.compute(5e9, 240); // the parallel part, on 240 threads
+                ctx.write_buffer(0, Payload::bytes(v));
+                Vec::new()
+            }),
+        );
+
+        // 2. Boot the simulated Xeon Phi server (2 coprocessors) with COI,
+        //    the Snapify extensions, and Snapify-IO.
+        let world = SnapifyWorld::boot(registry);
+        println!("{}", world.server().params().table2());
+
+        // 3. The offload application: host process + offload process +
+        //    one COI buffer.
+        let host = world.coi().create_host_process("quickstart");
+        let proc = world.coi().create_process(&host, 0, "square.so").unwrap();
+        let buf = proc.create_buffer(8).unwrap();
+        proc.buffer_write(&buf, Payload::bytes(vec![2, 3, 4, 5, 6, 7, 8, 9]))
+            .unwrap();
+        proc.run_sync("square", Vec::new(), &[&buf]).unwrap();
+        println!(
+            "[{}] after offload:   {:?}",
+            now(),
+            proc.buffer_read(&buf).unwrap().to_bytes()
+        );
+
+        // 4. Checkpoint the whole application (host + offload process,
+        //    concurrently, after Snapify's pause drained every channel).
+        let (_snap, report) =
+            checkpoint_application(&world, &proc, b"phase=after-first-offload", "/snap/quick")
+                .unwrap();
+        println!(
+            "[{}] checkpoint done: pause {}, host snapshot {} ({}B), device snapshot {} ({}B)",
+            now(),
+            report.pause,
+            report.host_snapshot,
+            report.host_snapshot_bytes,
+            report.device_capture,
+            report.device_snapshot_bytes,
+        );
+
+        // 5. The application keeps computing after the checkpoint...
+        proc.run_sync("square", Vec::new(), &[&buf]).unwrap();
+
+        // 6. ...then the machine "fails".
+        proc.destroy().unwrap();
+        host.exit();
+        println!("[{}] application killed", now());
+
+        // 7. Restart from the snapshot — on the *other* coprocessor.
+        let restarted = restart_application(&world, "/snap/quick", "square.so", 1).unwrap();
+        println!(
+            "[{}] restarted on mic1 in {} (host {}, offload restore {})",
+            now(),
+            restarted.report.total,
+            restarted.report.host_restart,
+            restarted.report.offload_restore,
+        );
+        assert_eq!(restarted.host_state, b"phase=after-first-offload");
+
+        // The buffer holds the checkpoint-time content (squared once, not
+        // twice): the snapshot really was a consistent cut.
+        let bufs = restarted.handle.buffers();
+        let restored = restarted.handle.buffer_read(&bufs[0]).unwrap().to_bytes();
+        println!("[{}] restored buffer: {restored:?}", now());
+        assert_eq!(restored, vec![4, 9, 16, 25, 36, 49, 64, 81]);
+
+        // And it still computes.
+        restarted.handle.run_sync("square", Vec::new(), &[&bufs[0]]).unwrap();
+        restarted.handle.destroy().unwrap();
+        println!("[{}] done", now());
+    });
+}

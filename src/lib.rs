@@ -1,0 +1,83 @@
+//! # snapify-repro — reproduction of *Snapify* (HPDC 2014) in Rust
+//!
+//! Snapify captures **consistent snapshots of Xeon Phi offload
+//! applications** — the coordinated state of a host process, the COI
+//! daemon, and the offload process — and uses them to provide
+//! checkpoint/restart, process swapping, and process migration, plus
+//! **Snapify-IO**, an RDMA-based remote file access service for storing
+//! the snapshots on the host.
+//!
+//! The original hardware/software stack (Xeon Phi "Knights Corner", MPSS,
+//! SCIF, BLCR) is discontinued, so this reproduction implements the whole
+//! platform as a deterministic virtual-time simulation and the Snapify
+//! system itself on top — see `DESIGN.md` for the substitution inventory
+//! and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! This crate is the façade: it re-exports every layer and hosts the
+//! runnable examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`).
+//!
+//! ## Layers (bottom-up)
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`simkernel`] | deterministic virtual-time scheduler, locks, channels, bandwidth resources |
+//! | [`phi_platform`] | simulated host + Phi cards: memory, file systems, PCIe |
+//! | [`simproc`] | process model: memory regions, signals, byte streams |
+//! | [`scif_sim`] | SCIF: connection-oriented messages + RDMA windows |
+//! | [`blcr_sim`] | BLCR-style single-process checkpoint/restart |
+//! | [`coi_sim`] | COI offload runtime with the Snapify modifications |
+//! | [`snapify_io`] | Snapify-IO + NFS/scp/local snapshot transports |
+//! | [`snapify`] | the Snapify API, CR/swap/migration scenarios, CLI |
+//! | [`mpi_sim`] | MPI runtime + coordinated checkpointing |
+//! | [`workloads`] | the benchmark suite (8 OpenMP apps + NAS-MZ) |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use snapify_repro::prelude::*;
+//!
+//! Kernel::run_root(|| {
+//!     let registry = FunctionRegistry::new();
+//!     registry.register(DeviceBinary::new("hello.so", 1 << 20, 8 << 20)
+//!         .simple_function("hello", |ctx| {
+//!             ctx.compute(1e9, 60);
+//!             b"hi from the phi".to_vec()
+//!         }));
+//!     let world = SnapifyWorld::boot(registry);
+//!     let host = world.coi().create_host_process("app");
+//!     let proc = world.coi().create_process(&host, 0, "hello.so").unwrap();
+//!     let ret = proc.run_sync("hello", Vec::new(), &[]).unwrap();
+//!     assert_eq!(ret, b"hi from the phi");
+//!     proc.destroy().unwrap();
+//! });
+//! ```
+
+#![warn(missing_docs)]
+
+pub use blcr_sim;
+pub use coi_sim;
+pub use mpi_sim;
+pub use phi_platform;
+pub use scif_sim;
+pub use simkernel;
+pub use simproc;
+pub use snapify;
+pub use snapify_io;
+pub use workloads;
+
+/// Everything a typical example or test needs, in one import.
+pub mod prelude {
+    pub use coi_sim::{
+        CoiBuffer, CoiConfig, CoiProcessHandle, CoiWorld, DeviceBinary, FunctionRegistry,
+        OffloadCtx, OffloadFn, StepOutcome,
+    };
+    pub use phi_platform::{NodeId, Payload, PhiServer, PlatformParams, GB, KB, MB};
+    pub use simkernel::{now, sleep, spawn, Kernel, SimDuration, SimTime};
+    pub use snapify::{
+        checkpoint_application, restart_application, snapify_capture, snapify_migrate,
+        snapify_pause, snapify_restore, snapify_resume, snapify_swapin, snapify_swapout,
+        snapify_wait, SnapifyError, SnapifyT, SnapifyWorld,
+    };
+    pub use workloads::{suite, WorkloadRun, WorkloadSpec};
+}

@@ -1,0 +1,119 @@
+//! Property tests of the paper's core claim: a snapshot taken at *any*
+//! point of an offload application's execution is a consistent global
+//! state — every SCIF channel is drained at capture time, and the
+//! restarted application produces exactly the output of an undisturbed
+//! run.
+//!
+//! The simulation is deterministic, so "snapshot at a random virtual
+//! time" is a reproducible property, not a flaky stress test.
+
+use proptest::prelude::*;
+use snapify_repro::coi_sim::FunctionRegistry;
+use snapify_repro::prelude::*;
+use snapify_repro::workloads::{by_name, register_suite};
+use std::sync::Arc;
+
+fn cr_roundtrip(workload: &'static str, pause_at_us: u64, restart_device: usize) {
+    Kernel::run_root(move || {
+        let spec = by_name(workload).unwrap().scaled(128, 30);
+        let registry = FunctionRegistry::new();
+        register_suite(&registry, std::slice::from_ref(&spec));
+        let world = SnapifyWorld::boot(registry);
+
+        let run = Arc::new(WorkloadRun::launch(world.coi(), &spec, 0).unwrap());
+        let handle = run.handle().clone();
+        let host = run.host_proc().clone();
+        let driver = {
+            let r = Arc::clone(&run);
+            host.spawn_thread("driver", move || r.run_to_completion())
+        };
+        simkernel::sleep(SimDuration::from_micros(pause_at_us));
+
+        // Pause at the chosen instant and observe the drain invariant,
+        // then complete the Fig 5 callback flow (device capture + host
+        // BLCR snapshot) by hand.
+        let snap = SnapifyT::new(&handle, "/snap/prop");
+        snapify_pause(&snap).unwrap();
+        let rt = world.coi().daemon(0).runtime(handle.pid()).unwrap();
+        prop_assert!(rt.channels_drained(), "channels not drained at capture point");
+        prop_assert_eq!(handle.run_outbound_pending(), 0);
+        snapify_capture(&snap, false).unwrap();
+        let host_state = run.host_state();
+        snapify_repro::snapify::cr::host_checkpoint(&world, &host, &host_state, "/snap/prop")
+            .unwrap();
+        snapify_wait(&snap).unwrap();
+        snapify_resume(&snap).unwrap();
+
+        // The undisturbed continuation verifies...
+        let result = driver.join().unwrap();
+        prop_assert!(result.verified, "run corrupted by the snapshot cycle");
+
+        // ...and so does a restart from the snapshot.
+        run.destroy().unwrap();
+        host.exit();
+        let restarted = restart_application(
+            &world,
+            "/snap/prop",
+            &spec.binary_name(),
+            restart_device,
+        )
+        .unwrap();
+        let resumed = WorkloadRun::resume_after_restart(
+            &spec,
+            &restarted.handle,
+            &restarted.host_proc,
+            &restarted.host_state,
+        );
+        let result = resumed.run_to_completion().unwrap();
+        prop_assert!(result.verified, "restart diverged from the original run");
+        resumed.destroy().unwrap();
+        Ok(())
+    })
+    .unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        .. ProptestConfig::default()
+    })]
+
+    /// Snapshot at an arbitrary virtual time during an arbitrary suite
+    /// workload, restart on an arbitrary device: always consistent.
+    #[test]
+    fn snapshot_any_time_is_consistent(
+        workload in prop::sample::select(vec!["MD", "MC", "JAC", "KM"]),
+        pause_at_us in 500u64..200_000,
+        device in 0usize..2,
+    ) {
+        cr_roundtrip(workload, pause_at_us, device);
+    }
+
+    /// Swap-out at an arbitrary time, swap-in on an arbitrary device:
+    /// the run completes with correct output.
+    #[test]
+    fn swap_any_time_preserves_output(
+        pause_at_us in 500u64..150_000,
+        device in 0usize..2,
+    ) {
+        Kernel::run_root(move || {
+            let spec = by_name("FFT").unwrap().scaled(128, 40);
+            let registry = FunctionRegistry::new();
+            register_suite(&registry, std::slice::from_ref(&spec));
+            let world = SnapifyWorld::boot(registry);
+            let run = Arc::new(WorkloadRun::launch(world.coi(), &spec, 0).unwrap());
+            let handle = run.handle().clone();
+            let host = run.host_proc().clone();
+            let driver = {
+                let r = Arc::clone(&run);
+                host.spawn_thread("driver", move || r.run_to_completion())
+            };
+            simkernel::sleep(SimDuration::from_micros(pause_at_us));
+            let snap = snapify_swapout(&handle, "/swap/prop").unwrap();
+            snapify_swapin(&snap, device).unwrap();
+            let result = driver.join().unwrap();
+            assert!(result.verified);
+            run.destroy().unwrap();
+        });
+    }
+}

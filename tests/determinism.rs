@@ -1,0 +1,86 @@
+//! Determinism: the whole stack — scheduler, platform, SCIF, COI,
+//! Snapify — is a deterministic function of its inputs. Running the same
+//! scenario twice must produce bit-identical timings, sizes, and event
+//! traces. This is what makes the "snapshot at an arbitrary time"
+//! property tests reproducible.
+
+use snapify_repro::coi_sim::FunctionRegistry;
+use snapify_repro::prelude::*;
+use snapify_repro::workloads::{by_name, register_suite};
+use std::sync::Arc;
+
+fn checkpointed_run() -> (u64, u64, u64, u64) {
+    Kernel::run_root(|| {
+        let spec = by_name("JAC").unwrap().scaled(64, 20);
+        let registry = FunctionRegistry::new();
+        register_suite(&registry, std::slice::from_ref(&spec));
+        let world = SnapifyWorld::boot(registry);
+        let run = Arc::new(WorkloadRun::launch(world.coi(), &spec, 0).unwrap());
+        let handle = run.handle().clone();
+        let host = run.host_proc().clone();
+        let driver = {
+            let r = Arc::clone(&run);
+            host.spawn_thread("driver", move || r.run_to_completion())
+        };
+        simkernel::sleep(simkernel::time::ms(17));
+        let (_s, report) =
+            checkpoint_application(&world, &handle, &run.host_state(), "/snap/det").unwrap();
+        let result = driver.join().unwrap();
+        assert!(result.verified);
+        run.destroy().unwrap();
+        (
+            report.total.as_nanos(),
+            report.device_snapshot_bytes,
+            report.host_snapshot_bytes,
+            result.runtime.as_nanos(),
+        )
+    })
+}
+
+#[test]
+fn identical_scenarios_produce_identical_timings() {
+    let a = checkpointed_run();
+    let b = checkpointed_run();
+    assert_eq!(a, b, "the simulation must be deterministic");
+}
+
+#[test]
+fn kernel_traces_are_identical() {
+    let trace = || {
+        let k = Kernel::new();
+        k.enable_trace();
+        for i in 0..6u64 {
+            k.spawn(format!("t{i}"), move || {
+                for j in 0..5 {
+                    simkernel::sleep(simkernel::time::us(i * 13 + j * 7));
+                }
+            });
+        }
+        k.run();
+        k.trace()
+    };
+    let t1 = trace();
+    let t2 = trace();
+    assert!(!t1.is_empty());
+    assert_eq!(t1, t2);
+}
+
+#[test]
+fn migration_timings_are_deterministic() {
+    let run_once = || {
+        Kernel::run_root(|| {
+            let spec = by_name("MC").unwrap().scaled(64, 10);
+            let registry = FunctionRegistry::new();
+            register_suite(&registry, std::slice::from_ref(&spec));
+            let world = SnapifyWorld::boot(registry);
+            let run = WorkloadRun::launch(world.coi(), &spec, 0).unwrap();
+            let handle = run.handle().clone();
+            let t0 = simkernel::now();
+            snapify_migrate(&handle, 1).unwrap();
+            let d = simkernel::now() - t0;
+            run.destroy().unwrap();
+            d.as_nanos()
+        })
+    };
+    assert_eq!(run_once(), run_once());
+}

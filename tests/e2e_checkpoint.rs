@@ -1,0 +1,180 @@
+//! End-to-end checkpoint/restart of real workloads, across every crate:
+//! kernel → platform → SCIF → COI → Snapify → Snapify-IO → workloads.
+
+use snapify_repro::coi_sim::FunctionRegistry;
+use snapify_repro::prelude::*;
+use snapify_repro::workloads::{by_name, register_suite};
+use std::sync::Arc;
+
+fn boot(names: &[&str], size_div: u64, iter_div: u64) -> (SnapifyWorld, Vec<WorkloadSpec>) {
+    let specs: Vec<WorkloadSpec> = names
+        .iter()
+        .map(|n| by_name(n).unwrap().scaled(size_div, iter_div))
+        .collect();
+    let registry = FunctionRegistry::new();
+    register_suite(&registry, &specs);
+    (SnapifyWorld::boot(registry), specs)
+}
+
+/// Checkpoint mid-run, kill, restart, finish, verify — for several
+/// workloads with very different size profiles.
+#[test]
+fn checkpoint_restart_roundtrip_across_profiles() {
+    for name in ["MC", "SG", "JAC"] {
+        Kernel::run_root(move || {
+            let (world, specs) = boot(&[name], 64, 20);
+            let spec = specs[0].clone();
+            let run = Arc::new(WorkloadRun::launch(world.coi(), &spec, 0).unwrap());
+            let handle = run.handle().clone();
+            let host = run.host_proc().clone();
+
+            let driver = {
+                let r = Arc::clone(&run);
+                host.spawn_thread("driver", move || r.run_to_completion())
+            };
+            simkernel::sleep(simkernel::time::ms(30));
+
+            let path = format!("/snap/e2e/{name}");
+            let host_state = run.host_state();
+            let (_s, report) =
+                checkpoint_application(&world, &handle, &host_state, &path).unwrap();
+            assert!(report.device_snapshot_bytes > 0);
+            assert!(driver.join().unwrap().verified, "{name} post-checkpoint");
+
+            run.destroy().unwrap();
+            host.exit();
+
+            let restarted = restart_application(&world, &path, &spec.binary_name(), 1).unwrap();
+            let resumed = snapify_repro::workloads::WorkloadRun::resume_after_restart(
+                &spec,
+                &restarted.handle,
+                &restarted.host_proc,
+                &restarted.host_state,
+            );
+            let result = resumed.run_to_completion().unwrap();
+            assert!(result.verified, "{name} post-restart");
+            resumed.destroy().unwrap();
+        });
+    }
+}
+
+/// A second checkpoint after a restart works (chained CR), and each
+/// restart can land on a different device.
+#[test]
+fn chained_checkpoints_across_devices() {
+    Kernel::run_root(|| {
+        let (world, specs) = boot(&["KM"], 64, 40);
+        let spec = specs[0].clone();
+        let run = Arc::new(WorkloadRun::launch(world.coi(), &spec, 0).unwrap());
+        let handle = run.handle().clone();
+        let host = run.host_proc().clone();
+        let driver = {
+            let r = Arc::clone(&run);
+            host.spawn_thread("driver", move || r.run_to_completion())
+        };
+        simkernel::sleep(simkernel::time::ms(10));
+
+        // First checkpoint → restart on device 1.
+        let (_s1, _) =
+            checkpoint_application(&world, &handle, &run.host_state(), "/snap/chain1").unwrap();
+        assert!(driver.join().unwrap().verified);
+        run.destroy().unwrap();
+        host.exit();
+        let r1 = restart_application(&world, "/snap/chain1", &spec.binary_name(), 1).unwrap();
+        let resumed1 = WorkloadRun::resume_after_restart(
+            &spec,
+            &r1.handle,
+            &r1.host_proc,
+            &r1.host_state,
+        );
+
+        // Second checkpoint of the restarted app → restart on device 0.
+        let (_s2, _) = checkpoint_application(
+            &world,
+            &r1.handle,
+            &resumed1.host_state(),
+            "/snap/chain2",
+        )
+        .unwrap();
+        r1.handle.destroy().unwrap();
+        r1.host_proc.exit();
+        let r2 = restart_application(&world, "/snap/chain2", &spec.binary_name(), 0).unwrap();
+        let resumed2 = WorkloadRun::resume_after_restart(
+            &spec,
+            &r2.handle,
+            &r2.host_proc,
+            &r2.host_state,
+        );
+        let result = resumed2.run_to_completion().unwrap();
+        assert!(result.verified);
+        assert_eq!(r2.handle.device(), 0);
+        resumed2.destroy().unwrap();
+    });
+}
+
+/// Snapshots taken at every phase of a short run all restart correctly
+/// (start, mid, near-end).
+#[test]
+fn checkpoint_at_every_iteration_boundary() {
+    Kernel::run_root(|| {
+        let (world, specs) = boot(&["MC"], 128, 10);
+        let spec = specs[0].clone();
+        for pause_after_ms in [1u64, 40, 120] {
+            let run = Arc::new(WorkloadRun::launch(world.coi(), &spec, 0).unwrap());
+            let handle = run.handle().clone();
+            let host = run.host_proc().clone();
+            let driver = {
+                let r = Arc::clone(&run);
+                host.spawn_thread("driver", move || r.run_to_completion())
+            };
+            simkernel::sleep(simkernel::time::ms(pause_after_ms));
+            let path = format!("/snap/everyiter/{pause_after_ms}");
+            let (_s, _) =
+                checkpoint_application(&world, &handle, &run.host_state(), &path).unwrap();
+            assert!(driver.join().unwrap().verified);
+            run.destroy().unwrap();
+            host.exit();
+            let restarted =
+                restart_application(&world, &path, &spec.binary_name(), 0).unwrap();
+            let resumed = WorkloadRun::resume_after_restart(
+                &spec,
+                &restarted.handle,
+                &restarted.host_proc,
+                &restarted.host_state,
+            );
+            assert!(resumed.run_to_completion().unwrap().verified);
+            resumed.destroy().unwrap();
+        }
+    });
+}
+
+/// The pause really produces a globally-drained state, and the host
+/// snapshot and device snapshot agree on the host-state phase counter.
+#[test]
+fn pause_produces_consistent_cut() {
+    Kernel::run_root(|| {
+        let (world, specs) = boot(&["JAC"], 64, 20);
+        let spec = specs[0].clone();
+        let run = Arc::new(WorkloadRun::launch(world.coi(), &spec, 0).unwrap());
+        let handle = run.handle().clone();
+        let host = run.host_proc().clone();
+        let driver = {
+            let r = Arc::clone(&run);
+            host.spawn_thread("driver", move || r.run_to_completion())
+        };
+        simkernel::sleep(simkernel::time::ms(25));
+
+        let snap = SnapifyT::new(&handle, "/snap/cut");
+        snapify_pause(&snap).unwrap();
+        // The §3 consistency invariant, observed directly:
+        let rt = world.coi().daemon(0).runtime(handle.pid()).unwrap();
+        assert!(rt.channels_drained());
+        assert_eq!(handle.run_outbound_pending(), 0);
+        snapify_capture(&snap, false).unwrap();
+        snapify_wait(&snap).unwrap();
+        snapify_resume(&snap).unwrap();
+
+        assert!(driver.join().unwrap().verified);
+        run.destroy().unwrap();
+    });
+}

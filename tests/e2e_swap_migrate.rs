@@ -1,0 +1,155 @@
+//! End-to-end swapping and migration scenarios, including the memory-
+//! pressure multi-tenancy case that motivates process swapping (§1).
+
+use snapify_repro::coi_sim::FunctionRegistry;
+use snapify_repro::prelude::*;
+use snapify_repro::snapify::{Command, SnapifyCli};
+use snapify_repro::workloads::{by_name, register_suite};
+use std::sync::Arc;
+
+fn boot(name: &str) -> (SnapifyWorld, WorkloadSpec) {
+    let spec = by_name(name).unwrap().scaled(64, 20);
+    let registry = FunctionRegistry::new();
+    register_suite(&registry, std::slice::from_ref(&spec));
+    (SnapifyWorld::boot(registry), spec)
+}
+
+#[test]
+fn migration_chain_preserves_execution() {
+    Kernel::run_root(|| {
+        let (world, spec) = boot("FFT");
+        let run = Arc::new(WorkloadRun::launch(world.coi(), &spec, 0).unwrap());
+        let handle = run.handle().clone();
+        let host = run.host_proc().clone();
+        let driver = {
+            let r = Arc::clone(&run);
+            host.spawn_thread("driver", move || r.run_to_completion())
+        };
+        // Bounce the process between the two cards while it runs.
+        simkernel::sleep(simkernel::time::ms(20));
+        snapify_migrate(&handle, 1).unwrap();
+        simkernel::sleep(simkernel::time::ms(20));
+        snapify_migrate(&handle, 0).unwrap();
+        simkernel::sleep(simkernel::time::ms(20));
+        snapify_migrate(&handle, 1).unwrap();
+        assert_eq!(handle.device(), 1);
+        assert!(driver.join().unwrap().verified);
+        run.destroy().unwrap();
+    });
+}
+
+#[test]
+fn swap_frees_memory_for_a_second_tenant() {
+    Kernel::run_root(|| {
+        let registry = FunctionRegistry::new();
+        registry.register(
+            snapify_repro::coi_sim::DeviceBinary::new("tenant.so", MB, 64 * MB)
+                .simple_function("fill", |ctx| {
+                    let n = ctx.buffer_len(0);
+                    ctx.compute(1e9, 60);
+                    ctx.write_buffer(0, Payload::synthetic(0xF1, n));
+                    Vec::new()
+                }),
+        );
+        let world = SnapifyWorld::boot(registry);
+        let mem = world.server().device(0).mem().clone();
+
+        // Tenant A takes ~4.1 GiB.
+        let host_a = world.coi().create_host_process("a");
+        let a = world.coi().create_process(&host_a, 0, "tenant.so").unwrap();
+        let buf_a = a.create_buffer(4 * GB).unwrap();
+        a.buffer_write(&buf_a, Payload::synthetic(0xA, 4 * GB)).unwrap();
+        let used_with_a = mem.used();
+        assert!(used_with_a > 4 * GB);
+
+        // Tenant B cannot allocate 4 GiB while A is resident.
+        let host_b = world.coi().create_host_process("b");
+        let b = world.coi().create_process(&host_b, 0, "tenant.so").unwrap();
+        assert!(b.create_buffer(4 * GB).is_err(), "card must be full");
+
+        // Swap A out; now B fits.
+        let snap_a = snapify_swapout(&a, "/swap/a").unwrap();
+        assert!(mem.used() < used_with_a / 4);
+        let buf_b = b.create_buffer(4 * GB).unwrap();
+        b.buffer_write(&buf_b, Payload::synthetic(0xB, 4 * GB)).unwrap();
+        b.run_sync("fill", Vec::new(), &[&buf_b]).unwrap();
+        b.destroy().unwrap();
+
+        // Swap A back; its buffer content is intact.
+        snapify_swapin(&snap_a, 0).unwrap();
+        assert_eq!(
+            a.buffer_read(&buf_a).unwrap().digest(),
+            Payload::synthetic(0xA, 4 * GB).digest()
+        );
+        a.run_sync("fill", Vec::new(), &[&buf_a]).unwrap();
+        a.destroy().unwrap();
+    });
+}
+
+#[test]
+fn swapped_out_process_blocks_host_calls_until_swapin() {
+    Kernel::run_root(|| {
+        let (world, spec) = boot("MC");
+        let run = WorkloadRun::launch(world.coi(), &spec, 0).unwrap();
+        let handle = run.handle().clone();
+
+        let snap = snapify_swapout(&handle, "/swap/block").unwrap();
+        // A host thread trying to offload while swapped out blocks (the
+        // drain locks are held), and completes only after swap-in.
+        let h2 = handle.clone();
+        let blocked = handle.host_proc().clone().spawn_thread("blocked", move || {
+            let t0 = simkernel::now();
+            // This buffer create uses the cmd channel, which is locked.
+            let buf = h2.create_buffer(1024).unwrap();
+            let _ = h2.buffer_write(&buf, Payload::synthetic(1, 1024));
+            simkernel::now() - t0
+        });
+        simkernel::sleep(simkernel::time::ms(50));
+        snapify_swapin(&snap, 0).unwrap();
+        let waited = blocked.join();
+        assert!(
+            waited.as_nanos() >= simkernel::time::ms(50).as_nanos(),
+            "the call must have blocked across the swap, waited {waited}"
+        );
+        run.destroy().unwrap();
+    });
+}
+
+#[test]
+fn cli_full_lifecycle() {
+    Kernel::run_root(|| {
+        let (world, spec) = boot("KM");
+        let run = WorkloadRun::launch(world.coi(), &spec, 0).unwrap();
+        let handle = run.handle().clone();
+        let cli = SnapifyCli::new();
+        cli.register(&handle);
+        let pid = handle.host_proc().pid().0;
+
+        cli.submit(pid, Command::SwapOut { path: "/swap/cli".into() }).unwrap();
+        assert_eq!(world.coi().daemon(0).live_processes(), 0);
+        cli.submit(pid, Command::SwapIn { device: 1 }).unwrap();
+        cli.submit(pid, Command::Migrate { device: 0 }).unwrap();
+        assert_eq!(handle.device(), 0);
+        let result = run.run_to_completion().unwrap();
+        assert!(result.verified);
+        run.destroy().unwrap();
+    });
+}
+
+#[test]
+fn migration_to_full_device_fails_cleanly() {
+    Kernel::run_root(|| {
+        let (world, spec) = boot("NB");
+        // Fill device 1 almost completely (leave only 1 MiB).
+        let d1 = world.server().device(1).mem().clone();
+        d1.alloc(d1.available() - MB).unwrap();
+        let run = WorkloadRun::launch(world.coi(), &spec, 0).unwrap();
+        let handle = run.handle().clone();
+        let err = snapify_migrate(&handle, 1).unwrap_err();
+        assert!(
+            matches!(err, SnapifyError::RestoreFailed(_)),
+            "expected RestoreFailed, got {err:?}"
+        );
+        // The snapshot still exists: swap-in on the original device works.
+    });
+}

@@ -1,0 +1,160 @@
+//! Failure injection: coprocessor crashes, memory exhaustion on restore
+//! targets, and corrupt snapshots all surface as clean, typed errors —
+//! never as silent corruption.
+
+use snapify_repro::coi_sim::FunctionRegistry;
+use snapify_repro::prelude::*;
+use snapify_repro::workloads::{by_name, register_suite};
+
+fn boot(name: &str) -> (SnapifyWorld, WorkloadSpec) {
+    let spec = by_name(name).unwrap().scaled(64, 20);
+    let registry = FunctionRegistry::new();
+    register_suite(&registry, std::slice::from_ref(&spec));
+    (SnapifyWorld::boot(registry), spec)
+}
+
+/// A checkpoint taken before a device "crash" rescues the application:
+/// the crashed process is detected by the daemon's watchdog, and the
+/// restart on the healthy device completes with correct output.
+#[test]
+fn checkpoint_rescues_crashed_device() {
+    Kernel::run_root(|| {
+        let (world, spec) = boot("KM");
+        let run = WorkloadRun::launch(world.coi(), &spec, 0).unwrap();
+        let handle = run.handle().clone();
+        let host = run.host_proc().clone();
+
+        // Take a checkpoint at iteration 0 (before any work).
+        let (_s, _) =
+            checkpoint_application(&world, &handle, &run.host_state(), "/snap/crash").unwrap();
+
+        // Crash the offload process out-of-band (simulated card failure).
+        let rt = world.coi().daemon(0).runtime(handle.pid()).unwrap();
+        rt.terminate();
+        simkernel::sleep(simkernel::time::ms(1));
+        assert_eq!(world.coi().daemon(0).crashed_pids(), vec![handle.pid()]);
+
+        // Host-side calls now fail cleanly.
+        assert!(handle.ping().is_err());
+        host.exit();
+
+        // Restart on the healthy card and run to completion.
+        let restarted = restart_application(&world, "/snap/crash", &spec.binary_name(), 1).unwrap();
+        let resumed = WorkloadRun::resume_after_restart(
+            &spec,
+            &restarted.handle,
+            &restarted.host_proc,
+            &restarted.host_state,
+        );
+        let result = resumed.run_to_completion().unwrap();
+        assert!(result.verified);
+        resumed.destroy().unwrap();
+    });
+}
+
+/// Restoring onto a device that cannot hold the image fails with a typed
+/// error and leaks no memory on the target.
+#[test]
+fn restore_onto_full_device_is_clean() {
+    Kernel::run_root(|| {
+        let (world, spec) = boot("SS"); // largest store profile
+        let run = WorkloadRun::launch(world.coi(), &spec, 0).unwrap();
+        let handle = run.handle().clone();
+        let snap = snapify_swapout(&handle, "/snap/full").unwrap();
+
+        // Fill device 1 so the image cannot fit.
+        let used_before = world.server().device(1).mem().used();
+        world
+            .server()
+            .device(1)
+            .mem()
+            .alloc(world.server().device(1).mem().available() - MB)
+            .unwrap();
+        let err = snapify_swapin(&snap, 1).unwrap_err();
+        assert!(matches!(err, SnapifyError::RestoreFailed(_)));
+        // No partial allocations remain beyond our own filler.
+        assert_eq!(
+            world.server().device(1).mem().available(),
+            MB,
+            "restore must roll back partial allocations"
+        );
+        let _ = used_before;
+
+        // The snapshot is still usable on the original device.
+        snapify_swapin(&snap, 0).unwrap();
+        let result = run.run_to_completion().unwrap();
+        assert!(result.verified);
+        run.destroy().unwrap();
+    });
+}
+
+/// A corrupted snapshot file is rejected at restore time.
+#[test]
+fn corrupt_snapshot_is_rejected() {
+    Kernel::run_root(|| {
+        let (world, spec) = boot("MC");
+        let run = WorkloadRun::launch(world.coi(), &spec, 0).unwrap();
+        let handle = run.handle().clone();
+        let _snap = snapify_swapout(&handle, "/snap/corrupt").unwrap();
+
+        // Truncate the device snapshot on the host fs.
+        let fs = world.server().host().fs();
+        let path = "/snap/corrupt/device_snapshot";
+        let full = fs.read_all(path).unwrap();
+        fs.create_or_truncate(path);
+        fs.append(path, full.slice(0, full.len() / 2)).unwrap();
+
+        let snap2 = SnapifyT::new(&handle, "/snap/corrupt");
+        let err = snapify_restore(&snap2, 0).unwrap_err();
+        assert!(matches!(err, SnapifyError::RestoreFailed(_)), "got {err:?}");
+    });
+}
+
+/// Restoring from a directory that was never written fails cleanly.
+#[test]
+fn missing_snapshot_is_rejected() {
+    Kernel::run_root(|| {
+        let (world, spec) = boot("MC");
+        let run = WorkloadRun::launch(world.coi(), &spec, 0).unwrap();
+        let handle = run.handle().clone();
+        // Must pause first so the handle's locks are in the held state a
+        // restore expects; then attempt a restore from a bogus path.
+        let snap = snapify_swapout(&handle, "/snap/real").unwrap();
+        let bogus = SnapifyT::new(&handle, "/snap/never-written");
+        let err = snapify_restore(&bogus, 0).unwrap_err();
+        assert!(matches!(err, SnapifyError::RestoreFailed(_)));
+        // The real snapshot still works.
+        snapify_swapin(&snap, 0).unwrap();
+        run.destroy().unwrap();
+    });
+}
+
+/// Memory accounting is exact across repeated swap cycles: no leaks, no
+/// double frees, capacity fully restored.
+#[test]
+fn repeated_swap_cycles_leak_nothing() {
+    Kernel::run_root(|| {
+        let (world, spec) = boot("NB");
+        let run = WorkloadRun::launch(world.coi(), &spec, 0).unwrap();
+        let handle = run.handle().clone();
+        let resident = world.server().device(0).mem().used();
+        for i in 0..5 {
+            let snap = snapify_swapout(&handle, &format!("/snap/cycle{i}")).unwrap();
+            assert_eq!(
+                world.server().device(0).mem().used(),
+                0,
+                "cycle {i}: memory must be fully released"
+            );
+            snapify_swapin(&snap, 0).unwrap();
+            assert_eq!(
+                world.server().device(0).mem().used(),
+                resident,
+                "cycle {i}: memory must be fully restored"
+            );
+        }
+        let result = run.run_to_completion().unwrap();
+        assert!(result.verified);
+        run.destroy().unwrap();
+        assert_eq!(world.server().device(0).mem().used(), 0);
+    });
+}

@@ -1,0 +1,141 @@
+//! Stress: many offload processes with live traffic on both coprocessors
+//! while snapshots, swaps and migrations interleave. Exercises the daemon
+//! monitor's multi-request path, RDMA window bookkeeping at scale, and
+//! memory accounting under churn.
+
+use snapify_repro::coi_sim::{DeviceBinary, FunctionRegistry};
+use snapify_repro::prelude::*;
+use std::sync::Arc;
+
+fn registry() -> FunctionRegistry {
+    let reg = FunctionRegistry::new();
+    reg.register(
+        DeviceBinary::new("stress.so", MB, 16 * MB).simple_function("churn", |ctx| {
+            ctx.compute(5e8, 60);
+            let n = ctx.buffer_len(0);
+            let prev = ctx
+                .private("gen")
+                .map(|p| u64::from_le_bytes(p.to_bytes().try_into().unwrap()))
+                .unwrap_or(0);
+            ctx.set_private("gen", Payload::bytes((prev + 1).to_le_bytes().to_vec()));
+            ctx.write_buffer(0, Payload::synthetic(prev + 1, n));
+            (prev + 1).to_le_bytes().to_vec()
+        }),
+    );
+    reg
+}
+
+#[test]
+fn six_processes_with_interleaved_snapshots() {
+    Kernel::run_root(|| {
+        let world = SnapifyWorld::boot(registry());
+        let host = world.coi().create_host_process("stress");
+
+        // Six processes, three per device, each with a 64 MiB buffer.
+        let mut procs = Vec::new();
+        for i in 0..6usize {
+            let h = world.coi().create_process(&host, i % 2, "stress.so").unwrap();
+            let buf = h.create_buffer(64 * MB).unwrap();
+            h.buffer_write(&buf, Payload::synthetic(i as u64, 64 * MB)).unwrap();
+            procs.push((h, buf));
+        }
+
+        // Continuous offload traffic from six driver threads.
+        let mut drivers = Vec::new();
+        for (i, (h, buf)) in procs.iter().enumerate() {
+            let h = h.clone();
+            let buf = Arc::clone(buf);
+            drivers.push(host.clone().spawn_thread(&format!("drv{i}"), move || {
+                let mut last = 0;
+                for _ in 0..12 {
+                    let ret = h.run_sync("churn", Vec::new(), &[&buf]).unwrap();
+                    let gen = u64::from_le_bytes(ret.try_into().unwrap());
+                    assert!(gen > last, "generation must advance");
+                    last = gen;
+                }
+                last
+            }));
+        }
+
+        // Meanwhile: snapshot all six, concurrently, twice.
+        simkernel::sleep(simkernel::time::ms(5));
+        for round in 0..2 {
+            let mut snaps = Vec::new();
+            for (i, (h, _)) in procs.iter().enumerate() {
+                let h = h.clone();
+                let path = format!("/stress/r{round}/p{i}");
+                snaps.push(host.clone().spawn_thread(&format!("snap{i}"), move || {
+                    let snap = SnapifyT::new(&h, path);
+                    snapify_pause(&snap)?;
+                    snapify_capture(&snap, false)?;
+                    snapify_wait(&snap)?;
+                    snapify_resume(&snap)?;
+                    Ok::<(), SnapifyError>(())
+                }));
+            }
+            for s in snaps {
+                s.join().unwrap();
+            }
+        }
+
+        // All drivers complete correctly despite the snapshot storms.
+        for d in drivers {
+            assert_eq!(d.join(), 12);
+        }
+
+        // Now churn placement: migrate even processes to the other device.
+        for (i, (h, _)) in procs.iter().enumerate() {
+            if i % 2 == 0 {
+                let target = 1 - h.device();
+                snapify_migrate(h, target).unwrap();
+            }
+        }
+        // Everything still works and buffers carry the latest generation.
+        for (h, buf) in &procs {
+            let ret = h.run_sync("churn", Vec::new(), &[buf]).unwrap();
+            let gen = u64::from_le_bytes(ret.try_into().unwrap());
+            assert_eq!(gen, 13);
+        }
+        for (h, _) in &procs {
+            h.destroy().unwrap();
+        }
+        // No leaked device memory, no leaked RDMA windows.
+        simkernel::sleep(simkernel::time::ms(2));
+        assert_eq!(world.server().device(0).mem().used(), 0);
+        assert_eq!(world.server().device(1).mem().used(), 0);
+        assert_eq!(world.coi().scif().window_count(), 0);
+    });
+}
+
+#[test]
+fn rapid_swap_churn_between_processes() {
+    Kernel::run_root(|| {
+        let world = SnapifyWorld::boot(registry());
+        let host = world.coi().create_host_process("churn");
+        let a = world.coi().create_process(&host, 0, "stress.so").unwrap();
+        let b = world.coi().create_process(&host, 0, "stress.so").unwrap();
+        let ba = a.create_buffer(32 * MB).unwrap();
+        let bb = b.create_buffer(32 * MB).unwrap();
+        a.buffer_write(&ba, Payload::synthetic(0xA, 32 * MB)).unwrap();
+        b.buffer_write(&bb, Payload::synthetic(0xB, 32 * MB)).unwrap();
+
+        // Ten alternating swap cycles, with work in between.
+        let mut out_a = None;
+        for i in 0..10 {
+            if i % 2 == 0 {
+                out_a = Some(snapify_swapout(&a, &format!("/churn/a{i}")).unwrap());
+                b.run_sync("churn", Vec::new(), &[&bb]).unwrap();
+            } else {
+                snapify_swapin(out_a.as_ref().unwrap(), 0).unwrap();
+                a.run_sync("churn", Vec::new(), &[&ba]).unwrap();
+            }
+        }
+        // Final state: a swapped in at i=9, both functional.
+        let ga = a.run_sync("churn", Vec::new(), &[&ba]).unwrap();
+        let gb = b.run_sync("churn", Vec::new(), &[&bb]).unwrap();
+        assert_eq!(u64::from_le_bytes(ga.try_into().unwrap()), 6);
+        assert_eq!(u64::from_le_bytes(gb.try_into().unwrap()), 6);
+        a.destroy().unwrap();
+        b.destroy().unwrap();
+    });
+}

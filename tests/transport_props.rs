@@ -1,0 +1,129 @@
+//! Property tests of the snapshot transports: every method (Snapify-IO,
+//! the three NFS variants, scp, local) must deliver arbitrary byte
+//! streams losslessly regardless of size, chunking, or direction — a
+//! checkpointer cannot tolerate a transport that drops, reorders, or
+//! duplicates a single chunk.
+
+use proptest::prelude::*;
+use snapify_repro::phi_platform::{NodeId, Payload, PhiServer, PlatformParams};
+use snapify_repro::simkernel::Kernel;
+use snapify_repro::simproc::SnapshotStorage;
+use snapify_repro::snapify_io::{
+    LocalStorage, Nfs, NfsConfig, NfsMode, Scp, ScpConfig, SnapifyIo,
+};
+
+fn roundtrip(method_idx: usize, size: u64, write_chunk: u64, read_chunk: u64) {
+    Kernel::run_root(move || {
+        let server = PhiServer::new(PlatformParams::default());
+        let methods: Vec<Box<dyn SnapshotStorage>> = vec![
+            Box::new(SnapifyIo::new_default(&server)),
+            Box::new(Nfs::new(&server, NfsConfig::default(), NfsMode::Plain)),
+            Box::new(Nfs::new(&server, NfsConfig::default(), NfsMode::BufferedKernel)),
+            Box::new(Nfs::new(&server, NfsConfig::default(), NfsMode::BufferedUser)),
+            Box::new(Scp::new(&server, ScpConfig::default())),
+            Box::new(LocalStorage::new(&server)),
+        ];
+        let method = &methods[method_idx];
+        let data = Payload::synthetic(size ^ 0x5eed, size);
+
+        let mut sink = method.sink(NodeId::device(0), "/prop/file").unwrap();
+        for chunk in data.chunks(write_chunk) {
+            sink.write(chunk).unwrap();
+        }
+        sink.close().unwrap();
+
+        let mut src = method.source(NodeId::device(0), "/prop/file").unwrap();
+        let mut out = Payload::empty();
+        while let Some(c) = src.read(read_chunk).unwrap() {
+            out.append(c);
+        }
+        assert_eq!(out.len(), data.len(), "length mismatch");
+        assert_eq!(out.digest(), data.digest(), "content mismatch");
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    #[test]
+    fn any_transport_any_chunking_is_lossless(
+        method in 0usize..6,
+        size in 1u64..6_000_000,
+        write_chunk in 1u64..3_000_000,
+        read_chunk in 1u64..3_000_000,
+    ) {
+        roundtrip(method, size, write_chunk, read_chunk);
+    }
+
+    /// Real byte content (not synthetic extents) also survives, byte for
+    /// byte.
+    #[test]
+    fn real_bytes_survive_exactly(
+        method in 0usize..6,
+        data in prop::collection::vec(any::<u8>(), 1..4096),
+    ) {
+        Kernel::run_root(move || {
+            let server = PhiServer::new(PlatformParams::default());
+            let methods: Vec<Box<dyn SnapshotStorage>> = vec![
+                Box::new(SnapifyIo::new_default(&server)),
+                Box::new(Nfs::new(&server, NfsConfig::default(), NfsMode::Plain)),
+                Box::new(Nfs::new(&server, NfsConfig::default(), NfsMode::BufferedKernel)),
+                Box::new(Nfs::new(&server, NfsConfig::default(), NfsMode::BufferedUser)),
+                Box::new(Scp::new(&server, ScpConfig::default())),
+                Box::new(LocalStorage::new(&server)),
+            ];
+            let method = &methods[method];
+            let payload = Payload::bytes(data.clone());
+            let mut sink = method.sink(NodeId::device(1), "/prop/bytes").unwrap();
+            sink.write(payload).unwrap();
+            sink.close().unwrap();
+            let mut src = method.source(NodeId::device(1), "/prop/bytes").unwrap();
+            let mut out = Vec::new();
+            while let Some(c) = src.read(257).unwrap() {
+                out.extend_from_slice(&c.to_bytes());
+            }
+            assert_eq!(out, data);
+        });
+    }
+
+    /// BLCR images survive every transport: checkpoint a process through
+    /// the method, restart through the method, compare memory digests.
+    #[test]
+    fn blcr_image_roundtrips_every_transport(
+        method in 0usize..6,
+        region_kb in 1u64..2048,
+    ) {
+        Kernel::run_root(move || {
+            use snapify_repro::blcr_sim::{checkpoint, restart, BlcrConfig};
+            use snapify_repro::simproc::{PidAllocator, SimProcess};
+            let server = PhiServer::new(PlatformParams::default());
+            let methods: Vec<Box<dyn SnapshotStorage>> = vec![
+                Box::new(SnapifyIo::new_default(&server)),
+                Box::new(Nfs::new(&server, NfsConfig::default(), NfsMode::Plain)),
+                Box::new(Nfs::new(&server, NfsConfig::default(), NfsMode::BufferedKernel)),
+                Box::new(Nfs::new(&server, NfsConfig::default(), NfsMode::BufferedUser)),
+                Box::new(Scp::new(&server, ScpConfig::default())),
+                Box::new(LocalStorage::new(&server)),
+            ];
+            let method = &methods[method];
+            let node = server.device(0).clone();
+            let pids = PidAllocator::new();
+            let cfg = BlcrConfig::default();
+
+            let proc = SimProcess::new(pids.alloc(), "p", &node);
+            proc.memory()
+                .map_region("data", Payload::synthetic(region_kb, region_kb << 10))
+                .unwrap();
+            let digest = proc.memory().digest();
+
+            let mut sink = method.sink(node.id(), "/prop/img").unwrap();
+            checkpoint(&cfg, &proc, b"state", sink.as_mut()).unwrap();
+            proc.exit();
+
+            let mut src = method.source(node.id(), "/prop/img").unwrap();
+            let restored = restart(&cfg, &node, &pids, src.as_mut()).unwrap();
+            assert_eq!(restored.proc.memory().digest(), digest);
+            assert_eq!(restored.runtime_state, b"state");
+        });
+    }
+}
