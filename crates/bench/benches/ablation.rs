@@ -31,10 +31,15 @@ fn buffer_size_sweep() {
             let server = PhiServer::new(PlatformParams::default());
             let io = SnapifyIo::new(
                 &server,
-                SnapifyIoConfig { buffer_size, ..SnapifyIoConfig::default() },
+                SnapifyIoConfig {
+                    buffer_size,
+                    ..SnapifyIoConfig::default()
+                },
             );
             let t0 = simkernel::now();
-            let mut sink = io.open_write(NodeId::device(0), NodeId::HOST, "/ab/f").unwrap();
+            let mut sink = io
+                .open_write(NodeId::device(0), NodeId::HOST, "/ab/f")
+                .unwrap();
             use simproc::ByteSink;
             for chunk in Payload::synthetic(1, GB).chunks(32 << 20) {
                 sink.write(chunk).unwrap();
@@ -56,7 +61,9 @@ fn async_flush_ablation() {
             let server = PhiServer::new(PlatformParams::default());
             let io = SnapifyIo::new_default(&server);
             let t0 = simkernel::now();
-            let mut sink = io.open_write(NodeId::device(0), NodeId::HOST, "/ab/g").unwrap();
+            let mut sink = io
+                .open_write(NodeId::device(0), NodeId::HOST, "/ab/g")
+                .unwrap();
             use simproc::ByteSink;
             for chunk in Payload::synthetic(1, GB).chunks(4 << 20) {
                 sink.write(chunk).unwrap();
@@ -100,7 +107,11 @@ fn hook_cost_sweep() {
         })
     };
     let base = run_md(u64::MAX); // stock MPSS
-    t.row(vec!["(stock)".to_string(), format!("{base:.3}"), "0.00".to_string()]);
+    t.row(vec![
+        "(stock)".to_string(),
+        format!("{base:.3}"),
+        "0.00".to_string(),
+    ]);
     for us in [2u64, 4, 7, 12, 20] {
         let r = run_md(us);
         t.row(vec![
@@ -116,7 +127,11 @@ fn hook_cost_sweep() {
 fn incremental_ablation() {
     println!("Ablation 4 (extension): full vs incremental checkpoints");
     println!("(app with 512 MiB resident memory, mutating one 16 MiB region per phase)");
-    let mut t = Table::new(vec!["checkpoint", "full (s / bytes)", "incremental (s / bytes)"]);
+    let mut t = Table::new(vec![
+        "checkpoint",
+        "full (s / bytes)",
+        "incremental (s / bytes)",
+    ]);
     let rows = Kernel::run_root(|| {
         let server = PhiServer::new(PlatformParams::default());
         let node = server.device(0).clone();
@@ -149,7 +164,13 @@ fn incremental_ablation() {
                 .checkpoint(&proc, &phase.to_le_bytes(), &mut sink, &|_| true)
                 .unwrap();
             let inc_t = simkernel::now() - t1;
-            out.push((phase, full_t, full.snapshot_bytes, inc_t, delta.stats.snapshot_bytes));
+            out.push((
+                phase,
+                full_t,
+                full.snapshot_bytes,
+                inc_t,
+                delta.stats.snapshot_bytes,
+            ));
         }
         out
     });

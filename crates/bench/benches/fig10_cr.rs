@@ -12,8 +12,8 @@
 use coi_sim::FunctionRegistry;
 use phi_platform::PlatformParams;
 use simkernel::Kernel;
-use snapify_bench::{bytes, header, secs, Table};
 use snapify::{checkpoint_application, restart_application, SnapifyWorld};
+use snapify_bench::{bytes, header, secs, Table};
 use workloads::{register_suite, suite, WorkloadRun, WorkloadSpec};
 
 struct Row {
@@ -41,8 +41,7 @@ fn run_one(spec: WorkloadSpec) -> Row {
         simkernel::sleep(simkernel::time::ms(300));
         let host_state = state_view.host_state();
         let path = format!("/snap/fig10/{}", spec.name);
-        let (_snap, ckpt) =
-            checkpoint_application(&world, &handle, &host_state, &path).unwrap();
+        let (_snap, ckpt) = checkpoint_application(&world, &handle, &host_state, &path).unwrap();
 
         // The application finishes correctly after the checkpoint.
         let result = driver.join().unwrap();
@@ -62,19 +61,31 @@ fn run_one(spec: WorkloadSpec) -> Row {
         let result = resumed.run_to_completion().unwrap();
         assert!(result.verified, "{} failed after restart", spec.name);
         resumed.destroy().unwrap();
-        Row { name: spec.name, ckpt, restart }
+        Row {
+            name: spec.name,
+            ckpt,
+            restart,
+        }
     })
 }
 
 fn main() {
     let params = PlatformParams::default();
-    header("Fig 10(a-c): checkpoint and restart of the OpenMP benchmarks", &params);
+    header(
+        "Fig 10(a-c): checkpoint and restart of the OpenMP benchmarks",
+        &params,
+    );
 
     let rows: Vec<Row> = suite().into_iter().map(run_one).collect();
 
     println!("Fig 10(a): checkpoint time breakdown (s)");
     let mut t = Table::new(vec![
-        "benchmark", "pause", "snap+write (host)", "snap+write (device)", "resume", "total",
+        "benchmark",
+        "pause",
+        "snap+write (host)",
+        "snap+write (device)",
+        "resume",
+        "total",
     ]);
     for r in &rows {
         t.row(vec![
@@ -90,7 +101,12 @@ fn main() {
     println!();
 
     println!("Fig 10(b): checkpoint file sizes");
-    let mut t = Table::new(vec!["benchmark", "host snapshot", "device snapshot", "local store"]);
+    let mut t = Table::new(vec![
+        "benchmark",
+        "host snapshot",
+        "device snapshot",
+        "local store",
+    ]);
     for r in &rows {
         t.row(vec![
             r.name.to_string(),
@@ -104,7 +120,13 @@ fn main() {
 
     println!("Fig 10(c): restart time breakdown (s)");
     let mut t = Table::new(vec![
-        "benchmark", "host restart", "lib copy", "store copy", "blcr restart", "offload total", "total",
+        "benchmark",
+        "host restart",
+        "lib copy",
+        "store copy",
+        "blcr restart",
+        "offload total",
+        "total",
     ]);
     for r in &rows {
         let bd = r.restart.offload_breakdown.unwrap_or_default();

@@ -9,8 +9,10 @@
 use coi_sim::FunctionRegistry;
 use phi_platform::PlatformParams;
 use simkernel::Kernel;
+use snapify::{
+    snapify_capture, snapify_pause, snapify_swapin, snapify_wait, SnapifyT, SnapifyWorld,
+};
 use snapify_bench::{bytes, header, secs, Table};
-use snapify::{snapify_capture, snapify_pause, snapify_swapin, snapify_wait, SnapifyT, SnapifyWorld};
 use workloads::{register_suite, suite, WorkloadRun, WorkloadSpec};
 
 struct Row {
@@ -73,13 +75,22 @@ fn run_one(spec: WorkloadSpec) -> Row {
 
 fn main() {
     let params = PlatformParams::default();
-    header("Fig 10(d-f): migration and swapping of the OpenMP benchmarks", &params);
+    header(
+        "Fig 10(d-f): migration and swapping of the OpenMP benchmarks",
+        &params,
+    );
 
     let rows: Vec<Row> = suite().into_iter().map(run_one).collect();
 
     println!("Fig 10(e): swap-out (s)   Fig 10(f): swap-in (s)   Fig 10(d): migration (s)");
     let mut t = Table::new(vec![
-        "benchmark", "pause", "capture", "swap-out", "swap-in", "migration", "snapshot+store",
+        "benchmark",
+        "pause",
+        "capture",
+        "swap-out",
+        "swap-in",
+        "migration",
+        "snapshot+store",
     ]);
     for r in &rows {
         t.row(vec![

@@ -8,9 +8,9 @@
 
 use phi_platform::{NodeId, Payload, PhiServer, PlatformParams, MB};
 use simkernel::Kernel;
+use simproc::SnapshotStorage;
 use snapify_bench::{header, secs, Table};
 use snapify_io::{Nfs, NfsConfig, NfsMode, Scp, ScpConfig, SnapifyIo};
-use simproc::SnapshotStorage;
 
 const SIZES_MB: &[u64] = &[1, 4, 16, 64, 256, 1024];
 
@@ -43,7 +43,13 @@ fn main() {
     );
 
     let mut table = Table::new(vec![
-        "size", "direction", "Snapify-IO (s)", "NFS (s)", "scp (s)", "vs NFS", "vs scp",
+        "size",
+        "direction",
+        "Snapify-IO (s)",
+        "NFS (s)",
+        "scp (s)",
+        "vs NFS",
+        "vs scp",
     ]);
 
     for &size_mb in SIZES_MB {

@@ -33,8 +33,16 @@ fn measure(method_idx: usize, size: u64) -> (Option<f64>, Option<f64>) {
         let methods: Vec<Box<dyn SnapshotStorage>> = vec![
             Box::new(LocalStorage::new(&server)),
             Box::new(Nfs::new(&server, NfsConfig::default(), NfsMode::Plain)),
-            Box::new(Nfs::new(&server, NfsConfig::default(), NfsMode::BufferedKernel)),
-            Box::new(Nfs::new(&server, NfsConfig::default(), NfsMode::BufferedUser)),
+            Box::new(Nfs::new(
+                &server,
+                NfsConfig::default(),
+                NfsMode::BufferedKernel,
+            )),
+            Box::new(Nfs::new(
+                &server,
+                NfsConfig::default(),
+                NfsMode::BufferedUser,
+            )),
             Box::new(SnapifyIo::new_default(&server)),
         ];
         let method = &methods[method_idx];
@@ -67,9 +75,10 @@ fn measure(method_idx: usize, size: u64) -> (Option<f64>, Option<f64>) {
         let restart_time = if ckpt_time.is_some() {
             proc.exit();
             let t1 = simkernel::now();
-            let restored = method.source(node.id(), path).ok().and_then(|mut src| {
-                blcr_sim::restart(&blcr, &node, &pids, src.as_mut()).ok()
-            });
+            let restored = method
+                .source(node.id(), path)
+                .ok()
+                .and_then(|mut src| blcr_sim::restart(&blcr, &node, &pids, src.as_mut()).ok());
             match restored {
                 Some(r) => {
                     assert_eq!(r.proc.memory().digest(), digest, "restore corrupted image");
@@ -97,12 +106,15 @@ fn main() {
         results.push((0..LABELS.len()).map(|m| measure(m, size)).collect());
     }
 
-    for (phase, pick) in [
-        ("checkpoint", 0usize),
-        ("restart", 1usize),
-    ] {
+    for (phase, pick) in [("checkpoint", 0usize), ("restart", 1usize)] {
         let mut table = Table::new(vec![
-            "malloc", "Local", "NFS", "NFS-buf(k)", "NFS-buf(u)", "Snapify-IO", "SIO vs NFS",
+            "malloc",
+            "Local",
+            "NFS",
+            "NFS-buf(k)",
+            "NFS-buf(u)",
+            "Snapify-IO",
+            "SIO vs NFS",
         ]);
         for (i, &(_, label)) in SIZES.iter().enumerate() {
             let get = |m: usize| -> Option<f64> {

@@ -135,12 +135,7 @@ impl IncrementalCheckpointer {
         total += 8;
         sink.close()?;
 
-        self.last_versions = Some(
-            regions
-                .iter()
-                .map(|(n, _, v)| (n.clone(), *v))
-                .collect(),
-        );
+        self.last_versions = Some(regions.iter().map(|(n, _, v)| (n.clone(), *v)).collect());
         let stats = IncrementalStats {
             stats: CheckpointStats {
                 snapshot_bytes: total,
@@ -250,7 +245,9 @@ pub fn restart_chain(
             )));
         }
         if i == 0 && link.kind != KIND_FULL {
-            return Err(BlcrError::BadImage("chain does not start with a full image".into()));
+            return Err(BlcrError::BadImage(
+                "chain does not start with a full image".into(),
+            ));
         }
         if i > 0 && link.kind != KIND_DELTA {
             return Err(BlcrError::BadImage(format!("link {i} is not a delta")));
@@ -383,8 +380,7 @@ mod tests {
                 Box::new(PayloadSource::new(d2)),
             ];
             let restored =
-                restart_chain(&BlcrConfig::default(), &phi(), &pids, "app", &mut sources)
-                    .unwrap();
+                restart_chain(&BlcrConfig::default(), &phi(), &pids, "app", &mut sources).unwrap();
             assert_eq!(restored.runtime_state, b"p2");
             assert_eq!(restored.proc.memory().digest(), want_digest);
             assert_eq!(
@@ -400,7 +396,9 @@ mod tests {
         Kernel::run_root(|| {
             let node = phi();
             let proc = SimProcess::new(Pid(1), "app", &node);
-            proc.memory().map_region("a", Payload::bytes(vec![1])).unwrap();
+            proc.memory()
+                .map_region("a", Payload::bytes(vec![1]))
+                .unwrap();
             let mut ck = IncrementalCheckpointer::new(BlcrConfig::default());
             let (_, base) = take(&mut ck, &proc, b"");
             proc.memory()
@@ -452,8 +450,7 @@ mod tests {
                 Box::new(PayloadSource::new(d1)),
             ];
             let restored =
-                restart_chain(&BlcrConfig::default(), &phi(), &pids, "app", &mut sources)
-                    .unwrap();
+                restart_chain(&BlcrConfig::default(), &phi(), &pids, "app", &mut sources).unwrap();
             assert_eq!(restored.proc.memory().digest(), want);
         });
     }

@@ -34,6 +34,7 @@ pub mod incremental;
 pub mod stream;
 
 use phi_platform::{Payload, SimNode};
+use simkernel::obs;
 use simkernel::time::{ms, us};
 use simkernel::SimDuration;
 use simproc::{ByteSink, ByteSource, IoError, PidAllocator, SimProcess};
@@ -147,6 +148,7 @@ pub fn checkpoint_filtered(
     sink: &mut dyn ByteSink,
     include: &dyn Fn(&str) -> bool,
 ) -> Result<CheckpointStats, BlcrError> {
+    let _span = obs::span!("blcr.checkpoint", pid = proc.pid());
     simkernel::sleep(config.checkpoint_setup);
     sink.set_write_granularity(Some(PAGE_SIZE));
 
@@ -196,6 +198,10 @@ pub fn checkpoint_filtered(
     total += 8;
 
     sink.close()?;
+    obs::counter_add("blcr.checkpoints", 1);
+    obs::counter_add("blcr.snapshot_bytes", total);
+    obs::counter_add("blcr.pages_written", total.div_ceil(PAGE_SIZE));
+    obs::histogram_observe("blcr.snapshot_image_bytes", total);
     Ok(CheckpointStats {
         snapshot_bytes: total,
         regions: regions.len(),
@@ -257,6 +263,8 @@ pub fn restart(
     pids: &PidAllocator,
     src: &mut dyn ByteSource,
 ) -> Result<RestartedProcess, BlcrError> {
+    let _span = obs::span!("blcr.restart");
+    obs::counter_add("blcr.restarts", 1);
     simkernel::sleep(config.restart_setup);
     let mut r = FrameReader::with_chunk(src, config.restart_read_chunk);
 

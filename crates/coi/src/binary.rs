@@ -218,9 +218,7 @@ mod tests {
     #[test]
     fn registry_lookup() {
         let reg = FunctionRegistry::new();
-        reg.register(
-            DeviceBinary::new("md.so", 1 << 20, 8 << 20).function("f", Arc::new(TwoStep)),
-        );
+        reg.register(DeviceBinary::new("md.so", 1 << 20, 8 << 20).function("f", Arc::new(TwoStep)));
         let b = reg.get("md.so").unwrap();
         assert_eq!(b.name(), "md.so");
         assert!(b.get("f").is_some());

@@ -17,6 +17,7 @@ use std::sync::Arc;
 use blcr_sim::BlcrConfig;
 use phi_platform::{NodeId, PlatformParams, SimNode};
 use scif_sim::{ports, Scif, ScifEndpoint};
+use simkernel::obs;
 use simkernel::SimMutex;
 use simproc::{signum, PidAllocator, SimProcess};
 
@@ -103,7 +104,8 @@ impl CoiDaemon {
         storage: Arc<dyn SnapshotStorage>,
         pids: &PidAllocator,
     ) -> CoiDaemon {
-        let daemon_proc = SimProcess::new(pids.alloc(), format!("coi_daemon:{}", node.name()), node);
+        let daemon_proc =
+            SimProcess::new(pids.alloc(), format!("coi_daemon:{}", node.name()), node);
         let daemon = CoiDaemon {
             inner: Arc::new(Inner {
                 device_index,
@@ -118,7 +120,10 @@ impl CoiDaemon {
                 entries: SimMutex::new(format!("daemon entries {}", node.name()), HashMap::new()),
                 monitor: SimMutex::new(
                     format!("daemon monitor {}", node.name()),
-                    MonitorState { requests: Vec::new(), running: false },
+                    MonitorState {
+                        requests: Vec::new(),
+                        running: false,
+                    },
                 ),
                 crashes: SimMutex::new(format!("daemon crashes {}", node.name()), Vec::new()),
                 daemon_proc,
@@ -149,7 +154,11 @@ impl CoiDaemon {
 
     /// Look up a live offload runtime by pid (testing/diagnostics).
     pub fn runtime(&self, pid: u64) -> Option<OffloadRuntime> {
-        self.inner.entries.lock().get(&pid).map(|e| e.runtime.clone())
+        self.inner
+            .entries
+            .lock()
+            .get(&pid)
+            .map(|e| e.runtime.clone())
     }
 
     /// Pids whose processes exited without a deliberate termination.
@@ -194,7 +203,11 @@ impl CoiDaemon {
                 CtlMsg::SnapifyPause { pid, path } => {
                     self.handle_pause(&ep, pid, path);
                 }
-                CtlMsg::SnapifyCapture { pid, path, terminate } => {
+                CtlMsg::SnapifyCapture {
+                    pid,
+                    path,
+                    terminate,
+                } => {
                     self.handle_capture(&ep, pid, path, terminate);
                 }
                 CtlMsg::SnapifyResume { pid } => {
@@ -209,8 +222,19 @@ impl CoiDaemon {
     }
 
     fn handle_create(&self, ep: &ScifEndpoint, host_pid: u64, binary: &str) {
+        let _span = obs::span!(
+            "coi.daemon.create",
+            device = self.inner.device_index,
+            binary = binary
+        );
         let Some(bin) = self.inner.registry.get(binary) else {
-            let _ = ep.send(CtlMsg::CreateProcessReply { pid: 0, ports: [0; 4] }.encode());
+            let _ = ep.send(
+                CtlMsg::CreateProcessReply {
+                    pid: 0,
+                    ports: [0; 4],
+                }
+                .encode(),
+            );
             return;
         };
         // Process spawn + binary copy over PCIe + dynamic load (§2).
@@ -236,7 +260,11 @@ impl CoiDaemon {
                 let pid = rt.proc().pid().0;
                 self.inner.entries.lock().insert(
                     pid,
-                    DaemonEntry { runtime: rt.clone(), intentional_exit: false, pipe: None },
+                    DaemonEntry {
+                        runtime: rt.clone(),
+                        intentional_exit: false,
+                        pipe: None,
+                    },
                 );
                 // Watchdog: notice unintentional exits (crashes).
                 let daemon = self.clone();
@@ -257,12 +285,19 @@ impl CoiDaemon {
                 let _ = ep.send(CtlMsg::CreateProcessReply { pid, ports }.encode());
             }
             Err(_) => {
-                let _ = ep.send(CtlMsg::CreateProcessReply { pid: 0, ports: [0; 4] }.encode());
+                let _ = ep.send(
+                    CtlMsg::CreateProcessReply {
+                        pid: 0,
+                        ports: [0; 4],
+                    }
+                    .encode(),
+                );
             }
         }
     }
 
     fn handle_pause(&self, ep: &ScifEndpoint, pid: u64, path: String) {
+        obs::counter_add("coi.daemon.pause_requests", 1);
         let Some(rt) = self.runtime(pid) else {
             let _ = ep.send(CtlMsg::SnapifyPauseComplete { ok: false }.encode());
             return;
@@ -283,10 +318,20 @@ impl CoiDaemon {
     }
 
     fn handle_capture(&self, ep: &ScifEndpoint, pid: u64, path: String, terminate: bool) {
-        let pipe = self.inner.entries.lock().get(&pid).and_then(|e| e.pipe.clone());
+        let pipe = self
+            .inner
+            .entries
+            .lock()
+            .get(&pid)
+            .and_then(|e| e.pipe.clone());
         let Some(pipe) = pipe else {
-            let _ = ep
-                .send(CtlMsg::SnapifyCaptureComplete { ok: false, snapshot_bytes: 0 }.encode());
+            let _ = ep.send(
+                CtlMsg::SnapifyCaptureComplete {
+                    ok: false,
+                    snapshot_bytes: 0,
+                }
+                .encode(),
+            );
             return;
         };
         if terminate {
@@ -294,7 +339,9 @@ impl CoiDaemon {
                 entry.intentional_exit = true;
             }
         }
-        let _ = pipe.to_offload.send(PipeMsg::CaptureReq { path, terminate });
+        let _ = pipe
+            .to_offload
+            .send(PipeMsg::CaptureReq { path, terminate });
         self.register_request(ActiveRequest {
             pid,
             pipe,
@@ -304,7 +351,12 @@ impl CoiDaemon {
     }
 
     fn handle_resume(&self, ep: &ScifEndpoint, pid: u64) {
-        let pipe = self.inner.entries.lock().get(&pid).and_then(|e| e.pipe.clone());
+        let pipe = self
+            .inner
+            .entries
+            .lock()
+            .get(&pid)
+            .and_then(|e| e.pipe.clone());
         let Some(pipe) = pipe else {
             let _ = ep.send(CtlMsg::SnapifyResumeComplete.encode());
             return;
@@ -319,6 +371,11 @@ impl CoiDaemon {
     }
 
     fn handle_restore(&self, ep: &ScifEndpoint, path: &str, _host_pid: u64) {
+        let _span = obs::span!(
+            "coi.daemon.restore",
+            device = self.inner.device_index,
+            path = path
+        );
         let server = self.inner.scif.server().clone();
         let node_id = self.inner.node.id();
         let restored = OffloadRuntime::restore(
@@ -400,9 +457,11 @@ impl CoiDaemon {
             mon.running = true;
             drop(mon);
             let daemon = self.clone();
-            self.inner.daemon_proc.spawn_service("snapify-monitor", move || {
-                daemon.monitor_loop();
-            });
+            self.inner
+                .daemon_proc
+                .spawn_service("snapify-monitor", move || {
+                    daemon.monitor_loop();
+                });
         }
     }
 

@@ -138,7 +138,10 @@ impl CoiProcessHandle {
             device: SimMutex::new(format!("hdl dev {pid_tag}"), device),
             pid: SimMutex::new(format!("hdl pid {pid_tag}"), 0),
             eps: SimMutex::new(format!("hdl eps {pid_tag}"), None),
-            pending: Arc::new(SimMutex::new(format!("hdl pending {pid_tag}"), HashMap::new())),
+            pending: Arc::new(SimMutex::new(
+                format!("hdl pending {pid_tag}"),
+                HashMap::new(),
+            )),
             next_run_id: SimMutex::new(format!("hdl runid {pid_tag}"), 1),
             next_buf_id: SimMutex::new(format!("hdl bufid {pid_tag}"), 1),
             buffers: SimMutex::new(format!("hdl buffers {pid_tag}"), BTreeMap::new()),
@@ -164,8 +167,11 @@ impl CoiProcessHandle {
     fn create_locked(&self, device: usize, binary: &str) -> Result<(), CoiError> {
         let ctl = self.connect_ctl(device)?;
         ctl.send(
-            CtlMsg::CreateProcess { host_pid: self.inner.host_proc.pid().0, binary: binary.into() }
-                .encode(),
+            CtlMsg::CreateProcess {
+                host_pid: self.inner.host_proc.pid().0,
+                binary: binary.into(),
+            }
+            .encode(),
         )
         .map_err(CoiError::Scif)?;
         let reply = self.await_reply()?;
@@ -251,7 +257,10 @@ impl CoiProcessHandle {
             });
         }
         // Log / event server threads (§4.1 case 3, host-server side).
-        for (is_log, ep) in [(true, endpoints.log.clone()), (false, endpoints.event.clone())] {
+        for (is_log, ep) in [
+            (true, endpoints.log.clone()),
+            (false, endpoints.event.clone()),
+        ] {
             let me = self.clone();
             let name = if is_log { "log-server" } else { "event-server" };
             self.inner.host_proc.spawn_service(name, move || {
@@ -344,10 +353,18 @@ impl CoiProcessHandle {
         };
         self.inner.config.charge_hook();
         let send = cmd.send(CmdMsg::CreateBuffer { id, size }.encode());
-        let reply = if send.is_ok() { Self::await_cmd(&cmd) } else { Err(CoiError::Closed) };
+        let reply = if send.is_ok() {
+            Self::await_cmd(&cmd)
+        } else {
+            Err(CoiError::Closed)
+        };
         self.inner.cmd_lock.release();
         match reply? {
-            CmdMsg::BufferCreated { id: rid, addr, error } => {
+            CmdMsg::BufferCreated {
+                id: rid,
+                addr,
+                error,
+            } => {
                 if rid != id {
                     return Err(CoiError::Protocol("buffer id mismatch".into()));
                 }
@@ -362,7 +379,9 @@ impl CoiProcessHandle {
                 self.inner.buffers.lock().insert(id, Arc::clone(&buf));
                 Ok(buf)
             }
-            other => Err(CoiError::Protocol(format!("unexpected cmd reply {other:?}"))),
+            other => Err(CoiError::Protocol(format!(
+                "unexpected cmd reply {other:?}"
+            ))),
         }
     }
 
@@ -378,7 +397,11 @@ impl CoiProcessHandle {
         };
         self.inner.config.charge_hook();
         let send = cmd.send(CmdMsg::DestroyBuffer { id: buf.id }.encode());
-        let reply = if send.is_ok() { Self::await_cmd(&cmd) } else { Err(CoiError::Closed) };
+        let reply = if send.is_ok() {
+            Self::await_cmd(&cmd)
+        } else {
+            Err(CoiError::Closed)
+        };
         self.inner.cmd_lock.release();
         reply?;
         self.inner.buffers.lock().remove(&buf.id);
@@ -499,11 +522,17 @@ impl CoiProcessHandle {
         };
         self.inner.config.charge_hook();
         let send = cmd.send(CmdMsg::Ping.encode());
-        let reply = if send.is_ok() { Self::await_cmd(&cmd) } else { Err(CoiError::Closed) };
+        let reply = if send.is_ok() {
+            Self::await_cmd(&cmd)
+        } else {
+            Err(CoiError::Closed)
+        };
         self.inner.cmd_lock.release();
         match reply? {
             CmdMsg::Pong => Ok(()),
-            other => Err(CoiError::Protocol(format!("unexpected ping reply {other:?}"))),
+            other => Err(CoiError::Protocol(format!(
+                "unexpected ping reply {other:?}"
+            ))),
         }
     }
 
@@ -522,7 +551,9 @@ impl CoiProcessHandle {
             .map_err(CoiError::Scif)?;
         let reply = self.await_reply()?;
         if !matches!(reply, CtlMsg::DestroyAck) {
-            return Err(CoiError::Protocol(format!("unexpected destroy reply {reply:?}")));
+            return Err(CoiError::Protocol(format!(
+                "unexpected destroy reply {reply:?}"
+            )));
         }
         self.close_endpoints();
         Ok(())
@@ -577,7 +608,8 @@ impl CoiProcessHandle {
         };
         self.inner.cmd_lock.acquire();
         self.inner.config.charge_hook();
-        cmd.send(CmdMsg::Shutdown.encode()).map_err(CoiError::Scif)?;
+        cmd.send(CmdMsg::Shutdown.encode())
+            .map_err(CoiError::Scif)?;
         loop {
             let p = cmd.recv().map_err(CoiError::Scif)?;
             if matches!(CmdMsg::decode(&p), Ok(CmdMsg::ShutdownAck)) {

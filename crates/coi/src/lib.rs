@@ -196,12 +196,16 @@ mod tests {
             let host = w.create_host_process("app");
             let h = w.create_process(&host, 0, "test.so").unwrap();
             let buf = h.create_buffer(4).unwrap();
-            h.buffer_write(&buf, Payload::bytes(vec![10, 20, 30, 40])).unwrap();
+            h.buffer_write(&buf, Payload::bytes(vec![10, 20, 30, 40]))
+                .unwrap();
             let ret = h.run_sync("sum", Vec::new(), &[&buf]).unwrap();
             assert_eq!(u64::from_le_bytes(ret.try_into().unwrap()), 100);
             // In-place mutation visible to a later read.
             h.run_sync("inc", Vec::new(), &[&buf]).unwrap();
-            assert_eq!(h.buffer_read(&buf).unwrap().to_bytes(), vec![11, 21, 31, 41]);
+            assert_eq!(
+                h.buffer_read(&buf).unwrap().to_bytes(),
+                vec![11, 21, 31, 41]
+            );
             h.destroy().unwrap();
         });
     }
@@ -224,7 +228,9 @@ mod tests {
             let (w, _) = world();
             let host = w.create_host_process("app");
             let h = w.create_process(&host, 0, "test.so").unwrap();
-            let ret = h.run_sync("steps", 5u64.to_le_bytes().to_vec(), &[]).unwrap();
+            let ret = h
+                .run_sync("steps", 5u64.to_le_bytes().to_vec(), &[])
+                .unwrap();
             // acc = 1+2+3+4+5 = 15
             assert_eq!(u64::from_le_bytes(ret.try_into().unwrap()), 15);
             h.destroy().unwrap();

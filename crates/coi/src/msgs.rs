@@ -121,7 +121,11 @@ impl CtlMsg {
                 Enc::new().tag(5).u64(*pid).string(path).payload()
             }
             CtlMsg::SnapifyPauseComplete { ok } => Enc::new().tag(6).boolean(*ok).payload(),
-            CtlMsg::SnapifyCapture { pid, path, terminate } => Enc::new()
+            CtlMsg::SnapifyCapture {
+                pid,
+                path,
+                terminate,
+            } => Enc::new()
                 .tag(7)
                 .u64(*pid)
                 .string(path)
@@ -137,24 +141,28 @@ impl CtlMsg {
             CtlMsg::SnapifyRestore { path, host_pid } => {
                 Enc::new().tag(11).string(path).u64(*host_pid).payload()
             }
-            CtlMsg::SnapifyRestoreReply { pid, ports, addr_table, breakdown, error } => {
-                Enc::new()
-                    .tag(12)
-                    .u64(*pid)
-                    .u16(ports[0])
-                    .u16(ports[1])
-                    .u16(ports[2])
-                    .u16(ports[3])
-                    .list(addr_table, |e, (id, size, old, new)| {
-                        e.u64(*id).u64(*size).u64(*old).u64(*new)
-                    })
-                    .u64(breakdown.0)
-                    .u64(breakdown.1)
-                    .u64(breakdown.2)
-                    .u64(breakdown.3)
-                    .string(error)
-                    .payload()
-            }
+            CtlMsg::SnapifyRestoreReply {
+                pid,
+                ports,
+                addr_table,
+                breakdown,
+                error,
+            } => Enc::new()
+                .tag(12)
+                .u64(*pid)
+                .u16(ports[0])
+                .u16(ports[1])
+                .u16(ports[2])
+                .u16(ports[3])
+                .list(addr_table, |e, (id, size, old, new)| {
+                    e.u64(*id).u64(*size).u64(*old).u64(*new)
+                })
+                .u64(breakdown.0)
+                .u64(breakdown.1)
+                .u64(breakdown.2)
+                .u64(breakdown.3)
+                .string(error)
+                .payload(),
         }
     }
 
@@ -252,12 +260,13 @@ impl CmdMsg {
         match self {
             CmdMsg::Ping => Enc::new().tag(1).payload(),
             CmdMsg::Pong => Enc::new().tag(2).payload(),
-            CmdMsg::CreateBuffer { id, size } => {
-                Enc::new().tag(3).u64(*id).u64(*size).payload()
-            }
-            CmdMsg::BufferCreated { id, addr, error } => {
-                Enc::new().tag(4).u64(*id).u64(*addr).string(error).payload()
-            }
+            CmdMsg::CreateBuffer { id, size } => Enc::new().tag(3).u64(*id).u64(*size).payload(),
+            CmdMsg::BufferCreated { id, addr, error } => Enc::new()
+                .tag(4)
+                .u64(*id)
+                .u64(*addr)
+                .string(error)
+                .payload(),
             CmdMsg::DestroyBuffer { id } => Enc::new().tag(5).u64(*id).payload(),
             CmdMsg::BufferDestroyed { id } => Enc::new().tag(6).u64(*id).payload(),
             CmdMsg::Shutdown => Enc::new().tag(7).payload(),
@@ -361,7 +370,12 @@ impl RunMsg {
     /// Encode for a SCIF message channel.
     pub fn encode(&self) -> Payload {
         match self {
-            RunMsg::Request { id, function, args, buffers } => Enc::new()
+            RunMsg::Request {
+                id,
+                function,
+                args,
+                buffers,
+            } => Enc::new()
                 .tag(1)
                 .u64(*id)
                 .string(function)
@@ -369,9 +383,7 @@ impl RunMsg {
                 .list(buffers, |e, b| e.u64(*b))
                 .payload(),
             RunMsg::Result { id, ret } => Enc::new().tag(2).u64(*id).bytes(ret).payload(),
-            RunMsg::Error { id, message } => {
-                Enc::new().tag(3).u64(*id).string(message).payload()
-            }
+            RunMsg::Error { id, message } => Enc::new().tag(3).u64(*id).string(message).payload(),
         }
     }
 
@@ -444,17 +456,36 @@ mod tests {
     #[test]
     fn ctl_roundtrip() {
         let msgs = vec![
-            CtlMsg::CreateProcess { host_pid: 7, binary: "md.so".into() },
-            CtlMsg::CreateProcessReply { pid: 9, ports: [1, 2, 3, 4] },
+            CtlMsg::CreateProcess {
+                host_pid: 7,
+                binary: "md.so".into(),
+            },
+            CtlMsg::CreateProcessReply {
+                pid: 9,
+                ports: [1, 2, 3, 4],
+            },
             CtlMsg::DestroyProcess { pid: 9 },
             CtlMsg::DestroyAck,
-            CtlMsg::SnapifyPause { pid: 9, path: "/snap".into() },
+            CtlMsg::SnapifyPause {
+                pid: 9,
+                path: "/snap".into(),
+            },
             CtlMsg::SnapifyPauseComplete { ok: true },
-            CtlMsg::SnapifyCapture { pid: 9, path: "/snap".into(), terminate: false },
-            CtlMsg::SnapifyCaptureComplete { ok: true, snapshot_bytes: 12345 },
+            CtlMsg::SnapifyCapture {
+                pid: 9,
+                path: "/snap".into(),
+                terminate: false,
+            },
+            CtlMsg::SnapifyCaptureComplete {
+                ok: true,
+                snapshot_bytes: 12345,
+            },
             CtlMsg::SnapifyResume { pid: 9 },
             CtlMsg::SnapifyResumeComplete,
-            CtlMsg::SnapifyRestore { path: "/snap".into(), host_pid: 7 },
+            CtlMsg::SnapifyRestore {
+                path: "/snap".into(),
+                host_pid: 7,
+            },
             CtlMsg::SnapifyRestoreReply {
                 pid: 10,
                 ports: [5, 6, 7, 8],
@@ -473,9 +504,20 @@ mod tests {
         let msgs = vec![
             CmdMsg::Ping,
             CmdMsg::Pong,
-            CmdMsg::CreateBuffer { id: 3, size: 1 << 20 },
-            CmdMsg::BufferCreated { id: 3, addr: 0x5000, error: String::new() },
-            CmdMsg::BufferCreated { id: 4, addr: 0, error: "oom".into() },
+            CmdMsg::CreateBuffer {
+                id: 3,
+                size: 1 << 20,
+            },
+            CmdMsg::BufferCreated {
+                id: 3,
+                addr: 0x5000,
+                error: String::new(),
+            },
+            CmdMsg::BufferCreated {
+                id: 4,
+                addr: 0,
+                error: "oom".into(),
+            },
             CmdMsg::DestroyBuffer { id: 3 },
             CmdMsg::BufferDestroyed { id: 3 },
             CmdMsg::Shutdown,
@@ -502,8 +544,14 @@ mod tests {
                 args: vec![9, 9],
                 buffers: vec![0, 1, 2],
             },
-            RunMsg::Result { id: 1, ret: vec![5] },
-            RunMsg::Error { id: 2, message: "no such function".into() },
+            RunMsg::Result {
+                id: 1,
+                ret: vec![5],
+            },
+            RunMsg::Error {
+                id: 2,
+                message: "no such function".into(),
+            },
         ] {
             assert_eq!(RunMsg::decode(&m.encode()).unwrap(), m);
         }

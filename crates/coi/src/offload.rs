@@ -28,6 +28,7 @@ use std::sync::Arc;
 use blcr_sim::BlcrConfig;
 use phi_platform::{NodeId, Payload, SimNode};
 use scif_sim::{RdmaAddr, Scif, ScifEndpoint};
+use simkernel::obs;
 use simkernel::{SimChannel, SimCondvar, SimMutex};
 use simproc::{signum, PidAllocator, Signals, SimProcess};
 
@@ -194,7 +195,15 @@ impl OffloadRuntime {
             .map_region("base", Payload::synthetic(0xBA5E, binary.resident_bytes))
             .map_err(|e| CoiError::OutOfMemory(e.to_string()))?;
         let rt = Self::build(
-            config, blcr, scif, node, proc, binary, host_pid, storage, signal_latency,
+            config,
+            blcr,
+            scif,
+            node,
+            proc,
+            binary,
+            host_pid,
+            storage,
+            signal_latency,
             PipelineState {
                 queue: VecDeque::new(),
                 active: None,
@@ -296,11 +305,17 @@ impl OffloadRuntime {
 
     fn start_threads(&self) {
         let rt = self.clone();
-        self.inner.proc.spawn_service("run-recv", move || rt.run_receiver());
+        self.inner
+            .proc
+            .spawn_service("run-recv", move || rt.run_receiver());
         let rt = self.clone();
-        self.inner.proc.spawn_service("executor", move || rt.executor());
+        self.inner
+            .proc
+            .spawn_service("executor", move || rt.executor());
         let rt = self.clone();
-        self.inner.proc.spawn_service("cmd-server", move || rt.cmd_server());
+        self.inner
+            .proc
+            .spawn_service("cmd-server", move || rt.cmd_server());
         let rt = self.clone();
         self.inner.proc.spawn_service("log-client", move || {
             rt.stream_client(true);
@@ -449,9 +464,19 @@ impl OffloadRuntime {
                 Err(_) => return,
             };
             match RunMsg::decode(&payload) {
-                Ok(RunMsg::Request { id, function, args, buffers }) => {
+                Ok(RunMsg::Request {
+                    id,
+                    function,
+                    args,
+                    buffers,
+                }) => {
                     let mut st = self.inner.pstate.lock();
-                    st.queue.push_back(RunRequest { id, function, args, buffers });
+                    st.queue.push_back(RunRequest {
+                        id,
+                        function,
+                        args,
+                        buffers,
+                    });
                     st.enqueued += 1;
                     drop(st);
                     self.inner.pcv.notify_all();
@@ -573,7 +598,10 @@ impl OffloadRuntime {
         if let Some(ep) = ep {
             let msg = match &ret {
                 Ok(r) => RunMsg::Result { id, ret: r.clone() },
-                Err(m) => RunMsg::Error { id, message: m.clone() },
+                Err(m) => RunMsg::Error {
+                    id,
+                    message: m.clone(),
+                },
             };
             let _ = ep.send(msg.encode());
         }
@@ -616,9 +644,17 @@ impl OffloadRuntime {
                             let addr = self.inner.scif.register(&self.inner.proc, &buf_region(id));
                             self.inner.buffers.lock().insert(id, BufMeta { size, addr });
                             self.enqueue_event(format!("buffer:{id}:created").into_bytes());
-                            CmdMsg::BufferCreated { id, addr: addr.0, error: String::new() }
+                            CmdMsg::BufferCreated {
+                                id,
+                                addr: addr.0,
+                                error: String::new(),
+                            }
                         }
-                        Err(oom) => CmdMsg::BufferCreated { id, addr: 0, error: oom.to_string() },
+                        Err(oom) => CmdMsg::BufferCreated {
+                            id,
+                            addr: 0,
+                            error: oom.to_string(),
+                        },
                     };
                     let _ = ep.send(reply.encode());
                 }
@@ -643,8 +679,16 @@ impl OffloadRuntime {
     /// Log (`is_log`) or event client: drains the local queue into the
     /// SCIF channel under the channel's client lock.
     fn stream_client(&self, is_log: bool) {
-        let q = if is_log { &self.inner.log_q } else { &self.inner.event_q };
-        let lock = if is_log { &self.inner.log_lock } else { &self.inner.event_lock };
+        let q = if is_log {
+            &self.inner.log_q
+        } else {
+            &self.inner.event_q
+        };
+        let lock = if is_log {
+            &self.inner.log_lock
+        } else {
+            &self.inner.event_lock
+        };
         loop {
             let rec = match q.recv() {
                 Ok(r) => r,
@@ -725,6 +769,7 @@ impl OffloadRuntime {
     /// result sends and wait for the pipeline channels to empty (case 4),
     /// then save the local store to the host snapshot directory.
     fn do_pause(&self, path: &str) -> bool {
+        let _span = obs::span!("coi.pause", path = path);
         let eps = match self.inner.eps.lock().as_ref() {
             Some(e) => Endpoints {
                 run: e.run.clone(),
@@ -737,7 +782,11 @@ impl OffloadRuntime {
         // Case 3, offload-client channels: lock out the clients and send
         // the shutdown marker; the host-side server acks when it has seen
         // it, proving the channel carries nothing after the marker.
-        for (lock, ep) in [(&self.inner.log_lock, &eps.log), (&self.inner.event_lock, &eps.event)] {
+        let drain_span = obs::span!("coi.pause.drain");
+        for (lock, ep) in [
+            (&self.inner.log_lock, &eps.log),
+            (&self.inner.event_lock, &eps.event),
+        ] {
             lock.acquire();
             self.inner.config.charge_hook();
             if ep.send(StreamMsg::Shutdown.encode()).is_err() {
@@ -769,6 +818,7 @@ impl OffloadRuntime {
         while eps.run.outbound_pending() > 0 {
             simkernel::sleep(self.inner.config.poll_interval);
         }
+        drop(drain_span);
         // Park the executor at a step boundary before touching the local
         // store: otherwise a running offload function could keep mutating
         // COI buffers after their contents were saved, making the local
@@ -778,6 +828,7 @@ impl OffloadRuntime {
         self.park_executor();
         // Save the local store "on the fly" to the host (§4.1; the bars
         // labelled Pause in Fig 10 are dominated by this for SS/SG).
+        let _save = obs::span!("coi.pause.save_store");
         self.save_local_store(path).is_ok()
     }
 
@@ -790,12 +841,17 @@ impl OffloadRuntime {
         let manifest = Enc::new()
             .string(self.inner.binary.name())
             .u64(self.inner.host_pid)
-            .list(&bufs, |e, (id, size, addr)| e.u64(*id).u64(*size).u64(addr.0))
+            .list(&bufs, |e, (id, size, addr)| {
+                e.u64(*id).u64(*size).u64(addr.0)
+            })
             .into_bytes();
         let mut sink = self
             .inner
             .storage
-            .sink(self.inner.node.id(), &format!("{path}/local_store/manifest"))
+            .sink(
+                self.inner.node.id(),
+                &format!("{path}/local_store/manifest"),
+            )
             .map_err(|e| CoiError::Io(e.to_string()))?;
         sink.write(Payload::bytes(manifest))
             .and_then(|_| sink.close())
@@ -840,8 +896,12 @@ impl OffloadRuntime {
     /// until resume.
     fn do_capture(&self, path: &str, terminate: bool) -> Result<u64, CoiError> {
         let _ = terminate;
+        let _span = obs::span!("coi.capture", path = path);
         self.park_executor();
         let runtime_state = self.serialize_state();
+        // The snapshot transfer proper: streaming the BLCR process image
+        // out of the device into the snapshot store.
+        let transfer = obs::span!("snapify.transfer", path = path);
         let mut sink = self
             .inner
             .storage
@@ -855,6 +915,8 @@ impl OffloadRuntime {
             &|name| !name.starts_with(BUF_REGION_PREFIX),
         )
         .map_err(|e| CoiError::Io(e.to_string()))?;
+        drop(transfer);
+        obs::histogram_observe("coi.device_snapshot_bytes", stats.snapshot_bytes);
         Ok(stats.snapshot_bytes)
     }
 
@@ -901,7 +963,9 @@ impl OffloadRuntime {
         // Buffer table.
         let table: Vec<(u64, u64, u64)> =
             bufs.iter().map(|(id, m)| (*id, m.size, m.addr.0)).collect();
-        e = e.list(&table, |e, (id, size, addr)| e.u64(*id).u64(*size).u64(*addr));
+        e = e.list(&table, |e, (id, size, addr)| {
+            e.u64(*id).u64(*size).u64(*addr)
+        });
         e.into_bytes()
     }
 
@@ -923,7 +987,11 @@ impl OffloadRuntime {
     ) -> Result<(OffloadRuntime, [u16; 4], AddrTable, RestoreBreakdown), CoiError> {
         let mut breakdown = RestoreBreakdown::default();
         // 1. Manifest: which buffers (and their old addresses) exist.
-        let manifest = read_all(&*storage, node.id(), &format!("{path}/local_store/manifest"))?;
+        let manifest = read_all(
+            &*storage,
+            node.id(),
+            &format!("{path}/local_store/manifest"),
+        )?;
         let manifest_bytes = manifest.to_bytes();
         let mut d = Dec::new(&manifest_bytes);
         let binary_name = d.string().map_err(|e| CoiError::Protocol(e.to_string()))?;
@@ -938,10 +1006,14 @@ impl OffloadRuntime {
 
         // 2. Copy the runtime libraries to the coprocessor "on the fly".
         let t0 = simkernel::now();
-        library_copy(binary.image_bytes);
+        {
+            let _s = obs::span!("coi.restore.library_copy", bytes = binary.image_bytes);
+            library_copy(binary.image_bytes);
+        }
         breakdown.library_copy_ns = (simkernel::now() - t0).as_nanos();
 
         // 3. Copy the local store to the coprocessor.
+        let store_span = obs::span!("coi.restore.store_copy");
         let t0 = simkernel::now();
         let mut stores: Vec<(u64, u64, u64, Payload)> = Vec::new();
         for (id, size, old_addr) in &buf_list {
@@ -950,12 +1022,18 @@ impl OffloadRuntime {
                 node.id(),
                 &format!("{path}/local_store/buf_{id}"),
             )?;
-            assert_eq!(content.len(), *size, "local store size mismatch for buf {id}");
+            assert_eq!(
+                content.len(),
+                *size,
+                "local store size mismatch for buf {id}"
+            );
             stores.push((*id, *size, *old_addr, content));
         }
         breakdown.store_copy_ns = (simkernel::now() - t0).as_nanos();
+        drop(store_span);
 
         // 4. BLCR restart of the process image.
+        let blcr_span = obs::span!("coi.restore.blcr_restart");
         let t0 = simkernel::now();
         let mut src = storage
             .source(node.id(), &format!("{path}/device_snapshot"))
@@ -963,6 +1041,7 @@ impl OffloadRuntime {
         let restarted = blcr_sim::restart(blcr, node, pids, src.as_mut())
             .map_err(|e| CoiError::Io(e.to_string()))?;
         breakdown.blcr_restart_ns = (simkernel::now() - t0).as_nanos();
+        drop(blcr_span);
         let proc = restarted.proc;
 
         // 5. Parse the runtime state.
@@ -986,7 +1065,12 @@ impl OffloadRuntime {
                     _ => RunPhase::ResultPending(Err(d.string().map_err(perr)?)),
                 };
                 Some(ActiveRun {
-                    req: RunRequest { id, function, args, buffers },
+                    req: RunRequest {
+                        id,
+                        function,
+                        args,
+                        buffers,
+                    },
                     phase,
                 })
             }
@@ -1002,12 +1086,14 @@ impl OffloadRuntime {
             })
             .map_err(perr)?
             .into();
-        let _buffer_table: Vec<(u64, u64, u64)> =
-            d.list(|d| Ok((d.u64()?, d.u64()?, d.u64()?))).map_err(perr)?;
+        let _buffer_table: Vec<(u64, u64, u64)> = d
+            .list(|d| Ok((d.u64()?, d.u64()?, d.u64()?)))
+            .map_err(perr)?;
 
         // 6. Re-map the local store and re-register the windows; the
         //    re-registration returns *new* addresses, so build the
         //    (old, new) lookup table.
+        let rereg_span = obs::span!("coi.restore.reregistration");
         let t0 = simkernel::now();
         let mut buffers = BTreeMap::new();
         let mut addr_table = Vec::new();
@@ -1016,10 +1102,17 @@ impl OffloadRuntime {
                 .map_region(&buf_region(id), content)
                 .map_err(|e| CoiError::OutOfMemory(e.to_string()))?;
             let new_addr = scif.register(&proc, &buf_region(id));
-            buffers.insert(id, BufMeta { size, addr: new_addr });
+            buffers.insert(
+                id,
+                BufMeta {
+                    size,
+                    addr: new_addr,
+                },
+            );
             addr_table.push((id, size, old_addr, new_addr.0));
         }
         breakdown.reregistration_ns = (simkernel::now() - t0).as_nanos();
+        drop(rereg_span);
 
         // 7. Build the runtime, initially paused (barrier up) until
         //    snapify_resume (§4.3: "not fully active after restore").
@@ -1090,11 +1183,7 @@ impl OffloadRuntime {
     }
 }
 
-fn read_all(
-    storage: &dyn SnapshotStorage,
-    node: NodeId,
-    path: &str,
-) -> Result<Payload, CoiError> {
+fn read_all(storage: &dyn SnapshotStorage, node: NodeId, path: &str) -> Result<Payload, CoiError> {
     let mut src = storage
         .source(node, path)
         .map_err(|e| CoiError::Io(e.to_string()))?;

@@ -104,9 +104,10 @@ impl<'a> Dec<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
         // Checked arithmetic: a hostile/corrupt length prefix must not
         // overflow the bounds check.
-        let end = self.pos.checked_add(n).ok_or_else(|| {
-            DecodeError(format!("length overflow: {n} at {}", self.pos))
-        })?;
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| DecodeError(format!("length overflow: {n} at {}", self.pos)))?;
         if end > self.buf.len() {
             return Err(DecodeError(format!(
                 "truncated: need {n} at {}, have {}",

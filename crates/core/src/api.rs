@@ -20,6 +20,7 @@ use std::sync::Arc;
 
 use coi_sim::msgs::CtlMsg;
 use coi_sim::{CoiError, CoiProcessHandle};
+use simkernel::obs;
 use simkernel::{Semaphore, SimMutex};
 
 use crate::SnapifyError;
@@ -60,15 +61,9 @@ impl SnapifyT {
             sem: Semaphore::new(format!("snapify {path}"), 0),
             proc: proc.clone(),
             capture_result: Arc::new(SimMutex::new(format!("snapify result {path}"), None)),
-            capture_completed_at: Arc::new(SimMutex::new(
-                format!("snapify done-at {path}"),
-                None,
-            )),
+            capture_completed_at: Arc::new(SimMutex::new(format!("snapify done-at {path}"), None)),
             terminated: Arc::new(SimMutex::new(format!("snapify term {path}"), false)),
-            restore_breakdown: Arc::new(SimMutex::new(
-                format!("snapify restore-bd {path}"),
-                None,
-            )),
+            restore_breakdown: Arc::new(SimMutex::new(format!("snapify restore-bd {path}"), None)),
             snapshot_path: path,
         }
     }
@@ -113,6 +108,12 @@ impl SnapifyT {
 /// Blocking. The channels stay quiesced until [`snapify_resume`].
 pub fn snapify_pause(snapshot: &SnapifyT) -> Result<(), SnapifyError> {
     let handle = &snapshot.proc;
+    let _span = obs::span!(
+        "snapify.pause",
+        pid = handle.pid(),
+        device = handle.device(),
+        path = snapshot.snapshot_path
+    );
 
     // Save copies of the runtime libraries needed by the offload process
     // from the host file system into the snapshot directory (§4.1 — an
@@ -136,7 +137,9 @@ pub fn snapify_pause(snapshot: &SnapifyT) -> Result<(), SnapifyError> {
         CtlMsg::SnapifyPauseComplete { ok: false } => {
             Err(SnapifyError::Protocol("offload pause failed".into()))
         }
-        other => Err(SnapifyError::Protocol(format!("unexpected reply {other:?}"))),
+        other => Err(SnapifyError::Protocol(format!(
+            "unexpected reply {other:?}"
+        ))),
     }
 }
 
@@ -162,8 +165,15 @@ pub fn snapify_capture(snapshot: &SnapifyT, terminate: bool) -> Result<(), Snapi
         .host_proc()
         .clone()
         .spawn_thread("snapify-capture-wait", move || {
+            // The capture span lives on the waiter thread: it opens when
+            // the request is in flight and closes when the daemon reports
+            // the snapshot written — the true device-side capture window.
+            let span = obs::span!("snapify.capture", pid = handle.pid(), terminate = terminate);
             let outcome = match handle.snapify_await_capture() {
-                Ok(CtlMsg::SnapifyCaptureComplete { ok: true, snapshot_bytes }) => {
+                Ok(CtlMsg::SnapifyCaptureComplete {
+                    ok: true,
+                    snapshot_bytes,
+                }) => {
                     if terminate {
                         *term_slot.lock() = true;
                         handle.snapify_detach();
@@ -173,6 +183,10 @@ pub fn snapify_capture(snapshot: &SnapifyT, terminate: bool) -> Result<(), Snapi
                 Ok(_) => Err(SnapifyError::Protocol("capture failed".into())),
                 Err(e) => Err(SnapifyError::Coi(e)),
             };
+            drop(span);
+            if let Ok(bytes) = &outcome {
+                obs::counter_add("snapify.device_snapshot_bytes", *bytes);
+            }
             *done_at_slot.lock() = Some(simkernel::now());
             *result_slot.lock() = Some(outcome);
             sem.post();
@@ -183,6 +197,7 @@ pub fn snapify_capture(snapshot: &SnapifyT, terminate: bool) -> Result<(), Snapi
 /// Block until the pending capture completes (`snapify_wait`). Returns
 /// the device snapshot size.
 pub fn snapify_wait(snapshot: &SnapifyT) -> Result<u64, SnapifyError> {
+    let _span = obs::span!("snapify.wait");
     snapshot.sem.wait();
     snapshot
         .capture_result
@@ -195,13 +210,20 @@ pub fn snapify_wait(snapshot: &SnapifyT) -> Result<u64, SnapifyError> {
 /// reopen the drained channels (§4.2).
 pub fn snapify_resume(snapshot: &SnapifyT) -> Result<(), SnapifyError> {
     let handle = &snapshot.proc;
+    let _span = obs::span!(
+        "snapify.resume",
+        pid = handle.pid(),
+        device = handle.device()
+    );
     handle.snapify_send_ctl(CtlMsg::SnapifyResume { pid: handle.pid() })?;
     match handle.snapify_await_reply()? {
         CtlMsg::SnapifyResumeComplete => {
             handle.snapify_release_host();
             Ok(())
         }
-        other => Err(SnapifyError::Protocol(format!("unexpected reply {other:?}"))),
+        other => Err(SnapifyError::Protocol(format!(
+            "unexpected reply {other:?}"
+        ))),
     }
 }
 
@@ -212,6 +234,11 @@ pub fn snapify_resume(snapshot: &SnapifyT) -> Result<(), SnapifyError> {
 /// [`snapify_resume`].
 pub fn snapify_restore(snapshot: &SnapifyT, device: usize) -> Result<(), SnapifyError> {
     let handle = &snapshot.proc;
+    let _span = obs::span!(
+        "snapify.restore",
+        device = device,
+        path = snapshot.snapshot_path
+    );
     // Fresh ctl connection to the *target* device's daemon.
     let ctl = handle.snapify_connect_ctl(device)?;
     ctl.send(
@@ -223,12 +250,24 @@ pub fn snapify_restore(snapshot: &SnapifyT, device: usize) -> Result<(), Snapify
     )
     .map_err(|e| SnapifyError::Coi(CoiError::Scif(e)))?;
     match handle.snapify_await_reply()? {
-        CtlMsg::SnapifyRestoreReply { pid, ports, addr_table, breakdown, error } => {
+        CtlMsg::SnapifyRestoreReply {
+            pid,
+            ports,
+            addr_table,
+            breakdown,
+            error,
+        } => {
             if pid == 0 {
                 return Err(SnapifyError::RestoreFailed(error));
             }
             handle.snapify_attach(device, pid, ports, &addr_table, ctl)?;
             *snapshot.terminated.lock() = false;
+            // The paper's restart breakdown (Fig 10), as histograms so
+            // repeated restores aggregate into distributions.
+            obs::histogram_observe("snapify.restore.library_copy_ns", breakdown.0);
+            obs::histogram_observe("snapify.restore.store_copy_ns", breakdown.1);
+            obs::histogram_observe("snapify.restore.blcr_restart_ns", breakdown.2);
+            obs::histogram_observe("snapify.restore.reregistration_ns", breakdown.3);
             *snapshot.restore_breakdown.lock() = Some(coi_sim::offload::RestoreBreakdown {
                 library_copy_ns: breakdown.0,
                 store_copy_ns: breakdown.1,
@@ -237,7 +276,9 @@ pub fn snapify_restore(snapshot: &SnapifyT, device: usize) -> Result<(), Snapify
             });
             Ok(())
         }
-        other => Err(SnapifyError::Protocol(format!("unexpected reply {other:?}"))),
+        other => Err(SnapifyError::Protocol(format!(
+            "unexpected reply {other:?}"
+        ))),
     }
 }
 
@@ -249,6 +290,7 @@ pub fn snapify_swapout(
     proc: &CoiProcessHandle,
     snapshot_path: &str,
 ) -> Result<SnapifyT, SnapifyError> {
+    let _span = obs::span!("snapify.swapout", pid = proc.pid(), path = snapshot_path);
     let snapshot = SnapifyT::new(proc, snapshot_path);
     snapify_pause(&snapshot)?;
     snapify_capture(&snapshot, true)?;
@@ -259,6 +301,7 @@ pub fn snapify_swapout(
 /// Swap the offload process back in on coprocessor `device_to` (Fig 6b):
 /// restore + resume.
 pub fn snapify_swapin(snapshot: &SnapifyT, device_to: usize) -> Result<(), SnapifyError> {
+    let _span = obs::span!("snapify.swapin", device = device_to);
     snapify_restore(snapshot, device_to)?;
     snapify_resume(snapshot)
 }
@@ -269,6 +312,12 @@ pub fn snapify_migrate(
     proc: &CoiProcessHandle,
     device_to: usize,
 ) -> Result<SnapifyT, SnapifyError> {
+    let _span = obs::span!(
+        "snapify.migrate",
+        pid = proc.pid(),
+        from = proc.device(),
+        to = device_to
+    );
     let path = format!("/tmp/snapify-migrate-{}", proc.pid());
     let snapshot = snapify_swapout(proc, &path)?;
     snapify_swapin(&snapshot, device_to)?;
@@ -277,10 +326,7 @@ pub fn snapify_migrate(
 
 /// The §4.1 library-copy step: MPSS keeps the device runtime libraries on
 /// the host fs, so pausing just copies them into the snapshot directory.
-fn copy_libraries_to_snapshot(
-    handle: &CoiProcessHandle,
-    path: &str,
-) -> Result<(), SnapifyError> {
+fn copy_libraries_to_snapshot(handle: &CoiProcessHandle, path: &str) -> Result<(), SnapifyError> {
     let world_fs = handle.host_fs();
     let image_bytes = handle.binary_image_bytes();
     world_fs.create_or_truncate(&format!("{path}/libraries"));

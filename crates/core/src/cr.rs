@@ -5,6 +5,7 @@
 
 use blcr_sim::BlcrConfig;
 use phi_platform::NodeId;
+use simkernel::obs;
 use simkernel::{SimDuration, SimTime};
 use simproc::{SimProcess, SnapshotStorage};
 
@@ -51,6 +52,12 @@ pub fn checkpoint_application(
     host_state: &[u8],
     snapshot_path: &str,
 ) -> Result<(SnapifyT, CheckpointReport), SnapifyError> {
+    let _span = obs::span!(
+        "snapify.checkpoint",
+        pid = handle.pid(),
+        device = handle.device(),
+        path = snapshot_path
+    );
     let t0 = simkernel::now();
     let snapshot = SnapifyT::new(handle, snapshot_path);
 
@@ -74,6 +81,9 @@ pub fn checkpoint_application(
     let t_done = simkernel::now();
 
     let local_store_bytes = local_store_bytes(world, snapshot_path);
+    obs::counter_add("snapify.checkpoints", 1);
+    obs::counter_add("snapify.host_snapshot_bytes", host_stats);
+    obs::counter_add("snapify.local_store_bytes", local_store_bytes);
     let report = CheckpointReport {
         pause: t_paused - t0,
         host_snapshot: t_host_done - t_paused,
@@ -94,6 +104,7 @@ pub fn host_checkpoint(
     host_state: &[u8],
     snapshot_path: &str,
 ) -> Result<u64, SnapifyError> {
+    let _span = obs::span!("snapify.host_checkpoint", pid = host_proc.pid());
     let storage: &dyn SnapshotStorage = world.io();
     let mut sink = storage
         .sink(NodeId::HOST, &format!("{snapshot_path}/host_snapshot"))
@@ -152,6 +163,7 @@ pub fn restart_application(
     binary: &str,
     device: usize,
 ) -> Result<RestartedApp, SnapifyError> {
+    let _span = obs::span!("snapify.restart", device = device, path = snapshot_path);
     let t0 = simkernel::now();
 
     // Host BLCR restart from the host snapshot.

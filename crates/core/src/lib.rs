@@ -76,11 +76,11 @@ pub use api::{
     snapify_swapin, snapify_swapout, snapify_wait, SnapifyT,
 };
 pub use cli::{Command, SnapifyCli};
-pub use scheduler::{JobId, SwapScheduler};
 pub use cr::{
     checkpoint_application, restart_application, CheckpointReport, CrTool, RestartReport,
     RestartedApp,
 };
+pub use scheduler::{JobId, SwapScheduler};
 pub use world::SnapifyWorld;
 
 /// Errors surfaced by the Snapify API.
@@ -178,7 +178,10 @@ mod tests {
 
             // Invariant at the heart of the paper: all channels drained.
             let rt = world.coi().daemon(0).runtime(h.pid()).unwrap();
-            assert!(rt.channels_drained(), "channels must be drained after pause");
+            assert!(
+                rt.channels_drained(),
+                "channels must be drained after pause"
+            );
 
             snapify_capture(&snap, false).unwrap();
             let bytes = snapify_wait(&snap).unwrap();
@@ -372,8 +375,13 @@ mod tests {
             cli.register(&h);
             let host_pid = h.host_proc().pid().0;
 
-            cli.submit(host_pid, Command::SwapOut { path: "/snap/cli".into() })
-                .unwrap();
+            cli.submit(
+                host_pid,
+                Command::SwapOut {
+                    path: "/snap/cli".into(),
+                },
+            )
+            .unwrap();
             assert!(cli.is_swapped_out(host_pid));
             assert_eq!(world.coi().daemon(0).live_processes(), 0);
 
@@ -381,10 +389,13 @@ mod tests {
             assert!(!cli.is_swapped_out(host_pid));
             assert_eq!(h.device(), 1);
 
-            cli.submit(host_pid, Command::Migrate { device: 0 }).unwrap();
+            cli.submit(host_pid, Command::Migrate { device: 0 })
+                .unwrap();
             assert_eq!(h.device(), 0);
 
-            let err = cli.submit(host_pid, Command::SwapIn { device: 0 }).unwrap_err();
+            let err = cli
+                .submit(host_pid, Command::SwapIn { device: 0 })
+                .unwrap_err();
             assert!(matches!(err, SnapifyError::Protocol(_)));
             assert!(cli.submit(9999, Command::Migrate { device: 0 }).is_err());
             h.destroy().unwrap();
@@ -399,12 +410,8 @@ mod tests {
             let (world, h) = setup();
             let buf = h.create_buffer(16).unwrap();
             h.buffer_write(&buf, Payload::bytes(vec![1u8; 16])).unwrap();
-            let tool = cr::CrTool::install(
-                &world,
-                &h,
-                Arc::new(|| b"auto".to_vec()),
-                "/snap/crtool",
-            );
+            let tool =
+                cr::CrTool::install(&world, &h, Arc::new(|| b"auto".to_vec()), "/snap/crtool");
             // Two transparent checkpoints, application untouched.
             let r1 = tool.request_checkpoint().unwrap();
             assert!(r1.device_snapshot_bytes > 0);
@@ -418,8 +425,7 @@ mod tests {
             assert!(fs.exists("/snap/crtool/1/host_snapshot"));
             h.destroy().unwrap();
             h.host_proc().exit();
-            let restarted =
-                restart_application(&world, "/snap/crtool/1", "app.so", 0).unwrap();
+            let restarted = restart_application(&world, "/snap/crtool/1", "app.so", 0).unwrap();
             assert_eq!(restarted.host_state, b"auto");
             restarted.handle.destroy().unwrap();
         });

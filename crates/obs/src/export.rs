@@ -1,0 +1,387 @@
+//! Exporters: Chrome trace-event JSON and the phase-breakdown summary.
+//!
+//! Both exports are pure functions of the recorder state, which is
+//! itself a deterministic function of the simulation — so identical runs
+//! yield byte-identical output. All JSON is hand-emitted (sorted keys,
+//! fixed formatting); no serialization library, no float formatting
+//! surprises (timestamps stay integral nanoseconds split manually into
+//! microsecond ticks).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::Event;
+use crate::recorder::{recorder, DurationStat, Histogram};
+
+/// Canonical order for the paper's stacked-bar phase charts (Fig 9/10):
+/// the snapshot path, then the restart/relocation operations.
+const PHASE_ORDER: [&str; 9] = [
+    "snapify.pause",
+    "snapify.capture",
+    "snapify.transfer",
+    "snapify.resume",
+    "snapify.wait",
+    "snapify.restore",
+    "snapify.swapout",
+    "snapify.swapin",
+    "snapify.migrate",
+];
+
+fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Nanoseconds rendered as (possibly fractional) microseconds, the unit
+/// the Chrome trace-event format expects for `ts`.
+fn micros(ns: u64, out: &mut String) {
+    let frac = ns % 1000;
+    if frac == 0 {
+        let _ = write!(out, "{}", ns / 1000);
+    } else {
+        let _ = write!(out, "{}.{:03}", ns / 1000, frac);
+    }
+}
+
+/// Export the recorded events as Chrome trace-event JSON (the
+/// `traceEvents` object form), loadable in Perfetto or
+/// `chrome://tracing`. Span begin/end become `B`/`E` events; instants
+/// become `i` events scoped to their thread.
+pub fn chrome_trace() -> String {
+    let inner = recorder().lock().unwrap();
+    let mut out = String::with_capacity(64 + inner.events.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    for (i, ev) in inner.events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n{");
+        match ev {
+            Event::SpanBegin {
+                id,
+                parent,
+                tid,
+                t_ns,
+                name,
+                fields,
+            } => {
+                out.push_str("\"name\":\"");
+                json_escape(name, &mut out);
+                let _ = write!(out, "\",\"ph\":\"B\",\"pid\":1,\"tid\":{tid},\"ts\":");
+                micros(*t_ns, &mut out);
+                let _ = write!(out, ",\"args\":{{\"span\":{id},\"parent\":{parent}");
+                for (k, v) in fields {
+                    out.push_str(",\"");
+                    json_escape(k, &mut out);
+                    out.push_str("\":\"");
+                    json_escape(v, &mut out);
+                    out.push('"');
+                }
+                out.push_str("}}");
+            }
+            Event::SpanEnd {
+                tid, t_ns, name, ..
+            } => {
+                out.push_str("\"name\":\"");
+                json_escape(name, &mut out);
+                let _ = write!(out, "\",\"ph\":\"E\",\"pid\":1,\"tid\":{tid},\"ts\":");
+                micros(*t_ns, &mut out);
+                out.push('}');
+            }
+            Event::Instant { tid, t_ns, label } => {
+                out.push_str("\"name\":\"");
+                json_escape(label, &mut out);
+                let _ = write!(
+                    out,
+                    "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{tid},\"ts\":"
+                );
+                micros(*t_ns, &mut out);
+                out.push('}');
+            }
+        }
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// An aggregated view of the recording: per-phase durations plus the
+/// metrics registry. Obtain via [`Summary::capture`].
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    /// Closed-span duration statistics per span name.
+    pub durations: BTreeMap<String, DurationStat>,
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges (last set value).
+    pub gauges: BTreeMap<String, i64>,
+    /// Fixed-bucket histograms.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl Summary {
+    /// Snapshot the current recorder state.
+    pub fn capture() -> Summary {
+        let inner = recorder().lock().unwrap();
+        Summary {
+            durations: inner.durations.clone(),
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            histograms: inner.histograms.clone(),
+        }
+    }
+
+    /// The paper-figure phase rows (canonical order, only phases that
+    /// actually occurred): `(phase, stat)`.
+    pub fn phase_breakdown(&self) -> Vec<(&str, DurationStat)> {
+        PHASE_ORDER
+            .iter()
+            .filter_map(|p| self.durations.get(*p).map(|s| (*p, *s)))
+            .collect()
+    }
+}
+
+fn ms(ns: u64) -> String {
+    format!("{}.{:06}", ns / 1_000_000, ns % 1_000_000)
+}
+
+/// Export the summary as deterministic JSON: phase breakdown, all span
+/// durations, counters, gauges, and histograms, every map in sorted key
+/// order.
+pub fn summary_json() -> String {
+    let s = Summary::capture();
+    let mut out = String::new();
+    out.push_str("{\n  \"phase_breakdown_ns\": {");
+    let phases = s.phase_breakdown();
+    for (i, (name, st)) in phases.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    \"{name}\": {{\"count\": {}, \"total\": {}, \"min\": {}, \"max\": {}}}",
+            st.count, st.total_ns, st.min_ns, st.max_ns
+        );
+    }
+    out.push_str(if phases.is_empty() {
+        "},\n"
+    } else {
+        "\n  },\n"
+    });
+    out.push_str("  \"durations_ns\": {");
+    for (i, (name, st)) in s.durations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    \"");
+        json_escape(name, &mut out);
+        let _ = write!(
+            out,
+            "\": {{\"count\": {}, \"total\": {}, \"min\": {}, \"max\": {}}}",
+            st.count, st.total_ns, st.min_ns, st.max_ns
+        );
+    }
+    out.push_str(if s.durations.is_empty() {
+        "},\n"
+    } else {
+        "\n  },\n"
+    });
+    out.push_str("  \"counters\": {");
+    for (i, (name, v)) in s.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    \"");
+        json_escape(name, &mut out);
+        let _ = write!(out, "\": {v}");
+    }
+    out.push_str(if s.counters.is_empty() {
+        "},\n"
+    } else {
+        "\n  },\n"
+    });
+    out.push_str("  \"gauges\": {");
+    for (i, (name, v)) in s.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    \"");
+        json_escape(name, &mut out);
+        let _ = write!(out, "\": {v}");
+    }
+    out.push_str(if s.gauges.is_empty() {
+        "},\n"
+    } else {
+        "\n  },\n"
+    });
+    out.push_str("  \"histograms\": {");
+    for (i, (name, h)) in s.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    \"");
+        json_escape(name, &mut out);
+        let _ = write!(
+            out,
+            "\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [",
+            h.count, h.sum, h.min, h.max
+        );
+        // Emit only non-empty buckets as [index, count] pairs to stay
+        // compact while remaining a fixed function of the data.
+        let mut first = true;
+        for (idx, c) in h.buckets.iter().enumerate() {
+            if *c > 0 {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(out, "[{idx},{c}]");
+            }
+        }
+        out.push_str("]}");
+    }
+    out.push_str(if s.histograms.is_empty() {
+        "}\n"
+    } else {
+        "\n  }\n"
+    });
+    out.push_str("}\n");
+    out
+}
+
+/// Export the summary as a plain-text report: the paper-style stacked
+/// phase breakdown first, then every span name, then the metrics
+/// registry.
+pub fn summary_text() -> String {
+    let s = Summary::capture();
+    let mut out = String::new();
+    out.push_str("== snapify phase breakdown (virtual time, ms) ==\n");
+    let phases = s.phase_breakdown();
+    if phases.is_empty() {
+        out.push_str("  (no phases recorded)\n");
+    }
+    for (name, st) in &phases {
+        let _ = writeln!(
+            out,
+            "  {name:<20} count {:>4}  total {:>14}  min {:>14}  max {:>14}",
+            st.count,
+            ms(st.total_ns),
+            ms(st.min_ns),
+            ms(st.max_ns)
+        );
+    }
+    out.push_str("\n== span durations (virtual time, ms) ==\n");
+    for (name, st) in &s.durations {
+        let _ = writeln!(
+            out,
+            "  {name:<32} count {:>4}  total {:>14}  min {:>14}  max {:>14}",
+            st.count,
+            ms(st.total_ns),
+            ms(st.min_ns),
+            ms(st.max_ns)
+        );
+    }
+    out.push_str("\n== counters ==\n");
+    for (name, v) in &s.counters {
+        let _ = writeln!(out, "  {name:<40} {v}");
+    }
+    out.push_str("\n== gauges ==\n");
+    for (name, v) in &s.gauges {
+        let _ = writeln!(out, "  {name:<40} {v}");
+    }
+    out.push_str("\n== histograms (power-of-two buckets) ==\n");
+    for (name, h) in &s.histograms {
+        let _ = writeln!(
+            out,
+            "  {name:<40} count {:>8}  sum {:>16}  min {:>12}  max {:>12}",
+            h.count, h.sum, h.min, h.max
+        );
+        for (idx, c) in h.buckets.iter().enumerate() {
+            if *c > 0 {
+                let lo: u128 = if idx == 0 { 0 } else { 1u128 << (idx - 1) };
+                let hi: u128 = if idx == 0 { 1 } else { 1u128 << idx };
+                let _ = writeln!(out, "    [{lo:>16}, {hi:>16})  {c}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::recorder::{counter_add, disable, enable, histogram_observe, reset, test_guard};
+
+    #[test]
+    fn chrome_trace_is_valid_shape_and_deterministic() {
+        let _g = test_guard();
+        reset();
+        enable();
+        {
+            let _a = crate::span!("snapify.pause", device = 0);
+            let _b = crate::span!("drain");
+        }
+        crate::instant("checkpoint done");
+        counter_add("scif.bytes_sent", 4096);
+        disable();
+        let t1 = super::chrome_trace();
+        let t2 = super::chrome_trace();
+        assert_eq!(t1, t2);
+        assert!(t1.starts_with("{\"traceEvents\":["));
+        assert!(t1.contains("\"ph\":\"B\""));
+        assert!(t1.contains("\"ph\":\"E\""));
+        assert!(t1.contains("\"ph\":\"i\""));
+        assert!(t1.contains("\"name\":\"snapify.pause\""));
+        // Balanced B/E.
+        assert_eq!(t1.matches("\"ph\":\"B\"").count(), 2);
+        assert_eq!(t1.matches("\"ph\":\"E\"").count(), 2);
+        reset();
+    }
+
+    #[test]
+    fn summary_reports_phases_and_metrics() {
+        let _g = test_guard();
+        reset();
+        enable();
+        {
+            let _a = crate::span!("snapify.pause");
+        }
+        {
+            let _b = crate::span!("snapify.resume");
+        }
+        counter_add("io.nfs.rpc_ops", 7);
+        histogram_observe("blcr.region_bytes", 4096);
+        disable();
+        let text = super::summary_text();
+        assert!(text.contains("snapify.pause"));
+        assert!(text.contains("io.nfs.rpc_ops"));
+        let json = super::summary_json();
+        assert!(json.contains("\"snapify.pause\""));
+        assert!(json.contains("\"io.nfs.rpc_ops\": 7"));
+        assert!(json.contains("\"blcr.region_bytes\""));
+        // Phase order: pause before resume in the breakdown section.
+        let pause = json.find("\"snapify.pause\"").unwrap();
+        let resume = json.find("\"snapify.resume\"").unwrap();
+        assert!(pause < resume);
+        reset();
+    }
+
+    #[test]
+    fn micros_formatting() {
+        let mut s = String::new();
+        super::micros(1_234_567, &mut s);
+        assert_eq!(s, "1234.567");
+        s.clear();
+        super::micros(5_000, &mut s);
+        assert_eq!(s, "5");
+    }
+}

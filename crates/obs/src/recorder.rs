@@ -1,0 +1,386 @@
+//! The global recorder: span stacks, the event log, and the metrics
+//! registry.
+//!
+//! One process-wide recorder is enough because the simulation kernel
+//! runs exactly one simulated thread at a time: recording happens in
+//! scheduler order, the internal `std::sync::Mutex` is uncontended, and
+//! the resulting event log is deterministic.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::event::{Event, SpanId};
+
+/// A virtual-clock source: returns `(now_ns, tid)` for the calling
+/// thread. Installed once per process by the simulation kernel.
+pub type Clock = fn() -> (u64, u32);
+
+fn default_clock() -> (u64, u32) {
+    (0, 0)
+}
+
+static CLOCK: OnceLock<Clock> = OnceLock::new();
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Install the virtual-clock source. The first installation wins;
+/// subsequent calls are ignored (the kernel re-installs the same
+/// function for every `Kernel`).
+pub fn install_clock(clock: Clock) {
+    let _ = CLOCK.set(clock);
+}
+
+fn clock_now() -> (u64, u32) {
+    CLOCK.get().copied().unwrap_or(default_clock as Clock)()
+}
+
+/// `true` if recording is enabled. This is the one relaxed atomic load
+/// every recording entry point pays when observability is off.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn recording on.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turn recording off. Already-recorded data is kept until [`reset`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Discard all recorded events, open-span state, and metrics. Call
+/// between independent recording sessions (e.g. two runs whose exports
+/// are compared byte-for-byte).
+pub fn reset() {
+    let mut inner = recorder().lock().unwrap();
+    *inner = Inner::default();
+}
+
+/// Statistics of one span name's closed instances.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct DurationStat {
+    /// Closed spans with this name.
+    pub count: u64,
+    /// Sum of their durations, ns.
+    pub total_ns: u64,
+    /// Shortest instance, ns.
+    pub min_ns: u64,
+    /// Longest instance, ns.
+    pub max_ns: u64,
+}
+
+impl DurationStat {
+    fn observe(&mut self, d: u64) {
+        if self.count == 0 {
+            self.min_ns = d;
+            self.max_ns = d;
+        } else {
+            self.min_ns = self.min_ns.min(d);
+            self.max_ns = self.max_ns.max(d);
+        }
+        self.count += 1;
+        self.total_ns += d;
+    }
+}
+
+/// A fixed-bucket histogram: bucket `i` counts values `v` with
+/// `floor(log2(v)) == i - 1` (bucket 0 counts `v == 0`), i.e.
+/// power-of-two buckets up to `2^63`. The bucket layout never depends on
+/// the data, which keeps merged and exported output deterministic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    /// Bucket counts; index 0 is the zero bucket, index `i` covers
+    /// `[2^(i-1), 2^i)`.
+    pub buckets: [u64; 65],
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Smallest observed value.
+    pub min: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    fn observe(&mut self, v: u64) {
+        let idx = if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        };
+        self.buckets[idx] += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+}
+
+struct OpenSpan {
+    id: SpanId,
+    name: &'static str,
+    t_begin_ns: u64,
+}
+
+#[derive(Default)]
+pub(crate) struct Inner {
+    pub(crate) events: Vec<Event>,
+    /// Per-tid stack of open spans (innermost last).
+    stacks: HashMap<u32, Vec<OpenSpan>>,
+    next_span: SpanId,
+    pub(crate) durations: std::collections::BTreeMap<String, DurationStat>,
+    pub(crate) counters: std::collections::BTreeMap<String, u64>,
+    pub(crate) gauges: std::collections::BTreeMap<String, i64>,
+    pub(crate) histograms: std::collections::BTreeMap<String, Histogram>,
+}
+
+pub(crate) fn recorder() -> &'static Mutex<Inner> {
+    static RECORDER: OnceLock<Mutex<Inner>> = OnceLock::new();
+    RECORDER.get_or_init(|| Mutex::new(Inner::default()))
+}
+
+/// Guard for an open span; records the end event on drop. Obtain via
+/// [`crate::span!`] (or [`span_begin`] directly).
+#[must_use = "dropping the guard immediately closes the span"]
+pub struct SpanGuard {
+    /// `None` when recording was disabled at open.
+    id: Option<SpanId>,
+}
+
+impl SpanGuard {
+    /// A guard that records nothing (used when recording is disabled).
+    pub fn inert() -> SpanGuard {
+        SpanGuard { id: None }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(id) = self.id else { return };
+        if !is_enabled() {
+            // Recording stopped while the span was open: drop silently;
+            // reset() clears the dangling open-span entry.
+            return;
+        }
+        let (t_ns, tid) = clock_now();
+        let mut inner = recorder().lock().unwrap();
+        let stack = inner.stacks.entry(tid).or_default();
+        // Normally the guard being dropped is the innermost span; search
+        // by id to stay correct under overlapping (non-nested) guards.
+        let Some(pos) = stack.iter().rposition(|s| s.id == id) else {
+            return; // opened before a reset()
+        };
+        let open = stack.remove(pos);
+        let d = t_ns.saturating_sub(open.t_begin_ns);
+        inner
+            .durations
+            .entry(open.name.to_string())
+            .or_default()
+            .observe(d);
+        inner.events.push(Event::SpanEnd {
+            id,
+            tid,
+            t_ns,
+            name: open.name,
+        });
+    }
+}
+
+/// Open a span named `name` with structured `fields`. Prefer the
+/// [`crate::span!`] macro, which skips field formatting when recording
+/// is disabled.
+pub fn span_begin(name: &'static str, fields: Vec<(&'static str, String)>) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard::inert();
+    }
+    let (t_ns, tid) = clock_now();
+    let mut inner = recorder().lock().unwrap();
+    inner.next_span += 1;
+    let id = inner.next_span;
+    let stack = inner.stacks.entry(tid).or_default();
+    let parent = stack.last().map(|s| s.id).unwrap_or(0);
+    stack.push(OpenSpan {
+        id,
+        name,
+        t_begin_ns: t_ns,
+    });
+    inner.events.push(Event::SpanBegin {
+        id,
+        parent,
+        tid,
+        t_ns,
+        name,
+        fields,
+    });
+    SpanGuard { id: Some(id) }
+}
+
+/// Record a point event (the typed twin of the kernel's string trace).
+pub fn instant(label: &str) {
+    if !is_enabled() {
+        return;
+    }
+    let (t_ns, tid) = clock_now();
+    let mut inner = recorder().lock().unwrap();
+    inner.events.push(Event::Instant {
+        tid,
+        t_ns,
+        label: label.to_string(),
+    });
+}
+
+/// Add `delta` to the named monotonic counter.
+pub fn counter_add(name: &str, delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let mut inner = recorder().lock().unwrap();
+    *inner.counters.entry(name.to_string()).or_insert(0) += delta;
+}
+
+/// Set the named gauge to `value`.
+pub fn gauge_set(name: &str, value: i64) {
+    if !is_enabled() {
+        return;
+    }
+    let mut inner = recorder().lock().unwrap();
+    inner.gauges.insert(name.to_string(), value);
+}
+
+/// Record `value` into the named fixed-bucket histogram.
+pub fn histogram_observe(name: &str, value: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let mut inner = recorder().lock().unwrap();
+    inner
+        .histograms
+        .entry(name.to_string())
+        .or_default()
+        .observe(value);
+}
+
+/// Snapshot of the typed event log, in recording order.
+pub fn events() -> Vec<Event> {
+    recorder().lock().unwrap().events.clone()
+}
+
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    // Tests in this crate share the process-global recorder; serialize
+    // the ones that enable it.
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recording_is_a_noop() {
+        let _g = test_guard();
+        reset();
+        disable();
+        let guard = crate::span!("phase", x = 1);
+        drop(guard);
+        counter_add("c", 5);
+        gauge_set("g", -2);
+        histogram_observe("h", 17);
+        instant("nothing");
+        assert!(events().is_empty());
+        let inner = recorder().lock().unwrap();
+        assert!(inner.counters.is_empty());
+        assert!(inner.gauges.is_empty());
+        assert!(inner.histograms.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_per_thread() {
+        let _g = test_guard();
+        reset();
+        enable();
+        let outer = crate::span!("outer");
+        let inner_span = crate::span!("inner", step = 3);
+        drop(inner_span);
+        drop(outer);
+        disable();
+        let evs = events();
+        reset();
+        assert_eq!(evs.len(), 4);
+        match (&evs[0], &evs[1]) {
+            (
+                Event::SpanBegin {
+                    id: outer_id,
+                    parent: 0,
+                    ..
+                },
+                Event::SpanBegin { parent, fields, .. },
+            ) => {
+                assert_eq!(parent, outer_id);
+                assert_eq!(fields, &vec![("step", "3".to_string())]);
+            }
+            other => panic!("unexpected events: {other:?}"),
+        }
+        assert!(matches!(&evs[2], Event::SpanEnd { name: "inner", .. }));
+        assert!(matches!(&evs[3], Event::SpanEnd { name: "outer", .. }));
+    }
+
+    #[test]
+    fn metrics_accumulate() {
+        let _g = test_guard();
+        reset();
+        enable();
+        counter_add("bytes", 10);
+        counter_add("bytes", 32);
+        gauge_set("depth", 4);
+        gauge_set("depth", 2);
+        histogram_observe("sizes", 0);
+        histogram_observe("sizes", 1);
+        histogram_observe("sizes", 1024);
+        disable();
+        let inner = recorder().lock().unwrap();
+        assert_eq!(inner.counters["bytes"], 42);
+        assert_eq!(inner.gauges["depth"], 2);
+        let h = &inner.histograms["sizes"];
+        assert_eq!((h.count, h.sum, h.min, h.max), (3, 1025, 0, 1024));
+        assert_eq!(h.buckets[0], 1); // 0
+        assert_eq!(h.buckets[1], 1); // 1
+        assert_eq!(h.buckets[11], 1); // 1024 in [2^10, 2^11)
+        drop(inner);
+        reset();
+    }
+
+    #[test]
+    fn histogram_bucket_edges() {
+        let mut h = Histogram::default();
+        for v in [1u64, 2, 3, 4, 7, 8] {
+            h.observe(v);
+        }
+        assert_eq!(h.buckets[1], 1); // [1, 2)
+        assert_eq!(h.buckets[2], 2); // [2, 4): 2, 3
+        assert_eq!(h.buckets[3], 2); // [4, 8): 4, 7
+        assert_eq!(h.buckets[4], 1); // [8, 16): 8
+    }
+}

@@ -93,7 +93,9 @@ impl PcieLink {
 
 impl fmt::Debug for PcieLink {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("PcieLink").field("device", &self.inner.device).finish()
+        f.debug_struct("PcieLink")
+            .field("device", &self.inner.device)
+            .finish()
     }
 }
 

@@ -57,7 +57,12 @@ pub struct Payload {
 
 impl fmt::Debug for Payload {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Payload[{} bytes, {} segs]", self.len(), self.segments.len())
+        write!(
+            f,
+            "Payload[{} bytes, {} segs]",
+            self.len(),
+            self.segments.len()
+        )
     }
 }
 
@@ -99,7 +104,11 @@ impl Payload {
             return Payload::empty();
         }
         Payload {
-            segments: vec![Segment::Synthetic { tag, offset: 0, len }],
+            segments: vec![Segment::Synthetic {
+                tag,
+                offset: 0,
+                len,
+            }],
         }
     }
 
@@ -165,7 +174,9 @@ impl Payload {
                         b[start as usize..(start + take) as usize].to_vec(),
                     )));
                 }
-                Segment::Synthetic { tag, offset: so, .. } => {
+                Segment::Synthetic {
+                    tag, offset: so, ..
+                } => {
                     out.push(Segment::Synthetic {
                         tag: *tag,
                         offset: so + start,
@@ -203,8 +214,16 @@ impl Payload {
             }
             match (out.last_mut(), seg) {
                 (
-                    Some(Segment::Synthetic { tag: t1, offset: o1, len: l1 }),
-                    Segment::Synthetic { tag: t2, offset: o2, len: l2 },
+                    Some(Segment::Synthetic {
+                        tag: t1,
+                        offset: o1,
+                        len: l1,
+                    }),
+                    Segment::Synthetic {
+                        tag: t2,
+                        offset: o2,
+                        len: l2,
+                    },
                 ) if *t1 == *t2 && *o1 + *l1 == *o2 => {
                     *l1 += *l2;
                 }
@@ -338,10 +357,7 @@ mod tests {
 
     #[test]
     fn slice_spanning_segments() {
-        let p = Payload::concat([
-            Payload::bytes(vec![0, 1, 2]),
-            Payload::bytes(vec![3, 4, 5]),
-        ]);
+        let p = Payload::concat([Payload::bytes(vec![0, 1, 2]), Payload::bytes(vec![3, 4, 5])]);
         assert_eq!(p.slice(1, 4).to_bytes(), vec![1, 2, 3, 4]);
     }
 
@@ -351,7 +367,11 @@ mod tests {
         let s = p.slice(10, 20);
         assert_eq!(
             s.segments(),
-            &[Segment::Synthetic { tag: 7, offset: 10, len: 20 }]
+            &[Segment::Synthetic {
+                tag: 7,
+                offset: 10,
+                len: 20
+            }]
         );
     }
 
@@ -431,9 +451,18 @@ mod tests {
     #[test]
     fn replace_whole_and_edges() {
         let p = Payload::bytes(vec![1, 2, 3]);
-        assert_eq!(p.replace(0, Payload::bytes(vec![7, 8, 9])).to_bytes(), vec![7, 8, 9]);
-        assert_eq!(p.replace(0, Payload::bytes(vec![7])).to_bytes(), vec![7, 2, 3]);
-        assert_eq!(p.replace(2, Payload::bytes(vec![7])).to_bytes(), vec![1, 2, 7]);
+        assert_eq!(
+            p.replace(0, Payload::bytes(vec![7, 8, 9])).to_bytes(),
+            vec![7, 8, 9]
+        );
+        assert_eq!(
+            p.replace(0, Payload::bytes(vec![7])).to_bytes(),
+            vec![7, 2, 3]
+        );
+        assert_eq!(
+            p.replace(2, Payload::bytes(vec![7])).to_bytes(),
+            vec![1, 2, 7]
+        );
         assert_eq!(p.replace(3, Payload::empty()).to_bytes(), vec![1, 2, 3]);
     }
 

@@ -52,7 +52,12 @@ impl fmt::Display for FsError {
             FsError::NotFound(p) => write!(f, "no such file: {p}"),
             FsError::AlreadyExists(p) => write!(f, "file exists: {p}"),
             FsError::OutOfMemory(e) => write!(f, "{e}"),
-            FsError::OutOfRange { path, offset, len, size } => write!(
+            FsError::OutOfRange {
+                path,
+                offset,
+                len,
+                size,
+            } => write!(
                 f,
                 "read [{offset}, {offset}+{len}) past end of {path} ({size} bytes)"
             ),
@@ -150,9 +155,9 @@ impl SimFs {
                     config.read_bw,
                     config.read_latency,
                 ),
-                flush_res: config.flush.map(|(bw, lat)| {
-                    BandwidthResource::new(format!("fs '{name}' disk"), bw, lat)
-                }),
+                flush_res: config
+                    .flush
+                    .map(|(bw, lat)| BandwidthResource::new(format!("fs '{name}' disk"), bw, lat)),
                 mem,
                 name,
             }),
@@ -165,7 +170,12 @@ impl SimFs {
         if files.contains_key(path) {
             return Err(FsError::AlreadyExists(path.to_string()));
         }
-        files.insert(path.to_string(), FileData { content: Payload::empty() });
+        files.insert(
+            path.to_string(),
+            FileData {
+                content: Payload::empty(),
+            },
+        );
         Ok(())
     }
 
@@ -178,7 +188,12 @@ impl SimFs {
                 mem.free(old_len);
             }
         }
-        files.insert(path.to_string(), FileData { content: Payload::empty() });
+        files.insert(
+            path.to_string(),
+            FileData {
+                content: Payload::empty(),
+            },
+        );
     }
 
     /// Append `data` to a file, paying the write cost model. Creates the
@@ -198,7 +213,9 @@ impl SimFs {
         let mut files = self.inner.files.lock();
         files
             .entry(path.to_string())
-            .or_insert_with(|| FileData { content: Payload::empty() })
+            .or_insert_with(|| FileData {
+                content: Payload::empty(),
+            })
             .content
             .append(data);
         Ok(())
@@ -221,7 +238,9 @@ impl SimFs {
         let mut files = self.inner.files.lock();
         files
             .entry(path.to_string())
-            .or_insert_with(|| FileData { content: Payload::empty() })
+            .or_insert_with(|| FileData {
+                content: Payload::empty(),
+            })
             .content
             .append(data);
         Ok(())
@@ -318,7 +337,12 @@ impl SimFs {
 
     /// Total bytes stored.
     pub fn total_bytes(&self) -> u64 {
-        self.inner.files.lock().values().map(|f| f.content.len()).sum()
+        self.inner
+            .files
+            .lock()
+            .values()
+            .map(|f| f.content.len())
+            .sum()
     }
 
     /// Wait for all asynchronously-scheduled flushes to complete (fsync).
@@ -459,7 +483,8 @@ mod tests {
                 None,
             );
             let t0 = now();
-            fs.append("/a", Payload::synthetic(0, 1_000_000_000)).unwrap();
+            fs.append("/a", Payload::synthetic(0, 1_000_000_000))
+                .unwrap();
             // Writer pays cache speed (1s), not disk speed (10s).
             assert_eq!(now() - t0, secs(1));
             // fsync waits for the async flush, which starts once the data
@@ -509,7 +534,8 @@ mod tests {
                 None,
             );
             let t0 = now();
-            fs.append_async("/a", Payload::synthetic(0, 1_000_000_000)).unwrap();
+            fs.append_async("/a", Payload::synthetic(0, 1_000_000_000))
+                .unwrap();
             assert_eq!(now(), t0); // caller not charged
             assert_eq!(fs.len("/a").unwrap(), 1_000_000_000);
             fs.sync();

@@ -87,7 +87,11 @@ impl SimNode {
         let mem = MemPool::new("host", params.host_mem);
         let fs = SimFs::new(
             "host-fs",
-            FsConfig::disk(params.host_cache_bw, params.host_disk_bw, params.host_fs_latency),
+            FsConfig::disk(
+                params.host_cache_bw,
+                params.host_disk_bw,
+                params.host_fs_latency,
+            ),
             None, // host fs is disk-backed; it does not charge host RAM
         );
         SimNode {
@@ -185,7 +189,9 @@ impl SimNode {
 
     /// Execute a single-threaded compute region.
     pub fn serial_compute(&self, flops: f64) {
-        simkernel::sleep(SimDuration::from_secs_f64(flops / self.inner.flops_per_core));
+        simkernel::sleep(SimDuration::from_secs_f64(
+            flops / self.inner.flops_per_core,
+        ));
     }
 
     /// Perform a memory copy of `bytes` on this node (occupies the node's

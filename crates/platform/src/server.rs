@@ -189,7 +189,9 @@ impl Cluster {
 
 impl fmt::Debug for Cluster {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Cluster").field("servers", &self.len()).finish()
+        f.debug_struct("Cluster")
+            .field("servers", &self.len())
+            .finish()
     }
 }
 

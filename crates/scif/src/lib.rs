@@ -30,6 +30,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use phi_platform::{NodeId, Payload, PhiServer};
+use simkernel::obs;
 use simkernel::{RecvError, SimChannel, SimDuration, SimMutex};
 use simproc::SimProcess;
 
@@ -71,7 +72,12 @@ impl fmt::Display for ScifError {
             ScifError::ConnectionRefused(n, p) => write!(f, "connection refused: {n}:{p}"),
             ScifError::Closed => write!(f, "endpoint closed"),
             ScifError::BadAddress(a) => write!(f, "bad RDMA address {a}"),
-            ScifError::OutOfRange { addr, offset, len, window } => write!(
+            ScifError::OutOfRange {
+                addr,
+                offset,
+                len,
+                window,
+            } => write!(
                 f,
                 "RDMA [{offset}, {offset}+{len}) outside window {addr} of {window} bytes"
             ),
@@ -192,16 +198,10 @@ impl Scif {
             (id, backlog)
         };
         let latency = self.channel_latency(local, peer);
-        let a_to_b = SimChannel::with_options(
-            format!("scif#{conn_id} {local}->{peer}"),
-            None,
-            latency,
-        );
-        let b_to_a = SimChannel::with_options(
-            format!("scif#{conn_id} {peer}->{local}"),
-            None,
-            latency,
-        );
+        let a_to_b =
+            SimChannel::with_options(format!("scif#{conn_id} {local}->{peer}"), None, latency);
+        let b_to_a =
+            SimChannel::with_options(format!("scif#{conn_id} {peer}->{local}"), None, latency);
         let my_end = ScifEndpoint {
             scif: self.clone(),
             conn_id,
@@ -294,7 +294,12 @@ impl Scif {
         let window = proc.memory().region(&region);
         let len = data.len();
         if offset + len > window.len() {
-            return Err(ScifError::OutOfRange { addr, offset, len, window: window.len() });
+            return Err(ScifError::OutOfRange {
+                addr,
+                offset,
+                len,
+                window: window.len(),
+            });
         }
         self.charge_rdma(local, proc.node().id(), len.max(1));
         let updated = window.replace(offset, data);
@@ -316,16 +321,26 @@ impl Scif {
         let (proc, region) = self.resolve_window(addr)?;
         let window = proc.memory().region(&region);
         if offset + len > window.len() {
-            return Err(ScifError::OutOfRange { addr, offset, len, window: window.len() });
+            return Err(ScifError::OutOfRange {
+                addr,
+                offset,
+                len,
+                window: window.len(),
+            });
         }
         self.charge_rdma(local, proc.node().id(), len.max(1));
         Ok(window.slice(offset, len))
     }
 
     fn charge_rdma(&self, a: NodeId, b: NodeId, bytes: u64) {
+        obs::counter_add("scif.rdma_bytes", bytes);
+        obs::histogram_observe("scif.rdma_transfer_bytes", bytes);
         if a == b {
+            obs::counter_add("scif.loopback_bytes", bytes);
             self.inner.server.node(a).memcpy(bytes);
         } else {
+            // Bulk data crossing PCIe through the DMA engine.
+            obs::counter_add("pcie.dma_bytes", bytes);
             self.inner.server.rdma_between(a, b, bytes);
         }
     }
@@ -386,6 +401,8 @@ impl ScifEndpoint {
     /// the wire time, then delivers after the link latency.
     pub fn send(&self, msg: Payload) -> Result<(), ScifError> {
         let bytes = msg.len().max(1);
+        obs::counter_add("scif.bytes_sent", bytes);
+        obs::counter_add("scif.msgs_sent", 1);
         if self.local != self.peer {
             self.scif
                 .inner
@@ -398,7 +415,9 @@ impl ScifEndpoint {
 
     /// Receive the next message (`scif_recv`), blocking.
     pub fn recv(&self) -> Result<Payload, ScifError> {
-        self.rx.recv().map_err(|_: RecvError| ScifError::Closed)
+        let msg = self.rx.recv().map_err(|_: RecvError| ScifError::Closed)?;
+        obs::counter_add("scif.bytes_recv", msg.len().max(1));
+        Ok(msg)
     }
 
     /// Non-blocking receive.
@@ -408,12 +427,7 @@ impl ScifEndpoint {
 
     /// RDMA-write `data` into the window at `addr` starting at `offset`
     /// (`scif_vwriteto`). Blocks for the DMA time.
-    pub fn rdma_write(
-        &self,
-        addr: RdmaAddr,
-        offset: u64,
-        data: Payload,
-    ) -> Result<(), ScifError> {
+    pub fn rdma_write(&self, addr: RdmaAddr, offset: u64, data: Payload) -> Result<(), ScifError> {
         let (proc, region) = self.scif.resolve_window(addr)?;
         let window = proc.memory().region(&region);
         let len = data.len();
@@ -436,12 +450,7 @@ impl ScifEndpoint {
 
     /// RDMA-read `len` bytes at `offset` from the window at `addr`
     /// (`scif_vreadfrom`). Blocks for the DMA time.
-    pub fn rdma_read(
-        &self,
-        addr: RdmaAddr,
-        offset: u64,
-        len: u64,
-    ) -> Result<Payload, ScifError> {
+    pub fn rdma_read(&self, addr: RdmaAddr, offset: u64, len: u64) -> Result<Payload, ScifError> {
         let (proc, region) = self.scif.resolve_window(addr)?;
         let window = proc.memory().region(&region);
         if offset + len > window.len() {
@@ -504,7 +513,11 @@ impl ScifEndpoint {
 
 impl fmt::Debug for ScifEndpoint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "ScifEndpoint#{}({}<->{})", self.conn_id, self.local, self.peer)
+        write!(
+            f,
+            "ScifEndpoint#{}({}<->{})",
+            self.conn_id, self.local, self.peer
+        )
     }
 }
 
@@ -596,7 +609,8 @@ mod tests {
             let ep = s2.connect(NodeId::HOST, NodeId::device(0), 9).unwrap();
             let _peer = h.join();
 
-            ep.rdma_write(addr, 2, Payload::bytes(vec![7, 8, 9])).unwrap();
+            ep.rdma_write(addr, 2, Payload::bytes(vec![7, 8, 9]))
+                .unwrap();
             assert_eq!(
                 proc.memory().region("coibuf").to_bytes(),
                 vec![0, 0, 7, 8, 9, 0, 0, 0]
@@ -683,7 +697,8 @@ mod tests {
             let _peer = h.join();
 
             let t0 = now();
-            ep.rdma_write(addr, 0, Payload::synthetic(2, 64 * MB)).unwrap();
+            ep.rdma_write(addr, 0, Payload::synthetic(2, 64 * MB))
+                .unwrap();
             let big = now() - t0;
             let t1 = now();
             ep.rdma_write(addr, 0, Payload::synthetic(3, MB)).unwrap();
@@ -719,9 +734,7 @@ mod tests {
             let (scif, _) = world();
             let listener = scif.listen(NodeId::device(0), 9);
             listener.close();
-            assert!(scif
-                .connect(NodeId::HOST, NodeId::device(0), 9)
-                .is_err());
+            assert!(scif.connect(NodeId::HOST, NodeId::device(0), 9).is_err());
             // Port can be rebound after close.
             let _l2 = scif.listen(NodeId::device(0), 9);
         });
@@ -738,9 +751,7 @@ mod tests {
                 ep.recv().unwrap().to_bytes()
             });
             // The offload process connecting to its local COI daemon.
-            let ep = s2
-                .connect(NodeId::device(0), NodeId::device(0), 9)
-                .unwrap();
+            let ep = s2.connect(NodeId::device(0), NodeId::device(0), 9).unwrap();
             ep.send(Payload::bytes(b"local".to_vec())).unwrap();
             assert_eq!(h.join(), b"local");
         });

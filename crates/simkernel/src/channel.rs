@@ -214,7 +214,11 @@ impl<T: Send + 'static> SimChannel<T> {
             };
             match wait_until {
                 Some(deadline) => {
-                    kernel.block_until(me, deadline, &format!("channel '{}' latency", self.inner.name));
+                    kernel.block_until(
+                        me,
+                        deadline,
+                        &format!("channel '{}' latency", self.inner.name),
+                    );
                 }
                 None => {
                     kernel.block(me, &format!("channel '{}' empty", self.inner.name));

@@ -47,7 +47,6 @@ use crate::time::{SimDuration, SimTime};
 /// Identifier of a simulated thread.
 pub type Tid = u32;
 
-
 /// An entry in the deterministic event trace.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceEvent {
@@ -158,6 +157,9 @@ impl Default for Kernel {
 impl Kernel {
     /// Create a new kernel with the clock at `t = 0` and no threads.
     pub fn new() -> Kernel {
+        // Register the virtual clock as the observability timestamp
+        // source (idempotent; first installation wins process-wide).
+        snapify_obs::install_clock(obs_clock);
         Kernel {
             inner: Arc::new(Inner {
                 sched: Mutex::new(Sched {
@@ -279,7 +281,12 @@ impl Kernel {
             })
             .expect("failed to spawn OS thread for simulated thread");
 
-        self.inner.sched.lock().unwrap().spawned_os.push((os, daemon));
+        self.inner
+            .sched
+            .lock()
+            .unwrap()
+            .spawned_os
+            .push((os, daemon));
 
         JoinHandle {
             kernel: self.clone(),
@@ -427,9 +434,17 @@ impl Kernel {
         debug_assert!(self.now() >= deadline);
     }
 
-    /// Record a labeled event in the trace (no-op unless tracing enabled).
+    /// Record a labeled event: into the string trace (no-op unless
+    /// tracing enabled) and, when observability recording is on, as a
+    /// typed [`snapify_obs::Event::Instant`]. The string trace is the
+    /// back-compat surface; new code should prefer `obs::span!`.
     pub fn trace_event(&self, label: &str) {
-        let me = CTX.with(|c| c.borrow().as_ref().map(|(_, t)| *t)).unwrap_or(0);
+        // Forward to the typed layer *before* taking the scheduler lock:
+        // the observability clock reads `Kernel::now()`, which needs it.
+        snapify_obs::instant(label);
+        let me = CTX
+            .with(|c| c.borrow().as_ref().map(|(_, t)| *t))
+            .unwrap_or(0);
         let mut s = self.inner.sched.lock().unwrap();
         trace(&mut s, me, label);
     }
@@ -565,6 +580,15 @@ impl Kernel {
         debug_assert_eq!(me, me2);
         self.block(me, "join");
     }
+}
+
+/// Observability timestamp source: virtual time + simulated thread id
+/// of the caller, or `(0, 0)` outside a simulated thread.
+fn obs_clock() -> (u64, u32) {
+    CTX.with(|c| match c.borrow().as_ref() {
+        Some((k, tid)) => (k.now().as_nanos(), *tid),
+        None => (0, 0),
+    })
 }
 
 fn trace(s: &mut Sched, tid: Tid, label: &str) {
@@ -847,7 +871,7 @@ mod tests {
             let (k, _) = current();
             let h = spawn("sleeper", || {
                 let (k, me) = current();
-                
+
                 k.block_until(me, now() + secs(100), "long wait")
             });
             sleep(ms(50));

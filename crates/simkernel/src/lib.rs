@@ -48,8 +48,24 @@ pub mod resource;
 pub mod sync;
 pub mod time;
 
+/// Deterministic observability: typed spans, metrics, and trace/summary
+/// exporters, stamped with this kernel's virtual clock.
+///
+/// This is a re-export of the `snapify-obs` crate with the virtual
+/// clock pre-installed: every [`Kernel`] construction registers
+/// `simkernel::now()` + the current [`Tid`] as the timestamp source, so
+/// `simkernel::obs::span!("phase")` records begin/end at virtual time
+/// with per-thread nesting. Recording is off by default and costs one
+/// relaxed atomic load per event until [`obs::enable`](snapify_obs::enable)
+/// is called.
+pub mod obs {
+    pub use snapify_obs::*;
+}
+
 pub use channel::{RecvError, SendError, SimChannel};
-pub use kernel::{current, in_simulation, now, sleep, spawn, yield_now, JoinHandle, Kernel, Tid, TraceEvent};
+pub use kernel::{
+    current, in_simulation, now, sleep, spawn, yield_now, JoinHandle, Kernel, Tid, TraceEvent,
+};
 pub use resource::{Bandwidth, BandwidthResource};
 pub use sync::{Barrier, Semaphore, SimCondvar, SimMutex, SimMutexGuard};
 pub use time::{ms, secs, us, SimDuration, SimTime};

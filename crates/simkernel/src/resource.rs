@@ -142,8 +142,7 @@ impl BandwidthResource {
         let now = kernel.now();
         let mut st = self.inner.state.lock();
         let begin = st.available_at.max(now);
-        let completion =
-            begin + self.inner.per_op_latency + self.inner.bandwidth.time_for(bytes);
+        let completion = begin + self.inner.per_op_latency + self.inner.bandwidth.time_for(bytes);
         st.available_at = completion;
         st.total_bytes += bytes;
         st.total_ops += 1;
@@ -228,11 +227,14 @@ mod tests {
             }
             let mut ends: Vec<SimTime> = handles.into_iter().map(|h| h.join()).collect();
             ends.sort();
-            assert_eq!(ends, vec![
-                SimTime::ZERO + secs(1),
-                SimTime::ZERO + secs(2),
-                SimTime::ZERO + secs(3),
-            ]);
+            assert_eq!(
+                ends,
+                vec![
+                    SimTime::ZERO + secs(1),
+                    SimTime::ZERO + secs(2),
+                    SimTime::ZERO + secs(3),
+                ]
+            );
         });
     }
 

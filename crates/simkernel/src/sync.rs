@@ -58,7 +58,12 @@ impl<T> SimMutex<T> {
                     st.owner = Some(me);
                     break;
                 }
-                debug_assert_ne!(st.owner, Some(me), "SimMutex is not reentrant: {}", self.name);
+                debug_assert_ne!(
+                    st.owner,
+                    Some(me),
+                    "SimMutex is not reentrant: {}",
+                    self.name
+                );
                 st.waiters.push_back(me);
             }
             kernel.block(me, &format!("mutex '{}'", self.name));
@@ -119,7 +124,9 @@ impl<T> SimMutex<T> {
 
 impl<T: fmt::Debug> fmt::Debug for SimMutex<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("SimMutex").field("name", &self.name).finish()
+        f.debug_struct("SimMutex")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -229,7 +236,9 @@ impl SimCondvar {
 
 impl fmt::Debug for SimCondvar {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("SimCondvar").field("name", &self.name).finish()
+        f.debug_struct("SimCondvar")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -300,7 +309,9 @@ impl Clone for Semaphore {
 
 impl fmt::Debug for Semaphore {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Semaphore").field("count", &self.count()).finish()
+        f.debug_struct("Semaphore")
+            .field("count", &self.count())
+            .finish()
     }
 }
 

@@ -3,9 +3,7 @@
 //! per-producer FIFO ordering, and clock monotonicity.
 
 use proptest::prelude::*;
-use simkernel::{
-    now, sleep, spawn, Kernel, Semaphore, SimChannel, SimDuration, SimMutex, SimTime,
-};
+use simkernel::{now, sleep, spawn, Kernel, Semaphore, SimChannel, SimDuration, SimMutex, SimTime};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 

@@ -218,11 +218,7 @@ impl ByteSource for PayloadSource {
 }
 
 /// Copy a source to a sink in `chunk`-byte reads. Returns bytes copied.
-pub fn copy(
-    src: &mut dyn ByteSource,
-    dst: &mut dyn ByteSink,
-    chunk: u64,
-) -> Result<u64, IoError> {
+pub fn copy(src: &mut dyn ByteSource, dst: &mut dyn ByteSink, chunk: u64) -> Result<u64, IoError> {
     assert!(chunk > 0);
     let mut total = 0;
     while let Some(data) = src.read(chunk)? {

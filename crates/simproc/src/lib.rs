@@ -18,6 +18,8 @@ pub mod io;
 pub mod proc;
 pub mod signal;
 
-pub use io::{copy, ByteSink, ByteSource, FsSink, FsSource, IoError, PayloadSource, SnapshotStorage, VecSink};
+pub use io::{
+    copy, ByteSink, ByteSource, FsSink, FsSource, IoError, PayloadSource, SnapshotStorage, VecSink,
+};
 pub use proc::{Pid, PidAllocator, ProcMemory, Region, SimProcess};
 pub use signal::{signum, Signals};

@@ -113,8 +113,13 @@ impl ProcMemory {
         let len = content.len();
         self.pool.alloc(len)?;
         st.total += len;
-        st.regions
-            .insert(name.to_string(), Region { content, version: 0 });
+        st.regions.insert(
+            name.to_string(),
+            Region {
+                content,
+                version: 0,
+            },
+        );
         Ok(())
     }
 
@@ -409,8 +414,12 @@ mod tests {
         Kernel::run_root(|| {
             let node = phi_node();
             let proc = SimProcess::new(Pid(1), "p", &node);
-            proc.memory().map_region("b", Payload::synthetic(2, 100)).unwrap();
-            proc.memory().map_region("a", Payload::synthetic(1, 50)).unwrap();
+            proc.memory()
+                .map_region("b", Payload::synthetic(2, 100))
+                .unwrap();
+            proc.memory()
+                .map_region("a", Payload::synthetic(1, 50))
+                .unwrap();
             let snap = proc.memory().snapshot_regions();
             assert_eq!(snap[0].0, "a");
             assert_eq!(snap[1].0, "b");

@@ -67,12 +67,14 @@ impl Signals {
         }
         let latency = self.latency;
         let target = target.clone();
-        target.clone().spawn_thread(&format!("sig{signo}"), move || {
-            simkernel::sleep(latency);
-            if target.is_alive() {
-                handler();
-            }
-        });
+        target
+            .clone()
+            .spawn_thread(&format!("sig{signo}"), move || {
+                simkernel::sleep(latency);
+                if target.is_alive() {
+                    handler();
+                }
+            });
         true
     }
 }

@@ -62,8 +62,16 @@ mod tests {
         vec![
             Arc::new(SnapifyIo::new_default(server)),
             Arc::new(Nfs::new(server, NfsConfig::default(), NfsMode::Plain)),
-            Arc::new(Nfs::new(server, NfsConfig::default(), NfsMode::BufferedKernel)),
-            Arc::new(Nfs::new(server, NfsConfig::default(), NfsMode::BufferedUser)),
+            Arc::new(Nfs::new(
+                server,
+                NfsConfig::default(),
+                NfsMode::BufferedKernel,
+            )),
+            Arc::new(Nfs::new(
+                server,
+                NfsConfig::default(),
+                NfsMode::BufferedUser,
+            )),
             Arc::new(Scp::new(server, ScpConfig::default())),
             Arc::new(LocalStorage::new(server)),
         ]

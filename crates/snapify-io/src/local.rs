@@ -6,10 +6,42 @@
 //! impossible at 4 GB (§7).
 
 use phi_platform::NodeId;
-use phi_platform::PhiServer;
+use phi_platform::{Payload, PhiServer};
+use simkernel::obs;
 use simproc::{ByteSink, ByteSource, FsSink, FsSource, IoError};
 
 use crate::storage::SnapshotStorage;
+
+/// [`FsSink`] wrapper that feeds the per-backend byte counters.
+struct CountedSink(FsSink);
+
+impl ByteSink for CountedSink {
+    fn write(&mut self, data: Payload) -> Result<(), IoError> {
+        obs::counter_add("io.Local.bytes_written", data.len());
+        self.0.write(data)
+    }
+
+    fn close(&mut self) -> Result<(), IoError> {
+        self.0.close()
+    }
+
+    fn set_write_granularity(&mut self, granularity: Option<u64>) {
+        self.0.set_write_granularity(granularity);
+    }
+}
+
+/// [`FsSource`] wrapper that feeds the per-backend byte counters.
+struct CountedSource(FsSource);
+
+impl ByteSource for CountedSource {
+    fn read(&mut self, max: u64) -> Result<Option<Payload>, IoError> {
+        let chunk = self.0.read(max)?;
+        if let Some(c) = &chunk {
+            obs::counter_add("io.Local.bytes_read", c.len());
+        }
+        Ok(chunk)
+    }
+}
 
 /// Storage on the calling node's own file system.
 #[derive(Clone)]
@@ -28,11 +60,17 @@ impl LocalStorage {
 
 impl SnapshotStorage for LocalStorage {
     fn sink(&self, local: NodeId, path: &str) -> Result<Box<dyn ByteSink>, IoError> {
-        Ok(Box::new(FsSink::create(self.server.node(local).fs(), path)))
+        Ok(Box::new(CountedSink(FsSink::create(
+            self.server.node(local).fs(),
+            path,
+        ))))
     }
 
     fn source(&self, local: NodeId, path: &str) -> Result<Box<dyn ByteSource>, IoError> {
-        Ok(Box::new(FsSource::open(self.server.node(local).fs(), path)?))
+        Ok(Box::new(CountedSource(FsSource::open(
+            self.server.node(local).fs(),
+            path,
+        )?)))
     }
 
     fn label(&self) -> &'static str {

@@ -23,6 +23,7 @@
 use std::sync::Arc;
 
 use phi_platform::{NodeId, Payload, PhiServer};
+use simkernel::obs;
 use simkernel::{BandwidthResource, SimMutex};
 use simproc::{ByteSink, ByteSource, IoError};
 
@@ -74,7 +75,13 @@ impl Nfs {
                 server: server.clone(),
                 config,
                 mode,
-                mounts: SimMutex::new("nfs mounts", vec![None; slots].into_iter().map(|_: Option<()>| None).collect()),
+                mounts: SimMutex::new(
+                    "nfs mounts",
+                    vec![None; slots]
+                        .into_iter()
+                        .map(|_: Option<()>| None)
+                        .collect(),
+                ),
             }),
         }
     }
@@ -130,6 +137,7 @@ impl ByteSink for NfsSink {
                     len.div_ceil(cfg.wsize)
                 };
                 if !self.local.is_host() {
+                    obs::counter_add("nfs.write_rpcs", ops);
                     self.nfs.mount(self.local).transfer_as_ops(len, ops);
                 }
             }
@@ -151,13 +159,14 @@ impl ByteSink for NfsSink {
                     // Pipelined: latency amortized to one per chunk *batch*;
                     // approximate by charging the wire plus a single
                     // latency per call, independent of ops.
-                    let _ = ops;
+                    obs::counter_add("nfs.write_rpcs", ops);
                     self.nfs.mount(self.local).transfer(len);
                 }
             }
         }
         // Server-side write-back (asynchronous, like any NFS server).
         server.host().fs().append_async(&self.path, data)?;
+        obs::counter_add(&format!("io.{}.bytes_written", self.nfs.label()), len);
         Ok(())
     }
 
@@ -193,8 +202,10 @@ impl ByteSource for NfsSource {
         if !self.local.is_host() {
             simkernel::sleep(cfg.read_call_cost);
             let ops = take.div_ceil(cfg.rsize).max(1);
+            obs::counter_add("nfs.read_rpcs", ops);
             self.nfs.mount(self.local).transfer_as_ops(take, ops);
         }
+        obs::counter_add(&format!("io.{}.bytes_read", self.nfs.label()), take);
         Ok(Some(chunk))
     }
 }
@@ -213,7 +224,9 @@ impl SnapshotStorage for Nfs {
 
     fn source(&self, local: NodeId, path: &str) -> Result<Box<dyn ByteSource>, IoError> {
         if !self.inner.server.host().fs().exists(path) {
-            return Err(IoError::Fs(phi_platform::FsError::NotFound(path.to_string())));
+            return Err(IoError::Fs(phi_platform::FsError::NotFound(
+                path.to_string(),
+            )));
         }
         Ok(Box::new(NfsSource {
             nfs: self.clone(),

@@ -7,6 +7,7 @@
 use std::sync::Arc;
 
 use phi_platform::{NodeId, Payload, PhiServer};
+use simkernel::obs;
 use simkernel::{BandwidthResource, SimDuration, SimMutex};
 use simproc::{ByteSink, ByteSource, IoError};
 
@@ -34,10 +35,7 @@ impl Scp {
             inner: Arc::new(ScpInner {
                 server: server.clone(),
                 config,
-                ciphers: SimMutex::new(
-                    "scp ciphers",
-                    (0..slots).map(|_| None).collect(),
-                ),
+                ciphers: SimMutex::new("scp ciphers", (0..slots).map(|_| None).collect()),
             }),
         }
     }
@@ -78,6 +76,7 @@ pub struct ScpSink {
 impl ByteSink for ScpSink {
     fn write(&mut self, data: Payload) -> Result<(), IoError> {
         assert!(!self.closed);
+        obs::counter_add("io.scp.bytes_written", data.len());
         for chunk in data.chunks(self.scp.inner.config.chunk) {
             self.scp.stream_cost(self.local, chunk.len());
             self.scp
@@ -115,6 +114,7 @@ impl ByteSource for ScpSource {
         let chunk = fs.read(&self.path, self.offset, take)?;
         self.offset += take;
         self.scp.stream_cost(self.local, take);
+        obs::counter_add("io.scp.bytes_read", take);
         Ok(Some(chunk))
     }
 }
@@ -133,7 +133,9 @@ impl SnapshotStorage for Scp {
 
     fn source(&self, local: NodeId, path: &str) -> Result<Box<dyn ByteSource>, IoError> {
         if !self.inner.server.host().fs().exists(path) {
-            return Err(IoError::Fs(phi_platform::FsError::NotFound(path.to_string())));
+            return Err(IoError::Fs(phi_platform::FsError::NotFound(
+                path.to_string(),
+            )));
         }
         simkernel::sleep(self.inner.config.setup);
         Ok(Box::new(ScpSource {

@@ -24,6 +24,7 @@
 use std::sync::Arc;
 
 use phi_platform::{MemAlloc, NodeId, Payload, PhiServer};
+use simkernel::obs;
 use simproc::{ByteSink, ByteSource, IoError};
 
 use crate::config::SnapifyIoConfig;
@@ -93,7 +94,9 @@ impl SnapifyIo {
     ) -> Result<SnapifyIoSource, IoError> {
         let fs = self.inner.server.node(target).fs();
         if !fs.exists(path) {
-            return Err(IoError::Fs(phi_platform::FsError::NotFound(path.to_string())));
+            return Err(IoError::Fs(phi_platform::FsError::NotFound(
+                path.to_string(),
+            )));
         }
         let (local_buf, remote_buf) = self.open_common(local, target)?;
         Ok(SnapifyIoSource {
@@ -149,6 +152,7 @@ impl SnapifyIo {
         }
         // The remote daemon appends asynchronously; the writer does not
         // wait for the file system (§7: the host flush runs in parallel).
+        obs::counter_add("io.Snapify-IO.bytes_written", chunk.len());
         server.node(target).fs().append_async(path, chunk)?;
         Ok(())
     }
@@ -174,6 +178,7 @@ impl SnapifyIo {
         server
             .node(local)
             .memcpy((chunk.len() as f64 * self.inner.config.socket_copies) as u64);
+        obs::counter_add("io.Snapify-IO.bytes_read", chunk.len());
         Ok(chunk)
     }
 }
@@ -316,7 +321,13 @@ mod tests {
             let (io, _) = setup();
             let dev = NodeId::device(0);
             let t0 = now();
-            write_all(&io, dev, NodeId::HOST, "/snap/tiny", &Payload::synthetic(1, MB));
+            write_all(
+                &io,
+                dev,
+                NodeId::HOST,
+                "/snap/tiny",
+                &Payload::synthetic(1, MB),
+            );
             let elapsed = now() - t0;
             // Mostly the 9 ms open overhead, not the 1 MB of data.
             assert!(elapsed.as_millis_f64() > 8.0);

@@ -52,7 +52,10 @@ impl WorkloadRun {
         let host_proc = coi.create_host_process(&format!("host:{}", spec.name));
         host_proc
             .memory()
-            .map_region("app_data", Payload::synthetic(out_tag(spec.name, u64::MAX), spec.host_bytes))
+            .map_region(
+                "app_data",
+                Payload::synthetic(out_tag(spec.name, u64::MAX), spec.host_bytes),
+            )
             .map_err(|e| SnapifyError::Io(e.to_string()))?;
         let handle = coi.create_process(&host_proc, device, &spec.binary_name())?;
         let run = WorkloadRun {
@@ -77,8 +80,10 @@ impl WorkloadRun {
             let store = self.handle.create_buffer(spec.store_bytes)?;
             // Populate the resident store once (part of the local store a
             // snapshot must preserve).
-            self.handle
-                .buffer_write(&store, Payload::synthetic(out_tag(spec.name, 1 << 40), spec.store_bytes))?;
+            self.handle.buffer_write(
+                &store,
+                Payload::synthetic(out_tag(spec.name, 1 << 40), spec.store_bytes),
+            )?;
             self.store_buf = Some(store);
         }
         if spec.out_bytes > 0 {
@@ -118,8 +123,10 @@ impl WorkloadRun {
     fn iteration(&self, i: u64) -> Result<(), SnapifyError> {
         let spec = &self.spec;
         if let Some(in_buf) = &self.in_buf {
-            self.handle
-                .buffer_write(in_buf, Payload::synthetic(out_tag(spec.name, i) ^ 0xA5, spec.in_bytes))?;
+            self.handle.buffer_write(
+                in_buf,
+                Payload::synthetic(out_tag(spec.name, i) ^ 0xA5, spec.in_bytes),
+            )?;
         }
         let buffers: Vec<&CoiBuffer> = [&self.in_buf, &self.store_buf, &self.out_buf]
             .iter()
@@ -187,8 +194,16 @@ impl WorkloadRun {
         // Buffers were created in order: in, store, out (ids ascending).
         let mut iter = bufs.into_iter();
         let in_buf = if spec.in_bytes > 0 { iter.next() } else { None };
-        let store_buf = if spec.store_bytes > 0 { iter.next() } else { None };
-        let out_buf = if spec.out_bytes > 0 { iter.next() } else { None };
+        let store_buf = if spec.store_bytes > 0 {
+            iter.next()
+        } else {
+            None
+        };
+        let out_buf = if spec.out_bytes > 0 {
+            iter.next()
+        } else {
+            None
+        };
         WorkloadRun {
             spec: spec.clone(),
             handle: handle.clone(),

@@ -45,7 +45,10 @@ impl OffloadFn for BenchKernel {
             let len = ctx.buffer_len(out);
             ctx.write_buffer(out, Payload::synthetic(out_tag(&self.name, iteration), len));
         }
-        ctx.set_private("last_iteration", Payload::bytes(iteration.to_le_bytes().to_vec()));
+        ctx.set_private(
+            "last_iteration",
+            Payload::bytes(iteration.to_le_bytes().to_vec()),
+        );
         ctx.log(format!("{}: iteration {} done", self.name, iteration).into_bytes());
         StepOutcome::Done(iteration.to_le_bytes().to_vec())
     }

@@ -131,7 +131,10 @@ impl MzRank {
         let host_proc = coi.create_host_process(&format!("{}:rank{rank}", mz.name));
         host_proc
             .memory()
-            .map_region("solver_arrays", Payload::synthetic(out_tag(mz.name, rank as u64), spec.host_bytes))
+            .map_region(
+                "solver_arrays",
+                Payload::synthetic(out_tag(mz.name, rank as u64), spec.host_bytes),
+            )
             .map_err(|e| SnapifyError::Io(e.to_string()))?;
         let handle = coi.create_process(&host_proc, 0, &spec.binary_name())?;
         let in_buf = handle.create_buffer(spec.in_bytes)?;
@@ -180,8 +183,11 @@ impl MzRank {
             &self.in_buf,
             Payload::synthetic(out_tag(self.spec.name, i) ^ 0x77, self.spec.in_bytes),
         )?;
-        self.handle
-            .run_sync("kernel", i.to_le_bytes().to_vec(), &[&self.in_buf, &self._store_buf, &self.out_buf])?;
+        self.handle.run_sync(
+            "kernel",
+            i.to_le_bytes().to_vec(),
+            &[&self.in_buf, &self._store_buf, &self.out_buf],
+        )?;
         self.handle.buffer_read(&self.out_buf)?;
         self.comm.barrier();
         self.next_iteration = i + 1;
@@ -298,7 +304,11 @@ pub fn run_mz_cr_experiment(
     }
     for j in joins {
         let next = j.join()?;
-        assert_eq!(next, warmup_iterations + 1, "rank resumed at wrong iteration");
+        assert_eq!(
+            next,
+            warmup_iterations + 1,
+            "rank resumed at wrong iteration"
+        );
     }
 
     Ok(MzCrResult {

@@ -41,7 +41,8 @@ fn main() {
         let host = world.coi().create_host_process("solver-app");
         let proc = world.coi().create_process(&host, 0, "solver.so").unwrap();
         let buf = proc.create_buffer(64 * MB).unwrap();
-        proc.buffer_write(&buf, Payload::synthetic(1, 64 * MB)).unwrap();
+        proc.buffer_write(&buf, Payload::synthetic(1, 64 * MB))
+            .unwrap();
 
         // Kick off the ~1s solve.
         let run = proc.run("solve", Vec::new(), &[&buf]).unwrap();
@@ -49,7 +50,10 @@ fn main() {
 
         // The "fault predictor": after 300 ms it predicts mic0 will fail.
         sleep(SimDuration::from_millis(300));
-        println!("[{}] fault predictor: mic0 degrading — migrating to mic1", now());
+        println!(
+            "[{}] fault predictor: mic0 degrading — migrating to mic1",
+            now()
+        );
 
         let t0 = now();
         snapify_migrate(&proc, 1).unwrap();

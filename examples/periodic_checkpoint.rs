@@ -46,8 +46,15 @@ fn main() {
         }
 
         // Disaster: the whole application dies mid-run.
-        println!("[{}] !!! injected failure: killing host and offload process", now());
-        let rt = world.coi().daemon(handle.device()).runtime(handle.pid()).unwrap();
+        println!(
+            "[{}] !!! injected failure: killing host and offload process",
+            now()
+        );
+        let rt = world
+            .coi()
+            .daemon(handle.device())
+            .runtime(handle.pid())
+            .unwrap();
         rt.terminate();
         host.exit();
         drop(driver); // the driver thread errors out with Closed; that's the crash
@@ -70,7 +77,10 @@ fn main() {
             &restarted.host_state,
         );
         let result = resumed.run_to_completion().unwrap();
-        assert!(result.verified, "restarted run must produce the correct output");
+        assert!(
+            result.verified,
+            "restarted run must produce the correct output"
+        );
         println!(
             "[{}] job completed and verified; only {} iterations were re-executed",
             now(),

@@ -84,7 +84,10 @@ fn main() {
         assert_eq!(restored, vec![4, 9, 16, 25, 36, 49, 64, 81]);
 
         // And it still computes.
-        restarted.handle.run_sync("square", Vec::new(), &[&bufs[0]]).unwrap();
+        restarted
+            .handle
+            .run_sync("square", Vec::new(), &[&bufs[0]])
+            .unwrap();
         restarted.handle.destroy().unwrap();
         println!("[{}] done", now());
     });

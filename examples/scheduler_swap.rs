@@ -34,7 +34,9 @@ fn main() {
         let host_a = world.coi().create_host_process("job-a");
         let job_a = world.coi().create_process(&host_a, 0, "bigjob.so").unwrap();
         let buf_a = job_a.create_buffer(3 * GB).unwrap();
-        job_a.buffer_write(&buf_a, Payload::synthetic(0xA, 3 * GB)).unwrap();
+        job_a
+            .buffer_write(&buf_a, Payload::synthetic(0xA, 3 * GB))
+            .unwrap();
         cli.register(&job_a);
         println!(
             "[{}] job A running on mic0; device memory used: {:.1} GiB",
@@ -44,9 +46,17 @@ fn main() {
 
         // Job B arrives. It needs ~3.2 GiB too — it cannot fit while A's
         // buffers are resident, so the scheduler swaps A out.
-        println!("[{}] job B arrives; scheduler swaps A out to host storage", now());
-        cli.submit(host_a.pid().0, Command::SwapOut { path: "/swap/job-a".into() })
-            .unwrap();
+        println!(
+            "[{}] job B arrives; scheduler swaps A out to host storage",
+            now()
+        );
+        cli.submit(
+            host_a.pid().0,
+            Command::SwapOut {
+                path: "/swap/job-a".into(),
+            },
+        )
+        .unwrap();
         println!(
             "[{}] A swapped out; device memory used: {:.2} GiB",
             now(),
@@ -57,21 +67,30 @@ fn main() {
         let host_b = world.coi().create_host_process("job-b");
         let job_b = world.coi().create_process(&host_b, 0, "bigjob.so").unwrap();
         let buf_b = job_b.create_buffer(3 * GB).unwrap();
-        job_b.buffer_write(&buf_b, Payload::synthetic(0xB, 3 * GB)).unwrap();
+        job_b
+            .buffer_write(&buf_b, Payload::synthetic(0xB, 3 * GB))
+            .unwrap();
         job_b.run_sync("work", Vec::new(), &[&buf_b]).unwrap();
         println!("[{}] job B finished its offload region", now());
         job_b.destroy().unwrap();
 
         // B is done — swap A back in; it resumes exactly where it was.
         println!("[{}] scheduler swaps A back in", now());
-        cli.submit(host_a.pid().0, Command::SwapIn { device: 0 }).unwrap();
+        cli.submit(host_a.pid().0, Command::SwapIn { device: 0 })
+            .unwrap();
         job_a.run_sync("work", Vec::new(), &[&buf_a]).unwrap();
-        println!("[{}] job A completed after swap-in; all buffers intact", now());
+        println!(
+            "[{}] job A completed after swap-in; all buffers intact",
+            now()
+        );
         assert_eq!(
             job_a.buffer_read(&buf_a).unwrap().digest(),
             Payload::synthetic(0xB16, 3 * GB).digest()
         );
         job_a.destroy().unwrap();
-        println!("[{}] done: one card served two 3 GiB jobs sequentially", now());
+        println!(
+            "[{}] done: one card served two 3 GiB jobs sequentially",
+            now()
+        );
     });
 }

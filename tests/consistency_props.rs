@@ -35,7 +35,10 @@ fn cr_roundtrip(workload: &'static str, pause_at_us: u64, restart_device: usize)
         let snap = SnapifyT::new(&handle, "/snap/prop");
         snapify_pause(&snap).unwrap();
         let rt = world.coi().daemon(0).runtime(handle.pid()).unwrap();
-        prop_assert!(rt.channels_drained(), "channels not drained at capture point");
+        prop_assert!(
+            rt.channels_drained(),
+            "channels not drained at capture point"
+        );
         prop_assert_eq!(handle.run_outbound_pending(), 0);
         snapify_capture(&snap, false).unwrap();
         let host_state = run.host_state();
@@ -51,13 +54,8 @@ fn cr_roundtrip(workload: &'static str, pause_at_us: u64, restart_device: usize)
         // ...and so does a restart from the snapshot.
         run.destroy().unwrap();
         host.exit();
-        let restarted = restart_application(
-            &world,
-            "/snap/prop",
-            &spec.binary_name(),
-            restart_device,
-        )
-        .unwrap();
+        let restarted =
+            restart_application(&world, "/snap/prop", &spec.binary_name(), restart_device).unwrap();
         let resumed = WorkloadRun::resume_after_restart(
             &spec,
             &restarted.handle,

@@ -23,8 +23,11 @@ fn pause_of_unknown_pid_reports_failure() {
         let world = SnapifyWorld::boot(registry());
         let host = world.coi().create_host_process("app");
         let h = world.coi().create_process(&host, 0, "p.so").unwrap();
-        h.snapify_send_ctl(CtlMsg::SnapifyPause { pid: 9999, path: "/x".into() })
-            .unwrap();
+        h.snapify_send_ctl(CtlMsg::SnapifyPause {
+            pid: 9999,
+            path: "/x".into(),
+        })
+        .unwrap();
         let reply = h.snapify_await_reply().unwrap();
         assert_eq!(reply, CtlMsg::SnapifyPauseComplete { ok: false });
         h.destroy().unwrap();
@@ -58,7 +61,8 @@ fn resume_without_pause_is_harmless() {
         let world = SnapifyWorld::boot(registry());
         let host = world.coi().create_host_process("app");
         let h = world.coi().create_process(&host, 0, "p.so").unwrap();
-        h.snapify_send_ctl(CtlMsg::SnapifyResume { pid: h.pid() }).unwrap();
+        h.snapify_send_ctl(CtlMsg::SnapifyResume { pid: h.pid() })
+            .unwrap();
         let reply = h.snapify_await_reply().unwrap();
         assert_eq!(reply, CtlMsg::SnapifyResumeComplete);
         // The process still works.
@@ -99,9 +103,13 @@ fn concurrent_pauses_of_two_processes_share_the_monitor() {
         let s1 = SnapifyT::new(&h1, "/snap/m1");
         let s2 = SnapifyT::new(&h2, "/snap/m2");
         let h1c = h1.clone();
-        let t1 = host.spawn_thread("p1", move || snapify_pause(&SnapifyT::new(&h1c, "/snap/m1")));
+        let t1 = host.spawn_thread("p1", move || {
+            snapify_pause(&SnapifyT::new(&h1c, "/snap/m1"))
+        });
         let h2c = h2.clone();
-        let t2 = host.spawn_thread("p2", move || snapify_pause(&SnapifyT::new(&h2c, "/snap/m2")));
+        let t2 = host.spawn_thread("p2", move || {
+            snapify_pause(&SnapifyT::new(&h2c, "/snap/m2"))
+        });
         t1.join().unwrap();
         t2.join().unwrap();
         // Both paused; resume both (fresh SnapifyT descriptors are fine —

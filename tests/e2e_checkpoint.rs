@@ -36,8 +36,7 @@ fn checkpoint_restart_roundtrip_across_profiles() {
 
             let path = format!("/snap/e2e/{name}");
             let host_state = run.host_state();
-            let (_s, report) =
-                checkpoint_application(&world, &handle, &host_state, &path).unwrap();
+            let (_s, report) = checkpoint_application(&world, &handle, &host_state, &path).unwrap();
             assert!(report.device_snapshot_bytes > 0);
             assert!(driver.join().unwrap().verified, "{name} post-checkpoint");
 
@@ -81,30 +80,18 @@ fn chained_checkpoints_across_devices() {
         run.destroy().unwrap();
         host.exit();
         let r1 = restart_application(&world, "/snap/chain1", &spec.binary_name(), 1).unwrap();
-        let resumed1 = WorkloadRun::resume_after_restart(
-            &spec,
-            &r1.handle,
-            &r1.host_proc,
-            &r1.host_state,
-        );
+        let resumed1 =
+            WorkloadRun::resume_after_restart(&spec, &r1.handle, &r1.host_proc, &r1.host_state);
 
         // Second checkpoint of the restarted app → restart on device 0.
-        let (_s2, _) = checkpoint_application(
-            &world,
-            &r1.handle,
-            &resumed1.host_state(),
-            "/snap/chain2",
-        )
-        .unwrap();
+        let (_s2, _) =
+            checkpoint_application(&world, &r1.handle, &resumed1.host_state(), "/snap/chain2")
+                .unwrap();
         r1.handle.destroy().unwrap();
         r1.host_proc.exit();
         let r2 = restart_application(&world, "/snap/chain2", &spec.binary_name(), 0).unwrap();
-        let resumed2 = WorkloadRun::resume_after_restart(
-            &spec,
-            &r2.handle,
-            &r2.host_proc,
-            &r2.host_state,
-        );
+        let resumed2 =
+            WorkloadRun::resume_after_restart(&spec, &r2.handle, &r2.host_proc, &r2.host_state);
         let result = resumed2.run_to_completion().unwrap();
         assert!(result.verified);
         assert_eq!(r2.handle.device(), 0);
@@ -134,8 +121,7 @@ fn checkpoint_at_every_iteration_boundary() {
             assert!(driver.join().unwrap().verified);
             run.destroy().unwrap();
             host.exit();
-            let restarted =
-                restart_application(&world, &path, &spec.binary_name(), 0).unwrap();
+            let restarted = restart_application(&world, &path, &spec.binary_name(), 0).unwrap();
             let resumed = WorkloadRun::resume_after_restart(
                 &spec,
                 &restarted.handle,

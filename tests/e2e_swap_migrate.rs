@@ -43,13 +43,15 @@ fn swap_frees_memory_for_a_second_tenant() {
     Kernel::run_root(|| {
         let registry = FunctionRegistry::new();
         registry.register(
-            snapify_repro::coi_sim::DeviceBinary::new("tenant.so", MB, 64 * MB)
-                .simple_function("fill", |ctx| {
+            snapify_repro::coi_sim::DeviceBinary::new("tenant.so", MB, 64 * MB).simple_function(
+                "fill",
+                |ctx| {
                     let n = ctx.buffer_len(0);
                     ctx.compute(1e9, 60);
                     ctx.write_buffer(0, Payload::synthetic(0xF1, n));
                     Vec::new()
-                }),
+                },
+            ),
         );
         let world = SnapifyWorld::boot(registry);
         let mem = world.server().device(0).mem().clone();
@@ -58,7 +60,8 @@ fn swap_frees_memory_for_a_second_tenant() {
         let host_a = world.coi().create_host_process("a");
         let a = world.coi().create_process(&host_a, 0, "tenant.so").unwrap();
         let buf_a = a.create_buffer(4 * GB).unwrap();
-        a.buffer_write(&buf_a, Payload::synthetic(0xA, 4 * GB)).unwrap();
+        a.buffer_write(&buf_a, Payload::synthetic(0xA, 4 * GB))
+            .unwrap();
         let used_with_a = mem.used();
         assert!(used_with_a > 4 * GB);
 
@@ -71,7 +74,8 @@ fn swap_frees_memory_for_a_second_tenant() {
         let snap_a = snapify_swapout(&a, "/swap/a").unwrap();
         assert!(mem.used() < used_with_a / 4);
         let buf_b = b.create_buffer(4 * GB).unwrap();
-        b.buffer_write(&buf_b, Payload::synthetic(0xB, 4 * GB)).unwrap();
+        b.buffer_write(&buf_b, Payload::synthetic(0xB, 4 * GB))
+            .unwrap();
         b.run_sync("fill", Vec::new(), &[&buf_b]).unwrap();
         b.destroy().unwrap();
 
@@ -125,7 +129,13 @@ fn cli_full_lifecycle() {
         cli.register(&handle);
         let pid = handle.host_proc().pid().0;
 
-        cli.submit(pid, Command::SwapOut { path: "/swap/cli".into() }).unwrap();
+        cli.submit(
+            pid,
+            Command::SwapOut {
+                path: "/swap/cli".into(),
+            },
+        )
+        .unwrap();
         assert_eq!(world.coi().daemon(0).live_processes(), 0);
         cli.submit(pid, Command::SwapIn { device: 1 }).unwrap();
         cli.submit(pid, Command::Migrate { device: 0 }).unwrap();

@@ -55,8 +55,16 @@ fn table4_ordering() {
         let cfg = BlcrConfig::default();
         let methods: Vec<Box<dyn SnapshotStorage>> = vec![
             Box::new(Nfs::new(&server, NfsConfig::default(), NfsMode::Plain)),
-            Box::new(Nfs::new(&server, NfsConfig::default(), NfsMode::BufferedKernel)),
-            Box::new(Nfs::new(&server, NfsConfig::default(), NfsMode::BufferedUser)),
+            Box::new(Nfs::new(
+                &server,
+                NfsConfig::default(),
+                NfsMode::BufferedKernel,
+            )),
+            Box::new(Nfs::new(
+                &server,
+                NfsConfig::default(),
+                NfsMode::BufferedUser,
+            )),
             Box::new(SnapifyIo::new_default(&server)),
         ];
         let time_ckpt = |m: &dyn SnapshotStorage, size: u64, tag: u64| -> f64 {
@@ -76,7 +84,10 @@ fn table4_ordering() {
         let kbuf = time_ckpt(methods[1].as_ref(), size, 2);
         let ubuf = time_ckpt(methods[2].as_ref(), size, 3);
         let sio = time_ckpt(methods[3].as_ref(), size, 4);
-        assert!(sio < kbuf && kbuf < ubuf && ubuf < nfs, "{sio} {kbuf} {ubuf} {nfs}");
+        assert!(
+            sio < kbuf && kbuf < ubuf && ubuf < nfs,
+            "{sio} {kbuf} {ubuf} {nfs}"
+        );
         // Speedup grows with size.
         let small_ratio =
             time_ckpt(methods[0].as_ref(), MB, 5) / time_ckpt(methods[3].as_ref(), MB, 6);
@@ -142,7 +153,10 @@ fn fig10_store_vs_snapshot_shapes() {
             run.destroy().unwrap();
         }
         for (name, out, inn) in &rows {
-            assert!(inn > out, "{name}: swap-in ({inn}) must exceed swap-out ({out})");
+            assert!(
+                inn > out,
+                "{name}: swap-in ({inn}) must exceed swap-out ({out})"
+            );
         }
         // SS (largest store+host) must be the slowest to swap out; MC the
         // fastest.

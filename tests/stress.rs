@@ -34,9 +34,13 @@ fn six_processes_with_interleaved_snapshots() {
         // Six processes, three per device, each with a 64 MiB buffer.
         let mut procs = Vec::new();
         for i in 0..6usize {
-            let h = world.coi().create_process(&host, i % 2, "stress.so").unwrap();
+            let h = world
+                .coi()
+                .create_process(&host, i % 2, "stress.so")
+                .unwrap();
             let buf = h.create_buffer(64 * MB).unwrap();
-            h.buffer_write(&buf, Payload::synthetic(i as u64, 64 * MB)).unwrap();
+            h.buffer_write(&buf, Payload::synthetic(i as u64, 64 * MB))
+                .unwrap();
             procs.push((h, buf));
         }
 
@@ -116,8 +120,10 @@ fn rapid_swap_churn_between_processes() {
         let b = world.coi().create_process(&host, 0, "stress.so").unwrap();
         let ba = a.create_buffer(32 * MB).unwrap();
         let bb = b.create_buffer(32 * MB).unwrap();
-        a.buffer_write(&ba, Payload::synthetic(0xA, 32 * MB)).unwrap();
-        b.buffer_write(&bb, Payload::synthetic(0xB, 32 * MB)).unwrap();
+        a.buffer_write(&ba, Payload::synthetic(0xA, 32 * MB))
+            .unwrap();
+        b.buffer_write(&bb, Payload::synthetic(0xB, 32 * MB))
+            .unwrap();
 
         // Ten alternating swap cycles, with work in between.
         let mut out_a = None;

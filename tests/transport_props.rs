@@ -8,9 +8,7 @@ use proptest::prelude::*;
 use snapify_repro::phi_platform::{NodeId, Payload, PhiServer, PlatformParams};
 use snapify_repro::simkernel::Kernel;
 use snapify_repro::simproc::SnapshotStorage;
-use snapify_repro::snapify_io::{
-    LocalStorage, Nfs, NfsConfig, NfsMode, Scp, ScpConfig, SnapifyIo,
-};
+use snapify_repro::snapify_io::{LocalStorage, Nfs, NfsConfig, NfsMode, Scp, ScpConfig, SnapifyIo};
 
 fn roundtrip(method_idx: usize, size: u64, write_chunk: u64, read_chunk: u64) {
     Kernel::run_root(move || {
@@ -18,8 +16,16 @@ fn roundtrip(method_idx: usize, size: u64, write_chunk: u64, read_chunk: u64) {
         let methods: Vec<Box<dyn SnapshotStorage>> = vec![
             Box::new(SnapifyIo::new_default(&server)),
             Box::new(Nfs::new(&server, NfsConfig::default(), NfsMode::Plain)),
-            Box::new(Nfs::new(&server, NfsConfig::default(), NfsMode::BufferedKernel)),
-            Box::new(Nfs::new(&server, NfsConfig::default(), NfsMode::BufferedUser)),
+            Box::new(Nfs::new(
+                &server,
+                NfsConfig::default(),
+                NfsMode::BufferedKernel,
+            )),
+            Box::new(Nfs::new(
+                &server,
+                NfsConfig::default(),
+                NfsMode::BufferedUser,
+            )),
             Box::new(Scp::new(&server, ScpConfig::default())),
             Box::new(LocalStorage::new(&server)),
         ];
