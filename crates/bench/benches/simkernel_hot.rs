@@ -1,0 +1,255 @@
+//! **simkernel_hot** — wall-clock throughput of the simulation kernel's
+//! dispatch hot path. Unlike the paper benches (which report *virtual*
+//! time), every number here is real seconds on the host: the simulator's
+//! events/sec caps how large a simulation the test suite and the other
+//! benches can afford, so this harness tracks the repo's wall-clock perf
+//! trajectory across PRs.
+//!
+//! Scenarios:
+//!
+//! * `ping_pong_64` — 32 thread pairs (64 simulated threads) exchanging
+//!   messages over unbounded channels; the canonical context-hand-off
+//!   microbench (one block + one wake per message).
+//! * `mutex_convoy_64` — 64 threads hammering one `SimMutex`; measures
+//!   blocking acquire + FIFO hand-off.
+//! * `timer_churn_64` — 64 threads sleeping staggered durations;
+//!   measures the timed run-queue path (`block_until`).
+//! * `spawn_join_1000` — spawn/join of 1000 simulated threads (each a
+//!   real OS thread); measures thread-table and startup costs.
+//! * `e2e_checkpoint` — a full Snapify checkpoint of a JAC offload run,
+//!   the macro number everything else serves.
+//!
+//! Pass `--quick` (or set `BENCH_QUICK=1`) for a fast smoke run (CI).
+//! Dumps `BENCH_simkernel.json` next to the other `BENCH_*.json`
+//! artifacts.
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+use coi_sim::FunctionRegistry;
+use simkernel::time::{ms, us};
+use simkernel::{Kernel, Semaphore, SimChannel, SimMutex};
+use snapify::{checkpoint_application, SnapifyWorld};
+use workloads::{by_name, register_suite, WorkloadRun};
+
+/// One measured scenario: `events` simulation events dispatched in
+/// `secs` wall-clock seconds.
+struct Row {
+    name: &'static str,
+    events: u64,
+    secs: f64,
+}
+
+impl Row {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.secs
+    }
+}
+
+/// Run `f` (which returns the number of events it dispatched) a few
+/// times and keep the best-throughput batch.
+fn measure(name: &'static str, warmups: u32, batches: u32, mut f: impl FnMut() -> u64) -> Row {
+    for _ in 0..warmups {
+        black_box(f());
+    }
+    let mut best = Row {
+        name,
+        events: 0,
+        secs: f64::INFINITY,
+    };
+    for _ in 0..batches {
+        let t0 = Instant::now();
+        let events = f();
+        let secs = t0.elapsed().as_secs_f64();
+        if events as f64 / secs > best.events as f64 / best.secs.min(1e18) || best.events == 0 {
+            best = Row { name, events, secs };
+        }
+    }
+    println!(
+        "{:<28} {:>12} events {:>9.3} ms {:>12.0} events/sec",
+        best.name,
+        best.events,
+        best.secs * 1e3,
+        best.events_per_sec()
+    );
+    best
+}
+
+/// 32 client/server pairs; each round trip is two messages, i.e. two
+/// block/wake hand-offs. Events = messages delivered.
+fn ping_pong_64(rounds: u64) -> u64 {
+    Kernel::run_root(move || {
+        let mut handles = Vec::new();
+        for p in 0..32u32 {
+            let req: SimChannel<u64> = SimChannel::unbounded("req");
+            let rsp: SimChannel<u64> = SimChannel::unbounded("rsp");
+            let (req2, rsp2) = (req.clone(), rsp.clone());
+            simkernel::spawn(format!("srv{p}"), move || {
+                while let Ok(v) = req2.recv() {
+                    rsp2.send(v).unwrap();
+                }
+            });
+            handles.push(simkernel::spawn(format!("cli{p}"), move || {
+                for i in 0..rounds {
+                    req.send(i).unwrap();
+                    black_box(rsp.recv().unwrap());
+                }
+                req.close();
+            }));
+        }
+        for h in handles {
+            h.join();
+        }
+    });
+    32 * rounds * 2
+}
+
+/// 64 threads contending one mutex. Events = acquisitions.
+fn mutex_convoy_64(iters: u64) -> u64 {
+    Kernel::run_root(move || {
+        let m = Arc::new(SimMutex::new("convoy", 0u64));
+        let gate = Semaphore::new("gate", 0);
+        let mut handles = Vec::new();
+        for t in 0..64u32 {
+            let m = Arc::clone(&m);
+            let gate = gate.clone();
+            handles.push(simkernel::spawn(format!("w{t}"), move || {
+                gate.wait();
+                for _ in 0..iters {
+                    let mut g = m.lock();
+                    *g += 1;
+                    // Keep the convoy formed: yield while holding nothing.
+                    drop(g);
+                    simkernel::yield_now();
+                }
+            }));
+        }
+        // Release all 64 at once so the lock is always contended.
+        for _ in 0..64 {
+            gate.post();
+        }
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(*m.lock(), 64 * iters);
+    });
+    64 * iters
+}
+
+/// 64 threads sleeping staggered durations. Events = timed wake-ups.
+fn timer_churn_64(iters: u64) -> u64 {
+    Kernel::run_root(move || {
+        let mut handles = Vec::new();
+        for t in 0..64u64 {
+            handles.push(simkernel::spawn(format!("t{t}"), move || {
+                for i in 0..iters {
+                    simkernel::sleep(us(1 + (t * 13 + i * 7) % 97));
+                }
+            }));
+        }
+        for h in handles {
+            h.join();
+        }
+    });
+    64 * iters
+}
+
+/// Spawn and join 1000 threads. Events = spawns + exits.
+fn spawn_join_1000() -> u64 {
+    Kernel::run_root(|| {
+        let mut handles = Vec::new();
+        for t in 0..1000u64 {
+            handles.push(simkernel::spawn(format!("s{t}"), move || {
+                simkernel::sleep(us(t % 11));
+                t
+            }));
+        }
+        let sum: u64 = handles.into_iter().map(|h| h.join()).sum();
+        assert_eq!(sum, 999 * 1000 / 2);
+    });
+    2000
+}
+
+/// One full checkpoint of a running JAC offload application — the macro
+/// workload the microbenches exist to speed up. Events are not counted
+/// here; the row reports runs/sec (events = 1 per run).
+fn e2e_checkpoint() -> u64 {
+    Kernel::run_root(|| {
+        let spec = by_name("JAC").unwrap().scaled(64, 20);
+        let registry = FunctionRegistry::new();
+        register_suite(&registry, std::slice::from_ref(&spec));
+        let world = SnapifyWorld::boot(registry);
+        let run = Arc::new(WorkloadRun::launch(world.coi(), &spec, 0).unwrap());
+        let handle = run.handle().clone();
+        let host = run.host_proc().clone();
+        let driver = {
+            let r = Arc::clone(&run);
+            host.spawn_thread("driver", move || r.run_to_completion())
+        };
+        simkernel::sleep(ms(17));
+        checkpoint_application(&world, &handle, &run.host_state(), "/snap/hot").unwrap();
+        assert!(driver.join().unwrap().verified);
+        run.destroy().unwrap();
+    });
+    1
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("BENCH_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+    let (warmups, batches) = if quick { (1, 2) } else { (2, 5) };
+    let pp_rounds: u64 = if quick { 200 } else { 2000 };
+    let mx_iters: u64 = if quick { 50 } else { 400 };
+    let tm_iters: u64 = if quick { 50 } else { 400 };
+
+    println!();
+    println!(
+        "simkernel hot-path wall-clock benchmarks{}",
+        if quick { " (quick)" } else { "" }
+    );
+    println!("{}", "-".repeat(70));
+
+    let rows = vec![
+        measure("ping_pong_64", warmups, batches, || ping_pong_64(pp_rounds)),
+        measure("mutex_convoy_64", warmups, batches, || {
+            mutex_convoy_64(mx_iters)
+        }),
+        measure("timer_churn_64", warmups, batches, || {
+            timer_churn_64(tm_iters)
+        }),
+        measure("spawn_join_1000", warmups, batches, spawn_join_1000),
+        measure(
+            "e2e_checkpoint",
+            if quick { 0 } else { 1 },
+            batches.min(3),
+            e2e_checkpoint,
+        ),
+    ];
+
+    dump_json("BENCH_simkernel.json", &rows, quick);
+}
+
+fn dump_json(path: &str, rows: &[Row], quick: bool) {
+    let mut out = String::from("{\n  \"benches\": [");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"name\": \"{}\", \"events\": {}, \"wall_secs\": {:.6}, \
+             \"events_per_sec\": {:.1}}}",
+            r.name,
+            r.events,
+            r.secs,
+            r.events_per_sec()
+        ));
+    }
+    out.push_str(&format!("\n  ],\n  \"quick\": {quick}\n}}\n"));
+    match std::fs::write(path, out) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
+}

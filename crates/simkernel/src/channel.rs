@@ -20,7 +20,7 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
-use crate::kernel::{current, Tid};
+use crate::kernel::{current, with_current, BlockReason, Tid};
 use crate::time::{SimDuration, SimTime};
 
 /// Error returned by [`SimChannel::send`].
@@ -154,34 +154,40 @@ impl<T: Send + 'static> SimChannel<T> {
                 }
                 st.send_waiters.push_back(me);
             }
-            kernel.block(me, &format!("channel '{}' full", self.inner.name));
+            kernel.block(
+                me,
+                BlockReason::named_with("channel", &self.inner.name, " full"),
+            );
         }
     }
 
     /// Send without blocking. Fails if the channel is full or closed.
+    /// Never takes the scheduler lock unless a blocked receiver must be
+    /// woken.
     pub fn try_send(&self, value: T) -> Result<(), T> {
-        let (kernel, _) = current();
-        let mut st = self.inner.state.lock().unwrap();
-        if st.closed {
-            return Err(value);
-        }
-        let full = self
-            .inner
-            .capacity
-            .map(|c| st.queue.len() >= c)
-            .unwrap_or(false);
-        if full {
-            return Err(value);
-        }
-        let ready_at = kernel.now() + self.inner.latency;
-        st.queue.push_back((ready_at, value));
-        st.sent += 1;
-        let waiter = st.recv_waiters.pop_front();
-        drop(st);
-        if let Some(w) = waiter {
-            kernel.make_runnable(w);
-        }
-        Ok(())
+        with_current(|kernel, _| {
+            let mut st = self.inner.state.lock().unwrap();
+            if st.closed {
+                return Err(value);
+            }
+            let full = self
+                .inner
+                .capacity
+                .map(|c| st.queue.len() >= c)
+                .unwrap_or(false);
+            if full {
+                return Err(value);
+            }
+            let ready_at = kernel.now() + self.inner.latency;
+            st.queue.push_back((ready_at, value));
+            st.sent += 1;
+            let waiter = st.recv_waiters.pop_front();
+            drop(st);
+            if let Some(w) = waiter {
+                kernel.make_runnable(w);
+            }
+            Ok(())
+        })
     }
 
     /// Receive a message, blocking in virtual time until one is available
@@ -217,33 +223,39 @@ impl<T: Send + 'static> SimChannel<T> {
                     kernel.block_until(
                         me,
                         deadline,
-                        &format!("channel '{}' latency", self.inner.name),
+                        BlockReason::named_with("channel", &self.inner.name, " latency"),
                     );
                 }
                 None => {
-                    kernel.block(me, &format!("channel '{}' empty", self.inner.name));
+                    kernel.block(
+                        me,
+                        BlockReason::named_with("channel", &self.inner.name, " empty"),
+                    );
                 }
             }
         }
     }
 
     /// Receive without blocking. `None` if nothing has arrived yet.
+    /// Never takes the scheduler lock unless a blocked sender must be
+    /// woken.
     pub fn try_recv(&self) -> Option<T> {
-        let (kernel, _) = current();
-        let mut st = self.inner.state.lock().unwrap();
-        match st.queue.front() {
-            Some((ready_at, _)) if *ready_at <= kernel.now() => {
-                let (_, v) = st.queue.pop_front().unwrap();
-                st.received += 1;
-                let waiter = st.send_waiters.pop_front();
-                drop(st);
-                if let Some(w) = waiter {
-                    kernel.make_runnable(w);
+        with_current(|kernel, _| {
+            let mut st = self.inner.state.lock().unwrap();
+            match st.queue.front() {
+                Some((ready_at, _)) if *ready_at <= kernel.now() => {
+                    let (_, v) = st.queue.pop_front().unwrap();
+                    st.received += 1;
+                    let waiter = st.send_waiters.pop_front();
+                    drop(st);
+                    if let Some(w) = waiter {
+                        kernel.make_runnable(w);
+                    }
+                    Some(v)
                 }
-                Some(v)
+                _ => None,
             }
-            _ => None,
-        }
+        })
     }
 
     /// Close the channel: pending messages remain receivable; new sends

@@ -26,20 +26,49 @@
 //!    needs uncontended `std::sync::Mutex`es; a simulated thread never
 //!    blocks on a *real* lock held by another simulated thread.
 //!
+//! # Hot-path design
+//!
+//! Dispatch is the wall-clock bottleneck of every test and bench in the
+//! workspace, so the token hand-off is engineered to touch as little
+//! shared state as possible:
+//!
+//! * **Per-thread parking slots.** Each simulated thread parks on its own
+//!   `Mutex<SlotState>` + `Condvar` pair. Granting the token signals
+//!   exactly that thread's slot — one `notify_one` on an uncontended
+//!   condvar — instead of broadcasting on a global condvar and waking all
+//!   N parked threads to re-check who was granted (the previous design's
+//!   thundering herd, O(N) wake-ups per event).
+//! * **Slab thread table.** `Tid`s are dense and monotonically assigned,
+//!   so thread metadata lives in a `Vec` indexed by `tid - 1`, not a
+//!   `HashMap` (no hashing on every dispatch).
+//! * **Lock-free clock reads.** The virtual clock is mirrored in an
+//!   `AtomicU64` updated at dispatch; [`Kernel::now`] is a relaxed load,
+//!   so channel sends, observability timestamps, and cost-model queries
+//!   never take the scheduler lock. This is sound because time only
+//!   advances in dispatch, which never runs concurrently with a simulated
+//!   thread that could observe the torn value (the grantee's slot mutex
+//!   provides the happens-before edge).
+//! * **Allocation-free blocking.** Block reasons are `(&'static str,
+//!   &str)` pairs copied into a per-thread reusable buffer; trace labels
+//!   are only formatted when tracing is enabled (checked via an atomic
+//!   before taking any lock).
+//!
 //! # Deadlock detection
 //!
 //! If every live simulated thread is blocked and no timed wake-up is
 //! pending, the simulation cannot make progress. The kernel detects this,
 //! aborts the run, and panics in [`Kernel::run`] with a dump of every
-//! blocked thread and the reason it blocked. This turns protocol bugs (e.g.
-//! an incorrect drain order in Snapify's pause) into crisp test failures.
+//! blocked thread, the reason it blocked, and how long (in virtual time)
+//! it has been parked. This turns protocol bugs (e.g. an incorrect drain
+//! order in Snapify's pause) into crisp test failures.
 
 use std::cell::RefCell;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread;
 
 use crate::time::{SimDuration, SimTime};
@@ -58,6 +87,56 @@ pub struct TraceEvent {
     pub label: String,
 }
 
+/// Why a thread blocked, passed by reference so the hot path never
+/// allocates: a static kind, an optional borrowed name (copied into the
+/// thread's reusable reason buffer only when it blocks), and a static
+/// suffix. Rendered as `kind 'name'suffix` (e.g. `channel 'work' empty`).
+#[derive(Clone, Copy)]
+pub(crate) struct BlockReason<'a> {
+    kind: &'static str,
+    name: &'a str,
+    suffix: &'static str,
+}
+
+impl<'a> BlockReason<'a> {
+    /// A fixed reason with no dynamic component (`"sleep"`, `"join"`).
+    pub(crate) const fn fixed(kind: &'static str) -> BlockReason<'static> {
+        BlockReason {
+            kind,
+            name: "",
+            suffix: "",
+        }
+    }
+
+    /// `kind 'name'` (e.g. `mutex 'coi.run_lock'`).
+    pub(crate) const fn named(kind: &'static str, name: &'a str) -> BlockReason<'a> {
+        BlockReason {
+            kind,
+            name,
+            suffix: "",
+        }
+    }
+
+    /// `kind 'name'suffix` (e.g. `channel 'work' full`).
+    pub(crate) const fn named_with(
+        kind: &'static str,
+        name: &'a str,
+        suffix: &'static str,
+    ) -> BlockReason<'a> {
+        BlockReason { kind, name, suffix }
+    }
+}
+
+impl fmt::Display for BlockReason<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.name.is_empty() {
+            write!(f, "{}{}", self.kind, self.suffix)
+        } else {
+            write!(f, "{} '{}'{}", self.kind, self.name, self.suffix)
+        }
+    }
+}
+
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum TState {
     /// Queued in the run queue (possibly with a future wake-up time).
@@ -70,14 +149,90 @@ enum TState {
     Finished,
 }
 
+/// A simulated thread's private parking spot. The scheduler signals it to
+/// hand over the token; nothing else ever waits on it, so a grant wakes
+/// exactly one OS thread.
+struct Slot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    /// No grant pending; the owner parks here.
+    Parked,
+    /// The scheduler granted the token; the owner should run.
+    Granted,
+    /// The simulation is over (completed or aborted); park forever.
+    Shutdown,
+}
+
+impl Slot {
+    fn new() -> Arc<Slot> {
+        Arc::new(Slot {
+            state: Mutex::new(SlotState::Parked),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Hand the token to this slot's owner. Wakes at most one OS thread.
+    fn grant(&self) {
+        let mut st = self.state.lock().unwrap();
+        debug_assert!(*st != SlotState::Granted, "double grant");
+        if *st != SlotState::Shutdown {
+            *st = SlotState::Granted;
+        }
+        self.cv.notify_one();
+    }
+
+    /// Tell the owner the simulation is over; it parks forever.
+    fn shutdown(&self) {
+        *self.state.lock().unwrap() = SlotState::Shutdown;
+        self.cv.notify_one();
+    }
+
+    /// Park until granted. On shutdown, never returns (parks the OS
+    /// thread forever: unwinding through arbitrary user code would run
+    /// destructors, which may touch the scheduler, concurrently with
+    /// other aborting threads).
+    fn wait(&self) {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            match *st {
+                SlotState::Granted => {
+                    *st = SlotState::Parked;
+                    return;
+                }
+                SlotState::Shutdown => {
+                    drop(st);
+                    loop {
+                        thread::park();
+                    }
+                }
+                SlotState::Parked => st = self.cv.wait(st).unwrap(),
+            }
+        }
+    }
+}
+
 struct ThreadInfo {
     name: String,
     state: TState,
     /// Daemon threads (service loops) do not keep the simulation alive:
     /// the run ends when the last non-daemon thread finishes.
     daemon: bool,
-    /// Why the thread is blocked (for deadlock dumps).
-    block_reason: String,
+    /// This thread's private parking spot.
+    slot: Arc<Slot>,
+    /// Why the thread is blocked (for deadlock dumps): static kind and
+    /// suffix plus a reusable buffer holding the dynamic name — refilled
+    /// in place on every block, so steady-state blocking never allocates.
+    block_kind: &'static str,
+    block_suffix: &'static str,
+    block_name: String,
+    /// Deadline of a timed wait (`block_until`), for dumps.
+    block_deadline: Option<SimTime>,
+    /// Virtual time at which the thread last gave up the token.
+    block_since: SimTime,
     /// Threads waiting in `join()` on this thread.
     joiners: Vec<Tid>,
     /// Generation counter: incremented every time the thread blocks, so
@@ -85,15 +240,34 @@ struct ThreadInfo {
     generation: u64,
 }
 
+impl ThreadInfo {
+    fn set_reason(&mut self, reason: BlockReason<'_>, deadline: Option<SimTime>, now: SimTime) {
+        self.block_kind = reason.kind;
+        self.block_suffix = reason.suffix;
+        self.block_name.clear();
+        self.block_name.push_str(reason.name);
+        self.block_deadline = deadline;
+        self.block_since = now;
+    }
+
+    fn reason(&self) -> BlockReason<'_> {
+        BlockReason {
+            kind: self.block_kind,
+            name: &self.block_name,
+            suffix: self.block_suffix,
+        }
+    }
+}
+
 struct Sched {
     now: SimTime,
     seq: u64,
-    next_tid: Tid,
     /// Min-heap of `(wake time, sequence, tid, generation)`.
     runq: BinaryHeap<Reverse<(SimTime, u64, Tid, u64)>>,
-    threads: HashMap<Tid, ThreadInfo>,
-    /// The thread that currently may run (token holder-elect).
-    granted: Option<Tid>,
+    /// Slab of thread metadata, indexed by `tid - 1` (tids are dense).
+    threads: Vec<ThreadInfo>,
+    /// The current token holder (None while the token is being handed off).
+    running: Option<Tid>,
     live: usize,
     done: bool,
     shutdown: bool,
@@ -102,10 +276,26 @@ struct Sched {
     spawned_os: Vec<(thread::JoinHandle<()>, bool)>,
 }
 
+impl Sched {
+    #[inline]
+    fn info(&self, tid: Tid) -> &ThreadInfo {
+        &self.threads[(tid - 1) as usize]
+    }
+
+    #[inline]
+    fn info_mut(&mut self, tid: Tid) -> &mut ThreadInfo {
+        &mut self.threads[(tid - 1) as usize]
+    }
+}
+
 struct Inner {
     sched: Mutex<Sched>,
-    /// Simulated threads park here waiting for their grant.
-    cv: Condvar,
+    /// Mirror of `Sched::now`, updated at dispatch: clock reads are a
+    /// relaxed load instead of a scheduler-lock round-trip.
+    now_ns: AtomicU64,
+    /// Mirror of `Sched::trace.is_some()`: lets `trace_event` return
+    /// without locking when tracing is off.
+    trace_on: AtomicBool,
     /// The driver of `Kernel::run` parks here waiting for completion.
     driver_cv: Condvar,
 }
@@ -130,6 +320,29 @@ pub fn current() -> (Kernel, Tid) {
         c.borrow()
             .clone()
             .expect("not inside a simulated thread: simkernel primitives may only be used from threads spawned via Kernel::spawn")
+    })
+}
+
+/// Returns just the thread id of the calling simulated thread, without
+/// cloning the kernel handle (fast path for uncontended primitives).
+///
+/// # Panics
+/// Panics if called from outside a simulated thread.
+pub(crate) fn current_tid() -> Tid {
+    CTX.with(|c| c.borrow().as_ref().map(|(_, t)| *t))
+        .expect("not inside a simulated thread: simkernel primitives may only be used from threads spawned via Kernel::spawn")
+}
+
+/// Runs `f` with the calling simulated thread's kernel and tid, without
+/// cloning the kernel handle. Must not be used around a blocking call
+/// (the thread-local stays borrowed for the closure's duration).
+pub(crate) fn with_current<R>(f: impl FnOnce(&Kernel, Tid) -> R) -> R {
+    CTX.with(|c| {
+        let b = c.borrow();
+        let (k, t) = b
+            .as_ref()
+            .expect("not inside a simulated thread: simkernel primitives may only be used from threads spawned via Kernel::spawn");
+        f(k, *t)
     })
 }
 
@@ -165,10 +378,9 @@ impl Kernel {
                 sched: Mutex::new(Sched {
                     now: SimTime::ZERO,
                     seq: 0,
-                    next_tid: 1,
                     runq: BinaryHeap::new(),
-                    threads: HashMap::new(),
-                    granted: None,
+                    threads: Vec::new(),
+                    running: None,
                     live: 0,
                     done: false,
                     shutdown: false,
@@ -176,7 +388,8 @@ impl Kernel {
                     trace: None,
                     spawned_os: Vec::new(),
                 }),
-                cv: Condvar::new(),
+                now_ns: AtomicU64::new(0),
+                trace_on: AtomicBool::new(false),
                 driver_cv: Condvar::new(),
             }),
         }
@@ -188,18 +401,51 @@ impl Kernel {
         if s.trace.is_none() {
             s.trace = Some(Vec::new());
         }
+        self.inner.trace_on.store(true, Ordering::Relaxed);
     }
 
     /// Take the recorded event trace (empty unless [`Kernel::enable_trace`]
-    /// was called).
+    /// was called). Draining: the second call returns an empty vector.
     pub fn trace(&self) -> Vec<TraceEvent> {
         let mut s = self.inner.sched.lock().unwrap();
+        self.inner.trace_on.store(false, Ordering::Relaxed);
         s.trace.take().unwrap_or_default()
     }
 
-    /// Current virtual time.
+    /// Number of recorded trace events, without draining or copying them.
+    pub fn trace_len(&self) -> usize {
+        let s = self.inner.sched.lock().unwrap();
+        s.trace.as_ref().map(Vec::len).unwrap_or(0)
+    }
+
+    /// FNV-1a digest of the recorded trace, without draining or copying
+    /// it. Two runs are trace-identical iff their digests and
+    /// [`Kernel::trace_len`] match — use this for determinism checks
+    /// instead of materializing and comparing full event vectors.
+    pub fn trace_digest(&self) -> u64 {
+        let s = self.inner.sched.lock().unwrap();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1_0000_0000_01b3);
+            }
+        };
+        if let Some(tr) = s.trace.as_ref() {
+            for ev in tr {
+                mix(&ev.time.as_nanos().to_le_bytes());
+                mix(&ev.tid.to_le_bytes());
+                mix(ev.label.as_bytes());
+                mix(&[0xff]);
+            }
+        }
+        h
+    }
+
+    /// Current virtual time. A relaxed atomic load — never takes the
+    /// scheduler lock.
     pub fn now(&self) -> SimTime {
-        self.inner.sched.lock().unwrap().now
+        SimTime(self.inner.now_ns.load(Ordering::Relaxed))
     }
 
     /// Spawn a simulated thread. The thread becomes runnable at the current
@@ -234,23 +480,27 @@ impl Kernel {
         let result: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
         let result2 = Arc::clone(&result);
         let kernel = self.clone();
+        let slot = Slot::new();
+        let slot2 = Arc::clone(&slot);
 
         let tid = {
             let mut s = self.inner.sched.lock().unwrap();
             assert!(!s.done, "cannot spawn after the simulation finished");
-            let tid = s.next_tid;
-            s.next_tid += 1;
-            s.threads.insert(
-                tid,
-                ThreadInfo {
-                    name: name.clone(),
-                    state: TState::Runnable,
-                    daemon,
-                    block_reason: String::new(),
-                    joiners: Vec::new(),
-                    generation: 0,
-                },
-            );
+            let tid = s.threads.len() as Tid + 1;
+            let now = s.now;
+            s.threads.push(ThreadInfo {
+                name: name.clone(),
+                state: TState::Runnable,
+                daemon,
+                slot,
+                block_kind: "",
+                block_suffix: "",
+                block_name: String::new(),
+                block_deadline: None,
+                block_since: now,
+                joiners: Vec::new(),
+                generation: 0,
+            });
             if !daemon {
                 s.live += 1;
             }
@@ -266,7 +516,7 @@ impl Kernel {
             .spawn(move || {
                 CTX.with(|c| *c.borrow_mut() = Some((kernel.clone(), tid)));
                 // Park until granted for the first time.
-                kernel.wait_for_grant(tid);
+                slot2.wait();
                 let out = panic::catch_unwind(AssertUnwindSafe(f));
                 match out {
                     Ok(v) => {
@@ -304,7 +554,7 @@ impl Kernel {
     /// deadlocked (every live thread blocked with no pending wake-up).
     pub fn run(&self) {
         let mut s = self.inner.sched.lock().unwrap();
-        assert!(s.granted.is_none(), "Kernel::run called re-entrantly");
+        assert!(s.running.is_none(), "Kernel::run called re-entrantly");
         if s.live == 0 {
             s.done = true;
         } else {
@@ -318,7 +568,7 @@ impl Kernel {
         drop(s);
         if let Some(msg) = failure {
             // Aborted simulation: surviving simulated threads are parked
-            // forever (see `wait_for_grant`), so they cannot be joined.
+            // forever (see `Slot::wait`), so they cannot be joined.
             // Unwinding them instead would run user destructors concurrently
             // against a dead scheduler.
             panic!("simulation failed: {msg}");
@@ -352,41 +602,56 @@ impl Kernel {
     /// Block the calling simulated thread until another thread makes it
     /// runnable via [`Kernel::make_runnable`]. `reason` appears in deadlock
     /// dumps.
-    pub(crate) fn block(&self, me: Tid, reason: &str) {
+    pub(crate) fn block(&self, me: Tid, reason: BlockReason<'_>) {
         let mut s = self.inner.sched.lock().unwrap();
+        debug_assert_eq!(s.running, Some(me));
+        s.running = None;
+        let now = s.now;
         {
-            let info = s.threads.get_mut(&me).expect("unknown tid");
+            let info = s.info_mut(me);
             debug_assert_eq!(info.state, TState::Running);
             info.state = TState::Blocked;
-            info.block_reason = reason.to_string();
+            info.set_reason(reason, None, now);
             info.generation += 1;
         }
-        trace(&mut s, me, &format!("block: {reason}"));
+        if s.trace.is_some() {
+            let label = format!("block: {reason}");
+            trace(&mut s, me, &label);
+        }
         self.dispatch(&mut s);
-        drop(s);
-        self.wait_for_grant(me);
+        self.park(s, me);
     }
 
     /// Block the calling simulated thread until virtual time `deadline`
     /// *or* until another thread makes it runnable earlier, whichever comes
     /// first. Returns the wake-up time.
-    pub(crate) fn block_until(&self, me: Tid, deadline: SimTime, reason: &str) -> SimTime {
+    pub(crate) fn block_until(
+        &self,
+        me: Tid,
+        deadline: SimTime,
+        reason: BlockReason<'_>,
+    ) -> SimTime {
         let mut s = self.inner.sched.lock().unwrap();
+        debug_assert_eq!(s.running, Some(me));
+        s.running = None;
+        let now = s.now;
         {
             let seq = s.seq;
             s.seq += 1;
-            let info = s.threads.get_mut(&me).expect("unknown tid");
+            let info = s.info_mut(me);
             debug_assert_eq!(info.state, TState::Running);
             info.state = TState::Runnable;
-            info.block_reason = format!("{reason} (until {deadline})");
+            info.set_reason(reason, Some(deadline), now);
             info.generation += 1;
             let generation = info.generation;
             s.runq.push(Reverse((deadline, seq, me, generation)));
         }
-        trace(&mut s, me, &format!("block_until: {reason}"));
+        if s.trace.is_some() {
+            let label = format!("block_until: {reason}");
+            trace(&mut s, me, &label);
+        }
         self.dispatch(&mut s);
-        drop(s);
-        self.wait_for_grant(me);
+        self.park(s, me);
         self.now()
     }
 
@@ -397,7 +662,7 @@ impl Kernel {
         let mut s = self.inner.sched.lock().unwrap();
         let (now, seq) = (s.now, s.seq);
         s.seq += 1;
-        let info = s.threads.get_mut(&tid).expect("unknown tid");
+        let info = s.info_mut(tid);
         match info.state {
             TState::Blocked => {
                 info.state = TState::Runnable;
@@ -421,16 +686,16 @@ impl Kernel {
     /// Yield the token: stay runnable at the current time but let any other
     /// thread scheduled for the current time run first.
     pub fn yield_now(&self) {
-        let (_, me) = current();
+        let me = current_tid();
         let now = self.now();
-        self.block_until(me, now, "yield");
+        self.block_until(me, now, BlockReason::fixed("yield"));
     }
 
     /// Advance virtual time by `d` for the calling simulated thread.
     pub fn sleep(&self, d: SimDuration) {
-        let (_, me) = current();
+        let me = current_tid();
         let deadline = self.now() + d;
-        self.block_until(me, deadline, "sleep");
+        self.block_until(me, deadline, BlockReason::fixed("sleep"));
         debug_assert!(self.now() >= deadline);
     }
 
@@ -438,10 +703,18 @@ impl Kernel {
     /// tracing enabled) and, when observability recording is on, as a
     /// typed [`snapify_obs::Event::Instant`]. The string trace is the
     /// back-compat surface; new code should prefer `obs::span!`.
+    ///
+    /// When both the string trace and obs recording are off this is two
+    /// relaxed atomic loads — no lock, no allocation.
     pub fn trace_event(&self, label: &str) {
-        // Forward to the typed layer *before* taking the scheduler lock:
-        // the observability clock reads `Kernel::now()`, which needs it.
-        snapify_obs::instant(label);
+        // Forward to the typed layer first: the observability clock reads
+        // `Kernel::now()` (a lock-free load).
+        if snapify_obs::is_enabled() {
+            snapify_obs::instant(label);
+        }
+        if !self.inner.trace_on.load(Ordering::Relaxed) {
+            return;
+        }
         let me = CTX
             .with(|c| c.borrow().as_ref().map(|(_, t)| *t))
             .unwrap_or(0);
@@ -454,78 +727,74 @@ impl Kernel {
         self.inner.sched.lock().unwrap().live
     }
 
-    fn wait_for_grant(&self, me: Tid) {
-        let mut s = self.inner.sched.lock().unwrap();
-        loop {
-            if s.shutdown {
-                // The simulation was aborted (panic or deadlock elsewhere).
-                // Park this OS thread forever: unwinding through arbitrary
-                // user code here would run destructors (which may touch the
-                // scheduler) concurrently with other aborting threads.
-                drop(s);
-                loop {
-                    thread::park();
-                }
-            }
-            if s.granted == Some(me) {
-                s.granted = None;
-                let info = s.threads.get_mut(&me).unwrap();
-                info.state = TState::Running;
-                info.block_reason.clear();
-                return;
-            }
-            s = self.inner.cv.wait(s).unwrap();
-        }
+    /// Release the scheduler lock and park on our own slot until granted.
+    fn park(&self, s: MutexGuard<'_, Sched>, me: Tid) {
+        let slot = Arc::clone(&s.info(me).slot);
+        drop(s);
+        slot.wait();
     }
 
     /// Select the next runnable thread, advance the clock, and grant it the
-    /// token. Must be called with no thread currently granted.
+    /// token (waking exactly one OS thread, via its private slot). Must be
+    /// called with no thread currently granted.
     fn dispatch(&self, s: &mut Sched) {
-        debug_assert!(s.granted.is_none());
+        debug_assert!(s.running.is_none());
         loop {
             match s.runq.pop() {
                 Some(Reverse((t, _seq, tid, generation))) => {
-                    let info = match s.threads.get(&tid) {
-                        Some(i) => i,
-                        None => continue, // thread already finished
-                    };
-                    if info.generation != generation || info.state != TState::Runnable {
-                        continue; // stale entry superseded by an early wake
+                    {
+                        let info = s.info(tid);
+                        if info.generation != generation || info.state != TState::Runnable {
+                            continue; // stale entry superseded by an early wake
+                        }
                     }
                     debug_assert!(t >= s.now, "time went backwards");
                     s.now = s.now.max(t);
-                    s.granted = Some(tid);
-                    self.inner.cv.notify_all();
+                    self.inner.now_ns.store(s.now.as_nanos(), Ordering::Relaxed);
+                    s.running = Some(tid);
+                    let info = s.info_mut(tid);
+                    info.state = TState::Running;
+                    info.block_kind = "";
+                    info.block_suffix = "";
+                    info.block_deadline = None;
+                    info.slot.grant();
                     return;
                 }
                 None => {
                     if s.live == 0 {
                         s.done = true;
-                        s.shutdown = true;
-                        self.inner.cv.notify_all();
-                        self.inner.driver_cv.notify_all();
                     } else {
-                        let dump = deadlock_dump(s);
-                        s.failure = Some(dump);
-                        s.shutdown = true;
+                        s.failure = Some(deadlock_dump(s));
                         s.done = true;
-                        self.inner.cv.notify_all();
-                        self.inner.driver_cv.notify_all();
                     }
+                    self.shutdown_all(s);
                     return;
                 }
             }
         }
     }
 
+    /// Park every simulated thread forever and wake the driver.
+    fn shutdown_all(&self, s: &mut Sched) {
+        s.shutdown = true;
+        for info in &s.threads {
+            if info.state != TState::Finished {
+                info.slot.shutdown();
+            }
+        }
+        self.inner.driver_cv.notify_all();
+    }
+
     /// Exit protocol for a finishing simulated thread.
     fn thread_exit(&self, me: Tid, daemon: bool, panic_msg: Option<String>) {
         let mut s = self.inner.sched.lock().unwrap();
+        debug_assert_eq!(s.running, Some(me));
+        s.running = None;
         if !daemon {
             s.live -= 1;
         }
         let joiners = {
-            let info = s.threads.get_mut(&me).expect("unknown tid");
+            let info = s.info_mut(me);
             info.state = TState::Finished;
             std::mem::take(&mut info.joiners)
         };
@@ -533,7 +802,7 @@ impl Kernel {
         for j in joiners {
             let (now, seq) = (s.now, s.seq);
             s.seq += 1;
-            let info = s.threads.get_mut(&j).unwrap();
+            let info = s.info_mut(j);
             debug_assert_eq!(info.state, TState::Blocked);
             info.state = TState::Runnable;
             info.generation += 1;
@@ -541,20 +810,16 @@ impl Kernel {
             s.runq.push(Reverse((now, seq, j, generation)));
         }
         if let Some(msg) = panic_msg {
-            let name = s.threads[&me].name.clone();
+            let name = s.info(me).name.clone();
             s.failure
                 .get_or_insert_with(|| format!("thread '{name}' panicked: {msg}"));
-            s.shutdown = true;
             s.done = true;
-            self.inner.cv.notify_all();
-            self.inner.driver_cv.notify_all();
+            self.shutdown_all(&mut s);
         } else if !daemon && s.live == 0 {
             // Last non-daemon thread finished: the simulation is complete.
             // Remaining daemon (service) threads are parked via shutdown.
             s.done = true;
-            s.shutdown = true;
-            self.inner.cv.notify_all();
-            self.inner.driver_cv.notify_all();
+            self.shutdown_all(&mut s);
         } else if !s.shutdown {
             self.dispatch(&mut s);
         }
@@ -563,11 +828,11 @@ impl Kernel {
 
     /// Join on a thread: block until it finishes.
     fn join_tid(&self, target: Tid) {
-        let (_, me) = current();
+        let me = current_tid();
         assert_ne!(me, target, "a simulated thread cannot join itself");
         {
             let mut s = self.inner.sched.lock().unwrap();
-            let tinfo = s.threads.get_mut(&target).expect("unknown join target");
+            let tinfo = s.info_mut(target);
             if tinfo.state == TState::Finished {
                 return;
             }
@@ -576,9 +841,7 @@ impl Kernel {
         // Note: between releasing the lock above and blocking below, no
         // other simulated thread can run (single-token discipline), so the
         // target cannot finish in between.
-        let (_, me2) = current();
-        debug_assert_eq!(me, me2);
-        self.block(me, "join");
+        self.block(me, BlockReason::fixed("join"));
     }
 }
 
@@ -607,19 +870,22 @@ fn deadlock_dump(s: &Sched) -> String {
         "deadlock at {}: {} live thread(s) blocked with no pending wake-up:\n",
         s.now, s.live
     );
-    let mut entries: Vec<_> = s
-        .threads
-        .iter()
-        .filter(|(_, i)| i.state == TState::Blocked)
-        .collect();
-    entries.sort_by_key(|(tid, _)| **tid);
-    for (tid, info) in entries {
+    for (i, info) in s.threads.iter().enumerate() {
+        if info.state != TState::Blocked {
+            continue;
+        }
+        let deadline = match info.block_deadline {
+            Some(d) => format!(" (until {d})"),
+            None => String::new(),
+        };
         out.push_str(&format!(
-            "  [{}] '{}'{} blocked on: {}\n",
-            tid,
+            "  [{}] '{}'{} parked for {} blocked on: {}{}\n",
+            i + 1,
             info.name,
             if info.daemon { " (daemon)" } else { "" },
-            info.block_reason
+            s.now.since(info.block_since),
+            info.reason(),
+            deadline,
         ));
     }
     out
@@ -676,7 +942,7 @@ impl<T> JoinHandle<T> {
 
 /// Current virtual time (callable only from a simulated thread).
 pub fn now() -> SimTime {
-    current().0.now()
+    with_current(|k, _| k.now())
 }
 
 /// Sleep for `d` of virtual time (callable only from a simulated thread).
@@ -810,9 +1076,26 @@ mod tests {
         let k2 = k.clone();
         k.spawn("stuck", move || {
             let (_, me) = current();
-            k2.block(me, "waiting for godot");
+            k2.block(me, BlockReason::fixed("waiting for godot"));
         });
         k.run();
+    }
+
+    #[test]
+    fn deadlock_dump_reports_time_and_parked_duration() {
+        let k = Kernel::new();
+        let k2 = k.clone();
+        k.spawn("stuck", move || {
+            sleep(ms(7));
+            let (_, me) = current();
+            k2.block(me, BlockReason::named("mutex", "godot"));
+        });
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| k.run()))
+            .expect_err("deadlock must abort the run");
+        let msg = payload_to_string(err.as_ref());
+        assert!(msg.contains("deadlock at t+7.000ms"), "{msg}");
+        assert!(msg.contains("parked for 0ns"), "{msg}");
+        assert!(msg.contains("mutex 'godot'"), "{msg}");
     }
 
     #[test]
@@ -845,12 +1128,31 @@ mod tests {
                 });
             }
             k.run();
-            k.trace()
+            (k.trace_len(), k.trace_digest(), k.trace())
         };
-        let t1 = run();
-        let t2 = run();
+        let (n1, d1, t1) = run();
+        let (n2, d2, t2) = run();
         assert!(!t1.is_empty());
         assert_eq!(t1, t2);
+        assert_eq!((n1, d1), (n2, d2));
+        assert_eq!(n1, t1.len());
+    }
+
+    #[test]
+    fn trace_digest_detects_divergence() {
+        let run = |extra: bool| {
+            let k = Kernel::new();
+            k.enable_trace();
+            k.spawn("t", move || {
+                sleep(ms(1));
+                if extra {
+                    sleep(ms(1));
+                }
+            });
+            k.run();
+            k.trace_digest()
+        };
+        assert_ne!(run(false), run(true));
     }
 
     #[test]
@@ -872,7 +1174,7 @@ mod tests {
             let h = spawn("sleeper", || {
                 let (k, me) = current();
 
-                k.block_until(me, now() + secs(100), "long wait")
+                k.block_until(me, now() + secs(100), BlockReason::fixed("long wait"))
             });
             sleep(ms(50));
             let (k2, _) = current();
@@ -911,5 +1213,15 @@ mod tests {
         }
         k.run();
         assert_eq!(*counter.lock().unwrap(), 200);
+    }
+
+    #[test]
+    fn block_reason_renders_like_the_legacy_strings() {
+        assert_eq!(BlockReason::fixed("sleep").to_string(), "sleep");
+        assert_eq!(BlockReason::named("mutex", "m").to_string(), "mutex 'm'");
+        assert_eq!(
+            BlockReason::named_with("channel", "c", " empty").to_string(),
+            "channel 'c' empty"
+        );
     }
 }

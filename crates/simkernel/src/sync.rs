@@ -19,7 +19,7 @@ use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::{Arc, Mutex, MutexGuard};
 
-use crate::kernel::{current, Tid};
+use crate::kernel::{current, current_tid, with_current, BlockReason, Tid};
 
 #[derive(Default)]
 struct MutexState {
@@ -49,8 +49,11 @@ impl<T> SimMutex<T> {
     }
 
     /// Acquire the lock, blocking in virtual time if it is held.
+    ///
+    /// The uncontended path never touches the scheduler: one thread-id
+    /// lookup and one uncontended `std::sync::Mutex` acquire.
     pub fn lock(&self) -> SimMutexGuard<'_, T> {
-        let (kernel, me) = current();
+        let me = current_tid();
         loop {
             {
                 let mut st = self.state.lock().unwrap();
@@ -66,7 +69,8 @@ impl<T> SimMutex<T> {
                 );
                 st.waiters.push_back(me);
             }
-            kernel.block(me, &format!("mutex '{}'", self.name));
+            let (kernel, _) = current();
+            kernel.block(me, BlockReason::named("mutex", &self.name));
             // On wake-up, unlock() has already transferred ownership to us.
             let st = self.state.lock().unwrap();
             if st.owner == Some(me) {
@@ -83,7 +87,7 @@ impl<T> SimMutex<T> {
 
     /// Try to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<SimMutexGuard<'_, T>> {
-        let (_, me) = current();
+        let me = current_tid();
         let mut st = self.state.lock().unwrap();
         if st.owner.is_none() {
             st.owner = Some(me);
@@ -111,8 +115,7 @@ impl<T> SimMutex<T> {
             next
         };
         if let Some(next) = next {
-            let (kernel, _) = current();
-            kernel.make_runnable(next);
+            with_current(|kernel, _| kernel.make_runnable(next));
         }
     }
 
@@ -182,7 +185,7 @@ impl SimCondvar {
         let mutex = guard.mutex;
         self.waiters.lock().unwrap().push_back(me);
         drop(guard);
-        kernel.block(me, &format!("condvar '{}'", self.name));
+        kernel.block(me, BlockReason::named("condvar", &self.name));
         mutex.lock()
     }
 
@@ -207,8 +210,7 @@ impl SimCondvar {
         let next = self.waiters.lock().unwrap().pop_front();
         match next {
             Some(tid) => {
-                let (kernel, _) = current();
-                kernel.make_runnable(tid);
+                with_current(|kernel, _| kernel.make_runnable(tid));
                 true
             }
             None => false,
@@ -220,10 +222,11 @@ impl SimCondvar {
         let drained: Vec<Tid> = self.waiters.lock().unwrap().drain(..).collect();
         let n = drained.len();
         if n > 0 {
-            let (kernel, _) = current();
-            for tid in drained {
-                kernel.make_runnable(tid);
-            }
+            with_current(|kernel, _| {
+                for tid in drained {
+                    kernel.make_runnable(tid);
+                }
+            });
         }
         n
     }

@@ -46,6 +46,9 @@ fn identical_scenarios_produce_identical_timings() {
 
 #[test]
 fn kernel_traces_are_identical() {
+    // Compare (length, digest) instead of materializing and cloning two
+    // full event vectors: trace_digest() hashes in place under the
+    // scheduler lock, so the comparison is O(1) memory.
     let trace = || {
         let k = Kernel::new();
         k.enable_trace();
@@ -57,12 +60,12 @@ fn kernel_traces_are_identical() {
             });
         }
         k.run();
-        k.trace()
+        (k.trace_len(), k.trace_digest())
     };
-    let t1 = trace();
-    let t2 = trace();
-    assert!(!t1.is_empty());
-    assert_eq!(t1, t2);
+    let (n1, d1) = trace();
+    let (n2, d2) = trace();
+    assert!(n1 > 0);
+    assert_eq!((n1, d1), (n2, d2), "the simulation must be deterministic");
 }
 
 #[test]
