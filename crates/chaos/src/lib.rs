@@ -1,0 +1,669 @@
+//! `simchaos` — the seeded schedule + fault explorer.
+//!
+//! Every component of the reproduction is deterministic: the kernel's
+//! scheduler, the platform's fault plane, the transports' retry loops.
+//! This crate composes them into an *explorer*: a single `u64` seed
+//! expands into a complete chaos case — which workload to run, which
+//! snapshot operation to perform, when to perform it, which faults to
+//! inject and when — and [`run_case`] executes that case under
+//! [`SchedPolicy::Random`] with the same seed.
+//!
+//! The payoff is the **one-line repro contract**: a failing case prints
+//!
+//! ```text
+//! SIMCHAOS_SEED=1599094 SIMCHAOS_FAULTS='0:scp:connreset' cargo test --test chaos_explorer
+//! ```
+//!
+//! and re-running with those environment variables (see
+//! [`ChaosCase::from_env`]) replays the *byte-identical* execution:
+//! same virtual timings, same scheduler decisions, same fault firings,
+//! same trace digest. There is no "flaky chaos test" — only a case that
+//! fails everywhere or passes everywhere.
+//!
+//! ## What a generated case asserts
+//!
+//! Workload cases ([`ChaosOp::Checkpoint`], [`ChaosOp::SwapCycle`],
+//! [`ChaosOp::Migrate`], [`ChaosOp::Restart`]) drive a full snapshot
+//! lifecycle through the public Snapify API at a seed-chosen virtual
+//! time and require the paper's §3 consistency outcome: the disturbed
+//! run and the restarted run both verify their output. Their generated
+//! fault schedules draw only from the kinds the platform contract
+//! survives *transparently* (PCIe CRC replays and latency spikes), so
+//! a green sweep is meaningful: any failure is a real protocol bug,
+//! not an injected hard error.
+//!
+//! Transport-soak cases ([`ChaosOp::NfsSoak`], [`ChaosOp::ScpSoak`])
+//! stream a payload through a fault-ridden transport and require the
+//! retry/backoff layer to absorb every transient fault (NFS timeouts,
+//! scp connection resets) with a lossless round trip — never silent
+//! corruption. Disabling the retry layer (the deliberately re-injected
+//! bug, [`ChaosCase::disable_retries`]) makes exactly these cases fail
+//! with a typed error and a replayable repro line.
+//!
+//! Harder fault kinds (`diskfull`, `shortwrite`, `oom`) are not drawn
+//! by the generator — the stack surfaces them as typed errors rather
+//! than surviving them, so they live in targeted unit tests — but a
+//! hand-written `SIMCHAOS_FAULTS` override may inject any kind at any
+//! target for ad-hoc exploration.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+
+use coi_sim::{CoiConfig, FunctionRegistry};
+use phi_platform::{
+    FaultKind, FaultSchedule, FaultTarget, NodeId, Payload, PhiServer, PlatformParams, MB,
+};
+use simkernel::time::{ms, us};
+use simkernel::{Kernel, SchedPolicy, SimDuration, SimTime};
+use simproc::SnapshotStorage;
+use snapify::{
+    checkpoint_application, restart_application, snapify_migrate, snapify_swapin, snapify_swapout,
+    SnapifyWorld,
+};
+use snapify_io::{Nfs, NfsConfig, NfsMode, RetryPolicy, Scp, ScpConfig};
+use workloads::{by_name, register_suite, WorkloadRun};
+
+/// The workload names a seed may draw (the full suite).
+const WORKLOADS: [&str; 8] = ["MD", "MC", "SS", "SG", "JAC", "KM", "FFT", "NB"];
+
+/// Livelock threshold for chaos runs: far above any legitimate case
+/// (the busiest generated case schedules a few million events), so a
+/// hit means a real no-progress loop.
+const LIVELOCK_EVENTS: u64 = 50_000_000;
+
+/// A splitmix64 stream: the same generator the kernel's random
+/// scheduler uses, so case expansion is stable across platforms and
+/// needs no external crate.
+#[derive(Clone, Debug)]
+pub struct ChaosRng {
+    state: u64,
+}
+
+impl ChaosRng {
+    /// Start a stream at `seed`.
+    pub fn new(seed: u64) -> ChaosRng {
+        ChaosRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`. `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "ChaosRng::below(0)");
+        self.next_u64() % n
+    }
+}
+
+/// The snapshot operation a case performs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ChaosOp {
+    /// Mid-run checkpoint, then kill + restart on a seed-chosen device.
+    Checkpoint,
+    /// Mid-run swap-out (device memory must drop to zero) + swap-in.
+    SwapCycle,
+    /// Mid-run live migration to the other coprocessor.
+    Migrate,
+    /// Checkpoint, crash the card out-of-band, restart on the survivor.
+    Restart,
+    /// Stream a payload through an NFS mount under injected timeouts.
+    NfsSoak,
+    /// Stream a payload through scp under injected connection resets.
+    ScpSoak,
+}
+
+impl ChaosOp {
+    /// Short label for logs and repro lines.
+    pub fn label(self) -> &'static str {
+        match self {
+            ChaosOp::Checkpoint => "checkpoint",
+            ChaosOp::SwapCycle => "swap",
+            ChaosOp::Migrate => "migrate",
+            ChaosOp::Restart => "restart",
+            ChaosOp::NfsSoak => "nfs-soak",
+            ChaosOp::ScpSoak => "scp-soak",
+        }
+    }
+
+    /// Whether this op is a transport soak (no COI world involved).
+    pub fn is_soak(self) -> bool {
+        matches!(self, ChaosOp::NfsSoak | ChaosOp::ScpSoak)
+    }
+}
+
+impl fmt::Display for ChaosOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One fully-expanded chaos case. Every field is a pure function of
+/// [`ChaosCase::from_seed`]'s seed; `faults` and `disable_retries` may
+/// then be overridden (that is how a repro line re-injects a schedule
+/// and how the retry-bug demo disables the absorption layer).
+#[derive(Clone, Debug)]
+pub struct ChaosCase {
+    /// The seed this case expanded from; also the scheduler seed.
+    pub seed: u64,
+    /// Suite workload driven by the workload ops.
+    pub workload: &'static str,
+    /// The operation under test.
+    pub op: ChaosOp,
+    /// Virtual time at which the snapshot operation fires.
+    pub snapshot_time: SimDuration,
+    /// Device the restarted/swapped process lands on (0 or 1).
+    pub device: usize,
+    /// Payload size of a transport soak, in MiB.
+    pub payload_mb: u64,
+    /// The fault schedule injected at world boot.
+    pub faults: FaultSchedule,
+    /// The deliberately re-injectable bug: run the transports with
+    /// `RetryPolicy::disabled()`, so transient faults surface instead
+    /// of being absorbed.
+    pub disable_retries: bool,
+}
+
+impl ChaosCase {
+    /// Expand `seed` into a complete case.
+    pub fn from_seed(seed: u64) -> ChaosCase {
+        let mut rng = ChaosRng::new(seed);
+        let workload = WORKLOADS[rng.below(WORKLOADS.len() as u64) as usize];
+        let op = match rng.below(6) {
+            0 => ChaosOp::Checkpoint,
+            1 => ChaosOp::SwapCycle,
+            2 => ChaosOp::Migrate,
+            3 => ChaosOp::Restart,
+            4 => ChaosOp::NfsSoak,
+            _ => ChaosOp::ScpSoak,
+        };
+        let snapshot_time = us(500 + rng.below(60_000));
+        let device = rng.below(2) as usize;
+        let payload_mb = 4 + rng.below(13);
+        let faults = generate_faults(&mut rng, op);
+        ChaosCase {
+            seed,
+            workload,
+            op,
+            snapshot_time,
+            device,
+            payload_mb,
+            faults,
+            disable_retries: false,
+        }
+    }
+
+    /// The one-line repro for this case: paste it in front of
+    /// `cargo test --test chaos_explorer` (or export the variables) and
+    /// the `replay_case_from_env` test re-executes this exact case.
+    pub fn repro_line(&self) -> String {
+        let mut line = format!(
+            "SIMCHAOS_SEED={} SIMCHAOS_FAULTS='{}'",
+            self.seed, self.faults
+        );
+        if self.disable_retries {
+            line.push_str(" SIMCHAOS_NO_RETRY=1");
+        }
+        line
+    }
+
+    /// Rebuild a case from `SIMCHAOS_SEED` / `SIMCHAOS_FAULTS` /
+    /// `SIMCHAOS_NO_RETRY`. Returns `None` when `SIMCHAOS_SEED` is not
+    /// set; panics (with the parse error) on a malformed value, since a
+    /// silently-ignored repro line would be worse than a test failure.
+    pub fn from_env() -> Option<ChaosCase> {
+        let seed = std::env::var("SIMCHAOS_SEED").ok()?;
+        let seed: u64 = seed
+            .parse()
+            .unwrap_or_else(|_| panic!("SIMCHAOS_SEED='{seed}' is not a u64"));
+        let mut case = ChaosCase::from_seed(seed);
+        if let Ok(text) = std::env::var("SIMCHAOS_FAULTS") {
+            case.faults = FaultSchedule::parse(&text)
+                .unwrap_or_else(|e| panic!("SIMCHAOS_FAULTS='{text}': {e}"));
+        }
+        if std::env::var("SIMCHAOS_NO_RETRY").is_ok_and(|v| v == "1") {
+            case.disable_retries = true;
+        }
+        Some(case)
+    }
+}
+
+impl fmt::Display for ChaosCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed={} op={} workload={} t_snap={}us faults=[{}]{}",
+            self.seed,
+            self.op,
+            self.workload,
+            self.snapshot_time.as_nanos() / 1_000,
+            self.faults,
+            if self.disable_retries {
+                " NO_RETRY"
+            } else {
+                ""
+            }
+        )
+    }
+}
+
+/// Draw a fault schedule appropriate for `op` (see module docs for why
+/// workload ops only draw transparently-survivable bus faults).
+fn generate_faults(rng: &mut ChaosRng, op: ChaosOp) -> FaultSchedule {
+    let mut schedule = FaultSchedule::none();
+    match op {
+        ChaosOp::NfsSoak | ChaosOp::ScpSoak => {
+            // 1..=3 transient transport faults inside the soak window.
+            // The default RetryPolicy allows 3 retries per logical
+            // operation, so every generated schedule is absorbable.
+            let target = if op == ChaosOp::NfsSoak {
+                FaultTarget::Nfs
+            } else {
+                FaultTarget::Scp
+            };
+            for _ in 0..(1 + rng.below(3)) {
+                let at = SimTime::ZERO + us(rng.below(60_000));
+                let kind = if op == ChaosOp::NfsSoak {
+                    FaultKind::NfsTimeout(us(200 + rng.below(19_800)))
+                } else {
+                    FaultKind::ConnReset
+                };
+                schedule = schedule.with(at, target, kind);
+            }
+        }
+        _ => {
+            // 0..=2 link-level faults, both cards eligible.
+            for _ in 0..rng.below(3) {
+                let at = SimTime::ZERO + us(rng.below(200_000));
+                let target = FaultTarget::Bus(rng.below(2) as usize);
+                let kind = if rng.below(2) == 0 {
+                    FaultKind::BusError
+                } else {
+                    FaultKind::BusDelay(us(100 + rng.below(4_900)))
+                };
+                schedule = schedule.with(at, target, kind);
+            }
+        }
+    }
+    schedule
+}
+
+/// What one chaos run produced.
+#[derive(Clone, Debug)]
+pub struct ChaosOutcome {
+    /// `None` = every invariant held; `Some(why)` = the case failed.
+    pub failure: Option<String>,
+    /// Number of scheduler events recorded by the kernel trace.
+    pub trace_len: usize,
+    /// Order-sensitive digest of the trace. Two runs of the same case
+    /// are byte-identical iff `trace_len` and `trace_digest` match.
+    pub trace_digest: u64,
+    /// How many scheduled faults actually fired.
+    pub faults_fired: usize,
+}
+
+impl ChaosOutcome {
+    /// Whether the case passed.
+    pub fn ok(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// Execute one case under `SchedPolicy::Random(case.seed)` with kernel
+/// tracing on, and report the outcome. Deadlocks, livelocks, and
+/// panics inside the simulation are caught and reported as failures
+/// (with the kernel's thread dump in the message), so a sweep can keep
+/// going and collect every failing repro line.
+pub fn run_case(case: &ChaosCase) -> ChaosOutcome {
+    let kernel = Kernel::new_with_policy(SchedPolicy::Random(case.seed));
+    kernel.enable_trace();
+    kernel.set_livelock_threshold(Some(LIVELOCK_EVENTS));
+    kernel.set_dump_note(format!("chaos repro: {}", case.repro_line()));
+    let c = case.clone();
+    let root = kernel.spawn("chaos-root", move || execute(&c));
+    let run = panic::catch_unwind(AssertUnwindSafe(|| kernel.run()));
+    let (failure, faults_fired) = match run {
+        Ok(()) => match root.take_result() {
+            Some((failure, fired)) => (failure, fired),
+            None => (Some("chaos root thread produced no result".to_string()), 0),
+        },
+        Err(payload) => (Some(panic_text(payload)), 0),
+    };
+    // Best-effort even after a failed run: the trace identifies the
+    // execution for replay comparison.
+    let trace_len = panic::catch_unwind(AssertUnwindSafe(|| kernel.trace_len())).unwrap_or(0);
+    let trace_digest = panic::catch_unwind(AssertUnwindSafe(|| kernel.trace_digest())).unwrap_or(0);
+    ChaosOutcome {
+        failure,
+        trace_len,
+        trace_digest,
+        faults_fired,
+    }
+}
+
+/// Scan seeds upward from `base` for the first whose *generated* case
+/// satisfies `pred`. Expansion only — nothing is executed — so this is
+/// cheap enough to use inline in tests that need a case of a specific
+/// shape (e.g. "an scp soak with at least two resets").
+pub fn find_seed(base: u64, pred: impl Fn(&ChaosCase) -> bool) -> u64 {
+    (base..base.saturating_add(100_000))
+        .find(|s| pred(&ChaosCase::from_seed(*s)))
+        .expect("no matching case within 100k seeds of base")
+}
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run the case body inside the simulation. Returns
+/// `(failure, faults_fired)`.
+fn execute(case: &ChaosCase) -> (Option<String>, usize) {
+    let result = if case.op.is_soak() {
+        transport_soak(case)
+    } else {
+        workload_op(case)
+    };
+    match result {
+        Ok(fired) => (None, fired),
+        Err(why) => (Some(why), 0),
+    }
+}
+
+/// Soak a transport: stream a payload out and back while the fault
+/// plane injects transient faults, and require a lossless round trip.
+/// The write/read loops interleave short sleeps so the operation spans
+/// the generated fault window instead of completing before any fault
+/// is due.
+fn transport_soak(case: &ChaosCase) -> Result<usize, String> {
+    let server = PhiServer::new_with_faults(PlatformParams::default(), case.faults.clone());
+    let storage: Box<dyn SnapshotStorage> = match case.op {
+        ChaosOp::NfsSoak => {
+            let mut cfg = NfsConfig::default();
+            if case.disable_retries {
+                cfg.retry = RetryPolicy::disabled();
+            }
+            Box::new(Nfs::new(&server, cfg, NfsMode::Plain))
+        }
+        ChaosOp::ScpSoak => {
+            let mut cfg = ScpConfig::default();
+            if case.disable_retries {
+                cfg.retry = RetryPolicy::disabled();
+            }
+            Box::new(Scp::new(&server, cfg))
+        }
+        _ => unreachable!("transport_soak on a workload op"),
+    };
+    let data = Payload::synthetic(case.seed ^ 0xd00d_f00d, case.payload_mb * MB);
+
+    let mut sink = storage
+        .sink(NodeId::device(0), "/chaos/soak")
+        .map_err(|e| format!("{} sink open failed: {e:?}", storage.label()))?;
+    for chunk in data.chunks(MB) {
+        sink.write(chunk)
+            .map_err(|e| format!("{} soak write failed: {e:?}", storage.label()))?;
+        simkernel::sleep(ms(3));
+    }
+    sink.close()
+        .map_err(|e| format!("{} soak close failed: {e:?}", storage.label()))?;
+
+    let mut src = storage
+        .source(NodeId::device(0), "/chaos/soak")
+        .map_err(|e| format!("{} source open failed: {e:?}", storage.label()))?;
+    let mut out = Payload::empty();
+    while let Some(chunk) = src
+        .read(MB)
+        .map_err(|e| format!("{} soak read failed: {e:?}", storage.label()))?
+    {
+        out.append(chunk);
+        simkernel::sleep(ms(1));
+    }
+    if out.len() != data.len() || out.digest() != data.digest() {
+        return Err(format!(
+            "{} silently corrupted the stream: {} bytes back, {} expected",
+            storage.label(),
+            out.len(),
+            data.len()
+        ));
+    }
+    Ok(server.faults().fired_count())
+}
+
+/// Drive a full snapshot lifecycle through the public Snapify API.
+fn workload_op(case: &ChaosCase) -> Result<usize, String> {
+    let spec = by_name(case.workload)
+        .ok_or_else(|| format!("unknown workload {}", case.workload))?
+        .scaled(128, 12);
+    let registry = FunctionRegistry::new();
+    register_suite(&registry, std::slice::from_ref(&spec));
+    let world = SnapifyWorld::boot_with_faults(
+        PlatformParams::default(),
+        CoiConfig::default(),
+        registry,
+        case.faults.clone(),
+    );
+    let run = Arc::new(
+        WorkloadRun::launch(world.coi(), &spec, 0).map_err(|e| format!("launch failed: {e:?}"))?,
+    );
+    let handle = run.handle().clone();
+    let host = run.host_proc().clone();
+    let path = format!("/snap/chaos/{}", case.seed);
+
+    match case.op {
+        ChaosOp::Checkpoint => {
+            let driver = {
+                let r = Arc::clone(&run);
+                host.spawn_thread("driver", move || r.run_to_completion())
+            };
+            simkernel::sleep(case.snapshot_time);
+            let (_snap, report) = checkpoint_application(&world, &handle, &run.host_state(), &path)
+                .map_err(|e| format!("checkpoint failed: {e:?}"))?;
+            if report.device_snapshot_bytes == 0 {
+                return Err("checkpoint produced an empty device snapshot".to_string());
+            }
+            let result = driver
+                .join()
+                .map_err(|e| format!("post-checkpoint run failed: {e:?}"))?;
+            if !result.verified {
+                return Err("run corrupted by the checkpoint cycle".to_string());
+            }
+            run.destroy()
+                .map_err(|e| format!("destroy failed: {e:?}"))?;
+            host.exit();
+            let restarted = restart_application(&world, &path, &spec.binary_name(), case.device)
+                .map_err(|e| format!("restart failed: {e:?}"))?;
+            let resumed = WorkloadRun::resume_after_restart(
+                &spec,
+                &restarted.handle,
+                &restarted.host_proc,
+                &restarted.host_state,
+            );
+            let result = resumed
+                .run_to_completion()
+                .map_err(|e| format!("restarted run failed: {e:?}"))?;
+            if !result.verified {
+                return Err("restart diverged from the original run".to_string());
+            }
+            resumed
+                .destroy()
+                .map_err(|e| format!("post-restart destroy failed: {e:?}"))?;
+        }
+        ChaosOp::SwapCycle => {
+            let driver = {
+                let r = Arc::clone(&run);
+                host.spawn_thread("driver", move || r.run_to_completion())
+            };
+            simkernel::sleep(case.snapshot_time);
+            let snap =
+                snapify_swapout(&handle, &path).map_err(|e| format!("swap-out failed: {e:?}"))?;
+            let used = world.server().device(0).mem().used();
+            if used != 0 {
+                return Err(format!("swap-out left {used} bytes resident on the card"));
+            }
+            snapify_swapin(&snap, 0).map_err(|e| format!("swap-in failed: {e:?}"))?;
+            let result = driver
+                .join()
+                .map_err(|e| format!("post-swap run failed: {e:?}"))?;
+            if !result.verified {
+                return Err("run corrupted by the swap cycle".to_string());
+            }
+            run.destroy()
+                .map_err(|e| format!("destroy failed: {e:?}"))?;
+        }
+        ChaosOp::Migrate => {
+            let driver = {
+                let r = Arc::clone(&run);
+                host.spawn_thread("driver", move || r.run_to_completion())
+            };
+            simkernel::sleep(case.snapshot_time);
+            snapify_migrate(&handle, 1).map_err(|e| format!("migrate failed: {e:?}"))?;
+            if handle.device() != 1 {
+                return Err(format!(
+                    "migrate landed on device {}, expected 1",
+                    handle.device()
+                ));
+            }
+            let result = driver
+                .join()
+                .map_err(|e| format!("post-migrate run failed: {e:?}"))?;
+            if !result.verified {
+                return Err("run corrupted by the migration".to_string());
+            }
+            run.destroy()
+                .map_err(|e| format!("destroy failed: {e:?}"))?;
+        }
+        ChaosOp::Restart => {
+            // Checkpoint before any work, crash the card out-of-band,
+            // restart on the survivor.
+            checkpoint_application(&world, &handle, &run.host_state(), &path)
+                .map_err(|e| format!("checkpoint failed: {e:?}"))?;
+            let rt = world
+                .coi()
+                .daemon(0)
+                .runtime(handle.pid())
+                .ok_or("offload runtime missing")?;
+            rt.terminate();
+            simkernel::sleep(ms(1));
+            if handle.ping().is_ok() {
+                return Err("crashed offload process still answers pings".to_string());
+            }
+            host.exit();
+            let restarted = restart_application(&world, &path, &spec.binary_name(), 1)
+                .map_err(|e| format!("restart after crash failed: {e:?}"))?;
+            let resumed = WorkloadRun::resume_after_restart(
+                &spec,
+                &restarted.handle,
+                &restarted.host_proc,
+                &restarted.host_state,
+            );
+            let result = resumed
+                .run_to_completion()
+                .map_err(|e| format!("rescued run failed: {e:?}"))?;
+            if !result.verified {
+                return Err("rescued run diverged from the original".to_string());
+            }
+            resumed
+                .destroy()
+                .map_err(|e| format!("post-rescue destroy failed: {e:?}"))?;
+        }
+        ChaosOp::NfsSoak | ChaosOp::ScpSoak => unreachable!("soak handled separately"),
+    }
+    Ok(world.server().faults().fired_count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_expansion_is_deterministic() {
+        for seed in [0u64, 1, 42, u64::MAX] {
+            let a = ChaosCase::from_seed(seed);
+            let b = ChaosCase::from_seed(seed);
+            assert_eq!(a.workload, b.workload);
+            assert_eq!(a.op, b.op);
+            assert_eq!(a.snapshot_time, b.snapshot_time);
+            assert_eq!(a.device, b.device);
+            assert_eq!(a.payload_mb, b.payload_mb);
+            assert_eq!(a.faults, b.faults);
+        }
+    }
+
+    #[test]
+    fn seeds_cover_every_op() {
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..64 {
+            seen.insert(ChaosCase::from_seed(seed).op);
+        }
+        assert_eq!(seen.len(), 6, "64 seeds should draw all six ops");
+    }
+
+    #[test]
+    fn generated_fault_schedules_match_their_op() {
+        for seed in 0..128 {
+            let case = ChaosCase::from_seed(seed);
+            for entry in &case.faults.entries {
+                match case.op {
+                    ChaosOp::NfsSoak => assert_eq!(entry.target, FaultTarget::Nfs),
+                    ChaosOp::ScpSoak => assert_eq!(entry.target, FaultTarget::Scp),
+                    _ => assert!(
+                        matches!(entry.target, FaultTarget::Bus(_)),
+                        "workload ops draw only transparent bus faults, got {:?}",
+                        entry.target
+                    ),
+                }
+            }
+            if case.op.is_soak() {
+                assert!(!case.faults.is_empty(), "soaks always inject");
+                assert!(
+                    case.faults.entries.len() <= 3,
+                    "must stay within retry budget"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repro_line_round_trips_through_parse() {
+        let case = ChaosCase::from_seed(find_seed(0, |c| !c.faults.is_empty()));
+        let line = case.repro_line();
+        assert!(line.starts_with(&format!("SIMCHAOS_SEED={}", case.seed)));
+        // The quoted schedule parses back to the same schedule.
+        let quoted = line.split("SIMCHAOS_FAULTS='").nth(1).unwrap();
+        let text = quoted.split('\'').next().unwrap();
+        assert_eq!(FaultSchedule::parse(text).unwrap(), case.faults);
+        assert!(!line.contains("NO_RETRY"));
+        let mut bugged = case.clone();
+        bugged.disable_retries = true;
+        assert!(bugged.repro_line().ends_with("SIMCHAOS_NO_RETRY=1"));
+    }
+
+    #[test]
+    fn find_seed_finds_each_shape() {
+        let scp = find_seed(0, |c| c.op == ChaosOp::ScpSoak);
+        assert_eq!(ChaosCase::from_seed(scp).op, ChaosOp::ScpSoak);
+        let two_faults = find_seed(0, |c| c.faults.entries.len() >= 2);
+        assert!(ChaosCase::from_seed(two_faults).faults.entries.len() >= 2);
+    }
+
+    #[test]
+    fn rng_below_stays_in_bounds() {
+        let mut rng = ChaosRng::new(7);
+        for _ in 0..1000 {
+            assert!(rng.below(13) < 13);
+        }
+    }
+}

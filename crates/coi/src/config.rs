@@ -1,6 +1,6 @@
 //! COI runtime configuration.
 
-use simkernel::time::us;
+use simkernel::time::{secs, us};
 use simkernel::SimDuration;
 
 /// Configuration of the COI runtime, including the Snapify extension
@@ -20,6 +20,15 @@ pub struct CoiConfig {
     pub run_request_overhead: u64,
     /// Poll interval used by drain waits and the daemon monitor thread.
     pub poll_interval: SimDuration,
+    /// Watchdog deadline for one stage of an in-flight Snapify request.
+    /// Generous on purpose: transient chaos-plane faults absorbed by
+    /// the transport retry policies merely slow a stage down and must
+    /// not trip the watchdog. `SimDuration::ZERO` disables it.
+    pub watchdog_timeout: SimDuration,
+    /// Deadline extensions (each doubling the window) the watchdog
+    /// grants before it surfaces the stuck request as a typed failure
+    /// reply instead of hanging the requester forever.
+    pub watchdog_retries: u32,
 }
 
 impl Default for CoiConfig {
@@ -29,6 +38,8 @@ impl Default for CoiConfig {
             hook_cost: us(7),
             run_request_overhead: 128,
             poll_interval: us(200),
+            watchdog_timeout: secs(300),
+            watchdog_retries: 2,
         }
     }
 }

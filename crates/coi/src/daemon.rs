@@ -43,6 +43,24 @@ struct ActiveRequest {
     pipe: SnapifyPipe,
     ctl: ScifEndpoint,
     stage: ReqStage,
+    /// Virtual time of the last observed progress (request registration
+    /// or the latest pipe message), for the watchdog deadline.
+    last_progress: simkernel::SimTime,
+    /// Watchdog deadline extensions granted since `last_progress`.
+    extensions: u32,
+}
+
+impl ActiveRequest {
+    fn new(pid: u64, pipe: SnapifyPipe, ctl: ScifEndpoint, stage: ReqStage) -> ActiveRequest {
+        ActiveRequest {
+            pid,
+            pipe,
+            ctl,
+            stage,
+            last_progress: simkernel::now(),
+            extensions: 0,
+        }
+    }
 }
 
 #[allow(clippy::enum_variant_names)]
@@ -309,12 +327,12 @@ impl CoiDaemon {
             entry.pipe = Some(pipe.clone());
         }
         rt.signals().kill(rt.proc(), signum::SIGSNAPIFY);
-        self.register_request(ActiveRequest {
+        self.register_request(ActiveRequest::new(
             pid,
             pipe,
-            ctl: ep.clone(),
-            stage: ReqStage::AwaitPauseAck { path },
-        });
+            ep.clone(),
+            ReqStage::AwaitPauseAck { path },
+        ));
     }
 
     fn handle_capture(&self, ep: &ScifEndpoint, pid: u64, path: String, terminate: bool) {
@@ -342,12 +360,12 @@ impl CoiDaemon {
         let _ = pipe
             .to_offload
             .send(PipeMsg::CaptureReq { path, terminate });
-        self.register_request(ActiveRequest {
+        self.register_request(ActiveRequest::new(
             pid,
             pipe,
-            ctl: ep.clone(),
-            stage: ReqStage::AwaitCaptureComplete { terminate },
-        });
+            ep.clone(),
+            ReqStage::AwaitCaptureComplete { terminate },
+        ));
     }
 
     fn handle_resume(&self, ep: &ScifEndpoint, pid: u64) {
@@ -362,12 +380,12 @@ impl CoiDaemon {
             return;
         };
         let _ = pipe.to_offload.send(PipeMsg::ResumeReq);
-        self.register_request(ActiveRequest {
+        self.register_request(ActiveRequest::new(
             pid,
             pipe,
-            ctl: ep.clone(),
-            stage: ReqStage::AwaitResumeAck,
-        });
+            ep.clone(),
+            ReqStage::AwaitResumeAck,
+        ));
     }
 
     fn handle_restore(&self, ep: &ScifEndpoint, path: &str, _host_pid: u64) {
@@ -487,11 +505,15 @@ impl CoiDaemon {
         }
     }
 
-    /// Poll one request's pipe; returns true when the request completed.
+    /// Poll one request's pipe; returns true when the request completed
+    /// (or the watchdog gave up on it).
     fn poll_request(&self, req: &mut ActiveRequest) -> bool {
         let Some(msg) = req.pipe.to_daemon.try_recv() else {
-            return false;
+            return self.watchdog_check(req);
         };
+        // Any pipe message is progress: the offload side is alive.
+        req.last_progress = simkernel::now();
+        req.extensions = 0;
         match (&req.stage, msg) {
             (ReqStage::AwaitPauseAck { path }, PipeMsg::PauseAck) => {
                 // Handshake done (Fig 3 step 3); forward the pause request
@@ -529,6 +551,44 @@ impl CoiDaemon {
             // Unexpected message for the stage: drop it and keep waiting.
             _ => false,
         }
+    }
+
+    /// Watchdog: a request whose stage has made no progress for the
+    /// configured window gets bounded deadline extensions (exponential
+    /// backoff — transient chaos-plane faults absorbed by transport
+    /// retries only *slow* a stage down); once the budget is spent the
+    /// request is surfaced to the requester as a typed failure reply
+    /// instead of hanging it forever. Returns true when the request was
+    /// given up on.
+    fn watchdog_check(&self, req: &mut ActiveRequest) -> bool {
+        let cfg = &self.inner.config;
+        if cfg.watchdog_timeout == simkernel::SimDuration::ZERO {
+            return false;
+        }
+        let window = cfg.watchdog_timeout * (1u64 << req.extensions.min(10));
+        if simkernel::now().since(req.last_progress) < window {
+            return false;
+        }
+        if req.extensions < cfg.watchdog_retries {
+            req.extensions += 1;
+            obs::counter_add("chaos.coi.watchdog_extensions", 1);
+            obs::counter_add("chaos.retried", 1);
+            return false;
+        }
+        obs::counter_add("chaos.coi.watchdog_expired", 1);
+        obs::counter_add("chaos.surfaced", 1);
+        let reply = match &req.stage {
+            ReqStage::AwaitPauseAck { .. } | ReqStage::AwaitPauseComplete => {
+                CtlMsg::SnapifyPauseComplete { ok: false }
+            }
+            ReqStage::AwaitCaptureComplete { .. } => CtlMsg::SnapifyCaptureComplete {
+                ok: false,
+                snapshot_bytes: 0,
+            },
+            ReqStage::AwaitResumeAck => CtlMsg::SnapifyResumeComplete,
+        };
+        let _ = req.ctl.send(reply.encode());
+        true
     }
 }
 

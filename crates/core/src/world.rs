@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use coi_sim::{CoiConfig, CoiWorld, FunctionRegistry};
-use phi_platform::{PhiServer, PlatformParams};
+use phi_platform::{FaultSchedule, PhiServer, PlatformParams};
 use snapify_io::{SnapifyIo, SnapifyIoConfig};
 
 /// A fully-assembled world: simulated server + COI (with Snapify
@@ -22,7 +22,20 @@ impl SnapifyWorld {
         coi_config: CoiConfig,
         registry: FunctionRegistry,
     ) -> SnapifyWorld {
-        let server = PhiServer::new(params);
+        SnapifyWorld::boot_with_faults(params, coi_config, registry, FaultSchedule::none())
+    }
+
+    /// Boot with a chaos-plane [`FaultSchedule`] wired through the whole
+    /// platform: every node's file system and memory pool, every PCIe
+    /// link, and the transports built on this server all consult the
+    /// resulting fault plane (see `phi_platform::FaultPlane`).
+    pub fn boot_with_faults(
+        params: PlatformParams,
+        coi_config: CoiConfig,
+        registry: FunctionRegistry,
+        schedule: FaultSchedule,
+    ) -> SnapifyWorld {
+        let server = PhiServer::new_with_faults(params, schedule);
         let io = SnapifyIo::new(&server, SnapifyIoConfig::default());
         let coi = CoiWorld::boot(&server, coi_config, registry, Arc::new(io.clone()));
         SnapifyWorld { server, io, coi }

@@ -19,10 +19,12 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use simkernel::{Bandwidth, BandwidthResource, SimDuration, SimMutex};
+use simkernel::{obs, Bandwidth, BandwidthResource, SimDuration, SimMutex};
 
 use crate::data::Payload;
+use crate::fault::{FaultHook, FaultKind, FaultPlane, FaultTarget};
 use crate::memory::{MemPool, OutOfMemory};
+use crate::node::NodeId;
 
 /// Errors from simulated file operations.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -44,6 +46,23 @@ pub enum FsError {
         /// Actual file size.
         size: u64,
     },
+    /// The backing store is full: nothing was written (injected by the
+    /// chaos plane's [`FaultKind::DiskFull`]).
+    DiskFull {
+        /// Offending path.
+        path: String,
+    },
+    /// Only a prefix of the write persisted (injected by the chaos
+    /// plane's [`FaultKind::ShortWrite`]). The caller may resume from
+    /// `written`.
+    ShortWrite {
+        /// Offending path.
+        path: String,
+        /// Bytes that actually persisted (a prefix of the data).
+        written: u64,
+        /// Bytes the caller asked to write.
+        requested: u64,
+    },
 }
 
 impl fmt::Display for FsError {
@@ -60,6 +79,15 @@ impl fmt::Display for FsError {
             } => write!(
                 f,
                 "read [{offset}, {offset}+{len}) past end of {path} ({size} bytes)"
+            ),
+            FsError::DiskFull { path } => write!(f, "disk full writing {path}"),
+            FsError::ShortWrite {
+                path,
+                written,
+                requested,
+            } => write!(
+                f,
+                "short write on {path}: {written} of {requested} bytes persisted"
             ),
         }
     }
@@ -129,6 +157,8 @@ struct FsInner {
     flush_res: Option<BandwidthResource>,
     /// Memory pool charged for file bytes (RAM fs), if any.
     mem: Option<MemPool>,
+    /// Chaos-plane hookup (inert until wired at world boot).
+    faults: FaultHook,
 }
 
 /// A simulated file system. Cheap to clone (shared handle).
@@ -159,9 +189,16 @@ impl SimFs {
                     .flush
                     .map(|(bw, lat)| BandwidthResource::new(format!("fs '{name}' disk"), bw, lat)),
                 mem,
+                faults: FaultHook::new(),
                 name,
             }),
         }
+    }
+
+    /// Wire this file system to a fault plane as `fs.<node>` (done once
+    /// at world boot; later calls are ignored).
+    pub fn attach_faults(&self, plane: &FaultPlane, node: NodeId) {
+        self.inner.faults.attach(plane, FaultTarget::Fs(node));
     }
 
     /// Create an empty file, failing if it exists.
@@ -200,12 +237,54 @@ impl SimFs {
     /// file if needed. On a RAM fs, charges the memory pool first and fails
     /// with [`FsError::OutOfMemory`] without writing if it cannot.
     pub fn append(&self, path: &str, data: Payload) -> Result<(), FsError> {
+        self.append_inner(path, data, true)
+    }
+
+    /// Append without blocking the caller: both the cache copy and the
+    /// flush are scheduled asynchronously (the file server's write path —
+    /// this is why Snapify-IO's phi→host direction outruns host→phi).
+    /// `SimFs::sync` waits for completion. RAM file systems still charge
+    /// memory synchronously.
+    pub fn append_async(&self, path: &str, data: Payload) -> Result<(), FsError> {
+        self.append_inner(path, data, false)
+    }
+
+    fn append_inner(&self, path: &str, data: Payload, sync: bool) -> Result<(), FsError> {
+        // Chaos plane: a disk-full write fails before any byte moves; a
+        // short write persists only the first half and reports how far it
+        // got, so a resuming caller can pick up from `written`.
+        let (data, injected) = match self.inner.faults.take() {
+            Some(FaultKind::DiskFull) => {
+                obs::counter_add("chaos.fs.diskfull", 1);
+                return Err(FsError::DiskFull {
+                    path: path.to_string(),
+                });
+            }
+            Some(FaultKind::ShortWrite) => {
+                let requested = data.len();
+                let written = requested / 2;
+                obs::counter_add("chaos.fs.shortwrite", 1);
+                (
+                    data.slice(0, written),
+                    Some(FsError::ShortWrite {
+                        path: path.to_string(),
+                        written,
+                        requested,
+                    }),
+                )
+            }
+            _ => (data, None),
+        };
         let len = data.len();
         if let Some(mem) = &self.inner.mem {
             mem.alloc(len)?;
         }
-        // Pay the synchronous (cache) cost.
-        self.inner.write_res.transfer(len);
+        if sync {
+            // Pay the synchronous (cache) cost.
+            self.inner.write_res.transfer(len);
+        } else {
+            self.inner.write_res.schedule(len);
+        }
         // Schedule the asynchronous flush, if this fs has a backing store.
         if let Some(flush) = &self.inner.flush_res {
             flush.schedule(len);
@@ -218,32 +297,11 @@ impl SimFs {
             })
             .content
             .append(data);
-        Ok(())
-    }
-
-    /// Append without blocking the caller: both the cache copy and the
-    /// flush are scheduled asynchronously (the file server's write path —
-    /// this is why Snapify-IO's phi→host direction outruns host→phi).
-    /// `SimFs::sync` waits for completion. RAM file systems still charge
-    /// memory synchronously.
-    pub fn append_async(&self, path: &str, data: Payload) -> Result<(), FsError> {
-        let len = data.len();
-        if let Some(mem) = &self.inner.mem {
-            mem.alloc(len)?;
+        drop(files);
+        match injected {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
-        self.inner.write_res.schedule(len);
-        if let Some(flush) = &self.inner.flush_res {
-            flush.schedule(len);
-        }
-        let mut files = self.inner.files.lock();
-        files
-            .entry(path.to_string())
-            .or_insert_with(|| FileData {
-                content: Payload::empty(),
-            })
-            .content
-            .append(data);
-        Ok(())
     }
 
     /// Read `len` bytes at `offset`, paying the read cost model.
@@ -552,6 +610,62 @@ mod tests {
             fs.append_async("/a", Payload::synthetic(0, 400)).unwrap();
             assert_eq!(pool.used(), 400);
             assert!(fs.append_async("/b", Payload::synthetic(1, 200)).is_err());
+        });
+    }
+
+    #[test]
+    fn injected_disk_full_fails_before_writing() {
+        use crate::fault::{FaultKind, FaultPlane, FaultSchedule, FaultTarget};
+        Kernel::run_root(|| {
+            let fs = SimFs::new(
+                "fs",
+                FsConfig::ram(Bandwidth::gb_per_sec(1.0), SimDuration::ZERO),
+                None,
+            );
+            let plane = FaultPlane::new(FaultSchedule::none().with(
+                SimTime::ZERO,
+                FaultTarget::Fs(NodeId::HOST),
+                FaultKind::DiskFull,
+            ));
+            fs.attach_faults(&plane, NodeId::HOST);
+            let err = fs.append("/a", Payload::synthetic(1, 100)).unwrap_err();
+            assert!(matches!(err, FsError::DiskFull { .. }));
+            assert!(!fs.exists("/a"), "disk-full must not write any bytes");
+            // One-shot: the retry succeeds.
+            fs.append("/a", Payload::synthetic(1, 100)).unwrap();
+            assert_eq!(fs.len("/a").unwrap(), 100);
+        });
+    }
+
+    #[test]
+    fn injected_short_write_persists_resumable_prefix() {
+        use crate::fault::{FaultKind, FaultPlane, FaultSchedule, FaultTarget};
+        Kernel::run_root(|| {
+            let fs = SimFs::new(
+                "fs",
+                FsConfig::ram(Bandwidth::gb_per_sec(1.0), SimDuration::ZERO),
+                None,
+            );
+            let plane = FaultPlane::new(FaultSchedule::none().with(
+                SimTime::ZERO,
+                FaultTarget::Fs(NodeId::HOST),
+                FaultKind::ShortWrite,
+            ));
+            fs.attach_faults(&plane, NodeId::HOST);
+            let data = Payload::bytes((0..100u8).collect::<Vec<_>>());
+            let err = fs.append("/a", data.clone()).unwrap_err();
+            let FsError::ShortWrite {
+                written, requested, ..
+            } = err
+            else {
+                panic!("expected ShortWrite, got {err}");
+            };
+            assert_eq!((written, requested), (50, 100));
+            assert_eq!(fs.len("/a").unwrap(), 50);
+            // Resume from the reported offset: the file ends up intact.
+            fs.append("/a", data.slice(written, requested - written))
+                .unwrap();
+            assert_eq!(fs.read_all("/a").unwrap().to_bytes(), data.to_bytes());
         });
     }
 

@@ -19,12 +19,16 @@
 //!   materializing gigabytes, with chunking-invariant digests for
 //!   end-to-end integrity checks;
 //! * [`PlatformParams`] — every calibrated constant, in one place,
-//!   printed by every benchmark.
+//!   printed by every benchmark;
+//! * [`FaultPlane`] / [`FaultSchedule`] — the deterministic chaos plane:
+//!   declarative `(virtual time, target, fault)` schedules injected at
+//!   world boot and consumed at bus/fs/memory operation sites.
 
 #![warn(missing_docs)]
 
 pub mod bus;
 pub mod data;
+pub mod fault;
 pub mod fs;
 pub mod memory;
 pub mod node;
@@ -33,6 +37,7 @@ pub mod server;
 
 pub use bus::PcieLink;
 pub use data::{Payload, Segment};
+pub use fault::{FaultEntry, FaultKind, FaultPlane, FaultSchedule, FaultTarget};
 pub use fs::{FsConfig, FsError, SimFs};
 pub use memory::{MemAlloc, MemPool, OutOfMemory};
 pub use node::{NodeId, NodeKind, SimNode};

@@ -10,7 +10,10 @@
 use std::fmt;
 use std::sync::Arc;
 
-use simkernel::SimMutex;
+use simkernel::{obs, SimMutex};
+
+use crate::fault::{FaultHook, FaultKind, FaultPlane, FaultTarget};
+use crate::node::NodeId;
 
 /// Error returned when a [`MemPool`] allocation exceeds available memory.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -50,6 +53,8 @@ struct PoolInner {
     name: String,
     capacity: u64,
     state: SimMutex<PoolState>,
+    /// Chaos-plane hookup (inert until wired at world boot).
+    faults: FaultHook,
 }
 
 impl MemPool {
@@ -61,12 +66,30 @@ impl MemPool {
                 state: SimMutex::new(format!("mempool '{name}'"), PoolState { used: 0, peak: 0 }),
                 name,
                 capacity,
+                faults: FaultHook::new(),
             }),
         }
     }
 
+    /// Wire this pool to a fault plane as `mem.<node>` (done once at
+    /// world boot; later calls are ignored).
+    pub fn attach_faults(&self, plane: &FaultPlane, node: NodeId) {
+        self.inner.faults.attach(plane, FaultTarget::Mem(node));
+    }
+
     /// Reserve `bytes` from the pool.
     pub fn alloc(&self, bytes: u64) -> Result<(), OutOfMemory> {
+        // Chaos plane: a due OOM fault makes this one allocation fail
+        // spuriously (transient pressure — a retry may succeed).
+        if matches!(self.inner.faults.take(), Some(FaultKind::Oom)) {
+            obs::counter_add("chaos.mem.oom", 1);
+            let st = self.inner.state.lock();
+            return Err(OutOfMemory {
+                pool: self.inner.name.clone(),
+                requested: bytes,
+                available: self.inner.capacity - st.used,
+            });
+        }
         let mut st = self.inner.state.lock();
         let available = self.inner.capacity - st.used;
         if bytes > available {
@@ -216,6 +239,27 @@ mod tests {
         Kernel::run_root(|| {
             let pool = MemPool::new("p", 100);
             pool.free(1);
+        });
+    }
+
+    #[test]
+    fn injected_oom_fails_one_alloc_then_recovers() {
+        use crate::fault::{FaultPlane, FaultSchedule};
+        use simkernel::SimTime;
+        Kernel::run_root(|| {
+            let pool = MemPool::new("mic0", 1000);
+            let plane = FaultPlane::new(FaultSchedule::none().with(
+                SimTime::ZERO,
+                FaultTarget::Mem(NodeId::device(0)),
+                FaultKind::Oom,
+            ));
+            pool.attach_faults(&plane, NodeId::device(0));
+            let err = pool.alloc(10).unwrap_err();
+            assert_eq!(err.available, 1000, "spurious OOM: memory was free");
+            assert_eq!(pool.used(), 0);
+            // One-shot: the retry succeeds.
+            pool.alloc(10).unwrap();
+            assert_eq!(pool.used(), 10);
         });
     }
 

@@ -7,6 +7,7 @@ use std::sync::Arc;
 use simkernel::{BandwidthResource, SimDuration};
 
 use crate::bus::PcieLink;
+use crate::fault::{FaultPlane, FaultSchedule};
 use crate::node::{NodeId, SimNode};
 use crate::params::PlatformParams;
 
@@ -15,6 +16,7 @@ struct ServerInner {
     host: SimNode,
     devices: Vec<SimNode>,
     links: Vec<PcieLink>,
+    faults: FaultPlane,
 }
 
 /// A simulated Xeon Phi server: one host node, `num_devices` coprocessors,
@@ -25,14 +27,34 @@ pub struct PhiServer {
 }
 
 impl PhiServer {
-    /// Build a server from parameters.
+    /// Build a server from parameters (no faults scheduled).
     pub fn new(params: PlatformParams) -> PhiServer {
+        PhiServer::new_with_faults(params, FaultSchedule::none())
+    }
+
+    /// Build a server with a chaos-plane [`FaultSchedule`]: every node's
+    /// file system and memory pool and every PCIe link is wired to the
+    /// resulting [`FaultPlane`], and transports built on this server
+    /// (NFS, scp) consult it via [`PhiServer::faults`].
+    pub fn new_with_faults(params: PlatformParams, schedule: FaultSchedule) -> PhiServer {
+        let faults = FaultPlane::new(schedule);
         let host = SimNode::host(&params);
+        host.fs().attach_faults(&faults, NodeId::HOST);
+        host.mem().attach_faults(&faults, NodeId::HOST);
         let devices: Vec<SimNode> = (0..params.num_devices)
-            .map(|i| SimNode::phi(&params, i))
+            .map(|i| {
+                let dev = SimNode::phi(&params, i);
+                dev.fs().attach_faults(&faults, NodeId::device(i));
+                dev.mem().attach_faults(&faults, NodeId::device(i));
+                dev
+            })
             .collect();
         let links: Vec<PcieLink> = (0..params.num_devices)
-            .map(|i| PcieLink::new(&params, NodeId::device(i)))
+            .map(|i| {
+                let link = PcieLink::new(&params, NodeId::device(i));
+                link.attach_faults(&faults);
+                link
+            })
             .collect();
         PhiServer {
             inner: Arc::new(ServerInner {
@@ -40,8 +62,15 @@ impl PhiServer {
                 host,
                 devices,
                 links,
+                faults,
             }),
         }
+    }
+
+    /// The chaos plane of this server (empty unless built via
+    /// [`PhiServer::new_with_faults`]).
+    pub fn faults(&self) -> &FaultPlane {
+        &self.inner.faults
     }
 
     /// Build a server with default (paper Table 2) parameters.

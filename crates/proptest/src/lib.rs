@@ -8,11 +8,18 @@
 //!
 //! Differences from upstream, by design:
 //!
-//! * **No shrinking.** A failing case reports the case number and seed;
-//!   generation is fully deterministic (a per-test seed derived from the
-//!   test name), so every failure replays exactly.
+//! * **Greedy, bounded shrinking.** On failure the runner bisects
+//!   integers toward the low end of their range and halves collections
+//!   (respecting minimum sizes), re-running the body on each candidate
+//!   and keeping the smallest still-failing input. The search is capped
+//!   at [`ProptestConfig::max_shrink_iters`] candidate evaluations
+//!   (default 200; `0` disables shrinking). Adapters that cannot be
+//!   inverted (`prop_map`, `prop_oneof!`, `select`) pass values through
+//!   unshrunk rather than approximating upstream's value trees.
 //! * **No persistence files.** `*.proptest-regressions` files are
-//!   ignored.
+//!   ignored; generation is fully deterministic (a per-test seed
+//!   derived from the test name), so every failure replays exactly
+//!   without a seed file.
 //!
 //! Determinism is a feature here, not a limitation: the whole workspace
 //! is a deterministic simulation, and reproducible case generation keeps
@@ -67,7 +74,8 @@ pub mod test_runner {
     pub struct ProptestConfig {
         /// Number of generated cases per property.
         pub cases: u32,
-        /// Accepted for compatibility; shrinking is not implemented.
+        /// Upper bound on candidate inputs evaluated while shrinking a
+        /// failing case. `0` disables shrinking entirely.
         pub max_shrink_iters: u32,
         /// Accepted for compatibility; `prop_assume!` rejections simply
         /// skip the case.
@@ -78,7 +86,7 @@ pub mod test_runner {
         fn default() -> ProptestConfig {
             ProptestConfig {
                 cases: 256,
-                max_shrink_iters: 0,
+                max_shrink_iters: 200,
                 max_global_rejects: 1024,
             }
         }
@@ -111,20 +119,79 @@ pub mod test_runner {
     }
 
     impl std::error::Error for TestCaseError {}
+
+    /// The case loop behind the `proptest!` macro: generate `cases`
+    /// inputs from `strat`, run each, and on failure greedily shrink —
+    /// keep the first still-failing candidate each round, bounded by
+    /// `max_shrink_iters` candidate evaluations overall — then panic
+    /// with the minimal failing input.
+    pub fn drive<S>(
+        config: &ProptestConfig,
+        rng: &mut TestRng,
+        name: &str,
+        strat: S,
+        run: impl Fn(&S::Value) -> Result<(), TestCaseError>,
+    ) where
+        S: crate::strategy::Strategy,
+        S::Value: std::fmt::Debug,
+    {
+        for case in 0..config.cases {
+            let mut input = strat.generate(rng);
+            if let Err(first) = run(&input) {
+                let mut err = first;
+                let mut steps: u32 = 0;
+                'shrinking: loop {
+                    let mut improved = false;
+                    for candidate in strat.shrink(&input) {
+                        if steps >= config.max_shrink_iters {
+                            break 'shrinking;
+                        }
+                        steps += 1;
+                        if let Err(e) = run(&candidate) {
+                            input = candidate;
+                            err = e;
+                            improved = true;
+                            break;
+                        }
+                    }
+                    if !improved {
+                        break;
+                    }
+                }
+                panic!(
+                    "property {name} failed at case {}/{}: {err}\n    \
+                     minimal failing input after {steps} shrink step(s): {input:?}",
+                    case + 1,
+                    config.cases,
+                );
+            }
+        }
+    }
 }
 
 pub mod strategy {
     use crate::test_runner::TestRng;
     use std::ops::Range;
 
-    /// A value generator. Unlike upstream there is no value tree or
-    /// shrinking: a strategy maps an RNG state straight to a value.
+    /// A value generator. Unlike upstream there is no value tree: a
+    /// strategy maps an RNG state straight to a value, and shrinking is
+    /// a separate, optional hook on the strategy itself.
     pub trait Strategy {
         /// The type of generated values.
         type Value;
 
         /// Generate one value.
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Propose smaller variants of a failing `value`, most
+        /// aggressive first. The default proposes nothing (the value is
+        /// reported as-is); integer ranges bisect toward their low end,
+        /// collections halve toward their minimum size, and tuples
+        /// shrink one component at a time.
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let _ = value;
+            Vec::new()
+        }
 
         /// Map generated values through `f`.
         fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -146,11 +213,15 @@ pub mod strategy {
 
     trait DynStrategy<T> {
         fn generate_dyn(&self, rng: &mut TestRng) -> T;
+        fn shrink_dyn(&self, value: &T) -> Vec<T>;
     }
 
     impl<S: Strategy> DynStrategy<S::Value> for S {
         fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
             self.generate(rng)
+        }
+        fn shrink_dyn(&self, value: &S::Value) -> Vec<S::Value> {
+            self.shrink(value)
         }
     }
 
@@ -162,9 +233,14 @@ pub mod strategy {
         fn generate(&self, rng: &mut TestRng) -> T {
             self.0.generate_dyn(rng)
         }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            self.0.shrink_dyn(value)
+        }
     }
 
-    /// `prop_map` adapter.
+    /// `prop_map` adapter. Values pass through `f` one-way, so mapped
+    /// strategies cannot shrink (the pre-image of a failing output is
+    /// unknown); the default no-op `shrink` applies.
     pub struct Map<S, F> {
         inner: S,
         f: F,
@@ -181,7 +257,28 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    /// Candidate values between `lo` and a failing `v`, most aggressive
+    /// first: the range minimum, the midpoint, and the predecessor.
+    /// Shared by every integer strategy.
+    pub(crate) fn shrink_toward(lo: u64, v: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        if v > lo {
+            out.push(lo);
+            let mid = lo + (v - lo) / 2;
+            if mid != lo {
+                out.push(mid);
+            }
+            if v - 1 != lo && v - 1 != mid {
+                out.push(v - 1);
+            }
+        }
+        out
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`). The
+    /// arm that produced a value is not recorded, so unions do not
+    /// shrink (a candidate valid for one arm may be unreachable from
+    /// another).
     pub struct Union<T> {
         options: Vec<BoxedStrategy<T>>,
     }
@@ -209,12 +306,24 @@ pub mod strategy {
                 fn generate(&self, rng: &mut TestRng) -> $t {
                     rng.range_u64(self.start as u64, self.end as u64) as $t
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    shrink_toward(self.start as u64, *value as u64)
+                        .into_iter()
+                        .map(|v| v as $t)
+                        .collect()
+                }
             }
 
             impl Strategy for std::ops::RangeInclusive<$t> {
                 type Value = $t;
                 fn generate(&self, rng: &mut TestRng) -> $t {
                     rng.range_u64(*self.start() as u64, *self.end() as u64 + 1) as $t
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    shrink_toward(*self.start() as u64, *value as u64)
+                        .into_iter()
+                        .map(|v| v as $t)
+                        .collect()
                 }
             }
         )+};
@@ -228,22 +337,41 @@ pub mod strategy {
         usize => range_u64,
     }
 
-    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
-        type Value = (A::Value, B::Value);
-        fn generate(&self, rng: &mut TestRng) -> Self::Value {
-            (self.0.generate(rng), self.1.generate(rng))
-        }
+    // Tuples of strategies generate tuples of values (components drawn
+    // in order, so the RNG stream matches drawing each arg separately)
+    // and shrink one component at a time, holding the others fixed.
+    macro_rules! tuple_strategy {
+        ($(($($S:ident : $idx:tt),+))+) => {$(
+            impl<$($S: Strategy),+> Strategy for ($($S,)+)
+            where
+                $($S::Value: Clone),+
+            {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let mut out = Vec::new();
+                    $(
+                        for candidate in self.$idx.shrink(&value.$idx) {
+                            let mut next = value.clone();
+                            next.$idx = candidate;
+                            out.push(next);
+                        }
+                    )+
+                    out
+                }
+            }
+        )+};
     }
 
-    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
-        type Value = (A::Value, B::Value, C::Value);
-        fn generate(&self, rng: &mut TestRng) -> Self::Value {
-            (
-                self.0.generate(rng),
-                self.1.generate(rng),
-                self.2.generate(rng),
-            )
-        }
+    tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
     }
 }
 
@@ -255,35 +383,45 @@ pub mod arbitrary {
     pub trait Arbitrary {
         /// Draw one arbitrary value.
         fn arbitrary(rng: &mut TestRng) -> Self;
-    }
 
-    impl Arbitrary for u8 {
-        fn arbitrary(rng: &mut TestRng) -> u8 {
-            rng.next_u64() as u8
+        /// Smaller variants of a failing value (see
+        /// [`crate::strategy::Strategy::shrink`]). Defaults to none.
+        fn shrink_value(&self) -> Vec<Self>
+        where
+            Self: Sized,
+        {
+            Vec::new()
         }
     }
 
-    impl Arbitrary for u16 {
-        fn arbitrary(rng: &mut TestRng) -> u16 {
-            rng.next_u64() as u16
-        }
+    macro_rules! arbitrary_uint {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+                fn shrink_value(&self) -> Vec<$t> {
+                    crate::strategy::shrink_toward(0, *self as u64)
+                        .into_iter()
+                        .map(|v| v as $t)
+                        .collect()
+                }
+            }
+        )+};
     }
 
-    impl Arbitrary for u32 {
-        fn arbitrary(rng: &mut TestRng) -> u32 {
-            rng.next_u64() as u32
-        }
-    }
-
-    impl Arbitrary for u64 {
-        fn arbitrary(rng: &mut TestRng) -> u64 {
-            rng.next_u64()
-        }
-    }
+    arbitrary_uint!(u8, u16, u32, u64);
 
     impl Arbitrary for bool {
         fn arbitrary(rng: &mut TestRng) -> bool {
             rng.next_u64() & 1 == 1
+        }
+        fn shrink_value(&self) -> Vec<bool> {
+            if *self {
+                vec![false]
+            } else {
+                Vec::new()
+            }
         }
     }
 
@@ -299,6 +437,9 @@ pub mod arbitrary {
         type Value = T;
         fn generate(&self, rng: &mut TestRng) -> T {
             T::arbitrary(rng)
+        }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            value.shrink_value()
         }
     }
 }
@@ -344,7 +485,10 @@ pub mod collection {
         size: SizeRange,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let n = if self.size.hi > self.size.lo {
@@ -353,6 +497,30 @@ pub mod collection {
                 self.size.lo
             };
             (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+
+        /// Halve toward the minimum length, drop the last element, then
+        /// shrink elements in place (first candidate per position).
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let lo = self.size.lo;
+            if value.len() > lo {
+                let half = (value.len() / 2).max(lo);
+                if half < value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                if value.len() > lo && value.len() - 1 != half {
+                    out.push(value[..value.len() - 1].to_vec());
+                }
+            }
+            for (i, item) in value.iter().enumerate() {
+                if let Some(candidate) = self.element.shrink(item).into_iter().next() {
+                    let mut next = value.clone();
+                    next[i] = candidate;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }
@@ -378,6 +546,9 @@ pub mod sample {
     impl Arbitrary for Index {
         fn arbitrary(rng: &mut TestRng) -> Index {
             Index(rng.next_u64())
+        }
+        fn shrink_value(&self) -> Vec<Index> {
+            self.0.shrink_value().into_iter().map(Index).collect()
         }
     }
 
@@ -418,8 +589,10 @@ pub mod prelude {
 
 /// Declare property tests. Each `fn name(arg in strategy, ...)` item
 /// becomes a `#[test]` that generates `cases` inputs deterministically
-/// and runs the body; `prop_assert*` failures abort the case with the
-/// case number and values left reproducible via the per-test seed.
+/// and runs the body; `prop_assert*` failures abort the case, the
+/// runner greedily shrinks the failing input (bounded by
+/// `max_shrink_iters` candidate evaluations), and the panic reports the
+/// minimal still-failing input alongside the original error.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -435,23 +608,22 @@ macro_rules! proptest {
             let mut rng = $crate::test_runner::TestRng::from_name(concat!(
                 module_path!(), "::", stringify!($name)
             ));
-            for case in 0..config.cases {
-                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
-                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+            // One combined strategy over all arguments: components are
+            // drawn in declaration order, so the RNG stream matches
+            // drawing each argument separately.
+            $crate::test_runner::drive(
+                &config,
+                &mut rng,
+                stringify!($name),
+                ($($strat,)+),
+                |input| {
+                    let ($($arg,)+) = ::std::clone::Clone::clone(input);
                     (move || {
                         $body
                         ::std::result::Result::Ok(())
-                    })();
-                if let ::std::result::Result::Err(e) = outcome {
-                    panic!(
-                        "property {} failed at case {}/{}: {}",
-                        stringify!($name),
-                        case + 1,
-                        config.cases,
-                        e
-                    );
-                }
-            }
+                    })()
+                },
+            );
         }
     )*};
     ($($rest:tt)*) => {
@@ -599,5 +771,92 @@ mod tests {
             let _ = b;
             prop_assert!(i.index(10) < 10);
         }
+    }
+
+    #[test]
+    fn int_shrink_bisects_toward_low_end() {
+        let s = 3u64..1000;
+        let candidates = Strategy::shrink(&s, &700);
+        assert!(candidates.contains(&3), "range minimum first");
+        assert!(candidates.iter().all(|c| (3..700).contains(c)));
+        assert!(
+            Strategy::shrink(&s, &3).is_empty(),
+            "minimum has no shrinks"
+        );
+        let inc = 5u64..=20;
+        assert!(Strategy::shrink(&inc, &17).contains(&5));
+    }
+
+    #[test]
+    fn vec_shrink_halves_and_respects_min_size() {
+        let s = prop::collection::vec(0u64..100, 2..10);
+        let v: Vec<u64> = vec![9, 8, 7, 6, 5, 4];
+        for candidate in Strategy::shrink(&s, &v) {
+            assert!(candidate.len() >= 2, "below minimum: {candidate:?}");
+            assert!(candidate.len() <= v.len());
+        }
+        assert!(
+            Strategy::shrink(&s, &v).iter().any(|c| c.len() == 3),
+            "halving candidate expected"
+        );
+        // Elements shrink in place even when the length is minimal.
+        let at_min: Vec<u64> = vec![50, 60];
+        assert!(Strategy::shrink(&s, &at_min).iter().all(|c| c.len() == 2));
+        assert!(!Strategy::shrink(&s, &at_min).is_empty());
+    }
+
+    #[test]
+    fn tuple_shrink_varies_one_component_at_a_time() {
+        let s = (1u64..100, 2usize..50);
+        let candidates = Strategy::shrink(&s, &(40, 30));
+        assert!(!candidates.is_empty());
+        for (a, b) in candidates {
+            let a_moved = a != 40;
+            let b_moved = b != 30;
+            assert!(a_moved ^ b_moved, "exactly one component per candidate");
+        }
+    }
+
+    #[test]
+    fn failing_property_reports_minimal_input() {
+        // Not #[test]-annotated: declared via the macro, invoked under
+        // catch_unwind so the shrink report can be inspected.
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+            fn must_fail(x in 0u64..1000) {
+                prop_assert!(x < 10, "x too big: {}", x);
+            }
+        }
+        let err = std::panic::catch_unwind(must_fail).expect_err("property must fail");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("string panic payload")
+            .clone();
+        assert!(
+            msg.contains("(10,)"),
+            "greedy bisection should land on the boundary value 10, got: {msg}"
+        );
+        assert!(msg.contains("shrink step(s)"));
+    }
+
+    #[test]
+    fn shrinking_is_bounded_and_optional() {
+        proptest! {
+            #![proptest_config(ProptestConfig {
+                cases: 1,
+                max_shrink_iters: 0,
+                ..ProptestConfig::default()
+            })]
+            fn always_fails(v in prop::collection::vec(0u64..10, 0..6)) {
+                let _ = v;
+                prop_assert!(false, "unconditional");
+            }
+        }
+        let err = std::panic::catch_unwind(always_fails).expect_err("must fail");
+        let msg = err.downcast_ref::<String>().unwrap().clone();
+        assert!(
+            msg.contains("after 0 shrink step(s)"),
+            "max_shrink_iters = 0 disables shrinking, got: {msg}"
+        );
     }
 }

@@ -76,6 +76,44 @@ use crate::time::{SimDuration, SimTime};
 /// Identifier of a simulated thread.
 pub type Tid = u32;
 
+/// Dispatch policy of the scheduler.
+///
+/// Both policies advance virtual time identically — the next dispatch
+/// always goes to a thread whose wake-up time is the minimum over the
+/// run queue — so cost models and timings are policy-independent. What
+/// a policy chooses is the *tie-break* among threads runnable at that
+/// same minimum time:
+///
+/// * [`SchedPolicy::Fifo`] (the default) breaks ties by sequence
+///   number, i.e. program order. This is the historical behaviour that
+///   the golden-trace and determinism tests pin down byte-for-byte.
+/// * [`SchedPolicy::Random`] breaks ties uniformly at random using a
+///   splitmix64 PRNG seeded from the given value — the same generator
+///   as the workspace's proptest stub. Every interleaving is a pure
+///   function of `(seed, program)`, so any schedule found by the chaos
+///   explorer is replayable from the seed alone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// Deterministic FIFO tie-break (sequence/program order).
+    #[default]
+    Fifo,
+    /// Seeded uniform-random tie-break among threads runnable at the
+    /// minimum wake-up time. Deterministic per seed.
+    Random(u64),
+}
+
+/// One step of the splitmix64 generator (same constants as the
+/// proptest stub's `TestRng`), so scheduler interleavings and
+/// property-test inputs share a single, documented PRNG.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// An entry in the deterministic event trace.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceEvent {
@@ -274,6 +312,17 @@ struct Sched {
     failure: Option<String>,
     trace: Option<Vec<TraceEvent>>,
     spawned_os: Vec<(thread::JoinHandle<()>, bool)>,
+    /// Tie-break policy; `rng` is the splitmix64 state for `Random`.
+    policy: SchedPolicy,
+    rng: u64,
+    /// Abort with a livelock dump after this many consecutive dispatches
+    /// without virtual-time progress (`None` = detection off).
+    livelock_threshold: Option<u64>,
+    /// Consecutive dispatches at an unchanged virtual time.
+    same_time_streak: u64,
+    /// Free-form context (e.g. the active fault schedule) appended to
+    /// deadlock/livelock dumps.
+    dump_note: Option<String>,
 }
 
 impl Sched {
@@ -368,11 +417,21 @@ impl Default for Kernel {
 }
 
 impl Kernel {
-    /// Create a new kernel with the clock at `t = 0` and no threads.
+    /// Create a new kernel with the clock at `t = 0`, no threads, and the
+    /// default [`SchedPolicy::Fifo`] dispatch policy.
     pub fn new() -> Kernel {
+        Self::new_with_policy(SchedPolicy::Fifo)
+    }
+
+    /// Create a new kernel using the given dispatch [`SchedPolicy`].
+    pub fn new_with_policy(policy: SchedPolicy) -> Kernel {
         // Register the virtual clock as the observability timestamp
         // source (idempotent; first installation wins process-wide).
         snapify_obs::install_clock(obs_clock);
+        let rng = match policy {
+            SchedPolicy::Fifo => 0,
+            SchedPolicy::Random(seed) => seed,
+        };
         Kernel {
             inner: Arc::new(Inner {
                 sched: Mutex::new(Sched {
@@ -387,12 +446,42 @@ impl Kernel {
                     failure: None,
                     trace: None,
                     spawned_os: Vec::new(),
+                    policy,
+                    rng,
+                    livelock_threshold: None,
+                    same_time_streak: 0,
+                    dump_note: None,
                 }),
                 now_ns: AtomicU64::new(0),
                 trace_on: AtomicBool::new(false),
                 driver_cv: Condvar::new(),
             }),
         }
+    }
+
+    /// The dispatch policy this kernel was created with.
+    pub fn policy(&self) -> SchedPolicy {
+        self.inner.sched.lock().unwrap().policy
+    }
+
+    /// Abort the simulation with a livelock dump if `threshold`
+    /// consecutive dispatches happen without virtual-time progress
+    /// (`None` disables detection, the default). A livelocked run —
+    /// e.g. threads yielding to each other forever under
+    /// [`SchedPolicy::Random`] — never triggers deadlock detection
+    /// because the run queue is never empty; this bound turns it into
+    /// a crisp failure instead of a wall-clock hang.
+    pub fn set_livelock_threshold(&self, threshold: Option<u64>) {
+        let mut s = self.inner.sched.lock().unwrap();
+        s.livelock_threshold = threshold;
+        s.same_time_streak = 0;
+    }
+
+    /// Attach free-form context to deadlock/livelock dumps (e.g. the
+    /// active fault schedule), so an aborted chaos run reports *what
+    /// world* it was aborted in, not just which threads were stuck.
+    pub fn set_dump_note(&self, note: impl Into<String>) {
+        self.inner.sched.lock().unwrap().dump_note = Some(note.into());
     }
 
     /// Enable event tracing. Must be called before [`Kernel::run`].
@@ -589,7 +678,17 @@ impl Kernel {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
-        let kernel = Kernel::new();
+        Self::run_root_with(SchedPolicy::Fifo, f)
+    }
+
+    /// Like [`Kernel::run_root`], but with an explicit dispatch policy
+    /// (e.g. `SchedPolicy::Random(seed)` for a chaos run).
+    pub fn run_root_with<T, F>(policy: SchedPolicy, f: F) -> T
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let kernel = Kernel::new_with_policy(policy);
         let h = kernel.spawn("root", f);
         kernel.run();
         h.take_result().expect("root thread produced no result")
@@ -739,37 +838,44 @@ impl Kernel {
     /// called with no thread currently granted.
     fn dispatch(&self, s: &mut Sched) {
         debug_assert!(s.running.is_none());
-        loop {
-            match s.runq.pop() {
-                Some(Reverse((t, _seq, tid, generation))) => {
-                    {
-                        let info = s.info(tid);
-                        if info.generation != generation || info.state != TState::Runnable {
-                            continue; // stale entry superseded by an early wake
+        let next = match s.policy {
+            SchedPolicy::Fifo => pop_valid(s),
+            SchedPolicy::Random(_) => pop_random_tie(s),
+        };
+        match next {
+            Some((t, tid)) => {
+                debug_assert!(t >= s.now, "time went backwards");
+                if t > s.now {
+                    s.same_time_streak = 0;
+                } else {
+                    s.same_time_streak += 1;
+                    if let Some(limit) = s.livelock_threshold {
+                        if s.same_time_streak >= limit {
+                            s.failure = Some(livelock_dump(s, limit));
+                            s.done = true;
+                            self.shutdown_all(s);
+                            return;
                         }
                     }
-                    debug_assert!(t >= s.now, "time went backwards");
-                    s.now = s.now.max(t);
-                    self.inner.now_ns.store(s.now.as_nanos(), Ordering::Relaxed);
-                    s.running = Some(tid);
-                    let info = s.info_mut(tid);
-                    info.state = TState::Running;
-                    info.block_kind = "";
-                    info.block_suffix = "";
-                    info.block_deadline = None;
-                    info.slot.grant();
-                    return;
                 }
-                None => {
-                    if s.live == 0 {
-                        s.done = true;
-                    } else {
-                        s.failure = Some(deadlock_dump(s));
-                        s.done = true;
-                    }
-                    self.shutdown_all(s);
-                    return;
+                s.now = s.now.max(t);
+                self.inner.now_ns.store(s.now.as_nanos(), Ordering::Relaxed);
+                s.running = Some(tid);
+                let info = s.info_mut(tid);
+                info.state = TState::Running;
+                info.block_kind = "";
+                info.block_suffix = "";
+                info.block_deadline = None;
+                info.slot.grant();
+            }
+            None => {
+                if s.live == 0 {
+                    s.done = true;
+                } else {
+                    s.failure = Some(deadlock_dump(s));
+                    s.done = true;
                 }
+                self.shutdown_all(s);
             }
         }
     }
@@ -865,6 +971,60 @@ fn trace(s: &mut Sched, tid: Tid, label: &str) {
     }
 }
 
+/// Pop the earliest valid run-queue entry (FIFO tie-break), skipping
+/// entries superseded by an early wake. Returns `(wake time, tid)`.
+fn pop_valid(s: &mut Sched) -> Option<(SimTime, Tid)> {
+    while let Some(Reverse((t, _seq, tid, generation))) = s.runq.pop() {
+        let info = s.info(tid);
+        if info.generation == generation && info.state == TState::Runnable {
+            return Some((t, tid));
+        }
+        // stale entry superseded by an early wake
+    }
+    None
+}
+
+/// Pop one valid run-queue entry at the *minimum* wake time, choosing
+/// uniformly among all valid entries tied at that time with the
+/// scheduler's splitmix64 state, and re-queueing the rest untouched.
+/// Because only the tie-break is randomized, virtual time still
+/// advances monotonically exactly as under FIFO.
+fn pop_random_tie(s: &mut Sched) -> Option<(SimTime, Tid)> {
+    let Reverse(first) = {
+        // Inline pop_valid, but keep (seq, generation) so non-chosen
+        // ties can be re-queued with their original ordering keys.
+        loop {
+            let Reverse(e) = s.runq.pop()?;
+            let info = s.info(e.2);
+            if info.generation == e.3 && info.state == TState::Runnable {
+                break Reverse(e);
+            }
+        }
+    };
+    let t0 = first.0;
+    let mut ties = vec![first];
+    while let Some(&Reverse((t, ..))) = s.runq.peek() {
+        if t != t0 {
+            break;
+        }
+        let Reverse(e) = s.runq.pop().unwrap();
+        let info = s.info(e.2);
+        if info.generation == e.3 && info.state == TState::Runnable {
+            ties.push(e);
+        }
+    }
+    let idx = if ties.len() == 1 {
+        0
+    } else {
+        (splitmix64(&mut s.rng) % ties.len() as u64) as usize
+    };
+    let chosen = ties.swap_remove(idx);
+    for e in ties {
+        s.runq.push(Reverse(e));
+    }
+    Some((chosen.0, chosen.2))
+}
+
 fn deadlock_dump(s: &Sched) -> String {
     let mut out = format!(
         "deadlock at {}: {} live thread(s) blocked with no pending wake-up:\n",
@@ -888,7 +1048,42 @@ fn deadlock_dump(s: &Sched) -> String {
             deadline,
         ));
     }
+    push_dump_note(&mut out, s);
     out
+}
+
+/// Like [`deadlock_dump`], but for the complementary failure: the run
+/// queue never empties, yet virtual time stops advancing (threads
+/// hand the token around at a frozen clock — e.g. a retry loop that
+/// yields instead of backing off).
+fn livelock_dump(s: &Sched, limit: u64) -> String {
+    let mut out = format!(
+        "livelock at {}: {limit} consecutive dispatches without virtual-time progress (policy {:?}); runnable/running threads:\n",
+        s.now, s.policy
+    );
+    for (i, info) in s.threads.iter().enumerate() {
+        if !matches!(info.state, TState::Runnable | TState::Running) {
+            continue;
+        }
+        out.push_str(&format!(
+            "  [{}] '{}'{} {:?} since {}\n",
+            i + 1,
+            info.name,
+            if info.daemon { " (daemon)" } else { "" },
+            info.state,
+            info.block_since,
+        ));
+    }
+    push_dump_note(&mut out, s);
+    out
+}
+
+fn push_dump_note(out: &mut String, s: &Sched) {
+    if let Some(note) = &s.dump_note {
+        out.push_str("  context: ");
+        out.push_str(note);
+        out.push('\n');
+    }
 }
 
 fn payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
@@ -1213,6 +1408,119 @@ mod tests {
         }
         k.run();
         assert_eq!(*counter.lock().unwrap(), 200);
+    }
+
+    /// Trace fingerprint of a tie-heavy scenario under a given policy.
+    fn tie_heavy_run(policy: SchedPolicy) -> (usize, u64, Vec<u32>) {
+        let k = Kernel::new_with_policy(policy);
+        k.enable_trace();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..6u32 {
+            let o = Arc::clone(&order);
+            k.spawn(format!("t{i}"), move || {
+                for _ in 0..4 {
+                    o.lock().unwrap().push(i);
+                    yield_now();
+                }
+                sleep(ms(1));
+                o.lock().unwrap().push(100 + i);
+            });
+        }
+        k.run();
+        let order = std::mem::take(&mut *order.lock().unwrap());
+        (k.trace_len(), k.trace_digest(), order)
+    }
+
+    #[test]
+    fn random_policy_same_seed_is_deterministic() {
+        let a = tie_heavy_run(SchedPolicy::Random(42));
+        let b = tie_heavy_run(SchedPolicy::Random(42));
+        assert_eq!(a, b, "same seed must replay the exact interleaving");
+    }
+
+    #[test]
+    fn random_policy_seeds_explore_different_interleavings() {
+        // Not every seed pair diverges in principle, but across 8 seeds a
+        // tie-heavy scenario must not collapse to a single schedule.
+        let orders: std::collections::HashSet<Vec<u32>> = (0..8u64)
+            .map(|seed| tie_heavy_run(SchedPolicy::Random(seed)).2)
+            .collect();
+        assert!(
+            orders.len() > 1,
+            "8 seeds produced a single interleaving — Random policy is not randomizing"
+        );
+        let fifo = tie_heavy_run(SchedPolicy::Fifo);
+        assert_eq!(
+            fifo,
+            tie_heavy_run(SchedPolicy::Fifo),
+            "FIFO must stay deterministic"
+        );
+    }
+
+    #[test]
+    fn random_policy_preserves_virtual_timings() {
+        // Randomizing only the tie-break must not change clock advance.
+        for seed in 0..4u64 {
+            let k = Kernel::new_with_policy(SchedPolicy::Random(seed));
+            for i in 0..5u64 {
+                k.spawn(format!("t{i}"), move || {
+                    sleep(ms(10));
+                    sleep(ms(i));
+                });
+            }
+            k.run();
+            assert_eq!(k.now(), SimTime::ZERO + ms(14));
+        }
+    }
+
+    #[test]
+    fn livelock_is_detected_and_reports_note() {
+        let k = Kernel::new_with_policy(SchedPolicy::Random(7));
+        k.set_livelock_threshold(Some(500));
+        k.set_dump_note("faults=[t+1ms bus0 error]");
+        for i in 0..2 {
+            k.spawn(format!("spin{i}"), || loop {
+                yield_now();
+            });
+        }
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| k.run()))
+            .expect_err("livelock must abort the run");
+        let msg = payload_to_string(err.as_ref());
+        assert!(msg.contains("livelock at t+0ns"), "{msg}");
+        assert!(msg.contains("500 consecutive dispatches"), "{msg}");
+        assert!(msg.contains("context: faults=[t+1ms bus0 error]"), "{msg}");
+    }
+
+    #[test]
+    fn livelock_threshold_tolerates_progressing_runs() {
+        // A run that yields a lot but keeps advancing time never trips.
+        let k = Kernel::new_with_policy(SchedPolicy::Random(3));
+        k.set_livelock_threshold(Some(16));
+        for i in 0..4 {
+            k.spawn(format!("t{i}"), || {
+                for _ in 0..100 {
+                    yield_now();
+                    sleep(crate::time::us(1));
+                }
+            });
+        }
+        k.run();
+        assert!(k.now() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn deadlock_dump_includes_note_when_set() {
+        let k = Kernel::new();
+        k.set_dump_note("schedule=S1");
+        let k2 = k.clone();
+        k.spawn("stuck", move || {
+            let (_, me) = current();
+            k2.block(me, BlockReason::fixed("waiting"));
+        });
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| k.run()))
+            .expect_err("deadlock must abort the run");
+        let msg = payload_to_string(err.as_ref());
+        assert!(msg.contains("context: schedule=S1"), "{msg}");
     }
 
     #[test]

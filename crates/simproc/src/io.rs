@@ -19,8 +19,23 @@ pub enum IoError {
     Fs(FsError),
     /// The peer closed the stream.
     Closed,
+    /// A transport round-trip timed out (transient: a retry may
+    /// succeed). The message names the transport and operation.
+    Timeout(String),
+    /// The transport connection reset mid-stream (transient: a retry
+    /// re-establishes it and may resume). The message names the
+    /// transport and how far the stream got.
+    ConnReset(String),
     /// Anything else (message carries detail).
     Other(String),
+}
+
+impl IoError {
+    /// Whether a retry of the failed operation could plausibly succeed
+    /// (the error models a transient condition, not a hard failure).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, IoError::Timeout(_) | IoError::ConnReset(_))
+    }
 }
 
 impl fmt::Display for IoError {
@@ -28,6 +43,8 @@ impl fmt::Display for IoError {
         match self {
             IoError::Fs(e) => write!(f, "{e}"),
             IoError::Closed => write!(f, "stream closed"),
+            IoError::Timeout(s) => write!(f, "timeout: {s}"),
+            IoError::ConnReset(s) => write!(f, "connection reset: {s}"),
             IoError::Other(s) => write!(f, "{s}"),
         }
     }

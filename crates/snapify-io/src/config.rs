@@ -3,6 +3,43 @@
 use simkernel::time::{ms, us};
 use simkernel::{Bandwidth, SimDuration};
 
+/// Retry policy for transient transport faults (NFS timeouts, scp
+/// connection resets — injected by the chaos plane or, on real
+/// hardware, just Tuesday).
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Retries allowed after the initial attempt. `0` surfaces the
+    /// first transient error to the caller.
+    pub max_retries: u32,
+    /// Backoff slept before the first retry; doubles on each further
+    /// retry (capped at `backoff * 1024`).
+    pub backoff: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            backoff: ms(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (chaos-explorer bug-demo knob).
+    pub fn disabled() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            backoff: SimDuration::ZERO,
+        }
+    }
+
+    /// Exponential backoff before retry number `attempt` (0-based).
+    pub fn backoff_for(&self, attempt: u32) -> SimDuration {
+        self.backoff * (1u64 << attempt.min(10))
+    }
+}
+
 /// Snapify-IO configuration (§6).
 #[derive(Clone, Debug)]
 pub struct SnapifyIoConfig {
@@ -60,6 +97,9 @@ pub struct NfsConfig {
     /// miss). Dominant for BLCR's small restart reads; negligible for the
     /// large reads of a file copy.
     pub read_call_cost: SimDuration,
+    /// Retry policy for RPC timeouts (soft-mount semantics with bounded
+    /// retransmits).
+    pub retry: RetryPolicy,
 }
 
 impl Default for NfsConfig {
@@ -74,6 +114,7 @@ impl Default for NfsConfig {
             user_buffer_chunk: 1 << 20,
             user_pipe_cost: us(2),
             read_call_cost: us(400),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -88,6 +129,9 @@ pub struct ScpConfig {
     pub setup: SimDuration,
     /// Stream chunking.
     pub chunk: u64,
+    /// Retry policy for connection resets. A retry reconnects (paying
+    /// `setup` again) and resumes from the last fully-shipped chunk.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ScpConfig {
@@ -96,6 +140,7 @@ impl Default for ScpConfig {
             cipher_bw: Bandwidth::mb_per_sec(34.0),
             setup: ms(180),
             chunk: 256 << 10,
+            retry: RetryPolicy::default(),
         }
     }
 }

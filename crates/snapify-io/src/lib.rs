@@ -30,7 +30,7 @@ pub mod storage;
 use phi_platform::NodeId;
 use simproc::{ByteSink, ByteSource, IoError};
 
-pub use config::{NfsConfig, ScpConfig, SnapifyIoConfig};
+pub use config::{NfsConfig, RetryPolicy, ScpConfig, SnapifyIoConfig};
 pub use local::LocalStorage;
 pub use nfs::{Nfs, NfsMode, NfsSink, NfsSource};
 pub use scp::Scp;

@@ -111,6 +111,53 @@ mod tests {
     }
 
     #[test]
+    fn injected_disk_full_mid_snapshot_surfaces_typed_error() {
+        use phi_platform::{FaultKind, FaultSchedule, FaultTarget, FsError, PlatformParams};
+        use simkernel::time::{ms, SimTime};
+        Kernel::run_root(|| {
+            // A disk-full fault due 100 ms in hits the second write of a
+            // two-chunk snapshot: the first chunk stands, the failing
+            // chunk leaves no bytes behind, and a retry completes.
+            let schedule = FaultSchedule::none().with(
+                SimTime(ms(100).as_nanos()),
+                FaultTarget::Fs(NodeId::device(0)),
+                FaultKind::DiskFull,
+            );
+            let server = PhiServer::new_with_faults(PlatformParams::default(), schedule);
+            let storage = LocalStorage::new(&server);
+            let mut sink = storage.sink(NodeId::device(0), "/tmp/snap").unwrap();
+            let first = Payload::synthetic(1, GB);
+            let second = Payload::synthetic(2, GB);
+            sink.write(first.clone()).unwrap();
+            let err = sink.write(second.clone()).unwrap_err();
+            assert!(
+                matches!(&err, IoError::Fs(FsError::DiskFull { .. })),
+                "got {err}"
+            );
+            let fs = server.device(0).fs();
+            assert_eq!(
+                fs.len("/tmp/snap").unwrap(),
+                GB,
+                "failed write left no bytes"
+            );
+            // One-shot fault: the retry completes the snapshot intact.
+            sink.write(second.clone()).unwrap();
+            sink.close().unwrap();
+            let expected = {
+                let mut p = first;
+                p.append(second);
+                p
+            };
+            let mut src = storage.source(NodeId::device(0), "/tmp/snap").unwrap();
+            let mut out = Payload::empty();
+            while let Some(c) = src.read(256 << 20).unwrap() {
+                out.append(c);
+            }
+            assert_eq!(out.digest(), expected.digest(), "no silent corruption");
+        });
+    }
+
+    #[test]
     fn local_is_fast() {
         Kernel::run_root(|| {
             let server = PhiServer::default_server();

@@ -22,7 +22,7 @@
 
 use std::sync::Arc;
 
-use phi_platform::{NodeId, Payload, PhiServer};
+use phi_platform::{FaultKind, FaultTarget, NodeId, Payload, PhiServer};
 use simkernel::obs;
 use simkernel::{BandwidthResource, SimMutex};
 use simproc::{ByteSink, ByteSource, IoError};
@@ -91,6 +91,38 @@ impl Nfs {
         self.inner.mode
     }
 
+    /// Consume any due chaos-plane NFS faults before `op`, modeling
+    /// soft-mount retransmit semantics: each due
+    /// [`FaultKind::NfsTimeout`] stalls the caller for the timeout
+    /// window, then either retransmits (with exponential backoff, while
+    /// the [`crate::config::RetryPolicy`] budget lasts) or surfaces
+    /// [`IoError::Timeout`] to the caller.
+    fn absorb_faults(&self, op: &str) -> Result<(), IoError> {
+        let retry = self.inner.config.retry;
+        let mut attempt = 0u32;
+        while let Some(fault) = self.inner.server.faults().take(FaultTarget::Nfs) {
+            let stall = match fault {
+                FaultKind::NfsTimeout(d) => d,
+                // Other kinds aimed at the NFS target have no NFS
+                // failure mode to model; consume and ignore them.
+                _ => continue,
+            };
+            simkernel::sleep(stall);
+            obs::counter_add("chaos.nfs.timeouts", 1);
+            if attempt >= retry.max_retries {
+                obs::counter_add("chaos.surfaced", 1);
+                return Err(IoError::Timeout(format!(
+                    "nfs {op}: no server response after {} attempt(s)",
+                    attempt + 1
+                )));
+            }
+            obs::counter_add("chaos.retried", 1);
+            simkernel::sleep(retry.backoff_for(attempt));
+            attempt += 1;
+        }
+        Ok(())
+    }
+
     fn mount(&self, node: NodeId) -> BandwidthResource {
         let mut mounts = self.inner.mounts.lock();
         let slot = node.0 as usize;
@@ -122,6 +154,9 @@ impl ByteSink for NfsSink {
         if len == 0 {
             return Ok(());
         }
+        // Chaos plane: absorb (or surface) any due RPC timeout before
+        // side effects, so a surfaced error leaves no partial append.
+        self.nfs.absorb_faults(&format!("write {}", self.path))?;
         let server = &self.nfs.inner.server;
         let logical = self.granularity.unwrap_or(len).min(len).max(1);
         match self.nfs.inner.mode {
@@ -190,6 +225,9 @@ pub struct NfsSource {
 
 impl ByteSource for NfsSource {
     fn read(&mut self, max: u64) -> Result<Option<Payload>, IoError> {
+        // Chaos plane: a due RPC timeout stalls (and may fail) the read
+        // before any data moves — the offset only advances on success.
+        self.nfs.absorb_faults(&format!("read {}", self.path))?;
         let cfg = &self.nfs.inner.config;
         let fs = self.nfs.inner.server.host().fs();
         let size = fs.len(&self.path)?;
@@ -363,6 +401,94 @@ mod tests {
             let server = PhiServer::default_server();
             let nfs = Nfs::new(&server, NfsConfig::default(), NfsMode::Plain);
             assert!(nfs.source(NodeId::device(0), "/nope").is_err());
+        });
+    }
+
+    #[test]
+    fn nfs_timeout_is_retried_transparently() {
+        use phi_platform::{FaultSchedule, PlatformParams};
+        use simkernel::time::{ms, SimTime};
+        Kernel::run_root(|| {
+            let schedule = FaultSchedule::none().with(
+                SimTime::ZERO,
+                FaultTarget::Nfs,
+                FaultKind::NfsTimeout(ms(50)),
+            );
+            let server = PhiServer::new_with_faults(PlatformParams::default(), schedule);
+            let nfs = Nfs::new(&server, NfsConfig::default(), NfsMode::Plain);
+            let data = Payload::synthetic(7, MB);
+            let t0 = now();
+            let mut sink = nfs.sink(NodeId::device(0), "/snap/retry").unwrap();
+            sink.write(data.clone()).unwrap();
+            sink.close().unwrap();
+            // The one-shot timeout stalled us at least the timeout window.
+            assert!((now() - t0).as_secs_f64() >= 0.05);
+            assert_eq!(server.faults().fired_count(), 1);
+            // No silent corruption: the round trip is intact.
+            let mut src = nfs.source(NodeId::device(0), "/snap/retry").unwrap();
+            let mut out = Payload::empty();
+            while let Some(c) = src.read(1 << 20).unwrap() {
+                out.append(c);
+            }
+            assert_eq!(out.digest(), data.digest());
+        });
+    }
+
+    #[test]
+    fn nfs_timeout_surfaces_typed_error_when_budget_exhausted() {
+        use crate::config::RetryPolicy;
+        use phi_platform::{FaultSchedule, PlatformParams};
+        use simkernel::time::{ms, SimTime};
+        Kernel::run_root(|| {
+            let schedule = FaultSchedule::none().with(
+                SimTime::ZERO,
+                FaultTarget::Nfs,
+                FaultKind::NfsTimeout(ms(50)),
+            );
+            let server = PhiServer::new_with_faults(PlatformParams::default(), schedule);
+            let config = NfsConfig {
+                retry: RetryPolicy::disabled(),
+                ..NfsConfig::default()
+            };
+            let nfs = Nfs::new(&server, config, NfsMode::Plain);
+            let mut sink = nfs.sink(NodeId::device(0), "/snap/hard").unwrap();
+            let err = sink.write(Payload::synthetic(7, MB)).unwrap_err();
+            assert!(matches!(err, IoError::Timeout(_)), "got {err}");
+            assert!(err.is_transient());
+            // Failed before side effects: nothing was appended.
+            let fs = server.host().fs();
+            assert_eq!(fs.len("/snap/hard").unwrap(), 0);
+        });
+    }
+
+    #[test]
+    fn nfs_read_timeout_does_not_advance_offset() {
+        use phi_platform::{FaultSchedule, PlatformParams};
+        use simkernel::time::{us, SimTime};
+        Kernel::run_root(|| {
+            // Four back-to-back timeouts exhaust the default 3-retry
+            // budget on the first read; the next read call then succeeds
+            // from the same offset.
+            let mut schedule = FaultSchedule::none();
+            for _ in 0..4 {
+                schedule = schedule.with(
+                    SimTime::ZERO,
+                    FaultTarget::Nfs,
+                    FaultKind::NfsTimeout(us(100)),
+                );
+            }
+            let server = PhiServer::new_with_faults(PlatformParams::default(), schedule);
+            let data = Payload::synthetic(3, MB);
+            server.host().fs().append("/snap/ro", data.clone()).unwrap();
+            let nfs = Nfs::new(&server, NfsConfig::default(), NfsMode::Plain);
+            let mut src = nfs.source(NodeId::device(0), "/snap/ro").unwrap();
+            let err = src.read(1 << 20).unwrap_err();
+            assert!(matches!(err, IoError::Timeout(_)), "got {err}");
+            let mut out = Payload::empty();
+            while let Some(c) = src.read(1 << 20).unwrap() {
+                out.append(c);
+            }
+            assert_eq!(out.digest(), data.digest(), "retry resumed cleanly");
         });
     }
 }

@@ -6,7 +6,7 @@
 
 use std::sync::Arc;
 
-use phi_platform::{NodeId, Payload, PhiServer};
+use phi_platform::{FaultKind, FaultTarget, NodeId, Payload, PhiServer};
 use simkernel::obs;
 use simkernel::{BandwidthResource, SimDuration, SimMutex};
 use simproc::{ByteSink, ByteSource, IoError};
@@ -53,6 +53,40 @@ impl Scp {
         ciphers[slot].clone().unwrap()
     }
 
+    /// Consume any due chaos-plane connection resets, reconnecting
+    /// (another ssh handshake, with exponential backoff) while the
+    /// retry budget lasts. `resets` carries the reset count across one
+    /// logical operation so the budget is per-call, not per-chunk; a
+    /// surfaced failure returns [`IoError::ConnReset`] tagged with
+    /// `context`. Chunks already shipped before the reset stand — the
+    /// caller resumes from the last fully-shipped chunk.
+    fn absorb_resets(&self, resets: &mut u32, context: &str) -> Result<(), IoError> {
+        let retry = self.inner.config.retry;
+        loop {
+            match self.inner.server.faults().take(FaultTarget::Scp) {
+                Some(FaultKind::ConnReset) => {
+                    obs::counter_add("chaos.scp.resets", 1);
+                    if *resets >= retry.max_retries {
+                        obs::counter_add("chaos.surfaced", 1);
+                        return Err(IoError::ConnReset(format!(
+                            "scp {context}: connection reset, retry budget exhausted"
+                        )));
+                    }
+                    obs::counter_add("chaos.retried", 1);
+                    simkernel::sleep(retry.backoff_for(*resets));
+                    // Reconnect: pay the ssh handshake again.
+                    simkernel::sleep(self.inner.config.setup);
+                    obs::counter_add("chaos.scp.reconnects", 1);
+                    *resets += 1;
+                }
+                // Other kinds aimed at the scp target have no scp
+                // failure mode to model; consume and ignore them.
+                Some(_) => {}
+                None => return Ok(()),
+            }
+        }
+    }
+
     fn stream_cost(&self, local: NodeId, bytes: u64) {
         // Encrypt on the slow side, ship over the virtio network path.
         self.cipher(local).transfer(bytes);
@@ -76,15 +110,28 @@ pub struct ScpSink {
 impl ByteSink for ScpSink {
     fn write(&mut self, data: Payload) -> Result<(), IoError> {
         assert!(!self.closed);
-        obs::counter_add("io.scp.bytes_written", data.len());
+        let total = data.len();
+        let mut shipped = 0u64;
+        let mut resets = 0u32;
         for chunk in data.chunks(self.scp.inner.config.chunk) {
-            self.scp.stream_cost(self.local, chunk.len());
+            // Chaos plane: a due reset drops the stream *before* this
+            // chunk ships; everything appended so far stands, and a
+            // successful reconnect resumes from this chunk (partial
+            // transfer + resume, never silent corruption).
+            self.scp.absorb_resets(
+                &mut resets,
+                &format!("push {} at byte {shipped} of {total}", self.path),
+            )?;
+            let chunk_len = chunk.len();
+            self.scp.stream_cost(self.local, chunk_len);
             self.scp
                 .inner
                 .server
                 .host()
                 .fs()
                 .append_async(&self.path, chunk)?;
+            shipped += chunk_len;
+            obs::counter_add("io.scp.bytes_written", chunk_len);
         }
         Ok(())
     }
@@ -105,6 +152,14 @@ pub struct ScpSource {
 
 impl ByteSource for ScpSource {
     fn read(&mut self, max: u64) -> Result<Option<Payload>, IoError> {
+        // Chaos plane: a reset before the chunk moves costs a reconnect
+        // (or surfaces); the offset only advances on success, so a
+        // later read resumes exactly where the stream broke.
+        let mut resets = 0u32;
+        self.scp.absorb_resets(
+            &mut resets,
+            &format!("pull {} at byte {}", self.path, self.offset),
+        )?;
         let fs = self.scp.inner.server.host().fs();
         let size = fs.len(&self.path)?;
         if self.offset >= size {
@@ -189,6 +244,65 @@ mod tests {
             while src.read(8 << 20).unwrap().is_some() {}
             let read = (now() - t0).as_secs_f64();
             assert!(read > 6.0 && read < 12.0, "read = {read}");
+        });
+    }
+
+    #[test]
+    fn conn_reset_mid_transfer_is_resumed_after_reconnect() {
+        use phi_platform::{FaultSchedule, PlatformParams};
+        use simkernel::time::{ms, SimTime};
+        Kernel::run_root(|| {
+            // Fire a reset 500 ms in — mid-way through the multi-chunk
+            // push, after some chunks have already landed on the host.
+            let schedule = FaultSchedule::none().with(
+                SimTime(ms(500).as_nanos()),
+                FaultTarget::Scp,
+                FaultKind::ConnReset,
+            );
+            let server = PhiServer::new_with_faults(PlatformParams::default(), schedule);
+            let scp = Scp::new(&server, ScpConfig::default());
+            let data = Payload::synthetic(5, 64 << 20);
+            let mut sink = scp.sink(NodeId::device(0), "/snap/resume").unwrap();
+            let t0 = now();
+            for chunk in data.chunks(8 << 20) {
+                sink.write(chunk).unwrap();
+            }
+            sink.close().unwrap();
+            let t = (now() - t0).as_secs_f64();
+            assert_eq!(server.faults().fired_count(), 1, "reset fired");
+            // The reconnect pays the ssh handshake again.
+            assert!(t > 64.0 / 34.0 + 0.17, "t = {t} should include a reconnect");
+            // Partial transfer resumed, not restarted: content intact.
+            let mut src = scp.source(NodeId::device(0), "/snap/resume").unwrap();
+            let mut out = Payload::empty();
+            while let Some(c) = src.read(8 << 20).unwrap() {
+                out.append(c);
+            }
+            assert_eq!(out.digest(), data.digest());
+        });
+    }
+
+    #[test]
+    fn conn_reset_surfaces_typed_error_when_retries_disabled() {
+        use crate::config::RetryPolicy;
+        use phi_platform::{FaultSchedule, PlatformParams};
+        use simkernel::time::SimTime;
+        Kernel::run_root(|| {
+            let schedule =
+                FaultSchedule::none().with(SimTime::ZERO, FaultTarget::Scp, FaultKind::ConnReset);
+            let server = PhiServer::new_with_faults(PlatformParams::default(), schedule);
+            let config = ScpConfig {
+                retry: RetryPolicy::disabled(),
+                ..ScpConfig::default()
+            };
+            let scp = Scp::new(&server, config);
+            let mut sink = scp.sink(NodeId::device(0), "/snap/hard").unwrap();
+            let err = sink.write(Payload::synthetic(5, 1 << 20)).unwrap_err();
+            assert!(matches!(err, IoError::ConnReset(_)), "got {err}");
+            assert!(err.is_transient());
+            assert!(err.to_string().contains("at byte 0"), "err = {err}");
+            // The reset hit before the first chunk shipped.
+            assert_eq!(server.host().fs().len("/snap/hard").unwrap(), 0);
         });
     }
 

@@ -72,8 +72,11 @@ pub mod prelude {
         CoiBuffer, CoiConfig, CoiProcessHandle, CoiWorld, DeviceBinary, FunctionRegistry,
         OffloadCtx, OffloadFn, StepOutcome,
     };
-    pub use phi_platform::{NodeId, Payload, PhiServer, PlatformParams, GB, KB, MB};
-    pub use simkernel::{now, sleep, spawn, Kernel, SimDuration, SimTime};
+    pub use phi_platform::{
+        FaultKind, FaultSchedule, FaultTarget, NodeId, Payload, PhiServer, PlatformParams, GB, KB,
+        MB,
+    };
+    pub use simkernel::{now, sleep, spawn, Kernel, SchedPolicy, SimDuration, SimTime};
     pub use snapify::{
         checkpoint_application, restart_application, snapify_capture, snapify_migrate,
         snapify_pause, snapify_restore, snapify_resume, snapify_swapin, snapify_swapout,

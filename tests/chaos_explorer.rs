@@ -1,0 +1,197 @@
+//! The seeded chaos explorer (`simchaos`): sweep many seeds, each
+//! expanding into a random snapshot operation at a random virtual time
+//! under a random (but contract-respecting) fault schedule, executed
+//! under `SchedPolicy::Random(seed)`.
+//!
+//! A failing case prints a one-line repro:
+//!
+//! ```text
+//! SIMCHAOS_SEED=<n> SIMCHAOS_FAULTS='<schedule>' [SIMCHAOS_NO_RETRY=1]
+//! ```
+//!
+//! Export those variables and run `cargo test --test chaos_explorer
+//! replay_case_from_env -- --nocapture` to replay the *byte-identical*
+//! execution. Failing repro lines are also appended to
+//! `target/simchaos-repro.txt` so CI can publish them as an artifact.
+//!
+//! Sweep width: 4 blocks × `SIMCHAOS_CASES_PER_BLOCK` (default 50, so
+//! 200 cases). CI's `chaos-smoke` job sets it to 4 for a 16-case quick
+//! matrix.
+
+use simchaos::{find_seed, run_case, ChaosCase, ChaosOp};
+use std::io::Write as _;
+
+/// Stable base so sweep membership only changes when deliberately bumped.
+const BASE_SEED: u64 = 0x5eed_c000;
+
+fn cases_per_block() -> u64 {
+    std::env::var("SIMCHAOS_CASES_PER_BLOCK")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50)
+}
+
+/// Record a failing repro line where CI can pick it up as an artifact.
+fn record_repro(lines: &[String]) {
+    let dir = std::path::Path::new("target");
+    if !dir.is_dir() {
+        return;
+    }
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join("simchaos-repro.txt"))
+    {
+        for line in lines {
+            let _ = writeln!(f, "{line}");
+        }
+    }
+}
+
+fn sweep_block(block: u64) {
+    let n = cases_per_block();
+    let base = BASE_SEED + block * 1000;
+    let mut failures = Vec::new();
+    for seed in base..base + n {
+        let case = ChaosCase::from_seed(seed);
+        let outcome = run_case(&case);
+        if let Some(why) = outcome.failure {
+            failures.push(format!("{} # {case}: {why}", case.repro_line()));
+        }
+    }
+    if !failures.is_empty() {
+        record_repro(&failures);
+        panic!(
+            "{} of {} chaos cases failed; repro lines:\n{}",
+            failures.len(),
+            n,
+            failures.join("\n")
+        );
+    }
+}
+
+#[test]
+fn chaos_sweep_block_a() {
+    sweep_block(0);
+}
+
+#[test]
+fn chaos_sweep_block_b() {
+    sweep_block(1);
+}
+
+#[test]
+fn chaos_sweep_block_c() {
+    sweep_block(2);
+}
+
+#[test]
+fn chaos_sweep_block_d() {
+    sweep_block(3);
+}
+
+/// The replay contract, end to end: the same case executed twice is
+/// byte-identical — same scheduler trace length, same trace digest,
+/// same fault firings — for both a workload op and a transport soak.
+#[test]
+fn same_seed_replays_byte_identical_traces() {
+    let seeds = [
+        find_seed(BASE_SEED, |c| !c.op.is_soak() && !c.faults.is_empty()),
+        find_seed(BASE_SEED, |c| c.op.is_soak()),
+    ];
+    for seed in seeds {
+        let case = ChaosCase::from_seed(seed);
+        let first = run_case(&case);
+        let second = run_case(&case);
+        assert_eq!(first.failure, second.failure, "{case}: verdict must replay");
+        assert_eq!(
+            first.trace_len, second.trace_len,
+            "{case}: trace length must replay"
+        );
+        assert_eq!(
+            first.trace_digest, second.trace_digest,
+            "{case}: trace digest must replay"
+        );
+        assert_eq!(first.faults_fired, second.faults_fired);
+        assert!(first.trace_len > 0, "tracing must actually be on");
+    }
+}
+
+/// Different seeds must actually explore different interleavings: the
+/// whole point of the explorer. A transport soak is nearly
+/// single-threaded (no scheduler ties to break), so this uses a
+/// workload op, where host, daemon, and offload threads race.
+#[test]
+fn different_seeds_produce_different_traces() {
+    let seed = find_seed(BASE_SEED, |c| c.op == ChaosOp::SwapCycle);
+    let mut a = ChaosCase::from_seed(seed);
+    let b = a.clone();
+    // Same case body, different scheduler seed.
+    a.seed ^= 0x1;
+    a.faults = b.faults.clone();
+    let (ra, rb) = (run_case(&a), run_case(&b));
+    assert!(ra.ok() && rb.ok(), "{:?} / {:?}", ra.failure, rb.failure);
+    assert_ne!(
+        (ra.trace_len, ra.trace_digest),
+        (rb.trace_len, rb.trace_digest),
+        "distinct scheduler seeds should yield distinct traces"
+    );
+}
+
+/// The acceptance demo: deliberately re-inject a bug (disable the
+/// transport retry layer), show the explorer catches it with a typed
+/// error and a one-line repro, and show the repro replays
+/// byte-identically. With the retry layer back on, the same case heals.
+#[test]
+fn disabled_retry_bug_is_caught_with_replayable_repro() {
+    let seed = find_seed(BASE_SEED, |c| c.op == ChaosOp::ScpSoak);
+    let mut case = ChaosCase::from_seed(seed);
+    // Pin the schedule so the reset is due on the very first chunk.
+    case.faults = phi_platform::FaultSchedule::parse("0:scp:connreset").unwrap();
+    case.disable_retries = true;
+
+    let outcome = run_case(&case);
+    let why = outcome
+        .failure
+        .expect("a reset with retries disabled must surface");
+    assert!(
+        why.contains("ConnReset"),
+        "failure must carry the typed error, got: {why}"
+    );
+    let repro = case.repro_line();
+    assert!(repro.contains("SIMCHAOS_NO_RETRY=1"));
+    assert!(repro.contains("SIMCHAOS_FAULTS='0:scp:connreset'"));
+    println!("caught injected bug; repro: {repro}");
+
+    // The repro replays the byte-identical failing execution.
+    let replay = run_case(&case);
+    assert_eq!(replay.failure.as_deref(), Some(why.as_str()));
+    assert_eq!(replay.trace_len, outcome.trace_len);
+    assert_eq!(replay.trace_digest, outcome.trace_digest);
+
+    // Fix the bug (re-enable retries): the same case passes.
+    case.disable_retries = false;
+    let healed = run_case(&case);
+    assert!(healed.ok(), "retry layer must absorb the reset: {healed:?}");
+    assert_eq!(healed.faults_fired, 1);
+}
+
+/// Replay hook for repro lines: a no-op unless `SIMCHAOS_SEED` is set.
+#[test]
+fn replay_case_from_env() {
+    let Some(case) = ChaosCase::from_env() else {
+        return;
+    };
+    println!("replaying {case}");
+    let outcome = run_case(&case);
+    println!(
+        "trace_len={} trace_digest={:#018x} faults_fired={}",
+        outcome.trace_len, outcome.trace_digest, outcome.faults_fired
+    );
+    if let Some(why) = outcome.failure {
+        panic!(
+            "case failed (as reproduced): {why}\nrepro: {}",
+            case.repro_line()
+        );
+    }
+}

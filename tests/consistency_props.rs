@@ -13,8 +13,25 @@ use snapify_repro::prelude::*;
 use snapify_repro::workloads::{by_name, register_suite};
 use std::sync::Arc;
 
-fn cr_roundtrip(workload: &'static str, pause_at_us: u64, restart_device: usize) {
-    Kernel::run_root(move || {
+/// Scheduler seeds for the randomized-policy matrix. The quick suite
+/// runs the first two; `SIMCHAOS_SCHED_SWEEP=1` runs all eight.
+const SCHED_SEEDS: [u64; 8] = [1, 7, 42, 99, 2024, 0x5eed, 0xdead_beef, 0xfeed_f00d];
+
+fn sched_matrix() -> &'static [u64] {
+    if std::env::var("SIMCHAOS_SCHED_SWEEP").is_ok_and(|v| v == "1") {
+        &SCHED_SEEDS
+    } else {
+        &SCHED_SEEDS[..2]
+    }
+}
+
+fn cr_roundtrip_with(
+    policy: SchedPolicy,
+    workload: &'static str,
+    pause_at_us: u64,
+    restart_device: usize,
+) {
+    Kernel::run_root_with(policy, move || {
         let spec = by_name(workload).unwrap().scaled(128, 30);
         let registry = FunctionRegistry::new();
         register_suite(&registry, std::slice::from_ref(&spec));
@@ -70,6 +87,10 @@ fn cr_roundtrip(workload: &'static str, pause_at_us: u64, restart_device: usize)
     .unwrap();
 }
 
+fn cr_roundtrip(workload: &'static str, pause_at_us: u64, restart_device: usize) {
+    cr_roundtrip_with(SchedPolicy::Fifo, workload, pause_at_us, restart_device);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 12,
@@ -94,24 +115,49 @@ proptest! {
         pause_at_us in 500u64..150_000,
         device in 0usize..2,
     ) {
-        Kernel::run_root(move || {
-            let spec = by_name("FFT").unwrap().scaled(128, 40);
-            let registry = FunctionRegistry::new();
-            register_suite(&registry, std::slice::from_ref(&spec));
-            let world = SnapifyWorld::boot(registry);
-            let run = Arc::new(WorkloadRun::launch(world.coi(), &spec, 0).unwrap());
-            let handle = run.handle().clone();
-            let host = run.host_proc().clone();
-            let driver = {
-                let r = Arc::clone(&run);
-                host.spawn_thread("driver", move || r.run_to_completion())
-            };
-            simkernel::sleep(SimDuration::from_micros(pause_at_us));
-            let snap = snapify_swapout(&handle, "/swap/prop").unwrap();
-            snapify_swapin(&snap, device).unwrap();
-            let result = driver.join().unwrap();
-            assert!(result.verified);
-            run.destroy().unwrap();
-        });
+        swap_roundtrip_with(SchedPolicy::Fifo, pause_at_us, device);
+    }
+}
+
+fn swap_roundtrip_with(policy: SchedPolicy, pause_at_us: u64, device: usize) {
+    Kernel::run_root_with(policy, move || {
+        let spec = by_name("FFT").unwrap().scaled(128, 40);
+        let registry = FunctionRegistry::new();
+        register_suite(&registry, std::slice::from_ref(&spec));
+        let world = SnapifyWorld::boot(registry);
+        let run = Arc::new(WorkloadRun::launch(world.coi(), &spec, 0).unwrap());
+        let handle = run.handle().clone();
+        let host = run.host_proc().clone();
+        let driver = {
+            let r = Arc::clone(&run);
+            host.spawn_thread("driver", move || r.run_to_completion())
+        };
+        simkernel::sleep(SimDuration::from_micros(pause_at_us));
+        let snap = snapify_swapout(&handle, "/swap/prop").unwrap();
+        snapify_swapin(&snap, device).unwrap();
+        let result = driver.join().unwrap();
+        assert!(result.verified);
+        run.destroy().unwrap();
+    });
+}
+
+/// The §3 consistency property is scheduler-independent: the same CR
+/// and swap round trips hold when thread wakeup ties are broken by a
+/// seeded RNG instead of FIFO order. Two seeds in the quick suite;
+/// `SIMCHAOS_SCHED_SWEEP=1` widens the matrix to eight.
+#[test]
+fn consistency_holds_under_random_schedules() {
+    for &seed in sched_matrix() {
+        cr_roundtrip_with(
+            SchedPolicy::Random(seed),
+            "KM",
+            500 + (seed % 50_000),
+            (seed % 2) as usize,
+        );
+        swap_roundtrip_with(
+            SchedPolicy::Random(seed),
+            500 + (seed % 40_000),
+            ((seed >> 1) % 2) as usize,
+        );
     }
 }

@@ -129,6 +129,43 @@ fn missing_snapshot_is_rejected() {
     });
 }
 
+/// The daemon's request watchdog turns a stuck Snapify request into a
+/// typed failure instead of hanging the requester forever: a capture
+/// aimed at a restored-but-not-resumed process is a protocol misuse
+/// whose pipe handler only answers resume requests, so without the
+/// watchdog the capture would never complete.
+#[test]
+fn watchdog_rescues_stuck_capture_request() {
+    Kernel::run_root(|| {
+        let spec = by_name("KM").unwrap().scaled(64, 20);
+        let registry = FunctionRegistry::new();
+        register_suite(&registry, std::slice::from_ref(&spec));
+        // Short (but not hair-trigger) deadline so the test completes
+        // quickly; one backoff extension before giving up.
+        let coi = CoiConfig {
+            watchdog_timeout: simkernel::time::secs(2),
+            watchdog_retries: 1,
+            ..CoiConfig::default()
+        };
+        let world = SnapifyWorld::boot_with(PlatformParams::default(), coi, registry);
+        let run = WorkloadRun::launch(world.coi(), &spec, 0).unwrap();
+        let handle = run.handle().clone();
+        let snap = snapify_swapout(&handle, "/snap/wd").unwrap();
+        snapify_restore(&snap, 0).unwrap();
+
+        // This request would hang forever; the watchdog surfaces it.
+        snapify_capture(&snap, false).unwrap();
+        let err = snapify_wait(&snap).unwrap_err();
+        assert!(matches!(err, SnapifyError::Protocol(_)), "got {err:?}");
+
+        // The process itself is unharmed: resume and run to completion.
+        snapify_resume(&snap).unwrap();
+        let result = run.run_to_completion().unwrap();
+        assert!(result.verified);
+        run.destroy().unwrap();
+    });
+}
+
 /// Memory accounting is exact across repeated swap cycles: no leaks, no
 /// double frees, capacity fully restored.
 #[test]

@@ -6,12 +6,30 @@
 
 use proptest::prelude::*;
 use snapify_repro::phi_platform::{NodeId, Payload, PhiServer, PlatformParams};
-use snapify_repro::simkernel::Kernel;
+use snapify_repro::simkernel::{Kernel, SchedPolicy};
 use snapify_repro::simproc::SnapshotStorage;
 use snapify_repro::snapify_io::{LocalStorage, Nfs, NfsConfig, NfsMode, Scp, ScpConfig, SnapifyIo};
 
-fn roundtrip(method_idx: usize, size: u64, write_chunk: u64, read_chunk: u64) {
-    Kernel::run_root(move || {
+/// Scheduler seeds for the randomized-policy matrix. The quick suite
+/// runs the first two; `SIMCHAOS_SCHED_SWEEP=1` runs all eight.
+const SCHED_SEEDS: [u64; 8] = [1, 7, 42, 99, 2024, 0x5eed, 0xdead_beef, 0xfeed_f00d];
+
+fn sched_matrix() -> &'static [u64] {
+    if std::env::var("SIMCHAOS_SCHED_SWEEP").is_ok_and(|v| v == "1") {
+        &SCHED_SEEDS
+    } else {
+        &SCHED_SEEDS[..2]
+    }
+}
+
+fn roundtrip_with(
+    policy: SchedPolicy,
+    method_idx: usize,
+    size: u64,
+    write_chunk: u64,
+    read_chunk: u64,
+) {
+    Kernel::run_root_with(policy, move || {
         let server = PhiServer::new(PlatformParams::default());
         let methods: Vec<Box<dyn SnapshotStorage>> = vec![
             Box::new(SnapifyIo::new_default(&server)),
@@ -46,6 +64,29 @@ fn roundtrip(method_idx: usize, size: u64, write_chunk: u64, read_chunk: u64) {
         assert_eq!(out.len(), data.len(), "length mismatch");
         assert_eq!(out.digest(), data.digest(), "content mismatch");
     });
+}
+
+fn roundtrip(method_idx: usize, size: u64, write_chunk: u64, read_chunk: u64) {
+    roundtrip_with(SchedPolicy::Fifo, method_idx, size, write_chunk, read_chunk);
+}
+
+/// Transport losslessness is scheduler-independent: the same round
+/// trips hold when wakeup ties are broken by a seeded RNG. Every
+/// method is exercised under every seed in the matrix (two seeds in
+/// the quick suite; `SIMCHAOS_SCHED_SWEEP=1` widens it to eight).
+#[test]
+fn transports_lossless_under_random_schedules() {
+    for &seed in sched_matrix() {
+        for method in 0..6 {
+            roundtrip_with(
+                SchedPolicy::Random(seed),
+                method,
+                1 + (seed ^ method as u64) % 3_000_000,
+                1 + (seed.rotate_left(method as u32)) % 1_000_000,
+                1 + (seed >> (method as u32 + 1)) % 1_000_000,
+            );
+        }
+    }
 }
 
 proptest! {
