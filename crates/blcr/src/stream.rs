@@ -44,6 +44,10 @@ impl<'a> FrameWriter<'a> {
 
     /// Write a length-prefixed payload, chunked at [`STREAM_CHUNK`].
     pub fn write_payload(&mut self, p: &Payload) -> Result<(), IoError> {
+        // Each framed payload is a natural dedup boundary: realigning
+        // here keeps identical regions chunk-identical across snapshots
+        // even when earlier variable-length content shifted the stream.
+        self.sink.mark_boundary();
         self.write_u64(p.len())?;
         for chunk in p.chunks(STREAM_CHUNK) {
             self.sink.write(chunk)?;

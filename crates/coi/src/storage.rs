@@ -46,6 +46,10 @@ impl ByteSink for DirectSink {
     fn close(&mut self) -> Result<(), IoError> {
         self.inner.close()
     }
+
+    fn mark_boundary(&mut self) {
+        self.inner.mark_boundary();
+    }
 }
 
 struct DirectSource {

@@ -13,6 +13,7 @@ use std::sync::Arc;
 
 use coi_sim::CoiProcessHandle;
 use simkernel::SimMutex;
+use snapstore::Dedup;
 
 use crate::api::{snapify_swapin, snapify_swapout, SnapifyT};
 use crate::SnapifyError;
@@ -51,6 +52,10 @@ struct SchedState {
 pub struct SwapScheduler {
     devices: usize,
     swap_dir: String,
+    /// Content-addressed store fronting the snapshot transport, when the
+    /// world was booted with dedup. Lets `retire` release a job's
+    /// manifests so its chunks can be garbage-collected.
+    store: Option<Dedup>,
     state: Arc<SimMutex<SchedState>>,
 }
 
@@ -62,6 +67,7 @@ impl SwapScheduler {
         SwapScheduler {
             devices,
             swap_dir: swap_dir.into(),
+            store: None,
             state: Arc::new(SimMutex::new(
                 "swap-scheduler",
                 SchedState {
@@ -96,8 +102,18 @@ impl SwapScheduler {
         id
     }
 
+    /// Attach the content-addressed snapshot store so retiring a job
+    /// garbage-collects its swap snapshots (manifest refcounts drop; dead
+    /// chunks and pack files are reclaimed).
+    pub fn with_store(mut self, store: &Dedup) -> SwapScheduler {
+        self.store = Some(store.clone());
+        self
+    }
+
     /// Remove a finished job from the scheduler (it must be resident; the
-    /// caller destroys the process).
+    /// caller destroys the process). With a dedup store attached, the
+    /// job's swap snapshots under `{swap_dir}/job{id}/` are released so
+    /// chunks no other tenant references are reclaimed.
     pub fn retire(&self, id: JobId) {
         let mut st = self.state.lock();
         let job = st.jobs.remove(&id).expect("unknown job");
@@ -108,6 +124,18 @@ impl SwapScheduler {
             JobState::SwappedOut(_) => panic!("retiring a swapped-out job"),
         }
         st.ready.retain(|j| *j != id);
+        drop(st);
+        if let Some(store) = &self.store {
+            let prefix = format!("{}/job{id}/", self.swap_dir);
+            store.delete_prefix(&prefix);
+            // The library copy bypasses the storage seam (plain host-fs
+            // write), so it is swept directly.
+            let _ = store
+                .server()
+                .host()
+                .fs()
+                .delete(&format!("{prefix}libraries"));
+        }
     }
 
     /// Whether `id` is currently resident.
@@ -283,6 +311,72 @@ mod tests {
                 );
                 sched.park(ids[i]).unwrap();
             }
+        });
+    }
+
+    #[test]
+    fn warm_swapout_of_unchanged_tenant_ships_almost_nothing() {
+        Kernel::run_root(|| {
+            let world = SnapifyWorld::boot_dedup(registry());
+            let store = world.store().unwrap().clone();
+            let sched = SwapScheduler::new(1, "/swap/warm").with_store(&store);
+            let host = world.coi().create_host_process("t");
+            let h = world.coi().create_process(&host, 0, "tenant.so").unwrap();
+            let buf = h.create_buffer(GB).unwrap();
+            h.buffer_write(&buf, Payload::synthetic(9, GB)).unwrap();
+            let id = sched.admit(&h, 0);
+
+            // Cold swap-out: every chunk is novel.
+            sched.park(id).unwrap();
+            let cold = store.stats().bytes_shipped;
+            assert!(cold >= GB, "cold swap ships the tenant image: {cold}");
+
+            // Bring the tenant back without touching its state...
+            sched.rotate().unwrap();
+            assert!(sched.is_resident(id));
+
+            // ...and swap it out again: the image is unchanged, so the
+            // warm pass ships manifests and headers, not data.
+            sched.park(id).unwrap();
+            let warm = store.stats().bytes_shipped - cold;
+            assert!(
+                warm * 5 <= cold,
+                "warm swap-out must ship >=80% fewer bytes: warm={warm} cold={cold}"
+            );
+            assert!(store.stats().chunks_hit > 0);
+
+            // The tenant still restores correctly from the dedup store.
+            sched.rotate().unwrap();
+            assert_eq!(
+                h.buffer_read(&buf).unwrap().digest(),
+                Payload::synthetic(9, GB).digest(),
+                "tenant state corrupted by dedup'd swap"
+            );
+        });
+    }
+
+    #[test]
+    fn retire_releases_swap_snapshots_from_the_store() {
+        Kernel::run_root(|| {
+            let world = SnapifyWorld::boot_dedup(registry());
+            let store = world.store().unwrap().clone();
+            let sched = SwapScheduler::new(1, "/swap/gc").with_store(&store);
+            let host = world.coi().create_host_process("t");
+            let h = world.coi().create_process(&host, 0, "tenant.so").unwrap();
+            let buf = h.create_buffer(GB).unwrap();
+            h.buffer_write(&buf, Payload::synthetic(3, GB)).unwrap();
+            let id = sched.admit(&h, 0);
+            sched.park(id).unwrap();
+            assert!(store.stats().bytes_stored >= GB);
+            sched.rotate().unwrap();
+            sched.retire(id);
+            h.destroy().unwrap();
+            assert_eq!(
+                store.stats().bytes_stored,
+                0,
+                "retire reclaims every chunk of the job's swap snapshots"
+            );
+            assert_eq!(store.stats().manifests, 0);
         });
     }
 

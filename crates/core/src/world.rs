@@ -5,14 +5,17 @@ use std::sync::Arc;
 use coi_sim::{CoiConfig, CoiWorld, FunctionRegistry};
 use phi_platform::{FaultSchedule, PhiServer, PlatformParams};
 use snapify_io::{SnapifyIo, SnapifyIoConfig};
+use snapstore::{Dedup, DedupConfig};
 
 /// A fully-assembled world: simulated server + COI (with Snapify
-/// modifications) + Snapify-IO as the snapshot transport. Cheap to clone.
+/// modifications) + Snapify-IO as the snapshot transport, optionally
+/// fronted by the content-addressed [`Dedup`] store. Cheap to clone.
 #[derive(Clone)]
 pub struct SnapifyWorld {
     server: PhiServer,
     io: SnapifyIo,
     coi: CoiWorld,
+    store: Option<Dedup>,
 }
 
 impl SnapifyWorld {
@@ -38,12 +41,49 @@ impl SnapifyWorld {
         let server = PhiServer::new_with_faults(params, schedule);
         let io = SnapifyIo::new(&server, SnapifyIoConfig::default());
         let coi = CoiWorld::boot(&server, coi_config, registry, Arc::new(io.clone()));
-        SnapifyWorld { server, io, coi }
+        SnapifyWorld {
+            server,
+            io,
+            coi,
+            store: None,
+        }
     }
 
     /// Boot with default (paper Table 2) parameters and Snapify enabled.
     pub fn boot(registry: FunctionRegistry) -> SnapifyWorld {
         SnapifyWorld::boot_with(PlatformParams::default(), CoiConfig::default(), registry)
+    }
+
+    /// Boot with the content-addressed snapshot store fronting the
+    /// Snapify-IO transport: snapshot streams are chunked, deduplicated
+    /// against the host-side chunk index, and only novel chunks ship.
+    pub fn boot_dedup(registry: FunctionRegistry) -> SnapifyWorld {
+        SnapifyWorld::boot_dedup_with(
+            PlatformParams::default(),
+            CoiConfig::default(),
+            registry,
+            DedupConfig::default(),
+        )
+    }
+
+    /// [`SnapifyWorld::boot_dedup`] with explicit platform, COI and store
+    /// configuration.
+    pub fn boot_dedup_with(
+        params: PlatformParams,
+        coi_config: CoiConfig,
+        registry: FunctionRegistry,
+        dedup_config: DedupConfig,
+    ) -> SnapifyWorld {
+        let server = PhiServer::new_with_faults(params, FaultSchedule::none());
+        let io = SnapifyIo::new(&server, SnapifyIoConfig::default());
+        let store = Dedup::new(&server, Arc::new(io.clone()), dedup_config);
+        let coi = CoiWorld::boot(&server, coi_config, registry, Arc::new(store.clone()));
+        SnapifyWorld {
+            server,
+            io,
+            coi,
+            store: Some(store),
+        }
     }
 
     /// Boot on an existing server (used by `mpi-sim`, whose cluster owns
@@ -55,7 +95,12 @@ impl SnapifyWorld {
     ) -> SnapifyWorld {
         let io = SnapifyIo::new(&server, SnapifyIoConfig::default());
         let coi = CoiWorld::boot(&server, coi_config, registry, Arc::new(io.clone()));
-        SnapifyWorld { server, io, coi }
+        SnapifyWorld {
+            server,
+            io,
+            coi,
+            store: None,
+        }
     }
 
     /// The simulated server.
@@ -71,5 +116,11 @@ impl SnapifyWorld {
     /// The COI world.
     pub fn coi(&self) -> &CoiWorld {
         &self.coi
+    }
+
+    /// The content-addressed snapshot store, if this world was booted
+    /// with [`SnapifyWorld::boot_dedup`].
+    pub fn store(&self) -> Option<&Dedup> {
+        self.store.as_ref()
     }
 }

@@ -76,6 +76,13 @@ pub trait ByteSink: Send {
     fn set_write_granularity(&mut self, granularity: Option<u64>) {
         let _ = granularity;
     }
+
+    /// Hint that the bytes written so far form a natural record boundary
+    /// (e.g. the frame writer is about to start a new payload). Chunking
+    /// sinks (the content-addressed snapshot store) cut a chunk here so
+    /// identical regions dedup even when their offsets shift between
+    /// snapshots. Non-chunking sinks ignore this. Default: no-op.
+    fn mark_boundary(&mut self) {}
 }
 
 /// A readable byte stream (simulated `read(2)` source).
@@ -129,7 +136,11 @@ impl FsSink {
 
 impl ByteSink for FsSink {
     fn write(&mut self, data: Payload) -> Result<(), IoError> {
-        assert!(!self.closed, "write after close on {}", self.path);
+        // A typed error (not a panic): error-path double-writes happen in
+        // chaos repros, and the world must stay replayable through them.
+        if self.closed {
+            return Err(IoError::Closed);
+        }
         self.fs.append(&self.path, data)?;
         Ok(())
     }
@@ -317,6 +328,21 @@ mod tests {
             let mut sink = VecSink::new();
             assert_eq!(copy(&mut src, &mut sink, 64).unwrap(), 0);
             assert!(sink.closed);
+        });
+    }
+
+    #[test]
+    fn write_after_close_is_typed_error_not_panic() {
+        Kernel::run_root(|| {
+            let fs = test_fs();
+            let mut sink = FsSink::create(&fs, "/f");
+            sink.write(Payload::bytes(vec![1])).unwrap();
+            sink.close().unwrap();
+            let err = sink.write(Payload::bytes(vec![2])).unwrap_err();
+            assert_eq!(err, IoError::Closed);
+            assert!(!err.is_transient());
+            // The stray write left no trace.
+            assert_eq!(fs.len("/f").unwrap(), 1);
         });
     }
 

@@ -28,6 +28,10 @@ impl ByteSink for CountedSink {
     fn set_write_granularity(&mut self, granularity: Option<u64>) {
         self.0.set_write_granularity(granularity);
     }
+
+    fn mark_boundary(&mut self) {
+        self.0.mark_boundary();
+    }
 }
 
 /// [`FsSource`] wrapper that feeds the per-backend byte counters.

@@ -75,13 +75,7 @@ impl Nfs {
                 server: server.clone(),
                 config,
                 mode,
-                mounts: SimMutex::new(
-                    "nfs mounts",
-                    vec![None; slots]
-                        .into_iter()
-                        .map(|_: Option<()>| None)
-                        .collect(),
-                ),
+                mounts: SimMutex::new("nfs mounts", (0..slots).map(|_| None).collect()),
             }),
         }
     }
@@ -104,8 +98,13 @@ impl Nfs {
             let stall = match fault {
                 FaultKind::NfsTimeout(d) => d,
                 // Other kinds aimed at the NFS target have no NFS
-                // failure mode to model; consume and ignore them.
-                _ => continue,
+                // failure mode to model; consume them, but count the
+                // drop so a misconfigured schedule is visible.
+                other => {
+                    obs::counter_add("chaos.nfs.ignored", 1);
+                    obs::counter_add(&format!("chaos.nfs.ignored.{}", other.label()), 1);
+                    continue;
+                }
             };
             simkernel::sleep(stall);
             obs::counter_add("chaos.nfs.timeouts", 1);
@@ -148,7 +147,11 @@ pub struct NfsSink {
 
 impl ByteSink for NfsSink {
     fn write(&mut self, data: Payload) -> Result<(), IoError> {
-        assert!(!self.closed, "write after close on {}", self.path);
+        // Typed error, not a panic: chaos repros replay error-path
+        // double-writes, and the simulated world must survive them.
+        if self.closed {
+            return Err(IoError::Closed);
+        }
         let cfg = &self.nfs.inner.config;
         let len = data.len();
         if len == 0 {
@@ -206,6 +209,13 @@ impl ByteSink for NfsSink {
     }
 
     fn close(&mut self) -> Result<(), IoError> {
+        // Close-to-open consistency: an NFS close commits outstanding
+        // writes to the server before returning. A timeout due at close
+        // time still stalls (or surfaces), and the server's asynchronous
+        // write-back is drained so the file really is durable when the
+        // caller sees Ok.
+        self.nfs.absorb_faults(&format!("close {}", self.path))?;
+        self.nfs.inner.server.host().fs().sync();
         self.closed = true;
         Ok(())
     }
@@ -458,6 +468,70 @@ mod tests {
             // Failed before side effects: nothing was appended.
             let fs = server.host().fs();
             assert_eq!(fs.len("/snap/hard").unwrap(), 0);
+        });
+    }
+
+    #[test]
+    fn write_after_close_is_typed_error() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            let nfs = Nfs::new(&server, NfsConfig::default(), NfsMode::Plain);
+            let mut sink = nfs.sink(NodeId::device(0), "/snap/wc").unwrap();
+            sink.write(Payload::synthetic(1, MB)).unwrap();
+            sink.close().unwrap();
+            let err = sink.write(Payload::synthetic(1, MB)).unwrap_err();
+            assert_eq!(err, IoError::Closed);
+        });
+    }
+
+    #[test]
+    fn non_timeout_faults_are_consumed_and_counted() {
+        use phi_platform::{FaultSchedule, PlatformParams};
+        use simkernel::time::SimTime;
+        Kernel::run_root(|| {
+            // An Oom aimed at the NFS target has no NFS failure mode to
+            // model. It must be consumed (not left due forever) and the
+            // drop recorded under chaos.nfs.ignored, not swallowed.
+            let schedule =
+                FaultSchedule::none().with(SimTime::ZERO, FaultTarget::Nfs, FaultKind::Oom);
+            let server = PhiServer::new_with_faults(PlatformParams::default(), schedule);
+            let nfs = Nfs::new(&server, NfsConfig::default(), NfsMode::Plain);
+            let data = Payload::synthetic(7, MB);
+            let mut sink = nfs.sink(NodeId::device(0), "/snap/ig").unwrap();
+            sink.write(data.clone()).unwrap();
+            sink.close().unwrap();
+            assert_eq!(server.faults().fired_count(), 1, "fault was consumed");
+            // The write itself was unaffected.
+            assert_eq!(server.host().fs().len("/snap/ig").unwrap(), data.len());
+        });
+    }
+
+    #[test]
+    fn timeout_between_last_write_and_close_surfaces() {
+        use crate::config::RetryPolicy;
+        use phi_platform::{FaultSchedule, PlatformParams};
+        use simkernel::time::{ms, SimTime};
+        Kernel::run_root(|| {
+            // Same durability window as the scp sink: the old no-op close
+            // ignored faults due after the last write, reporting the file
+            // durable with the server unreachable.
+            let schedule = FaultSchedule::none().with(
+                SimTime(ms(500).as_nanos()),
+                FaultTarget::Nfs,
+                FaultKind::NfsTimeout(ms(50)),
+            );
+            let server = PhiServer::new_with_faults(PlatformParams::default(), schedule);
+            let config = NfsConfig {
+                retry: RetryPolicy::disabled(),
+                ..NfsConfig::default()
+            };
+            let nfs = Nfs::new(&server, config, NfsMode::Plain);
+            let mut sink = nfs.sink(NodeId::device(0), "/snap/latec").unwrap();
+            sink.write(Payload::synthetic(7, MB)).unwrap();
+            simkernel::sleep(ms(600));
+            let err = sink.close().unwrap_err();
+            assert!(matches!(err, IoError::Timeout(_)), "got {err}");
+            assert_eq!(server.faults().fired_count(), 1, "close saw the timeout");
         });
     }
 

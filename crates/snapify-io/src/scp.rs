@@ -80,8 +80,12 @@ impl Scp {
                     *resets += 1;
                 }
                 // Other kinds aimed at the scp target have no scp
-                // failure mode to model; consume and ignore them.
-                Some(_) => {}
+                // failure mode to model; consume them, but count the
+                // drop so a misconfigured schedule is visible.
+                Some(other) => {
+                    obs::counter_add("chaos.scp.ignored", 1);
+                    obs::counter_add(&format!("chaos.scp.ignored.{}", other.label()), 1);
+                }
                 None => return Ok(()),
             }
         }
@@ -109,7 +113,11 @@ pub struct ScpSink {
 
 impl ByteSink for ScpSink {
     fn write(&mut self, data: Payload) -> Result<(), IoError> {
-        assert!(!self.closed);
+        // Typed error, not a panic: chaos repros replay error-path
+        // double-writes, and the simulated world must survive them.
+        if self.closed {
+            return Err(IoError::Closed);
+        }
         let total = data.len();
         let mut shipped = 0u64;
         let mut resets = 0u32;
@@ -137,6 +145,17 @@ impl ByteSink for ScpSink {
     }
 
     fn close(&mut self) -> Result<(), IoError> {
+        // The writes above append asynchronously on the host; scp only
+        // reports success once the remote side acknowledges the final
+        // exchange. Model that: a reset landing between the last append
+        // and the close still costs a reconnect (or surfaces), and the
+        // host-side appends are drained before we report the file
+        // durable. Without this, a snapshot could be declared complete
+        // with appends still in flight.
+        let mut resets = 0u32;
+        self.scp
+            .absorb_resets(&mut resets, &format!("close {}", self.path))?;
+        self.scp.inner.server.host().fs().sync();
         self.closed = true;
         Ok(())
     }
@@ -303,6 +322,87 @@ mod tests {
             assert!(err.to_string().contains("at byte 0"), "err = {err}");
             // The reset hit before the first chunk shipped.
             assert_eq!(server.host().fs().len("/snap/hard").unwrap(), 0);
+        });
+    }
+
+    #[test]
+    fn reset_between_last_append_and_close_surfaces() {
+        use crate::config::RetryPolicy;
+        use phi_platform::{FaultSchedule, PlatformParams};
+        use simkernel::time::{ms, SimTime};
+        Kernel::run_root(|| {
+            // The reset becomes due *after* every write returned but
+            // *before* close. The old no-op close never looked at the
+            // fault plane (or the in-flight appends), so the snapshot
+            // was reported durable with the connection already dead:
+            // fired_count() stayed 0 and close returned Ok.
+            let schedule = FaultSchedule::none().with(
+                SimTime(ms(800).as_nanos()),
+                FaultTarget::Scp,
+                FaultKind::ConnReset,
+            );
+            let server = PhiServer::new_with_faults(PlatformParams::default(), schedule);
+            let config = ScpConfig {
+                retry: RetryPolicy::disabled(),
+                ..ScpConfig::default()
+            };
+            let scp = Scp::new(&server, config);
+            let mut sink = scp.sink(NodeId::device(0), "/snap/late").unwrap();
+            sink.write(Payload::synthetic(5, 8 << 20)).unwrap();
+            // All writes done (≈ 8 MiB / 34 MB/s ≈ 0.24 s); let the
+            // scheduled reset come due before the close handshake.
+            simkernel::sleep(ms(1000));
+            let err = sink.close().unwrap_err();
+            assert!(matches!(err, IoError::ConnReset(_)), "got {err}");
+            assert!(err.to_string().contains("close"), "err = {err}");
+            assert_eq!(server.faults().fired_count(), 1, "close saw the reset");
+        });
+    }
+
+    #[test]
+    fn close_drains_async_appends_before_reporting_durable() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            let scp = Scp::new(&server, ScpConfig::default());
+            let mut sink = scp.sink(NodeId::device(0), "/snap/drain").unwrap();
+            sink.write(Payload::synthetic(5, 64 << 20)).unwrap();
+            let before = now();
+            sink.close().unwrap();
+            // The host-side flush of 64 MiB at 450 MB/s mostly overlaps
+            // the slow cipher, but close must still wait out the tail
+            // rather than return instantly.
+            assert!(now() > before, "close waited for the host-side flush");
+        });
+    }
+
+    #[test]
+    fn write_after_close_is_typed_error() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            let scp = Scp::new(&server, ScpConfig::default());
+            let mut sink = scp.sink(NodeId::device(0), "/snap/wc").unwrap();
+            sink.write(Payload::synthetic(5, 1 << 20)).unwrap();
+            sink.close().unwrap();
+            let err = sink.write(Payload::synthetic(5, 1 << 20)).unwrap_err();
+            assert_eq!(err, IoError::Closed);
+        });
+    }
+
+    #[test]
+    fn ignored_fault_kinds_are_counted() {
+        use phi_platform::{FaultSchedule, PlatformParams};
+        use simkernel::time::SimTime;
+        Kernel::run_root(|| {
+            // A DiskFull aimed at the scp target has no scp failure mode;
+            // it must be consumed (not left to fire forever) and counted.
+            let schedule =
+                FaultSchedule::none().with(SimTime::ZERO, FaultTarget::Scp, FaultKind::DiskFull);
+            let server = PhiServer::new_with_faults(PlatformParams::default(), schedule);
+            let scp = Scp::new(&server, ScpConfig::default());
+            let mut sink = scp.sink(NodeId::device(0), "/snap/ig").unwrap();
+            sink.write(Payload::synthetic(5, 1 << 20)).unwrap();
+            sink.close().unwrap();
+            assert_eq!(server.faults().fired_count(), 1, "fault was consumed");
         });
     }
 

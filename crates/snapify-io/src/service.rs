@@ -23,7 +23,7 @@
 
 use std::sync::Arc;
 
-use phi_platform::{MemAlloc, NodeId, Payload, PhiServer};
+use phi_platform::{FaultKind, FaultTarget, MemAlloc, NodeId, Payload, PhiServer};
 use simkernel::obs;
 use simproc::{ByteSink, ByteSource, IoError};
 
@@ -111,7 +111,12 @@ impl SnapifyIo {
     }
 
     /// Socket + SCIF connection setup and staging-buffer registration on
-    /// both daemons.
+    /// both daemons. The sequence mirrors `snapifyio_open`: UNIX socket
+    /// to the local daemon, local staging buffer, SCIF connect to the
+    /// remote daemon, remote staging buffer. Any failure after the local
+    /// registration must release the charged memory on the way out —
+    /// each allocation is held in a [`MemAlloc`] RAII guard, so every
+    /// `?` below unwinds to baseline instead of leaking node memory.
     fn open_common(
         &self,
         local: NodeId,
@@ -126,7 +131,46 @@ impl SnapifyIo {
             .map(Some)
             .map_err(|e| IoError::Other(e.to_string()))
         };
-        Ok((alloc(local)?, alloc(target)?))
+        let local_buf = alloc(local)?;
+        if local != target {
+            // The socket is up and the local buffer is registered; the
+            // SCIF connect is the step the chaos plane can fault.
+            self.scif_connect(local, target)?;
+        }
+        let remote_buf = alloc(target)?;
+        Ok((local_buf, remote_buf))
+    }
+
+    /// The SCIF connect leg of an open, consulting the chaos plane on
+    /// the PCIe link it crosses: a CRC error replays the handshake (the
+    /// link-level contract — callers only see latency), a delay spike
+    /// stalls it, and a connection reset surfaces as a typed error (the
+    /// remote daemon never picked up).
+    fn scif_connect(&self, local: NodeId, target: NodeId) -> Result<(), IoError> {
+        let device_end = if local.is_host() { target } else { local };
+        let idx = device_end
+            .device_index()
+            .expect("one end of a cross-node open is a device");
+        match self.inner.server.faults().take(FaultTarget::Bus(idx)) {
+            Some(FaultKind::ConnReset) => {
+                obs::counter_add("chaos.snapify_io.connect_resets", 1);
+                obs::counter_add("chaos.surfaced", 1);
+                Err(IoError::ConnReset(format!(
+                    "snapify-io open {local}->{target}: scif connect reset"
+                )))
+            }
+            Some(FaultKind::BusError) => {
+                obs::counter_add("chaos.bus.replays", 1);
+                simkernel::sleep(self.inner.config.open_overhead);
+                Ok(())
+            }
+            Some(FaultKind::BusDelay(d)) => {
+                obs::counter_add("chaos.bus.delays", 1);
+                simkernel::sleep(d);
+                Ok(())
+            }
+            _ => Ok(()),
+        }
     }
 
     /// One write-path chunk cycle: local staging copy, notification, DMA,
@@ -196,7 +240,11 @@ pub struct SnapifyIoSink {
 
 impl ByteSink for SnapifyIoSink {
     fn write(&mut self, data: Payload) -> Result<(), IoError> {
-        assert!(!self.closed, "write after close on {}", self.path);
+        // Typed error, not a panic: chaos repros replay error-path
+        // double-writes, and the simulated world must survive them.
+        if self.closed {
+            return Err(IoError::Closed);
+        }
         for chunk in data.chunks(self.io.inner.config.buffer_size) {
             self.io
                 .write_chunk(self.local, self.target, &self.path, chunk)?;
@@ -205,6 +253,11 @@ impl ByteSink for SnapifyIoSink {
     }
 
     fn close(&mut self) -> Result<(), IoError> {
+        // Intentionally does NOT drain the remote append queue: §7's
+        // measured asymmetry (writes beat reads) comes from the host
+        // flush overlapping the next operation, and the capture protocol
+        // has its own completion barrier. This differs from the scp/NFS
+        // sinks, whose transports promise durability at close.
         self.closed = true;
         Ok(())
     }
@@ -346,6 +399,85 @@ mod tests {
             drop(sink);
             assert_eq!(server.device(0).mem().used(), 0);
             assert_eq!(server.host().mem().used(), 0);
+        });
+    }
+
+    #[test]
+    fn faulted_scif_connect_fails_open_and_releases_staging_memory() {
+        use phi_platform::{FaultKind, FaultSchedule, FaultTarget, PlatformParams};
+        use simkernel::time::SimTime;
+        Kernel::run_root(|| {
+            // Socket ok, local buffer registered, then the SCIF connect
+            // is reset. The open must fail typed and the already-charged
+            // local staging buffer must be released — before the fix the
+            // open never consulted the fault plane at all, so this
+            // schedule produced a successful open.
+            let schedule = FaultSchedule::none().with(
+                SimTime::ZERO,
+                FaultTarget::Bus(0),
+                FaultKind::ConnReset,
+            );
+            let server = PhiServer::new_with_faults(PlatformParams::default(), schedule);
+            let io = SnapifyIo::new_default(&server);
+            let dev = NodeId::device(0);
+            let err = io.open_write(dev, NodeId::HOST, "/snap/f").err().unwrap();
+            assert!(matches!(err, IoError::ConnReset(_)), "got {err}");
+            assert_eq!(server.faults().fired_count(), 1);
+            assert_eq!(server.device(0).mem().used(), 0, "local buffer leaked");
+            assert_eq!(server.host().mem().used(), 0);
+        });
+    }
+
+    #[test]
+    fn oom_on_remote_buffer_releases_local_buffer() {
+        Kernel::run_root(|| {
+            let (io, server) = setup();
+            let dev = NodeId::device(0);
+            // Fill the host so the remote staging buffer cannot register.
+            let baseline_dev = server.device(0).mem().used();
+            let _filler = MemAlloc::new(server.host().mem(), server.host().mem().available());
+            let err = io.open_write(dev, NodeId::HOST, "/snap/f").err().unwrap();
+            assert!(matches!(err, IoError::Other(_)), "got {err}");
+            assert_eq!(
+                server.device(0).mem().used(),
+                baseline_dev,
+                "local buffer must be released when the remote alloc fails"
+            );
+        });
+    }
+
+    #[test]
+    fn bus_error_during_connect_is_transparent() {
+        use phi_platform::{FaultKind, FaultSchedule, FaultTarget, PlatformParams};
+        use simkernel::time::SimTime;
+        Kernel::run_root(|| {
+            let schedule =
+                FaultSchedule::none().with(SimTime::ZERO, FaultTarget::Bus(0), FaultKind::BusError);
+            let server = PhiServer::new_with_faults(PlatformParams::default(), schedule);
+            let io = SnapifyIo::new_default(&server);
+            let dev = NodeId::device(0);
+            let data = Payload::synthetic(7, MB);
+            let t0 = now();
+            write_all(&io, dev, NodeId::HOST, "/snap/f", &data);
+            // The replayed handshake pays the open overhead twice.
+            assert!((now() - t0).as_millis_f64() > 17.0);
+            assert_eq!(server.faults().fired_count(), 1);
+            let back = read_all(&io, dev, NodeId::HOST, "/snap/f");
+            assert_eq!(back.digest(), data.digest());
+        });
+    }
+
+    #[test]
+    fn write_after_close_is_typed_error() {
+        Kernel::run_root(|| {
+            let (io, _) = setup();
+            let mut sink = io
+                .open_write(NodeId::device(0), NodeId::HOST, "/snap/wc")
+                .unwrap();
+            sink.write(Payload::synthetic(1, MB)).unwrap();
+            sink.close().unwrap();
+            let err = sink.write(Payload::synthetic(1, MB)).unwrap_err();
+            assert_eq!(err, IoError::Closed);
         });
     }
 

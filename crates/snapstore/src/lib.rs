@@ -1,0 +1,1137 @@
+//! Content-addressed snapshot store with dedup and pipelined shipping.
+//!
+//! The paper's evaluation (§7, Fig 10/Table 4) shows snapshot time is
+//! dominated by moving image bytes off the card, and the swap scheduler
+//! (§5 Remark) re-ships a near-identical image every time-slice. This
+//! crate stops resending bytes the store already holds: it sits between
+//! BLCR's stream framing and a [`SnapshotStorage`] backend, cuts the
+//! capture stream into fixed-size, boundary-aligned chunks, digests each
+//! with the platform's deterministic hash, and ships only chunks the
+//! refcounted index has never seen. The ordered chunk references plus the
+//! final image digest form a small *manifest*, which is what the backend
+//! durably stores under the snapshot path — the manifest is the snapshot
+//! artifact.
+//!
+//! Capture is *pipelined*: the writer digests and deduplicates chunk
+//! `k+1` while a dedicated shipper thread pushes chunk `k` through the
+//! backend transport, so hashing overlaps the transfer instead of
+//! serializing with it.
+//!
+//! Restore reverses the path: fetch the manifest through the backend,
+//! reassemble the image from the chunk index, verify the rebuilt digest
+//! against the manifest (the `incremental.rs` chain-verification
+//! discipline — corruption is rejected, never silently restored), then
+//! stream the image through the backend so the restore pays the full
+//! transport cost the paper measures.
+//!
+//! Garbage collection is refcount-based: deleting a snapshot releases
+//! its manifest's references; chunks that hit zero are dropped and pack
+//! files whose chunks are all dead are deleted from the backing fs.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use phi_platform::{NodeId, Payload, PhiServer, SimFs};
+use simkernel::obs;
+use simkernel::{Bandwidth, BandwidthResource, SimChannel, SimDuration};
+use simproc::{ByteSink, ByteSource, IoError, SnapshotStorage};
+
+/// Identity of a chunk: (content digest, length). The length guards the
+/// (already unlikely) digest collision across different-size chunks.
+pub type ChunkKey = (u64, u64);
+
+/// Store configuration.
+#[derive(Clone, Debug)]
+pub struct DedupConfig {
+    /// Fixed chunk size the capture stream is cut into (boundary marks
+    /// from the frame writer cut shorter chunks early, keeping regions
+    /// aligned across snapshots).
+    pub chunk_size: u64,
+    /// Digest throughput of one capture-side core (the FNV pass the
+    /// store pays per chunk).
+    pub hash_bw: Bandwidth,
+    /// Whether novel chunks ship on a dedicated sim thread, overlapping
+    /// the digest/lookup of the next chunk. `false` = ship inline
+    /// (serial baseline, used by the bench to measure the overlap gain).
+    pub pipelined: bool,
+    /// Bounded depth of the capture → shipper queue.
+    pub pipeline_depth: usize,
+    /// Whether the wrapped backend stores files on the opening node's
+    /// own fs (`LocalStorage`) rather than the host fs. Decides where
+    /// pack files live and where restore staging is materialized.
+    pub local_fs: bool,
+}
+
+impl Default for DedupConfig {
+    fn default() -> DedupConfig {
+        DedupConfig {
+            chunk_size: 4 << 20,
+            hash_bw: Bandwidth::gb_per_sec(2.0),
+            pipelined: true,
+            pipeline_depth: 4,
+            local_fs: false,
+        }
+    }
+}
+
+/// A point-in-time copy of the store's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Chunks satisfied by the index (not shipped).
+    pub chunks_hit: u64,
+    /// Novel chunks shipped through the backend.
+    pub chunks_miss: u64,
+    /// Bytes the index absorbed (would have shipped without dedup).
+    pub bytes_deduped: u64,
+    /// Bytes that actually crossed the backend transport (novel chunks
+    /// plus manifests).
+    pub bytes_shipped: u64,
+    /// Live (referenced) chunk bytes currently held by the store.
+    pub bytes_stored: u64,
+    /// Manifests currently live.
+    pub manifests: u64,
+    /// Chunks freed by GC so far.
+    pub chunks_freed: u64,
+    /// Pack files deleted by GC so far.
+    pub packs_deleted: u64,
+}
+
+struct ChunkEntry {
+    content: Payload,
+    refs: u64,
+    pack: u64,
+}
+
+struct PackInfo {
+    path: String,
+    node: NodeId,
+    live: u64,
+}
+
+struct ManifestRecord {
+    chunks: Vec<ChunkKey>,
+    node: NodeId,
+}
+
+#[derive(Default)]
+struct Index {
+    chunks: HashMap<ChunkKey, ChunkEntry>,
+    packs: HashMap<u64, PackInfo>,
+    manifests: HashMap<String, ManifestRecord>,
+    next_pack: u64,
+    stats: StoreStats,
+}
+
+struct StoreInner {
+    server: PhiServer,
+    backend: Arc<dyn SnapshotStorage>,
+    config: DedupConfig,
+    /// Metadata only — never held across a simulated-time operation.
+    index: Mutex<Index>,
+    /// Per-node digest engines, created lazily.
+    hashers: Mutex<HashMap<NodeId, BandwidthResource>>,
+}
+
+/// The content-addressed store, wrapping a [`SnapshotStorage`] backend.
+/// Cheap to clone; all clones share one chunk index.
+#[derive(Clone)]
+pub struct Dedup {
+    inner: Arc<StoreInner>,
+}
+
+impl Dedup {
+    /// Wrap `backend` with dedup on `server`.
+    pub fn new(
+        server: &PhiServer,
+        backend: Arc<dyn SnapshotStorage>,
+        config: DedupConfig,
+    ) -> Dedup {
+        assert!(config.chunk_size > 0);
+        Dedup {
+            inner: Arc::new(StoreInner {
+                server: server.clone(),
+                backend,
+                config,
+                index: Mutex::new(Index::default()),
+                hashers: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// The store configuration.
+    pub fn config(&self) -> &DedupConfig {
+        &self.inner.config
+    }
+
+    /// A snapshot of the store's counters.
+    pub fn stats(&self) -> StoreStats {
+        self.inner.index.lock().unwrap().stats
+    }
+
+    /// The server this store runs on.
+    pub fn server(&self) -> &PhiServer {
+        &self.inner.server
+    }
+
+    /// The fs the wrapped backend materializes files on for streams
+    /// opened from `node`.
+    fn storage_fs(&self, node: NodeId) -> SimFs {
+        if self.inner.config.local_fs {
+            self.inner.server.node(node).fs().clone()
+        } else {
+            self.inner.server.host().fs().clone()
+        }
+    }
+
+    fn hasher(&self, node: NodeId) -> BandwidthResource {
+        let mut hashers = self.inner.hashers.lock().unwrap();
+        hashers
+            .entry(node)
+            .or_insert_with(|| {
+                BandwidthResource::new(
+                    format!("snapstore-hash-{node}"),
+                    self.inner.config.hash_bw,
+                    SimDuration::ZERO,
+                )
+            })
+            .clone()
+    }
+
+    fn has_chunk(&self, key: &ChunkKey) -> bool {
+        self.inner.index.lock().unwrap().chunks.contains_key(key)
+    }
+
+    fn note_hit(&self, len: u64) {
+        let mut idx = self.inner.index.lock().unwrap();
+        idx.stats.chunks_hit += 1;
+        idx.stats.bytes_deduped += len;
+        drop(idx);
+        obs::counter_add("store.chunks_hit", 1);
+        obs::counter_add("store.bytes_deduped", len);
+    }
+
+    fn note_miss(&self, len: u64) {
+        let mut idx = self.inner.index.lock().unwrap();
+        idx.stats.chunks_miss += 1;
+        idx.stats.bytes_shipped += len;
+        drop(idx);
+        obs::counter_add("store.chunks_miss", 1);
+        obs::counter_add("store.bytes_shipped", len);
+    }
+
+    /// Reserve a pack id + path for a snapshot's novel chunks.
+    fn new_pack(&self, manifest_path: &str, node: NodeId) -> (u64, String) {
+        let mut idx = self.inner.index.lock().unwrap();
+        let id = idx.next_pack;
+        idx.next_pack += 1;
+        let path = format!("{manifest_path}.pack{id}");
+        idx.packs.insert(
+            id,
+            PackInfo {
+                path: path.clone(),
+                node,
+                live: 0,
+            },
+        );
+        (id, path)
+    }
+
+    /// Drop a pack whose shipping failed: forget it and best-effort
+    /// delete the partial file.
+    fn discard_pack(&self, id: u64) {
+        let info = self.inner.index.lock().unwrap().packs.remove(&id);
+        if let Some(info) = info {
+            let _ = self.storage_fs(info.node).delete(&info.path);
+        }
+    }
+
+    /// Commit a completed snapshot: install novel chunks, bump refs for
+    /// every manifest entry, and (if the path is being re-snapshotted)
+    /// release the manifest it replaces.
+    #[allow(clippy::too_many_arguments)]
+    fn commit(
+        &self,
+        path: &str,
+        node: NodeId,
+        pack: Option<u64>,
+        refs: &[ChunkKey],
+        fresh: &mut HashMap<ChunkKey, Payload>,
+        manifest_len: u64,
+    ) {
+        let mut dead_files = Vec::new();
+        {
+            let mut idx = self.inner.index.lock().unwrap();
+            // Install the new manifest's references BEFORE releasing the
+            // one it replaces: re-snapshotting unchanged content to the
+            // same path dedups against the old manifest's chunks, and
+            // releasing first would free exactly the chunks the new
+            // manifest is about to reference.
+            let old = idx.manifests.remove(path);
+            for key in refs {
+                if let Some(entry) = idx.chunks.get_mut(key) {
+                    entry.refs += 1;
+                    continue;
+                }
+                let content = fresh
+                    .remove(key)
+                    .expect("novel chunk content retained until commit");
+                let pack = pack.expect("novel chunks imply a pack");
+                idx.chunks.insert(
+                    *key,
+                    ChunkEntry {
+                        content: content.normalize(),
+                        refs: 1,
+                        pack,
+                    },
+                );
+                idx.packs.get_mut(&pack).expect("pack registered").live += 1;
+                idx.stats.bytes_stored += key.1;
+            }
+            if let Some(old) = old {
+                release_manifest(&mut idx, old, &mut dead_files);
+            }
+            // A pack that ended up with no surviving novel chunks (every
+            // "fresh" chunk was committed by a concurrent capture first)
+            // is dead on arrival.
+            if let Some(pack) = pack {
+                if idx.packs.get(&pack).map(|p| p.live) == Some(0) {
+                    let info = idx.packs.remove(&pack).unwrap();
+                    dead_files.push((info.node, info.path));
+                }
+            }
+            idx.manifests.insert(
+                path.to_string(),
+                ManifestRecord {
+                    chunks: refs.to_vec(),
+                    node,
+                },
+            );
+            idx.stats.manifests = idx.manifests.len() as u64;
+            idx.stats.bytes_shipped += manifest_len;
+        }
+        obs::counter_add("store.bytes_shipped", manifest_len);
+        self.delete_files(dead_files);
+    }
+
+    /// Delete one snapshot's manifest from the store, releasing its
+    /// chunk references. Returns `true` if the manifest existed.
+    pub fn delete_snapshot(&self, path: &str) -> bool {
+        let mut dead_files = Vec::new();
+        let existed = {
+            let mut idx = self.inner.index.lock().unwrap();
+            match idx.manifests.remove(path) {
+                Some(old) => {
+                    dead_files.push((old.node, path.to_string()));
+                    release_manifest(&mut idx, old, &mut dead_files);
+                    idx.stats.manifests = idx.manifests.len() as u64;
+                    true
+                }
+                None => false,
+            }
+        };
+        self.delete_files(dead_files);
+        existed
+    }
+
+    /// Delete every snapshot whose manifest path starts with `prefix`
+    /// (a swap directory, say). Returns how many manifests were dropped.
+    pub fn delete_prefix(&self, prefix: &str) -> usize {
+        let mut paths: Vec<String> = {
+            let idx = self.inner.index.lock().unwrap();
+            idx.manifests
+                .keys()
+                .filter(|p| p.starts_with(prefix))
+                .cloned()
+                .collect()
+        };
+        // HashMap iteration order is unstable; keep fs operations (and
+        // thus the simulated world) deterministic.
+        paths.sort();
+        let n = paths.len();
+        for p in &paths {
+            self.delete_snapshot(p);
+        }
+        n
+    }
+
+    fn delete_files(&self, files: Vec<(NodeId, String)>) {
+        for (node, path) in files {
+            let _ = self.storage_fs(node).delete(&path);
+        }
+    }
+
+    fn backend(&self) -> &Arc<dyn SnapshotStorage> {
+        &self.inner.backend
+    }
+}
+
+/// Release one manifest's references; dead chunks and dead packs are
+/// removed from the index and the packs' files queued on `dead_files`.
+fn release_manifest(idx: &mut Index, old: ManifestRecord, dead_files: &mut Vec<(NodeId, String)>) {
+    for key in &old.chunks {
+        let entry = idx.chunks.get_mut(key).expect("referenced chunk exists");
+        entry.refs -= 1;
+        if entry.refs > 0 {
+            continue;
+        }
+        let entry = idx.chunks.remove(key).unwrap();
+        idx.stats.bytes_stored -= key.1;
+        idx.stats.chunks_freed += 1;
+        obs::counter_add("store.gc.chunks_freed", 1);
+        let pack = idx.packs.get_mut(&entry.pack).expect("chunk's pack exists");
+        pack.live -= 1;
+        if pack.live == 0 {
+            let info = idx.packs.remove(&entry.pack).unwrap();
+            idx.stats.packs_deleted += 1;
+            obs::counter_add("store.gc.packs_deleted", 1);
+            dead_files.push((info.node, info.path));
+        }
+    }
+}
+
+impl SnapshotStorage for Dedup {
+    fn sink(&self, local: NodeId, path: &str) -> Result<Box<dyn ByteSink>, IoError> {
+        Ok(Box::new(DedupSink {
+            store: self.clone(),
+            local,
+            path: path.to_string(),
+            pending: Payload::empty(),
+            refs: Vec::new(),
+            fresh: HashMap::new(),
+            image: Payload::empty(),
+            ship: None,
+            failed: None,
+            closed: false,
+        }))
+    }
+
+    fn source(&self, local: NodeId, path: &str) -> Result<Box<dyn ByteSource>, IoError> {
+        self.open_source(local, path)
+    }
+
+    fn label(&self) -> &'static str {
+        "dedup"
+    }
+}
+
+impl Dedup {
+    fn open_source(&self, local: NodeId, path: &str) -> Result<Box<dyn ByteSource>, IoError> {
+        // 1. Fetch the manifest through the backend (missing snapshot =
+        //    backend's NotFound; a non-manifest file = typed corruption).
+        let mut msrc = self.backend().source(local, path)?;
+        let mut bytes = Vec::new();
+        while let Some(c) = msrc.read(64 << 10)? {
+            bytes.extend_from_slice(&c.to_bytes());
+        }
+        let manifest = Manifest::decode(&bytes)
+            .map_err(|e| IoError::Other(format!("snapstore {path}: {e}")))?;
+
+        // 2. Reassemble the image from the chunk index.
+        let mut image = Payload::empty();
+        {
+            let idx = self.inner.index.lock().unwrap();
+            for key in &manifest.chunks {
+                let entry = idx.chunks.get(key).ok_or_else(|| {
+                    IoError::Other(format!(
+                        "snapstore {path}: chunk {:#x}+{} missing from store (collected?)",
+                        key.0, key.1
+                    ))
+                })?;
+                image.append(entry.content.clone());
+            }
+        }
+
+        // 3. Verify before handing out a single byte (the incremental-
+        //    chain discipline: reject, never silently restore). The
+        //    digest pass runs on the restoring node's core.
+        self.hasher(local).transfer(manifest.total);
+        if image.len() != manifest.total {
+            return Err(IoError::Other(format!(
+                "snapstore {path}: image length mismatch: manifest says {}, rebuilt {}",
+                manifest.total,
+                image.len()
+            )));
+        }
+        let got = image.digest();
+        if got != manifest.image_digest {
+            return Err(IoError::Other(format!(
+                "snapstore {path}: image digest mismatch: manifest says {:#x}, rebuilt {got:#x}",
+                manifest.image_digest
+            )));
+        }
+
+        // 4. Stream the verified image through the backend so the
+        //    restore pays the real transport cost: materialize a staging
+        //    file next to the manifest (content lands immediately, the
+        //    write-back overlaps the reads) and read it back through the
+        //    wrapped transport. The staging file dies with the source.
+        let staging = format!("{path}.restore");
+        let fs = self.storage_fs(local);
+        fs.create_or_truncate(&staging);
+        for chunk in image.chunks(self.inner.config.chunk_size) {
+            fs.append_async(&staging, chunk)?;
+        }
+        let inner = self.backend().source(local, &staging)?;
+        Ok(Box::new(DedupSource { fs, staging, inner }))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Capture side
+// ---------------------------------------------------------------------------
+
+enum Shipper {
+    /// Dedicated sim thread pulling novel chunks off a bounded queue.
+    Pipelined {
+        tx: SimChannel<Payload>,
+        handle: simkernel::JoinHandle<Result<u64, IoError>>,
+        pack: u64,
+    },
+    /// Inline shipping (serial baseline).
+    Serial {
+        sink: Box<dyn ByteSink>,
+        pack: u64,
+        shipped: u64,
+    },
+}
+
+/// Capture-side sink: chunks, digests, dedups and ships the stream.
+pub struct DedupSink {
+    store: Dedup,
+    local: NodeId,
+    path: String,
+    /// Bytes accumulated toward the next chunk cut.
+    pending: Payload,
+    /// Ordered chunk references — the manifest body.
+    refs: Vec<ChunkKey>,
+    /// Chunks novel in this snapshot, held until commit.
+    fresh: HashMap<ChunkKey, Payload>,
+    /// The whole stream (cheap handles), for the final image digest.
+    image: Payload,
+    ship: Option<Shipper>,
+    /// A failure recorded by the infallible `mark_boundary` hint,
+    /// surfaced by the next fallible call.
+    failed: Option<IoError>,
+    closed: bool,
+}
+
+impl DedupSink {
+    fn process_chunk(&mut self, chunk: Payload) -> Result<(), IoError> {
+        let len = chunk.len();
+        // The digest pass occupies a capture-side core; the shipper
+        // thread (if any) moves the previous chunk meanwhile.
+        self.store.hasher(self.local).transfer(len);
+        let key = (chunk.digest(), len);
+        self.refs.push(key);
+        self.image.append(chunk.clone());
+        if self.fresh.contains_key(&key) || self.store.has_chunk(&key) {
+            self.store.note_hit(len);
+            return Ok(());
+        }
+        self.store.note_miss(len);
+        self.fresh.insert(key, chunk.clone());
+        self.ship_chunk(chunk)
+    }
+
+    fn ship_chunk(&mut self, chunk: Payload) -> Result<(), IoError> {
+        if self.ship.is_none() {
+            self.ship = Some(self.start_shipper()?);
+        }
+        match self.ship.as_mut().unwrap() {
+            Shipper::Pipelined { tx, .. } => {
+                if tx.send(chunk).is_err() {
+                    // The shipper died mid-stream; surface its error.
+                    return Err(self
+                        .finish_shipper()
+                        .expect_err("dead shipper has an error"));
+                }
+                Ok(())
+            }
+            Shipper::Serial { sink, shipped, .. } => {
+                let len = chunk.len();
+                sink.write(chunk)?;
+                *shipped += len;
+                Ok(())
+            }
+        }
+    }
+
+    /// Open the pack stream (lazily: a fully-warm snapshot never opens
+    /// one). Pipelined mode hands the backend sink to a dedicated
+    /// thread fed by a bounded queue.
+    fn start_shipper(&mut self) -> Result<Shipper, IoError> {
+        let (pack, pack_path) = self.store.new_pack(&self.path, self.local);
+        if !self.store.inner.config.pipelined {
+            match self.store.backend().sink(self.local, &pack_path) {
+                Ok(sink) => {
+                    return Ok(Shipper::Serial {
+                        sink,
+                        pack,
+                        shipped: 0,
+                    })
+                }
+                Err(e) => {
+                    self.store.discard_pack(pack);
+                    return Err(e);
+                }
+            }
+        }
+        let tx: SimChannel<Payload> = SimChannel::bounded(
+            format!("snapstore-pipe:{}", self.path),
+            self.store.inner.config.pipeline_depth.max(1),
+        );
+        let rx = tx.clone();
+        let store = self.store.clone();
+        let local = self.local;
+        let handle = simkernel::spawn(format!("snapstore-ship:{}", self.path), move || {
+            let run = || -> Result<u64, IoError> {
+                let mut sink = store.backend().sink(local, &pack_path)?;
+                let mut shipped = 0u64;
+                while let Ok(chunk) = rx.recv() {
+                    let len = chunk.len();
+                    sink.write(chunk)?;
+                    shipped += len;
+                }
+                sink.close()?;
+                Ok(shipped)
+            };
+            let out = run();
+            if out.is_err() {
+                // Unblock a sender stuck on the bounded queue.
+                rx.close();
+            }
+            out
+        });
+        Ok(Shipper::Pipelined { tx, handle, pack })
+    }
+
+    /// Close the pack stream and collect how many bytes it shipped.
+    /// On error the partial pack is discarded.
+    fn finish_shipper(&mut self) -> Result<(Option<u64>, u64), IoError> {
+        match self.ship.take() {
+            None => Ok((None, 0)),
+            Some(Shipper::Serial {
+                mut sink,
+                pack,
+                shipped,
+            }) => match sink.close() {
+                Ok(()) => Ok((Some(pack), shipped)),
+                Err(e) => {
+                    self.store.discard_pack(pack);
+                    Err(e)
+                }
+            },
+            Some(Shipper::Pipelined { tx, handle, pack }) => {
+                tx.close();
+                match handle.join() {
+                    Ok(shipped) => Ok((Some(pack), shipped)),
+                    Err(e) => {
+                        self.store.discard_pack(pack);
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+
+    fn cut_pending(&mut self, boundary: bool) -> Result<(), IoError> {
+        let chunk_size = self.store.inner.config.chunk_size;
+        while self.pending.len() >= chunk_size {
+            let chunk = self.pending.slice(0, chunk_size);
+            self.pending = self
+                .pending
+                .slice(chunk_size, self.pending.len() - chunk_size);
+            self.process_chunk(chunk)?;
+        }
+        if boundary && !self.pending.is_empty() {
+            let tail = std::mem::replace(&mut self.pending, Payload::empty());
+            self.process_chunk(tail)?;
+        }
+        Ok(())
+    }
+}
+
+impl ByteSink for DedupSink {
+    fn write(&mut self, data: Payload) -> Result<(), IoError> {
+        if self.closed {
+            return Err(IoError::Closed);
+        }
+        if let Some(e) = self.failed.take() {
+            return Err(e);
+        }
+        self.pending.append(data);
+        self.cut_pending(false)
+    }
+
+    fn mark_boundary(&mut self) {
+        // A record boundary: cut the tail so the next record starts a
+        // fresh chunk, keeping identical regions aligned even when
+        // earlier content shifted. The hint is infallible, so a failure
+        // is remembered and surfaced by the next write or close.
+        if self.closed || self.failed.is_some() {
+            return;
+        }
+        if let Err(e) = self.cut_pending(true) {
+            self.failed = Some(e);
+        }
+    }
+
+    fn close(&mut self) -> Result<(), IoError> {
+        if self.closed {
+            return Ok(());
+        }
+        if let Some(e) = self.failed.take() {
+            return Err(e);
+        }
+        self.cut_pending(true)?;
+        let (pack, _shipped) = self.finish_shipper()?;
+        // The manifest is the durable artifact the backend stores under
+        // the snapshot path.
+        let manifest = Manifest {
+            chunks: self.refs.clone(),
+            total: self.image.len(),
+            image_digest: self.image.digest(),
+        };
+        let bytes = manifest.encode();
+        let manifest_len = bytes.len() as u64;
+        let mut msink = match self.store.backend().sink(self.local, &self.path) {
+            Ok(s) => s,
+            Err(e) => {
+                if let Some(pack) = pack {
+                    self.store.discard_pack(pack);
+                }
+                return Err(e);
+            }
+        };
+        if let Err(e) = msink
+            .write(Payload::bytes(bytes))
+            .and_then(|_| msink.close())
+        {
+            if let Some(pack) = pack {
+                self.store.discard_pack(pack);
+            }
+            return Err(e);
+        }
+        self.store.commit(
+            &self.path,
+            self.local,
+            pack,
+            &self.refs,
+            &mut self.fresh,
+            manifest_len,
+        );
+        self.closed = true;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Restore side
+// ---------------------------------------------------------------------------
+
+/// Restore-side source: reads the verified, reassembled image through
+/// the backend transport. Deletes its staging file when dropped.
+struct DedupSource {
+    fs: SimFs,
+    staging: String,
+    inner: Box<dyn ByteSource>,
+}
+
+impl ByteSource for DedupSource {
+    fn read(&mut self, max: u64) -> Result<Option<Payload>, IoError> {
+        self.inner.read(max)
+    }
+}
+
+impl Drop for DedupSource {
+    fn drop(&mut self) {
+        let _ = self.fs.delete(&self.staging);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Manifest format
+// ---------------------------------------------------------------------------
+
+const MANIFEST_MAGIC: &[u8; 8] = b"SNAPSTO1";
+
+/// The durable snapshot artifact: ordered chunk references plus the
+/// final image digest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Manifest {
+    /// Ordered chunk references.
+    pub chunks: Vec<ChunkKey>,
+    /// Total image length in bytes.
+    pub total: u64,
+    /// Digest of the whole reassembled image.
+    pub image_digest: u64,
+}
+
+impl Manifest {
+    /// Serialize: magic, chunk count, (digest, len) pairs, total length,
+    /// image digest — all u64 little-endian.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 8 + self.chunks.len() * 16 + 16);
+        out.extend_from_slice(MANIFEST_MAGIC);
+        out.extend_from_slice(&(self.chunks.len() as u64).to_le_bytes());
+        for (digest, len) in &self.chunks {
+            out.extend_from_slice(&digest.to_le_bytes());
+            out.extend_from_slice(&len.to_le_bytes());
+        }
+        out.extend_from_slice(&self.total.to_le_bytes());
+        out.extend_from_slice(&self.image_digest.to_le_bytes());
+        out
+    }
+
+    /// Parse a serialized manifest; rejects anything malformed.
+    pub fn decode(bytes: &[u8]) -> Result<Manifest, String> {
+        let mut off = 0usize;
+        let take = |off: &mut usize, n: usize| -> Result<&[u8], String> {
+            let s = bytes
+                .get(*off..*off + n)
+                .ok_or_else(|| format!("manifest truncated at byte {}", *off))?;
+            *off += n;
+            Ok(s)
+        };
+        let u64_at = |off: &mut usize| -> Result<u64, String> {
+            Ok(u64::from_le_bytes(take(off, 8)?.try_into().unwrap()))
+        };
+        if take(&mut off, 8)? != MANIFEST_MAGIC {
+            return Err("bad manifest magic".into());
+        }
+        let n = u64_at(&mut off)?;
+        if n > (bytes.len() as u64) / 16 {
+            return Err(format!("manifest chunk count {n} exceeds file size"));
+        }
+        let mut chunks = Vec::with_capacity(n as usize);
+        let mut sum = 0u64;
+        for _ in 0..n {
+            let digest = u64_at(&mut off)?;
+            let len = u64_at(&mut off)?;
+            sum += len;
+            chunks.push((digest, len));
+        }
+        let total = u64_at(&mut off)?;
+        let image_digest = u64_at(&mut off)?;
+        if off != bytes.len() {
+            return Err(format!(
+                "{} trailing bytes after manifest",
+                bytes.len() - off
+            ));
+        }
+        if sum != total {
+            return Err(format!(
+                "manifest chunk lengths sum to {sum}, header says {total}"
+            ));
+        }
+        Ok(Manifest {
+            chunks,
+            total,
+            image_digest,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phi_platform::MB;
+    use simkernel::{now, Kernel};
+    use simproc::{FsSink, FsSource};
+
+    /// Minimal backend: files on the host fs, no transport cost beyond
+    /// the fs model itself.
+    struct HostFs(PhiServer);
+
+    impl SnapshotStorage for HostFs {
+        fn sink(&self, _local: NodeId, path: &str) -> Result<Box<dyn ByteSink>, IoError> {
+            Ok(Box::new(FsSink::create(self.0.host().fs(), path)))
+        }
+        fn source(&self, _local: NodeId, path: &str) -> Result<Box<dyn ByteSource>, IoError> {
+            Ok(Box::new(FsSource::open(self.0.host().fs(), path)?))
+        }
+        fn label(&self) -> &'static str {
+            "hostfs"
+        }
+    }
+
+    fn store(server: &PhiServer, config: DedupConfig) -> Dedup {
+        Dedup::new(server, Arc::new(HostFs(server.clone())), config)
+    }
+
+    fn write_stream(store: &Dedup, path: &str, parts: &[Payload]) {
+        let mut sink = store.sink(NodeId::device(0), path).unwrap();
+        for p in parts {
+            sink.mark_boundary();
+            for chunk in p.chunks(8 << 20) {
+                sink.write(chunk).unwrap();
+            }
+        }
+        sink.close().unwrap();
+    }
+
+    fn read_stream(store: &Dedup, path: &str) -> Payload {
+        let mut src = store.source(NodeId::device(0), path).unwrap();
+        let mut out = Payload::empty();
+        while let Some(c) = src.read(8 << 20).unwrap() {
+            out.append(c);
+        }
+        out
+    }
+
+    #[test]
+    fn roundtrip_preserves_content() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            let st = store(&server, DedupConfig::default());
+            let data = Payload::synthetic(3, 20 * MB);
+            write_stream(&st, "/snap/rt", std::slice::from_ref(&data));
+            assert_eq!(read_stream(&st, "/snap/rt").digest(), data.digest());
+        });
+    }
+
+    #[test]
+    fn roundtrip_real_bytes() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            let st = store(&server, DedupConfig::default());
+            let data = Payload::bytes((0..=255u8).cycle().take(10_000).collect::<Vec<_>>());
+            write_stream(&st, "/snap/rb", std::slice::from_ref(&data));
+            assert_eq!(read_stream(&st, "/snap/rb").to_bytes(), data.to_bytes());
+        });
+    }
+
+    #[test]
+    fn second_identical_snapshot_ships_almost_nothing() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            let st = store(&server, DedupConfig::default());
+            let data = Payload::synthetic(7, 64 * MB);
+            write_stream(&st, "/snap/a", std::slice::from_ref(&data));
+            let cold = st.stats().bytes_shipped;
+            write_stream(&st, "/snap/b", std::slice::from_ref(&data));
+            let warm = st.stats().bytes_shipped - cold;
+            assert!(cold >= 64 * MB, "cold run ships the image: {cold}");
+            assert!(
+                warm * 5 < cold,
+                "warm run ships only the manifest: warm={warm} cold={cold}"
+            );
+            assert_eq!(st.stats().chunks_hit, st.stats().chunks_miss);
+            // Both snapshots restore bit-identically.
+            assert_eq!(read_stream(&st, "/snap/a").digest(), data.digest());
+            assert_eq!(read_stream(&st, "/snap/b").digest(), data.digest());
+        });
+    }
+
+    #[test]
+    fn boundary_marks_keep_shifted_regions_aligned() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            let st = store(&server, DedupConfig::default());
+            // Snapshot 2 prepends a small header before the same two big
+            // regions. With boundary cuts the big regions dedup even
+            // though their byte offsets shifted.
+            let big1 = Payload::synthetic(1, 16 * MB);
+            let big2 = Payload::synthetic(2, 16 * MB);
+            write_stream(&st, "/snap/s1", &[big1.clone(), big2.clone()]);
+            let cold = st.stats().bytes_shipped;
+            let header = Payload::bytes(vec![9u8; 4096]);
+            write_stream(&st, "/snap/s2", &[header, big1, big2]);
+            let warm = st.stats().bytes_shipped - cold;
+            assert!(
+                warm < MB,
+                "only the header and manifest ship on the shifted snapshot: {warm}"
+            );
+        });
+    }
+
+    #[test]
+    fn resnapshot_to_same_path_releases_old_refs() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            let st = store(&server, DedupConfig::default());
+            let v1 = Payload::synthetic(1, 16 * MB);
+            let v2 = Payload::synthetic(2, 16 * MB);
+            write_stream(&st, "/snap/r", std::slice::from_ref(&v1));
+            assert_eq!(st.stats().bytes_stored, 16 * MB);
+            write_stream(&st, "/snap/r", std::slice::from_ref(&v2));
+            // v1's chunks died with the manifest they belonged to.
+            assert_eq!(st.stats().bytes_stored, 16 * MB);
+            assert!(st.stats().chunks_freed > 0);
+            assert_eq!(st.stats().manifests, 1);
+            assert_eq!(read_stream(&st, "/snap/r").digest(), v2.digest());
+        });
+    }
+
+    #[test]
+    fn resnapshot_same_path_same_content_keeps_chunks_live() {
+        Kernel::run_root(|| {
+            // The warm-swap shape: a tenant swaps out twice to the same
+            // path with unchanged state. The second commit must bump refs
+            // before releasing the manifest it replaces, or it would free
+            // the very chunks it dedup'd against.
+            let server = PhiServer::default_server();
+            let st = store(&server, DedupConfig::default());
+            let data = Payload::synthetic(6, 32 * MB);
+            write_stream(&st, "/snap/rs", std::slice::from_ref(&data));
+            let cold = st.stats().bytes_shipped;
+            write_stream(&st, "/snap/rs", std::slice::from_ref(&data));
+            let warm = st.stats().bytes_shipped - cold;
+            assert!(warm * 5 < cold, "warm={warm} cold={cold}");
+            assert_eq!(st.stats().bytes_stored, 32 * MB);
+            assert_eq!(read_stream(&st, "/snap/rs").digest(), data.digest());
+        });
+    }
+
+    #[test]
+    fn gc_frees_unshared_chunks_and_keeps_shared_ones() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            let st = store(&server, DedupConfig::default());
+            let shared = Payload::synthetic(1, 16 * MB);
+            let only_a = Payload::synthetic(2, 8 * MB);
+            write_stream(&st, "/snap/ga", &[shared.clone(), only_a]);
+            write_stream(&st, "/snap/gb", std::slice::from_ref(&shared));
+            assert_eq!(st.stats().bytes_stored, 24 * MB);
+            assert!(st.delete_snapshot("/snap/ga"));
+            // The shared region survives for /snap/gb.
+            assert_eq!(st.stats().bytes_stored, 16 * MB);
+            assert_eq!(read_stream(&st, "/snap/gb").digest(), shared.digest());
+            assert!(st.delete_snapshot("/snap/gb"));
+            assert_eq!(st.stats().bytes_stored, 0);
+            assert!(!st.delete_snapshot("/snap/gb"), "second delete is a no-op");
+            // Manifest and pack files are gone from the fs.
+            assert!(!server.host().fs().exists("/snap/ga"));
+            assert!(st.stats().packs_deleted >= 1);
+        });
+    }
+
+    #[test]
+    fn delete_prefix_collects_a_whole_snapshot_directory() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            let st = store(&server, DedupConfig::default());
+            write_stream(
+                &st,
+                "/swap/job1/device_snapshot",
+                &[Payload::synthetic(1, 8 * MB)],
+            );
+            write_stream(
+                &st,
+                "/swap/job1/local_store/buf_0",
+                &[Payload::synthetic(2, 8 * MB)],
+            );
+            write_stream(
+                &st,
+                "/swap/job2/device_snapshot",
+                &[Payload::synthetic(3, 8 * MB)],
+            );
+            assert_eq!(st.delete_prefix("/swap/job1/"), 2);
+            assert_eq!(st.stats().bytes_stored, 8 * MB);
+            assert_eq!(st.stats().manifests, 1);
+        });
+    }
+
+    #[test]
+    fn collected_chunk_is_a_typed_restore_error() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            let st = store(&server, DedupConfig::default());
+            let data = Payload::synthetic(4, 8 * MB);
+            write_stream(&st, "/snap/gone", std::slice::from_ref(&data));
+            // Corrupt the store: drop the manifest's refs behind its back
+            // by deleting it, then re-write only the manifest file.
+            let manifest_bytes = server.host().fs().read_all("/snap/gone").unwrap();
+            st.delete_snapshot("/snap/gone");
+            server.host().fs().create_or_truncate("/snap/gone");
+            server
+                .host()
+                .fs()
+                .append("/snap/gone", manifest_bytes)
+                .unwrap();
+            let err = st.source(NodeId::device(0), "/snap/gone").err().unwrap();
+            assert!(err.to_string().contains("missing from store"), "{err}");
+        });
+    }
+
+    #[test]
+    fn corrupt_manifest_is_rejected() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            let st = store(&server, DedupConfig::default());
+            server
+                .host()
+                .fs()
+                .append("/snap/junk", Payload::bytes(vec![0x5a; 64]))
+                .unwrap();
+            let err = st.source(NodeId::device(0), "/snap/junk").err().unwrap();
+            assert!(err.to_string().contains("bad manifest magic"), "{err}");
+        });
+    }
+
+    #[test]
+    fn missing_snapshot_propagates_backend_not_found() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            let st = store(&server, DedupConfig::default());
+            assert!(st.source(NodeId::device(0), "/snap/nope").is_err());
+        });
+    }
+
+    #[test]
+    fn write_after_close_is_typed_error() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            let st = store(&server, DedupConfig::default());
+            let mut sink = st.sink(NodeId::device(0), "/snap/wc").unwrap();
+            sink.write(Payload::synthetic(1, MB)).unwrap();
+            sink.close().unwrap();
+            let err = sink.write(Payload::synthetic(1, MB)).unwrap_err();
+            assert_eq!(err, IoError::Closed);
+        });
+    }
+
+    #[test]
+    fn pipelining_overlaps_digest_with_shipping() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            let data = Payload::synthetic(11, 128 * MB);
+            let timed = |pipelined: bool, path: &str| {
+                let st = store(
+                    &server,
+                    DedupConfig {
+                        pipelined,
+                        ..DedupConfig::default()
+                    },
+                );
+                let t0 = now();
+                write_stream(&st, path, std::slice::from_ref(&data));
+                (now() - t0).as_secs_f64()
+            };
+            let serial = timed(false, "/snap/serial");
+            let piped = timed(true, "/snap/piped");
+            assert!(
+                piped < serial,
+                "pipelined capture overlaps hash and transfer: piped={piped} serial={serial}"
+            );
+        });
+    }
+
+    #[test]
+    fn manifest_encoding_round_trips() {
+        let m = Manifest {
+            chunks: vec![(0xdead, 4096), (0xbeef, 123)],
+            total: 4219,
+            image_digest: 0x1234_5678,
+        };
+        assert_eq!(Manifest::decode(&m.encode()).unwrap(), m);
+        assert!(Manifest::decode(b"short").is_err());
+        let mut trailing = m.encode();
+        trailing.push(0);
+        assert!(Manifest::decode(&trailing).is_err());
+        let mut bad_sum = m.encode();
+        let n = bad_sum.len();
+        bad_sum[n - 17] ^= 1; // flip a bit in `total`
+        assert!(Manifest::decode(&bad_sum).is_err());
+    }
+}

@@ -64,6 +64,7 @@ pub use simkernel;
 pub use simproc;
 pub use snapify;
 pub use snapify_io;
+pub use snapstore;
 pub use workloads;
 
 /// Everything a typical example or test needs, in one import.
@@ -77,10 +78,12 @@ pub mod prelude {
         MB,
     };
     pub use simkernel::{now, sleep, spawn, Kernel, SchedPolicy, SimDuration, SimTime};
+    pub use simproc::IoError;
     pub use snapify::{
         checkpoint_application, restart_application, snapify_capture, snapify_migrate,
         snapify_pause, snapify_restore, snapify_resume, snapify_swapin, snapify_swapout,
-        snapify_wait, SnapifyError, SnapifyT, SnapifyWorld,
+        snapify_wait, SnapifyError, SnapifyT, SnapifyWorld, SwapScheduler,
     };
+    pub use snapstore::{Dedup, DedupConfig, StoreStats};
     pub use workloads::{suite, WorkloadRun, WorkloadSpec};
 }

@@ -166,6 +166,64 @@ fn watchdog_rescues_stuck_capture_request() {
     });
 }
 
+/// A snapshot-stream open whose SCIF connect is killed by an injected
+/// reset fails with a typed transient error and leaks none of the
+/// staging memory the daemon charged while setting the stream up — the
+/// host pool returns exactly to its baseline, and a retry succeeds.
+#[test]
+fn faulted_stream_open_releases_staging_memory() {
+    use snapify_repro::simproc::SnapshotStorage;
+    Kernel::run_root(|| {
+        let spec = by_name("KM").unwrap().scaled(64, 20);
+        let registry = FunctionRegistry::new();
+        register_suite(&registry, std::slice::from_ref(&spec));
+        // Due long after launch traffic quiesces, so the snapshot open's
+        // SCIF connect is the first bus operation to consume it.
+        let schedule = FaultSchedule::none().with(
+            SimTime(simkernel::time::secs(500).as_nanos()),
+            FaultTarget::Bus(0),
+            FaultKind::ConnReset,
+        );
+        let world = SnapifyWorld::boot_with_faults(
+            PlatformParams::default(),
+            CoiConfig::default(),
+            registry,
+            schedule,
+        );
+        let run = WorkloadRun::launch(world.coi(), &spec, 0).unwrap();
+        while simkernel::now().0 < simkernel::time::secs(501).as_nanos() {
+            sleep(simkernel::time::secs(10));
+        }
+
+        let host_baseline = world.server().host().mem().used();
+        let dev_baseline = world.server().device(0).mem().used();
+        let err = world
+            .io()
+            .sink(NodeId::device(0), "/snap/faulted/device_snapshot")
+            .err()
+            .expect("open must surface the injected reset");
+        assert!(matches!(err, IoError::ConnReset(_)), "got {err}");
+        assert_eq!(
+            world.server().host().mem().used(),
+            host_baseline,
+            "faulted open must release host staging memory"
+        );
+        assert_eq!(
+            world.server().device(0).mem().used(),
+            dev_baseline,
+            "faulted open must release device staging memory"
+        );
+
+        // The fault is consumed: the very next snapshot works end-to-end.
+        let handle = run.handle().clone();
+        let snap = snapify_swapout(&handle, "/snap/after-fault").unwrap();
+        snapify_swapin(&snap, 0).unwrap();
+        let result = run.run_to_completion().unwrap();
+        assert!(result.verified);
+        run.destroy().unwrap();
+    });
+}
+
 /// Memory accounting is exact across repeated swap cycles: no leaks, no
 /// double frees, capacity fully restored.
 #[test]
