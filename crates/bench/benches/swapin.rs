@@ -1,0 +1,282 @@
+//! Restore fast path: cold vs. warm swap-in, and restore pipeline gain.
+//!
+//! The mirror image of `dedup.rs`: that harness shows the second
+//! swap-*out* of an unchanged tenant is almost free; this one shows the
+//! swap-*in* is too. Chunks that survived on the host since the last
+//! swap-out are replayed from the warm cache instead of re-shipped, and
+//! the cold chunks that do ship are prefetched one chunk ahead of the
+//! BLCR stream replay. Per tenant size: cold swap-in (cache disabled),
+//! warm swap-in of the unchanged tenant, byte reduction from the
+//! store's restore counters, and the pipelined-vs-serial restore gain
+//! on a cache-disabled store.
+//!
+//! Pass `--quick` (or set `BENCH_QUICK=1`) for a fast smoke run (CI).
+//! Dumps `BENCH_swapin.json` next to the other `BENCH_*.json`.
+
+use coi_sim::{DeviceBinary, FunctionRegistry};
+use phi_platform::{NodeId, Payload, PhiServer, PlatformParams, GB, MB};
+use simkernel::Kernel;
+use simproc::SnapshotStorage;
+use snapify::{SnapifyWorld, SwapScheduler};
+use snapify_bench::{bytes, header, secs, Table};
+use snapify_io::SnapifyIo;
+use snapstore::{Dedup, DedupConfig};
+
+struct Row {
+    name: String,
+    cold: simkernel::SimDuration,
+    warm: simkernel::SimDuration,
+    cold_fetched: u64,
+    warm_fetched: u64,
+    warm_avoided: u64,
+    pipelined: simkernel::SimDuration,
+    serial: simkernel::SimDuration,
+}
+
+impl Row {
+    /// Fraction of the cold fetch the warm swap-in avoided shipping.
+    fn byte_reduction(&self) -> f64 {
+        if self.cold_fetched == 0 {
+            return 0.0;
+        }
+        1.0 - self.warm_fetched as f64 / self.cold_fetched as f64
+    }
+
+    fn speedup(&self) -> f64 {
+        if self.warm.as_secs_f64() == 0.0 {
+            return 0.0;
+        }
+        self.cold.as_secs_f64() / self.warm.as_secs_f64()
+    }
+
+    fn overlap_gain(&self) -> f64 {
+        if self.pipelined.as_secs_f64() == 0.0 {
+            return 0.0;
+        }
+        self.serial.as_secs_f64() / self.pipelined.as_secs_f64()
+    }
+}
+
+fn registry() -> FunctionRegistry {
+    let reg = FunctionRegistry::new();
+    reg.register(
+        DeviceBinary::new("tenant.so", MB, 32 * MB).simple_function("spin", |ctx| {
+            ctx.compute(1e9, 60);
+            Vec::new()
+        }),
+    );
+    reg
+}
+
+/// Park one tenant and time the rotation that brings it back, with the
+/// warm restore cache sized `cache_bytes` (0 = cold baseline). Returns
+/// (swap-in time, restore bytes fetched, restore bytes avoided).
+fn swapin_once(buffer_bytes: u64, cache_bytes: u64) -> (simkernel::SimDuration, u64, u64) {
+    Kernel::run_root(move || {
+        let world = SnapifyWorld::boot_dedup_with(
+            PlatformParams::default(),
+            coi_sim::CoiConfig::default(),
+            registry(),
+            DedupConfig {
+                restore_cache_bytes: cache_bytes,
+                ..DedupConfig::default()
+            },
+        );
+        let store = world.store().unwrap().clone();
+        let sched = SwapScheduler::new(1, "/swap/bench-in").with_store(&store);
+        let host = world.coi().create_host_process("t");
+        let h = world.coi().create_process(&host, 0, "tenant.so").unwrap();
+        let buf = h.create_buffer(buffer_bytes).unwrap();
+        h.buffer_write(&buf, Payload::synthetic(42, buffer_bytes))
+            .unwrap();
+        let id = sched.admit(&h, 0);
+        sched.park(id).unwrap();
+
+        let before = store.stats();
+        let t0 = simkernel::now();
+        sched.rotate().unwrap();
+        let elapsed = simkernel::now() - t0;
+        let after = store.stats();
+
+        assert!(sched.is_resident(id));
+        assert_eq!(
+            h.buffer_read(&buf).unwrap().digest(),
+            Payload::synthetic(42, buffer_bytes).digest(),
+            "restore fast path corrupted the tenant"
+        );
+        (
+            elapsed,
+            after.restore_bytes_fetched - before.restore_bytes_fetched,
+            after.restore_bytes_avoided - before.restore_bytes_avoided,
+        )
+    })
+}
+
+/// Restore-pipeline overlap isolated from the swap machinery: the same
+/// image read back through a cache-disabled store with the prefetcher
+/// on vs. off (cold fetch of chunk k+1 overlapping replay of chunk k).
+fn restore_pipeline_compare(
+    server: &PhiServer,
+    size: u64,
+) -> (simkernel::SimDuration, simkernel::SimDuration) {
+    let time_one = |pipelined: bool, path: &str| {
+        let backend = std::sync::Arc::new(SnapifyIo::new_default(server));
+        let store = Dedup::new(
+            server,
+            backend,
+            DedupConfig {
+                restore_cache_bytes: 0,
+                restore_pipelined: pipelined,
+                ..DedupConfig::default()
+            },
+        );
+        let data = Payload::synthetic(7, size);
+        let mut sink = store.sink(NodeId::device(0), path).unwrap();
+        for chunk in data.chunks(8 * MB) {
+            sink.write(chunk).unwrap();
+        }
+        sink.close().unwrap();
+        let t0 = simkernel::now();
+        let mut src = store.source(NodeId::device(0), path).unwrap();
+        let mut total = 0;
+        while let Some(chunk) = src.read(8 * MB).unwrap() {
+            total += chunk.len();
+        }
+        assert_eq!(total, data.len(), "restore stream truncated");
+        simkernel::now() - t0
+    };
+    (
+        time_one(true, "/bench/restore-piped"),
+        time_one(false, "/bench/restore-serial"),
+    )
+}
+
+fn swapin_row(name: &str, buffer_bytes: u64) -> Row {
+    let (cold, cold_fetched, _) = swapin_once(buffer_bytes, 0);
+    let (warm, warm_fetched, warm_avoided) = swapin_once(buffer_bytes, 4 << 30);
+    let (pipelined, serial) = Kernel::run_root(move || {
+        let server = PhiServer::new(PlatformParams::default());
+        restore_pipeline_compare(&server, buffer_bytes)
+    });
+    Row {
+        name: name.to_string(),
+        cold,
+        warm,
+        cold_fetched,
+        warm_fetched,
+        warm_avoided,
+        pipelined,
+        serial,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("BENCH_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+    let params = PlatformParams::default();
+    header(
+        if quick {
+            "Restore fast path: cold vs warm swap-in (quick)"
+        } else {
+            "Restore fast path: cold vs warm swap-in"
+        },
+        &params,
+    );
+
+    let sizes: &[(&str, u64)] = if quick {
+        &[("tenant-512M", 512 * MB)]
+    } else {
+        &[
+            ("tenant-512M", 512 * MB),
+            ("tenant-1G", GB),
+            ("tenant-2G", 2 * GB),
+        ]
+    };
+    let rows: Vec<Row> = sizes.iter().map(|(n, s)| swapin_row(n, *s)).collect();
+
+    let mut t = Table::new(vec![
+        "tenant",
+        "cold in",
+        "warm in",
+        "cold fetched",
+        "warm fetched",
+        "bytes avoided",
+        "reduction",
+        "speedup",
+        "overlap gain",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.name.clone(),
+            secs(r.cold),
+            secs(r.warm),
+            bytes(r.cold_fetched),
+            bytes(r.warm_fetched),
+            bytes(r.warm_avoided),
+            format!("{:.1}%", r.byte_reduction() * 100.0),
+            format!("{:.2}x", r.speedup()),
+            format!("{:.2}x", r.overlap_gain()),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("shape checks: warm swap-in ships >=80% fewer bytes and runs >=2x faster than");
+    println!("cold; pipelined restore beats serial (fetch of chunk k+1 overlaps replay of k).");
+
+    for r in &rows {
+        assert!(
+            r.byte_reduction() >= 0.8,
+            "{}: warm swap-in must ship >=80% fewer bytes (got {:.1}%)",
+            r.name,
+            r.byte_reduction() * 100.0
+        );
+        assert!(
+            r.speedup() >= 2.0,
+            "{}: warm swap-in must be >=2x faster (got {:.2}x)",
+            r.name,
+            r.speedup()
+        );
+        assert!(
+            r.overlap_gain() >= 1.0,
+            "{}: pipelined restore must not lose to serial (got {:.2}x)",
+            r.name,
+            r.overlap_gain()
+        );
+    }
+
+    dump_json("BENCH_swapin.json", &rows, quick);
+}
+
+fn dump_json(path: &str, rows: &[Row], quick: bool) {
+    let mut out = String::from("{\n  \"benches\": [");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"name\": \"{}\", \"cold_secs\": {:.6}, \"warm_secs\": {:.6}, \
+             \"cold_fetched_bytes\": {}, \"warm_fetched_bytes\": {}, \
+             \"warm_avoided_bytes\": {}, \"byte_reduction\": {:.4}, \
+             \"speedup\": {:.4}, \"pipelined_secs\": {:.6}, \"serial_secs\": {:.6}, \
+             \"overlap_gain\": {:.4}}}",
+            r.name,
+            r.cold.as_secs_f64(),
+            r.warm.as_secs_f64(),
+            r.cold_fetched,
+            r.warm_fetched,
+            r.warm_avoided,
+            r.byte_reduction(),
+            r.speedup(),
+            r.pipelined.as_secs_f64(),
+            r.serial.as_secs_f64(),
+            r.overlap_gain()
+        ));
+    }
+    out.push_str(&format!("\n  ],\n  \"quick\": {quick}\n}}\n"));
+    match std::fs::write(path, out) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
+}

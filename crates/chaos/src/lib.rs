@@ -52,7 +52,7 @@ use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 
-use coi_sim::{CoiConfig, FunctionRegistry};
+use coi_sim::{CoiConfig, DeviceBinary, FunctionRegistry};
 use phi_platform::{
     FaultKind, FaultSchedule, FaultTarget, NodeId, Payload, PhiServer, PlatformParams, MB,
 };
@@ -61,9 +61,10 @@ use simkernel::{Kernel, SchedPolicy, SimDuration, SimTime};
 use simproc::SnapshotStorage;
 use snapify::{
     checkpoint_application, restart_application, snapify_migrate, snapify_swapin, snapify_swapout,
-    SnapifyWorld,
+    SnapifyWorld, SwapScheduler,
 };
 use snapify_io::{Nfs, NfsConfig, NfsMode, RetryPolicy, Scp, ScpConfig};
+use snapstore::DedupConfig;
 use workloads::{by_name, register_suite, WorkloadRun};
 
 /// The workload names a seed may draw (the full suite).
@@ -119,6 +120,12 @@ pub enum ChaosOp {
     NfsSoak,
     /// Stream a payload through scp under injected connection resets.
     ScpSoak,
+    /// Two tenants time-share one card through [`snapify::SwapScheduler`]
+    /// (park / rotate / retire through the dedup store), exercising the
+    /// scheduler's error paths and the warm restore fast path. Not drawn
+    /// by [`ChaosCase::from_seed`] (that would re-roll every historical
+    /// seed); built with [`ChaosCase::swap_rotate_from_seed`].
+    SwapRotate,
 }
 
 impl ChaosOp {
@@ -131,7 +138,25 @@ impl ChaosOp {
             ChaosOp::Restart => "restart",
             ChaosOp::NfsSoak => "nfs-soak",
             ChaosOp::ScpSoak => "scp-soak",
+            ChaosOp::SwapRotate => "swap-rotate",
         }
+    }
+
+    /// Parse a [`ChaosOp::label`] back into the op (the `SIMCHAOS_OP`
+    /// repro override).
+    pub fn parse(label: &str) -> Result<ChaosOp, String> {
+        [
+            ChaosOp::Checkpoint,
+            ChaosOp::SwapCycle,
+            ChaosOp::Migrate,
+            ChaosOp::Restart,
+            ChaosOp::NfsSoak,
+            ChaosOp::ScpSoak,
+            ChaosOp::SwapRotate,
+        ]
+        .into_iter()
+        .find(|op| op.label() == label)
+        .ok_or_else(|| format!("unknown chaos op '{label}'"))
     }
 
     /// Whether this op is a transport soak (no COI world involved).
@@ -201,6 +226,20 @@ impl ChaosCase {
         }
     }
 
+    /// Expand `seed` into a swap-rotate case: the op is pinned to
+    /// [`ChaosOp::SwapRotate`] instead of drawn, and the fault schedule
+    /// is regenerated from a derived stream so rotate sweeps explore
+    /// timings independent of the base sweep. [`ChaosCase::from_seed`]
+    /// stays byte-stable: historical repro lines keep replaying the
+    /// same cases.
+    pub fn swap_rotate_from_seed(seed: u64) -> ChaosCase {
+        let mut case = ChaosCase::from_seed(seed);
+        case.op = ChaosOp::SwapRotate;
+        let mut rng = ChaosRng::new(seed ^ 0x5377_6170_526f_7461);
+        case.faults = generate_faults(&mut rng, ChaosOp::SwapRotate);
+        case
+    }
+
     /// The one-line repro for this case: paste it in front of
     /// `cargo test --test chaos_explorer` (or export the variables) and
     /// the `replay_case_from_env` test re-executes this exact case.
@@ -209,6 +248,11 @@ impl ChaosCase {
             "SIMCHAOS_SEED={} SIMCHAOS_FAULTS='{}'",
             self.seed, self.faults
         );
+        // Ops not drawn by `from_seed` (pinned constructors such as
+        // `swap_rotate_from_seed`) need an explicit override to replay.
+        if self.op != ChaosCase::from_seed(self.seed).op {
+            line.push_str(&format!(" SIMCHAOS_OP={}", self.op));
+        }
         if self.disable_retries {
             line.push_str(" SIMCHAOS_NO_RETRY=1");
         }
@@ -228,6 +272,10 @@ impl ChaosCase {
         if let Ok(text) = std::env::var("SIMCHAOS_FAULTS") {
             case.faults = FaultSchedule::parse(&text)
                 .unwrap_or_else(|e| panic!("SIMCHAOS_FAULTS='{text}': {e}"));
+        }
+        if let Ok(label) = std::env::var("SIMCHAOS_OP") {
+            case.op =
+                ChaosOp::parse(&label).unwrap_or_else(|e| panic!("SIMCHAOS_OP='{label}': {e}"));
         }
         if std::env::var("SIMCHAOS_NO_RETRY").is_ok_and(|v| v == "1") {
             case.disable_retries = true;
@@ -372,7 +420,9 @@ fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
 /// Run the case body inside the simulation. Returns
 /// `(failure, faults_fired)`.
 fn execute(case: &ChaosCase) -> (Option<String>, usize) {
-    let result = if case.op.is_soak() {
+    let result = if case.op == ChaosOp::SwapRotate {
+        swap_rotate_op(case)
+    } else if case.op.is_soak() {
         transport_soak(case)
     } else {
         workload_op(case)
@@ -579,7 +629,100 @@ fn workload_op(case: &ChaosCase) -> Result<usize, String> {
                 .destroy()
                 .map_err(|e| format!("post-rescue destroy failed: {e:?}"))?;
         }
-        ChaosOp::NfsSoak | ChaosOp::ScpSoak => unreachable!("soak handled separately"),
+        ChaosOp::NfsSoak | ChaosOp::ScpSoak | ChaosOp::SwapRotate => {
+            unreachable!("handled separately")
+        }
+    }
+    Ok(world.server().faults().fired_count())
+}
+
+/// Two tenants time-share one card through the swap scheduler, backed
+/// by the dedup store: A is parked, B admitted resident, then three
+/// rotations hand the card back and forth while the fault plane fires.
+/// After each rotation the resident tenant's buffer must verify (the
+/// warm restore fast path must not corrupt state), and retiring both
+/// tenants — one of them while parked — must drain the store.
+fn swap_rotate_op(case: &ChaosCase) -> Result<usize, String> {
+    let registry = FunctionRegistry::new();
+    registry.register(DeviceBinary::new("tenant.so", MB, 32 * MB));
+    let world = SnapifyWorld::boot_dedup_with_faults(
+        PlatformParams::default(),
+        CoiConfig::default(),
+        registry,
+        DedupConfig::default(),
+        case.faults.clone(),
+    );
+    let store = world.store().expect("dedup world has a store").clone();
+    let sched = SwapScheduler::new(1, format!("/swap/chaos/{}", case.seed)).with_store(&store);
+    let bytes = case.payload_mb * MB;
+
+    let mut tenants = Vec::new();
+    for (name, tag) in [("tenant-a", 0u64), ("tenant-b", 1)] {
+        let host = world.coi().create_host_process(name);
+        let h = world
+            .coi()
+            .create_process(&host, 0, "tenant.so")
+            .map_err(|e| format!("{name} create failed: {e:?}"))?;
+        let buf = h
+            .create_buffer(bytes)
+            .map_err(|e| format!("{name} buffer failed: {e:?}"))?;
+        h.buffer_write(&buf, Payload::synthetic(case.seed ^ tag, bytes))
+            .map_err(|e| format!("{name} write failed: {e:?}"))?;
+        let id = sched.admit(&h, 0);
+        if tag == 0 {
+            sched
+                .park(id)
+                .map_err(|e| format!("{name} park failed: {e:?}"))?;
+        }
+        tenants.push((h, buf, id, tag));
+    }
+    let (a, b) = (tenants[0].2, tenants[1].2);
+
+    // Let the generated faults come due mid-rotation rather than all
+    // before or all after.
+    simkernel::sleep(case.snapshot_time);
+
+    // A parked, B resident. Rotations alternate them: after round r the
+    // resident tenant is A on even rounds, B on odd.
+    for round in 0..3usize {
+        let switches = sched
+            .rotate()
+            .map_err(|e| format!("rotate {round} failed: {e:?}"))?;
+        if switches != 1 {
+            return Err(format!(
+                "rotate {round} made {switches} switches, expected 1"
+            ));
+        }
+        let resident = if round % 2 == 0 { a } else { b };
+        if !sched.is_resident(resident) {
+            return Err(format!("rotate {round} left the wrong tenant resident"));
+        }
+        let (h, buf, _, tag) = &tenants[round % 2];
+        let data = h
+            .buffer_read(buf)
+            .map_err(|e| format!("rotate {round} buffer read failed: {e:?}"))?;
+        if data.digest() != Payload::synthetic(case.seed ^ tag, bytes).digest() {
+            return Err(format!("rotate {round} corrupted the restored tenant"));
+        }
+    }
+    if store.stats().restore_bytes_avoided == 0 {
+        return Err("unchanged tenants never hit the warm restore cache".to_string());
+    }
+
+    // B finished while parked, A while resident; both retire paths must
+    // drain the store.
+    sched
+        .retire(b)
+        .map_err(|e| format!("retire of the parked tenant failed: {e:?}"))?;
+    sched
+        .retire(a)
+        .map_err(|e| format!("retire of the resident tenant failed: {e:?}"))?;
+    let stats = store.stats();
+    if stats.bytes_stored != 0 || stats.manifests != 0 {
+        return Err(format!(
+            "retire leaked store state: {} bytes, {} manifests",
+            stats.bytes_stored, stats.manifests
+        ));
     }
     Ok(world.server().faults().fired_count())
 }
@@ -649,6 +792,40 @@ mod tests {
         let mut bugged = case.clone();
         bugged.disable_retries = true;
         assert!(bugged.repro_line().ends_with("SIMCHAOS_NO_RETRY=1"));
+    }
+
+    #[test]
+    fn swap_rotate_cases_are_deterministic_and_pinned() {
+        for seed in [0u64, 9, 1234, u64::MAX] {
+            let a = ChaosCase::swap_rotate_from_seed(seed);
+            let b = ChaosCase::swap_rotate_from_seed(seed);
+            assert_eq!(a.op, ChaosOp::SwapRotate);
+            assert_eq!(a.faults, b.faults);
+            assert_eq!(a.payload_mb, b.payload_mb);
+            assert_eq!(a.snapshot_time, b.snapshot_time);
+            // Rotate cases draw only transparently-survivable bus faults,
+            // like the other workload ops.
+            for entry in &a.faults.entries {
+                assert!(matches!(entry.target, FaultTarget::Bus(_)));
+            }
+            // Pinning the op must not disturb the base expansion.
+            let base = ChaosCase::from_seed(seed);
+            assert_eq!(a.workload, base.workload);
+            assert_eq!(a.seed, base.seed);
+        }
+    }
+
+    #[test]
+    fn swap_rotate_repro_line_carries_the_op_override() {
+        let case = ChaosCase::swap_rotate_from_seed(77);
+        let line = case.repro_line();
+        assert!(line.contains("SIMCHAOS_OP=swap-rotate"), "{line}");
+        assert_eq!(ChaosOp::parse("swap-rotate").unwrap(), ChaosOp::SwapRotate);
+        assert!(ChaosOp::parse("bogus").is_err());
+        // Ops drawn by from_seed never emit the override.
+        assert!(!ChaosCase::from_seed(77)
+            .repro_line()
+            .contains("SIMCHAOS_OP"));
     }
 
     #[test]

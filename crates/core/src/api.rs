@@ -135,6 +135,11 @@ pub fn snapify_pause(snapshot: &SnapifyT) -> Result<(), SnapifyError> {
     match handle.snapify_await_reply()? {
         CtlMsg::SnapifyPauseComplete { ok: true } => Ok(()),
         CtlMsg::SnapifyPauseComplete { ok: false } => {
+            // The offload side failed partway through its drain and may
+            // hold locks / leave the barrier up. Best-effort resume so
+            // the application is runnable again before the error
+            // surfaces (the release calls are idempotent).
+            let _ = snapify_resume(snapshot);
             Err(SnapifyError::Protocol("offload pause failed".into()))
         }
         other => Err(SnapifyError::Protocol(format!(
@@ -293,8 +298,14 @@ pub fn snapify_swapout(
     let _span = obs::span!("snapify.swapout", pid = proc.pid(), path = snapshot_path);
     let snapshot = SnapifyT::new(proc, snapshot_path);
     snapify_pause(&snapshot)?;
-    snapify_capture(&snapshot, true)?;
-    snapify_wait(&snapshot)?;
+    let captured = snapify_capture(&snapshot, true).and_then(|_| snapify_wait(&snapshot));
+    if let Err(e) = captured {
+        // The capture failed but the pause succeeded: the process is
+        // intact, just quiesced. Resume it so a failed swap-out leaves
+        // the tenant running instead of wedged.
+        let _ = snapify_resume(&snapshot);
+        return Err(e);
+    }
     Ok(snapshot)
 }
 

@@ -27,8 +27,20 @@ enum JobState {
         /// Device index the job occupies.
         device: usize,
     },
+    /// Claimed by an in-flight swap-out. The state lock is not held
+    /// across the transport, so the claim is what stops a concurrent
+    /// caller from swapping the same job out twice.
+    SwappingOut,
+    /// Claimed by an in-flight swap-in.
+    SwappingIn,
     /// Swapped out; the snapshot needed to bring it back.
     SwappedOut(SnapifyT),
+}
+
+impl JobState {
+    fn in_transition(&self) -> bool {
+        matches!(self, JobState::SwappingOut | JobState::SwappingIn)
+    }
 }
 
 struct Job {
@@ -110,21 +122,29 @@ impl SwapScheduler {
         self
     }
 
-    /// Remove a finished job from the scheduler (it must be resident; the
-    /// caller destroys the process). With a dedup store attached, the
-    /// job's swap snapshots under `{swap_dir}/job{id}/` are released so
+    /// Remove a finished job from the scheduler (the caller destroys the
+    /// process). A job that finished while parked is retired too: its
+    /// entry leaves the ready queue and, with a dedup store attached,
+    /// the swap snapshots under `{swap_dir}/job{id}/` are released so
     /// chunks no other tenant references are reclaimed.
-    pub fn retire(&self, id: JobId) {
-        let mut st = self.state.lock();
-        let job = st.jobs.remove(&id).expect("unknown job");
-        match job.state {
-            JobState::Resident { device } => {
+    pub fn retire(&self, id: JobId) -> Result<(), SnapifyError> {
+        // Wait out an in-flight swap on this job rather than yanking the
+        // state from under it.
+        loop {
+            let mut st = self.state.lock();
+            let job = st.jobs.get(&id).expect("unknown job");
+            if job.state.in_transition() {
+                drop(st);
+                simkernel::sleep(simkernel::time::ms(1));
+                continue;
+            }
+            let job = st.jobs.remove(&id).unwrap();
+            if let JobState::Resident { device } = job.state {
                 st.resident.remove(&device);
             }
-            JobState::SwappedOut(_) => panic!("retiring a swapped-out job"),
+            st.ready.retain(|j| *j != id);
+            break;
         }
-        st.ready.retain(|j| *j != id);
-        drop(st);
         if let Some(store) = &self.store {
             let prefix = format!("{}/job{id}/", self.swap_dir);
             store.delete_prefix(&prefix);
@@ -136,6 +156,7 @@ impl SwapScheduler {
                 .fs()
                 .delete(&format!("{prefix}libraries"));
         }
+        Ok(())
     }
 
     /// Whether `id` is currently resident.
@@ -160,43 +181,82 @@ impl SwapScheduler {
     pub fn rotate(&self) -> Result<usize, SnapifyError> {
         let mut switches = 0;
         for device in 0..self.devices {
-            // Pick the next waiting job, if any.
-            let (incoming, outgoing) = {
+            // Pick the next waiting job and claim both ends of the
+            // switch under one lock hold.
+            let (incoming, in_snapshot, outgoing) = {
                 let mut st = self.state.lock();
                 let Some(incoming) = st.ready.pop_front() else {
                     continue;
                 };
                 let outgoing = st.resident.get(&device).copied();
-                (incoming, outgoing)
+                if let Some(out_id) = outgoing {
+                    let state = &mut st.jobs.get_mut(&out_id).unwrap().state;
+                    match state {
+                        JobState::Resident { .. } => {
+                            *state = JobState::SwappingOut;
+                        }
+                        // The resident job is mid-transition (a
+                        // concurrent park): give the incoming job its
+                        // turn back and leave this device alone.
+                        _ => {
+                            st.ready.push_front(incoming);
+                            continue;
+                        }
+                    }
+                }
+                let job = st.jobs.get_mut(&incoming).unwrap();
+                let snapshot = match std::mem::replace(&mut job.state, JobState::SwappingIn) {
+                    JobState::SwappedOut(s) => s,
+                    JobState::Resident { .. } => {
+                        panic!("ready job {} was already resident", job.id)
+                    }
+                    _ => panic!("ready job {} was mid-transition", job.id),
+                };
+                (incoming, snapshot, outgoing)
             };
             // Swap the resident job out.
             if let Some(out_id) = outgoing {
                 let handle = self.state.lock().jobs[&out_id].handle.clone();
                 let path = format!("{}/job{}", self.swap_dir, out_id);
-                let snapshot = snapify_swapout(&handle, &path)?;
-                let mut st = self.state.lock();
-                st.jobs.get_mut(&out_id).unwrap().state = JobState::SwappedOut(snapshot);
-                st.resident.remove(&device);
-                st.ready.push_back(out_id);
-                st.swaps += 1;
+                match snapify_swapout(&handle, &path) {
+                    Ok(snapshot) => {
+                        let mut st = self.state.lock();
+                        st.jobs.get_mut(&out_id).unwrap().state = JobState::SwappedOut(snapshot);
+                        st.resident.remove(&device);
+                        st.ready.push_back(out_id);
+                        st.swaps += 1;
+                    }
+                    Err(e) => {
+                        // Unwind both claims: the outgoing job stays
+                        // resident (snapify_swapout resumed it), and the
+                        // incoming job goes back to the front of the
+                        // queue — it lost no turn and must not leak.
+                        let mut st = self.state.lock();
+                        st.jobs.get_mut(&out_id).unwrap().state = JobState::Resident { device };
+                        st.jobs.get_mut(&incoming).unwrap().state =
+                            JobState::SwappedOut(in_snapshot);
+                        st.ready.push_front(incoming);
+                        return Err(e);
+                    }
+                }
             }
             // Swap the waiting job in.
-            {
-                let snapshot = {
+            match snapify_swapin(&in_snapshot, device) {
+                Ok(_) => {
                     let mut st = self.state.lock();
-                    let job = st.jobs.get_mut(&incoming).unwrap();
-                    match std::mem::replace(&mut job.state, JobState::Resident { device }) {
-                        JobState::SwappedOut(s) => s,
-                        JobState::Resident { .. } => {
-                            panic!("ready job {} was already resident", job.id)
-                        }
-                    }
-                };
-                snapify_swapin(&snapshot, device)?;
-                let mut st = self.state.lock();
-                st.resident.insert(device, incoming);
-                st.swaps += 1;
-                switches += 1;
+                    st.jobs.get_mut(&incoming).unwrap().state = JobState::Resident { device };
+                    st.resident.insert(device, incoming);
+                    st.swaps += 1;
+                    switches += 1;
+                }
+                Err(e) => {
+                    // The device is left free; the job keeps its
+                    // snapshot and its place in line.
+                    let mut st = self.state.lock();
+                    st.jobs.get_mut(&incoming).unwrap().state = JobState::SwappedOut(in_snapshot);
+                    st.ready.push_front(incoming);
+                    return Err(e);
+                }
             }
         }
         Ok(switches)
@@ -205,22 +265,43 @@ impl SwapScheduler {
     /// Voluntarily park a resident job (swap it out and queue it), e.g.
     /// when it blocks on host-side work for a long time.
     pub fn park(&self, id: JobId) -> Result<(), SnapifyError> {
-        let (handle, device) = {
-            let st = self.state.lock();
-            let job = st.jobs.get(&id).expect("unknown job");
+        let (handle, device) = loop {
+            let mut st = self.state.lock();
+            let job = st.jobs.get_mut(&id).expect("unknown job");
             match &job.state {
-                JobState::Resident { device } => (job.handle.clone(), *device),
+                JobState::Resident { device } => {
+                    let device = *device;
+                    let handle = job.handle.clone();
+                    job.state = JobState::SwappingOut;
+                    break (handle, device);
+                }
                 JobState::SwappedOut(_) => return Ok(()), // already parked
+                // Another caller is mid-swap on this job; wait for the
+                // state to settle rather than swapping it out twice.
+                _ => {
+                    drop(st);
+                    simkernel::sleep(simkernel::time::ms(1));
+                }
             }
         };
         let path = format!("{}/job{id}", self.swap_dir);
-        let snapshot = snapify_swapout(&handle, &path)?;
-        let mut st = self.state.lock();
-        st.jobs.get_mut(&id).unwrap().state = JobState::SwappedOut(snapshot);
-        st.resident.remove(&device);
-        st.ready.push_back(id);
-        st.swaps += 1;
-        Ok(())
+        match snapify_swapout(&handle, &path) {
+            Ok(snapshot) => {
+                let mut st = self.state.lock();
+                st.jobs.get_mut(&id).unwrap().state = JobState::SwappedOut(snapshot);
+                st.resident.remove(&device);
+                st.ready.push_back(id);
+                st.swaps += 1;
+                Ok(())
+            }
+            Err(e) => {
+                // The job is still resident (the failed swap-out
+                // resumed it); release the claim and surface the error.
+                let mut st = self.state.lock();
+                st.jobs.get_mut(&id).unwrap().state = JobState::Resident { device };
+                Err(e)
+            }
+        }
     }
 }
 
@@ -228,9 +309,12 @@ impl SwapScheduler {
 mod tests {
     use super::*;
     use crate::world::SnapifyWorld;
-    use coi_sim::{DeviceBinary, FunctionRegistry};
-    use phi_platform::{Payload, GB, MB};
-    use simkernel::Kernel;
+    use coi_sim::{CoiConfig, DeviceBinary, FunctionRegistry};
+    use phi_platform::{
+        FaultKind, FaultSchedule, FaultTarget, NodeId, Payload, PlatformParams, GB, MB,
+    };
+    use simkernel::{Kernel, SchedPolicy, SimTime};
+    use snapstore::DedupConfig;
 
     fn registry() -> FunctionRegistry {
         let reg = FunctionRegistry::new();
@@ -369,7 +453,7 @@ mod tests {
             sched.park(id).unwrap();
             assert!(store.stats().bytes_stored >= GB);
             sched.rotate().unwrap();
-            sched.retire(id);
+            sched.retire(id).unwrap();
             h.destroy().unwrap();
             assert_eq!(
                 store.stats().bytes_stored,
@@ -389,10 +473,178 @@ mod tests {
             let h = world.coi().create_process(&host, 1, "tenant.so").unwrap();
             let id = sched.admit(&h, 1);
             assert!(sched.is_resident(id));
-            sched.retire(id);
+            sched.retire(id).unwrap();
             h.destroy().unwrap();
             assert_eq!(sched.swap_count(), 0);
         });
+    }
+
+    #[test]
+    fn failed_swapout_during_rotate_requeues_the_incoming_job() {
+        Kernel::run_root(|| {
+            // An Oom scheduled on the host memory pool long after setup:
+            // the first host-side allocation past that point is the
+            // snapshot transport's staging buffer, so the next swap-out
+            // fails at open.
+            let schedule = FaultSchedule::none().with(
+                SimTime(simkernel::time::secs(30).as_nanos()),
+                FaultTarget::Mem(NodeId::HOST),
+                FaultKind::Oom,
+            );
+            let world = SnapifyWorld::boot_with_faults(
+                PlatformParams::default(),
+                CoiConfig::default(),
+                registry(),
+                schedule,
+            );
+            let sched = SwapScheduler::new(1, "/swap/leak");
+            let host = world.coi().create_host_process("a");
+            let ha = world.coi().create_process(&host, 0, "tenant.so").unwrap();
+            let a = sched.admit(&ha, 0);
+            sched.park(a).unwrap();
+            let host_b = world.coi().create_host_process("b");
+            let hb = world.coi().create_process(&host_b, 0, "tenant.so").unwrap();
+            let b = sched.admit(&hb, 0);
+
+            // Past the fault's due time, the rotation's swap-out of B
+            // fails in the transport; the error must surface typed and
+            // job A — already popped from the ready queue — must not
+            // leak.
+            simkernel::sleep(simkernel::time::secs(31));
+            assert!(sched.rotate().is_err(), "swap-out transport fault surfaces");
+            assert!(sched.is_resident(b), "outgoing job stays resident");
+            assert!(!sched.is_resident(a));
+
+            // The failed swap-out resumed B: it still takes work.
+            hb.run_sync("bump", Vec::new(), &[]).unwrap();
+
+            // The fault fired once; retrying the rotation must find A
+            // still queued and complete the switch.
+            assert_eq!(sched.rotate().unwrap(), 1, "incoming job was leaked");
+            assert!(sched.is_resident(a));
+            assert!(!sched.is_resident(b));
+        });
+    }
+
+    #[test]
+    fn retire_a_parked_job_releases_its_snapshot() {
+        Kernel::run_root(|| {
+            let world = SnapifyWorld::boot_dedup(registry());
+            let store = world.store().unwrap().clone();
+            let sched = SwapScheduler::new(1, "/swap/rp").with_store(&store);
+            let host = world.coi().create_host_process("t");
+            let h = world.coi().create_process(&host, 0, "tenant.so").unwrap();
+            let buf = h.create_buffer(256 * MB).unwrap();
+            h.buffer_write(&buf, Payload::synthetic(4, 256 * MB))
+                .unwrap();
+            let id = sched.admit(&h, 0);
+            sched.park(id).unwrap();
+            assert!(store.stats().bytes_stored > 0);
+
+            // The tenant finished while parked: retiring it must GC the
+            // swap snapshot instead of panicking.
+            sched.retire(id).unwrap();
+            assert!(!sched.is_resident(id));
+            assert_eq!(store.stats().bytes_stored, 0);
+            assert_eq!(store.stats().manifests, 0);
+            assert!(!world
+                .server()
+                .host()
+                .fs()
+                .exists(&format!("/swap/rp/job{id}/libraries")));
+        });
+    }
+
+    #[test]
+    fn concurrent_parks_swap_out_once() {
+        for seed in [1u64, 7, 23, 0xC0FFEE] {
+            Kernel::run_root_with(SchedPolicy::Random(seed), move || {
+                let world = SnapifyWorld::boot(registry());
+                let sched = SwapScheduler::new(1, "/swap/race");
+                let host = world.coi().create_host_process("t");
+                let h = world.coi().create_process(&host, 0, "tenant.so").unwrap();
+                let id = sched.admit(&h, 0);
+                // Two callers race to park the same job; the second
+                // lands squarely inside the first one's swap-out.
+                let (s1, s2) = (sched.clone(), sched.clone());
+                let t1 = h
+                    .host_proc()
+                    .clone()
+                    .spawn_thread("park1", move || s1.park(id));
+                let t2 = h.host_proc().clone().spawn_thread("park2", move || {
+                    simkernel::sleep(simkernel::time::ms(1));
+                    s2.park(id)
+                });
+                t1.join().unwrap();
+                t2.join().unwrap();
+                assert!(!sched.is_resident(id));
+                assert_eq!(
+                    sched.swap_count(),
+                    1,
+                    "seed {seed}: job must swap out exactly once"
+                );
+            });
+        }
+    }
+
+    #[test]
+    fn warm_swapin_ships_fewer_bytes_and_halves_latency() {
+        // One park/rotate cycle of an unchanged 1 GiB tenant, measured
+        // with the warm restore cache on vs off (cold baseline).
+        let cycle = |cache_bytes: u64| -> (f64, u64, u64) {
+            Kernel::run_root(move || {
+                let world = SnapifyWorld::boot_dedup_with(
+                    PlatformParams::default(),
+                    CoiConfig::default(),
+                    registry(),
+                    DedupConfig {
+                        restore_cache_bytes: cache_bytes,
+                        ..DedupConfig::default()
+                    },
+                );
+                let store = world.store().unwrap().clone();
+                let sched = SwapScheduler::new(1, "/swap/si").with_store(&store);
+                let host = world.coi().create_host_process("t");
+                let h = world.coi().create_process(&host, 0, "tenant.so").unwrap();
+                let buf = h.create_buffer(GB).unwrap();
+                h.buffer_write(&buf, Payload::synthetic(5, GB)).unwrap();
+                let id = sched.admit(&h, 0);
+                sched.park(id).unwrap();
+
+                let before = store.stats();
+                let t0 = simkernel::now();
+                sched.rotate().unwrap();
+                let swapin_secs = (simkernel::now() - t0).as_secs_f64();
+                let after = store.stats();
+
+                assert!(sched.is_resident(id));
+                assert_eq!(
+                    h.buffer_read(&buf).unwrap().digest(),
+                    Payload::synthetic(5, GB).digest(),
+                    "tenant state corrupted by the restore fast path"
+                );
+                (
+                    swapin_secs,
+                    after.restore_bytes_fetched - before.restore_bytes_fetched,
+                    after.restore_bytes_avoided - before.restore_bytes_avoided,
+                )
+            })
+        };
+        let (cold_secs, cold_fetched, _) = cycle(0);
+        let (warm_secs, warm_fetched, warm_avoided) = cycle(4 << 30);
+        assert!(cold_fetched >= GB, "cold swap-in re-ships the image");
+        assert!(
+            warm_fetched * 5 <= cold_fetched,
+            "warm swap-in must ship >=80% fewer bytes: warm={warm_fetched} cold={cold_fetched}"
+        );
+        assert!(
+            warm_avoided >= GB,
+            "warm hits cover the image: {warm_avoided}"
+        );
+        assert!(
+            warm_secs * 2.0 <= cold_secs,
+            "warm swap-in must be >=2x faster: warm={warm_secs}s cold={cold_secs}s"
+        );
     }
 
     #[test]

@@ -74,7 +74,26 @@ impl SnapifyWorld {
         registry: FunctionRegistry,
         dedup_config: DedupConfig,
     ) -> SnapifyWorld {
-        let server = PhiServer::new_with_faults(params, FaultSchedule::none());
+        SnapifyWorld::boot_dedup_with_faults(
+            params,
+            coi_config,
+            registry,
+            dedup_config,
+            FaultSchedule::none(),
+        )
+    }
+
+    /// [`SnapifyWorld::boot_dedup_with`] plus a chaos-plane
+    /// [`FaultSchedule`], so swap paths through the content-addressed
+    /// store run under injected transport/fs/memory faults.
+    pub fn boot_dedup_with_faults(
+        params: PlatformParams,
+        coi_config: CoiConfig,
+        registry: FunctionRegistry,
+        dedup_config: DedupConfig,
+        schedule: FaultSchedule,
+    ) -> SnapifyWorld {
+        let server = PhiServer::new_with_faults(params, schedule);
         let io = SnapifyIo::new(&server, SnapifyIoConfig::default());
         let store = Dedup::new(&server, Arc::new(io.clone()), dedup_config);
         let coi = CoiWorld::boot(&server, coi_config, registry, Arc::new(store.clone()));

@@ -197,6 +197,7 @@ impl SnapifyIo {
         // The remote daemon appends asynchronously; the writer does not
         // wait for the file system (§7: the host flush runs in parallel).
         obs::counter_add("io.Snapify-IO.bytes_written", chunk.len());
+        obs::counter_add("io.Snapify-IO.chunks_written", 1);
         server.node(target).fs().append_async(path, chunk)?;
         Ok(())
     }
@@ -223,6 +224,7 @@ impl SnapifyIo {
             .node(local)
             .memcpy((chunk.len() as f64 * self.inner.config.socket_copies) as u64);
         obs::counter_add("io.Snapify-IO.bytes_read", chunk.len());
+        obs::counter_add("io.Snapify-IO.chunks_read", 1);
         Ok(chunk)
     }
 }

@@ -18,22 +18,29 @@
 //! serializing with it.
 //!
 //! Restore reverses the path: fetch the manifest through the backend,
-//! reassemble the image from the chunk index, verify the rebuilt digest
-//! against the manifest (the `incremental.rs` chain-verification
-//! discipline — corruption is rejected, never silently restored), then
-//! stream the image through the backend so the restore pays the full
-//! transport cost the paper measures.
+//! verify the reassembled image against the manifest digest (the
+//! `incremental.rs` chain-verification discipline — corruption is
+//! rejected, never silently restored), then serve the stream through a
+//! **restore fast path**: chunks still *warm* on the restoring node
+//! (they survived there since the last swap-out, tracked by a bounded,
+//! refcount-aware per-node cache) are satisfied with a local memcpy and
+//! never cross the transport again; cold chunks are staged and fetched
+//! through the backend, with fetch of chunk `k+1` pipelined against the
+//! BLCR stream replay of chunk `k` — the mirror image of the capture
+//! pipeline. Cold chunks are digest-verified on arrival and then enter
+//! the restoring node's warm cache.
 //!
 //! Garbage collection is refcount-based: deleting a snapshot releases
-//! its manifest's references; chunks that hit zero are dropped and pack
-//! files whose chunks are all dead are deleted from the backing fs.
+//! its manifest's references; chunks that hit zero are dropped (and
+//! evicted from every warm cache) and pack files whose chunks are all
+//! dead are deleted from the backing fs.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use phi_platform::{NodeId, Payload, PhiServer, SimFs};
 use simkernel::obs;
-use simkernel::{Bandwidth, BandwidthResource, SimChannel, SimDuration};
+use simkernel::{now, Bandwidth, BandwidthResource, SimChannel, SimDuration, SimTime};
 use simproc::{ByteSink, ByteSource, IoError, SnapshotStorage};
 
 /// Identity of a chunk: (content digest, length). The length guards the
@@ -60,6 +67,18 @@ pub struct DedupConfig {
     /// own fs (`LocalStorage`) rather than the host fs. Decides where
     /// pack files live and where restore staging is materialized.
     pub local_fs: bool,
+    /// Byte budget of each node's warm chunk cache (restore fast path).
+    /// Chunks a node captured or restored stay "warm" there until
+    /// evicted (LRU) or collected; a warm chunk is restored with a
+    /// local memcpy instead of crossing the transport. `0` disables the
+    /// cache — every restore is cold.
+    pub restore_cache_bytes: u64,
+    /// Whether cold chunks are prefetched on a dedicated sim thread so
+    /// the transport of chunk `k+1` overlaps the digest/replay of chunk
+    /// `k`. `false` = fetch inline (serial baseline for the bench).
+    pub restore_pipelined: bool,
+    /// Bounded depth of the prefetch → replay queue.
+    pub restore_prefetch_depth: usize,
 }
 
 impl Default for DedupConfig {
@@ -70,6 +89,9 @@ impl Default for DedupConfig {
             pipelined: true,
             pipeline_depth: 4,
             local_fs: false,
+            restore_cache_bytes: 4 << 30,
+            restore_pipelined: true,
+            restore_prefetch_depth: 4,
         }
     }
 }
@@ -94,6 +116,15 @@ pub struct StoreStats {
     pub chunks_freed: u64,
     /// Pack files deleted by GC so far.
     pub packs_deleted: u64,
+    /// Restored chunks satisfied by a node's warm cache (local memcpy,
+    /// no transport).
+    pub restore_chunks_warm: u64,
+    /// Restored chunks fetched cold through the backend transport.
+    pub restore_chunks_cold: u64,
+    /// Restore bytes that never crossed the transport (warm hits).
+    pub restore_bytes_avoided: u64,
+    /// Restore bytes that crossed the transport (cold fetches).
+    pub restore_bytes_fetched: u64,
 }
 
 struct ChunkEntry {
@@ -113,6 +144,49 @@ struct ManifestRecord {
     node: NodeId,
 }
 
+/// Which chunks are still materialized on one node since it last
+/// captured or restored them. Holds *keys only* (plus LRU ticks) — the
+/// content lives in the refcounted chunk index, and no node memory is
+/// charged for cache membership.
+#[derive(Default)]
+struct WarmCache {
+    chunks: HashMap<ChunkKey, u64>,
+    bytes: u64,
+    tick: u64,
+}
+
+impl WarmCache {
+    /// Touch or insert `key`, then evict least-recently-used entries
+    /// until the cache fits `cap`. Ticks are unique, so eviction order
+    /// is deterministic.
+    fn insert(&mut self, key: ChunkKey, cap: u64) {
+        if key.1 > cap {
+            return;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        if self.chunks.insert(key, tick).is_none() {
+            self.bytes += key.1;
+        }
+        while self.bytes > cap {
+            let oldest = *self
+                .chunks
+                .iter()
+                .min_by_key(|(_, t)| **t)
+                .expect("bytes > 0 implies entries")
+                .0;
+            self.chunks.remove(&oldest);
+            self.bytes -= oldest.1;
+        }
+    }
+
+    fn remove(&mut self, key: &ChunkKey) {
+        if self.chunks.remove(key).is_some() {
+            self.bytes -= key.1;
+        }
+    }
+}
+
 #[derive(Default)]
 struct Index {
     chunks: HashMap<ChunkKey, ChunkEntry>,
@@ -120,6 +194,34 @@ struct Index {
     manifests: HashMap<String, ManifestRecord>,
     next_pack: u64,
     stats: StoreStats,
+    /// Per-node warm chunk caches (restore fast path).
+    warm: HashMap<NodeId, WarmCache>,
+}
+
+impl Index {
+    /// Mark `key` warm on `node`: the node holds a verified copy of the
+    /// chunk's content right now (it just captured or restored it).
+    fn warm_insert(&mut self, node: NodeId, key: ChunkKey, cap: u64) {
+        if cap == 0 {
+            return;
+        }
+        debug_assert!(self.chunks.contains_key(&key), "warm chunk must be live");
+        self.warm.entry(node).or_default().insert(key, cap);
+    }
+
+    fn is_warm(&self, node: NodeId, key: &ChunkKey) -> bool {
+        self.warm
+            .get(&node)
+            .is_some_and(|c| c.chunks.contains_key(key))
+    }
+
+    /// A chunk died (refcount hit zero): no warm cache may keep serving
+    /// it — its backing content is gone from the store.
+    fn warm_evict_all(&mut self, key: &ChunkKey) {
+        for cache in self.warm.values_mut() {
+            cache.remove(key);
+        }
+    }
 }
 
 struct StoreInner {
@@ -287,6 +389,12 @@ impl Dedup {
                 idx.packs.get_mut(&pack).expect("pack registered").live += 1;
                 idx.stats.bytes_stored += key.1;
             }
+            // Everything the capture just streamed is materialized on
+            // the capturing node right now: warm it for the swap-in.
+            let cap = self.inner.config.restore_cache_bytes;
+            for key in refs {
+                idx.warm_insert(node, *key, cap);
+            }
             if let Some(old) = old {
                 release_manifest(&mut idx, old, &mut dead_files);
             }
@@ -363,6 +471,13 @@ impl Dedup {
     fn backend(&self) -> &Arc<dyn SnapshotStorage> {
         &self.inner.backend
     }
+
+    /// Bytes currently tracked by `node`'s warm cache (test hook).
+    #[cfg(test)]
+    fn warm_bytes(&self, node: NodeId) -> u64 {
+        let idx = self.inner.index.lock().unwrap();
+        idx.warm.get(&node).map_or(0, |c| c.bytes)
+    }
 }
 
 /// Release one manifest's references; dead chunks and dead packs are
@@ -375,6 +490,7 @@ fn release_manifest(idx: &mut Index, old: ManifestRecord, dead_files: &mut Vec<(
             continue;
         }
         let entry = idx.chunks.remove(key).unwrap();
+        idx.warm_evict_all(key);
         idx.stats.bytes_stored -= key.1;
         idx.stats.chunks_freed += 1;
         obs::counter_add("store.gc.chunks_freed", 1);
@@ -426,8 +542,14 @@ impl Dedup {
         let manifest = Manifest::decode(&bytes)
             .map_err(|e| IoError::Other(format!("snapstore {path}: {e}")))?;
 
-        // 2. Reassemble the image from the chunk index.
+        // 2. Build the restore plan under the index lock: for each
+        //    chunk, decide warm (still materialized on `local` — serve
+        //    with a memcpy) vs cold (must cross the transport again),
+        //    and reassemble the image for structural verification.
         let mut image = Payload::empty();
+        let mut plan = Vec::with_capacity(manifest.chunks.len());
+        let mut warm_bytes = 0u64;
+        let mut cold = Vec::new();
         {
             let idx = self.inner.index.lock().unwrap();
             for key in &manifest.chunks {
@@ -438,13 +560,29 @@ impl Dedup {
                     ))
                 })?;
                 image.append(entry.content.clone());
+                if idx.is_warm(local, key) {
+                    warm_bytes += key.1;
+                    plan.push(RestoreStep {
+                        key: *key,
+                        warm: Some(entry.content.clone()),
+                    });
+                } else {
+                    cold.push(entry.content.clone());
+                    plan.push(RestoreStep {
+                        key: *key,
+                        warm: None,
+                    });
+                }
             }
         }
+        let cold_bytes = manifest.total - warm_bytes;
 
-        // 3. Verify before handing out a single byte (the incremental-
-        //    chain discipline: reject, never silently restore). The
-        //    digest pass runs on the restoring node's core.
-        self.hasher(local).transfer(manifest.total);
+        // 3. Verify the reassembled image against the manifest before
+        //    handing out a single byte (the incremental-chain
+        //    discipline: reject, never silently restore). This is the
+        //    free structural check; the metered digest pass is paid per
+        //    cold chunk on arrival — warm chunks were verified when
+        //    they entered the cache.
         if image.len() != manifest.total {
             return Err(IoError::Other(format!(
                 "snapstore {path}: image length mismatch: manifest says {}, rebuilt {}",
@@ -459,21 +597,100 @@ impl Dedup {
                 manifest.image_digest
             )));
         }
+        let _g = obs::span!(
+            "snapify.restore.fetch",
+            chunks = plan.len(),
+            warm_bytes = warm_bytes,
+            cold_bytes = cold_bytes,
+        );
 
-        // 4. Stream the verified image through the backend so the
-        //    restore pays the real transport cost: materialize a staging
-        //    file next to the manifest (content lands immediately, the
-        //    write-back overlaps the reads) and read it back through the
-        //    wrapped transport. The staging file dies with the source.
-        let staging = format!("{path}.restore");
+        // 4. Cold chunks cross the transport: materialize a staging
+        //    file holding ONLY the cold bytes (content lands
+        //    immediately, the write-back overlaps the reads) and fetch
+        //    it back through the wrapped backend — pipelined on a
+        //    dedicated prefetch thread so the transport of chunk `k+1`
+        //    overlaps the replay of chunk `k`. The staging file dies
+        //    with the source. A fully-warm restore opens no stream at
+        //    all.
         let fs = self.storage_fs(local);
-        fs.create_or_truncate(&staging);
-        for chunk in image.chunks(self.inner.config.chunk_size) {
-            fs.append_async(&staging, chunk)?;
-        }
-        let inner = self.backend().source(local, &staging)?;
-        Ok(Box::new(DedupSource { fs, staging, inner }))
+        let mut staging = None;
+        let fetch = if cold_bytes == 0 {
+            ColdFetch::None
+        } else {
+            let spath = format!("{path}.restore");
+            fs.create_or_truncate(&spath);
+            for content in &cold {
+                for chunk in content.chunks(self.inner.config.chunk_size) {
+                    fs.append_async(&spath, chunk)?;
+                }
+            }
+            staging = Some(spath.clone());
+            if self.inner.config.restore_pipelined {
+                let tx: SimChannel<Payload> = SimChannel::bounded(
+                    format!("snapstore-restore-pipe:{path}"),
+                    self.inner.config.restore_prefetch_depth.max(1),
+                );
+                let rx = tx.clone();
+                let store = self.clone();
+                let cold_lens: Vec<u64> = cold.iter().map(|c| c.len()).collect();
+                let handle = simkernel::spawn(format!("snapstore-restore:{path}"), move || {
+                    let run = || -> Result<(), IoError> {
+                        let mut src = store.backend().source(local, &spath)?;
+                        for len in cold_lens {
+                            let chunk = read_exact(src.as_mut(), len, &spath)?;
+                            if tx.send(chunk).is_err() {
+                                // The reader went away mid-restore.
+                                return Ok(());
+                            }
+                        }
+                        Ok(())
+                    };
+                    let out = run();
+                    // Done or dead: unblock the reader either way.
+                    tx.close();
+                    out
+                });
+                ColdFetch::Pipelined {
+                    rx,
+                    handle: Some(handle),
+                }
+            } else {
+                ColdFetch::Serial {
+                    inner: self.backend().source(local, &spath)?,
+                }
+            }
+        };
+        Ok(Box::new(DedupSource {
+            store: self.clone(),
+            local,
+            path: path.to_string(),
+            fs,
+            staging,
+            steps: plan.into_iter(),
+            fetch,
+            pending: Payload::empty(),
+            opened_at: now(),
+            stalled: SimDuration::ZERO,
+        }))
     }
+}
+
+/// Read exactly `len` bytes from `src` (backends may return short
+/// reads); fewer means the staging stream was truncated underneath us.
+fn read_exact(src: &mut dyn ByteSource, len: u64, path: &str) -> Result<Payload, IoError> {
+    let mut got = Payload::empty();
+    while got.len() < len {
+        match src.read(len - got.len())? {
+            Some(c) => got.append(c),
+            None => {
+                return Err(IoError::Other(format!(
+                    "snapstore {path}: staging truncated at {}/{len}",
+                    got.len()
+                )))
+            }
+        }
+    }
+    Ok(got)
 }
 
 // ---------------------------------------------------------------------------
@@ -729,23 +946,167 @@ impl ByteSink for DedupSink {
 // Restore side
 // ---------------------------------------------------------------------------
 
-/// Restore-side source: reads the verified, reassembled image through
+/// One chunk of the restore plan: warm chunks carry their content
+/// (served with a local memcpy); cold chunks are fetched in plan order.
+struct RestoreStep {
+    key: ChunkKey,
+    warm: Option<Payload>,
+}
+
+/// How cold chunks reach the restoring node.
+enum ColdFetch {
+    /// Dedicated prefetch thread pushing cold chunks through a bounded
+    /// queue — transport of chunk `k+1` overlaps the replay of `k`.
+    Pipelined {
+        rx: SimChannel<Payload>,
+        handle: Option<simkernel::JoinHandle<Result<(), IoError>>>,
+    },
+    /// Inline fetch (serial baseline).
+    Serial { inner: Box<dyn ByteSource> },
+    /// Fully-warm restore: nothing crosses the transport.
+    None,
+}
+
+/// Restore-side source: replays the manifest's chunk sequence, serving
+/// warm chunks from the restoring node's cache and cold chunks through
 /// the backend transport. Deletes its staging file when dropped.
 struct DedupSource {
+    store: Dedup,
+    local: NodeId,
+    path: String,
     fs: SimFs,
-    staging: String,
-    inner: Box<dyn ByteSource>,
+    staging: Option<String>,
+    steps: std::vec::IntoIter<RestoreStep>,
+    fetch: ColdFetch,
+    /// Bytes from completed steps not yet handed to the caller.
+    pending: Payload,
+    opened_at: SimTime,
+    /// Time spent waiting on the prefetch queue (the un-overlapped
+    /// remainder of the cold transport).
+    stalled: SimDuration,
+}
+
+impl DedupSource {
+    /// Complete the next plan step, appending its bytes to `pending`.
+    fn replay_step(&mut self, step: RestoreStep) -> Result<(), IoError> {
+        let (digest, len) = step.key;
+        if let Some(content) = step.warm {
+            // Warm hit: the store still holds a pinned, verified copy
+            // of these bytes — one host memcpy feeds them into the
+            // replay stream; no backend transport, no re-hash (the
+            // cached copy was verified when it entered the cache).
+            self.store.server().host().memcpy(len);
+            let mut idx = self.store.inner.index.lock().unwrap();
+            idx.warm_insert(
+                self.local,
+                step.key,
+                self.store.inner.config.restore_cache_bytes,
+            );
+            idx.stats.restore_chunks_warm += 1;
+            idx.stats.restore_bytes_avoided += len;
+            drop(idx);
+            obs::counter_add("snapify.restore.cache_hits", 1);
+            obs::counter_add("snapify.restore.bytes_avoided", len);
+            self.pending.append(content);
+            return Ok(());
+        }
+        let chunk = match &mut self.fetch {
+            ColdFetch::Pipelined { rx, handle } => {
+                let t0 = now();
+                let got = rx.recv();
+                self.stalled += now() - t0;
+                match got {
+                    Ok(c) => c,
+                    Err(_) => {
+                        // The prefetcher closed the queue with cold
+                        // steps outstanding: surface its error.
+                        return Err(match handle.take() {
+                            Some(h) => match h.join() {
+                                Err(e) => e,
+                                Ok(()) => IoError::Other(format!(
+                                    "snapstore {}: restore prefetch ended early",
+                                    self.path
+                                )),
+                            },
+                            None => IoError::Closed,
+                        });
+                    }
+                }
+            }
+            ColdFetch::Serial { inner } => {
+                let staging = self.staging.as_deref().unwrap_or(&self.path);
+                read_exact(inner.as_mut(), len, staging)?
+            }
+            ColdFetch::None => {
+                return Err(IoError::Other(format!(
+                    "snapstore {}: cold chunk in a fully-warm plan",
+                    self.path
+                )))
+            }
+        };
+        // Verify on arrival (the digest pass runs on the restoring
+        // node's core, overlapping the prefetch of the next chunk),
+        // then the chunk is warm here.
+        self.store.hasher(self.local).transfer(len);
+        if chunk.len() != len || chunk.digest() != digest {
+            return Err(IoError::Other(format!(
+                "snapstore {}: cold chunk {digest:#x}+{len} corrupted in transit",
+                self.path
+            )));
+        }
+        let mut idx = self.store.inner.index.lock().unwrap();
+        if idx.chunks.contains_key(&step.key) {
+            idx.warm_insert(
+                self.local,
+                step.key,
+                self.store.inner.config.restore_cache_bytes,
+            );
+        }
+        idx.stats.restore_chunks_cold += 1;
+        idx.stats.restore_bytes_fetched += len;
+        drop(idx);
+        obs::counter_add("snapify.restore.bytes_fetched", len);
+        self.pending.append(chunk);
+        Ok(())
+    }
 }
 
 impl ByteSource for DedupSource {
     fn read(&mut self, max: u64) -> Result<Option<Payload>, IoError> {
-        self.inner.read(max)
+        while self.pending.is_empty() {
+            match self.steps.next() {
+                Some(step) => self.replay_step(step)?,
+                None => return Ok(None),
+            }
+        }
+        let n = max.min(self.pending.len());
+        let out = self.pending.slice(0, n);
+        self.pending = self.pending.slice(n, self.pending.len() - n);
+        Ok(Some(out))
     }
 }
 
 impl Drop for DedupSource {
     fn drop(&mut self) {
-        let _ = self.fs.delete(&self.staging);
+        if let ColdFetch::Pipelined { rx, handle } = &mut self.fetch {
+            // Unblock a prefetcher stuck on the bounded queue, then
+            // wait it out so the staging file is not deleted while it
+            // still reads.
+            rx.close();
+            if let Some(h) = handle.take() {
+                let _ = h.join();
+            }
+            let elapsed = now() - self.opened_at;
+            if elapsed.as_secs_f64() > 0.0 {
+                let overlap_pct = 100u64.saturating_sub(
+                    (100.0 * self.stalled.as_secs_f64() / elapsed.as_secs_f64()) as u64,
+                );
+                obs::histogram_observe("snapify.restore.overlap_pct", overlap_pct);
+            }
+        }
+        if let Some(staging) = &self.staging {
+            let _ = self.fs.delete(staging);
+        }
     }
 }
 
@@ -871,7 +1232,11 @@ mod tests {
     }
 
     fn read_stream(store: &Dedup, path: &str) -> Payload {
-        let mut src = store.source(NodeId::device(0), path).unwrap();
+        read_stream_from(store, NodeId::device(0), path)
+    }
+
+    fn read_stream_from(store: &Dedup, local: NodeId, path: &str) -> Payload {
+        let mut src = store.source(local, path).unwrap();
         let mut out = Payload::empty();
         while let Some(c) = src.read(8 << 20).unwrap() {
             out.append(c);
@@ -1113,6 +1478,145 @@ mod tests {
             assert!(
                 piped < serial,
                 "pipelined capture overlaps hash and transfer: piped={piped} serial={serial}"
+            );
+        });
+    }
+
+    #[test]
+    fn warm_restore_avoids_the_transport() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            let st = store(&server, DedupConfig::default());
+            let data = Payload::synthetic(21, 64 * MB);
+            // Capture from device 0 warms device 0's cache.
+            write_stream(&st, "/snap/warm", std::slice::from_ref(&data));
+            assert_eq!(read_stream(&st, "/snap/warm").digest(), data.digest());
+            let s = st.stats();
+            assert_eq!(s.restore_bytes_avoided, 64 * MB, "{s:?}");
+            assert_eq!(s.restore_bytes_fetched, 0, "{s:?}");
+            // A different node holds nothing warm: same manifest, all
+            // cold — and the fetch warms *that* node for next time.
+            let d1 = NodeId::device(1);
+            assert_eq!(
+                read_stream_from(&st, d1, "/snap/warm").digest(),
+                data.digest()
+            );
+            assert_eq!(st.stats().restore_bytes_fetched, 64 * MB);
+            assert_eq!(
+                read_stream_from(&st, d1, "/snap/warm").digest(),
+                data.digest()
+            );
+            assert_eq!(
+                st.stats().restore_bytes_fetched,
+                64 * MB,
+                "second read is warm"
+            );
+        });
+    }
+
+    #[test]
+    fn disabled_cache_restores_everything_cold() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            let st = store(
+                &server,
+                DedupConfig {
+                    restore_cache_bytes: 0,
+                    ..DedupConfig::default()
+                },
+            );
+            let data = Payload::synthetic(22, 32 * MB);
+            write_stream(&st, "/snap/cold", std::slice::from_ref(&data));
+            assert_eq!(read_stream(&st, "/snap/cold").digest(), data.digest());
+            let s = st.stats();
+            assert_eq!(s.restore_bytes_avoided, 0, "{s:?}");
+            assert_eq!(s.restore_bytes_fetched, 32 * MB, "{s:?}");
+        });
+    }
+
+    #[test]
+    fn warm_cache_respects_its_byte_budget() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            let st = store(
+                &server,
+                DedupConfig {
+                    restore_cache_bytes: 8 * MB,
+                    ..DedupConfig::default()
+                },
+            );
+            let data = Payload::synthetic(23, 32 * MB);
+            write_stream(&st, "/snap/lru", std::slice::from_ref(&data));
+            assert!(st.warm_bytes(NodeId::device(0)) <= 8 * MB);
+            // However the restore goes, at most the budget is avoided.
+            assert_eq!(read_stream(&st, "/snap/lru").digest(), data.digest());
+            assert!(st.stats().restore_bytes_avoided <= 8 * MB);
+            assert!(st.warm_bytes(NodeId::device(0)) <= 8 * MB);
+        });
+    }
+
+    #[test]
+    fn gc_evicts_dead_chunks_from_warm_caches() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            let st = store(&server, DedupConfig::default());
+            let data = Payload::synthetic(24, 16 * MB);
+            write_stream(&st, "/snap/wgc", std::slice::from_ref(&data));
+            assert_eq!(st.warm_bytes(NodeId::device(0)), 16 * MB);
+            assert!(st.delete_snapshot("/snap/wgc"));
+            // The chunks died with their last reference; no cache may
+            // keep accounting for them.
+            assert_eq!(st.warm_bytes(NodeId::device(0)), 0);
+        });
+    }
+
+    #[test]
+    fn restore_pipelining_overlaps_fetch_with_replay() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            let data = Payload::synthetic(25, 128 * MB);
+            let timed = |restore_pipelined: bool, path: &str| {
+                let st = store(
+                    &server,
+                    DedupConfig {
+                        restore_cache_bytes: 0,
+                        restore_pipelined,
+                        ..DedupConfig::default()
+                    },
+                );
+                write_stream(&st, path, std::slice::from_ref(&data));
+                let t0 = now();
+                assert_eq!(read_stream(&st, path).digest(), data.digest());
+                (now() - t0).as_secs_f64()
+            };
+            let serial = timed(false, "/snap/rserial");
+            let piped = timed(true, "/snap/rpiped");
+            assert!(
+                piped < serial,
+                "pipelined restore overlaps fetch and replay: piped={piped} serial={serial}"
+            );
+        });
+    }
+
+    #[test]
+    fn warm_restore_is_faster_than_cold() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            let st = store(&server, DedupConfig::default());
+            let data = Payload::synthetic(26, 128 * MB);
+            write_stream(&st, "/snap/wf", std::slice::from_ref(&data));
+            let t0 = now();
+            assert_eq!(read_stream(&st, "/snap/wf").digest(), data.digest());
+            let warm = (now() - t0).as_secs_f64();
+            let t0 = now();
+            assert_eq!(
+                read_stream_from(&st, NodeId::device(1), "/snap/wf").digest(),
+                data.digest()
+            );
+            let cold = (now() - t0).as_secs_f64();
+            assert!(
+                warm * 2.0 < cold,
+                "warm restore skips the transport: warm={warm} cold={cold}"
             );
         });
     }

@@ -48,12 +48,10 @@ fn record_repro(lines: &[String]) {
     }
 }
 
-fn sweep_block(block: u64) {
-    let n = cases_per_block();
-    let base = BASE_SEED + block * 1000;
+fn sweep_cases(n: u64, expand: impl Fn(u64) -> ChaosCase) {
     let mut failures = Vec::new();
-    for seed in base..base + n {
-        let case = ChaosCase::from_seed(seed);
+    for seed in 0..n {
+        let case = expand(seed);
         let outcome = run_case(&case);
         if let Some(why) = outcome.failure {
             failures.push(format!("{} # {case}: {why}", case.repro_line()));
@@ -68,6 +66,11 @@ fn sweep_block(block: u64) {
             failures.join("\n")
         );
     }
+}
+
+fn sweep_block(block: u64) {
+    let base = BASE_SEED + block * 1000;
+    sweep_cases(cases_per_block(), |i| ChaosCase::from_seed(base + i));
 }
 
 #[test]
@@ -88,6 +91,34 @@ fn chaos_sweep_block_c() {
 #[test]
 fn chaos_sweep_block_d() {
     sweep_block(3);
+}
+
+/// Swap-rotate workloads: two dedup-backed tenants time-share one card
+/// (park / rotate ×3 / retire) under generated bus-fault schedules and
+/// random scheduler seeds. Exercises the scheduler's claim machinery
+/// and the warm restore fast path under chaos; repro lines carry
+/// `SIMCHAOS_OP=swap-rotate` so `replay_case_from_env` rebuilds the
+/// pinned op.
+#[test]
+fn chaos_sweep_block_swap_rotate() {
+    let base = BASE_SEED + 4000;
+    sweep_cases(cases_per_block(), |i| {
+        ChaosCase::swap_rotate_from_seed(base + i)
+    });
+}
+
+/// The replay contract holds for the pinned swap-rotate op too.
+#[test]
+fn swap_rotate_cases_replay_byte_identical() {
+    let case = ChaosCase::swap_rotate_from_seed(BASE_SEED + 4000);
+    let first = run_case(&case);
+    let second = run_case(&case);
+    assert!(first.ok(), "{:?}", first.failure);
+    assert_eq!(first.failure, second.failure);
+    assert_eq!(first.trace_len, second.trace_len);
+    assert_eq!(first.trace_digest, second.trace_digest);
+    assert_eq!(first.faults_fired, second.faults_fired);
+    assert!(first.trace_len > 0, "tracing must actually be on");
 }
 
 /// The replay contract, end to end: the same case executed twice is

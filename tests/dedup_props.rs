@@ -99,6 +99,86 @@ fn dedup_matches_full_image(policy: SchedPolicy, seed: u64, mutations: Vec<(u8, 
     });
 }
 
+/// The warm restore cache is an optimization, never a semantic change:
+/// restoring through a warm store (default cache) and through a cold
+/// store (cache disabled) must both be byte-identical to the live
+/// process, for arbitrary mutation sets and wakeup orders — while the
+/// byte accounting proves the warm path actually skipped the transport.
+fn warm_restore_matches_cold(policy: SchedPolicy, seed: u64, mutations: Vec<(u8, u64)>) {
+    Kernel::run_root_with(policy, move || {
+        let server = PhiServer::new(PlatformParams::default());
+        let backend: Arc<SnapifyIo> = Arc::new(SnapifyIo::new_default(&server));
+        let warm = Dedup::new(&server, backend.clone(), DedupConfig::default());
+        let cold = Dedup::new(
+            &server,
+            backend.clone(),
+            DedupConfig {
+                restore_cache_bytes: 0,
+                ..DedupConfig::default()
+            },
+        );
+        let node = server.device(0).clone();
+        let pids = PidAllocator::new();
+        let cfg = BlcrConfig::default();
+
+        let proc = SimProcess::new(pids.alloc(), "p", &node);
+        for r in 0..REGIONS {
+            proc.memory()
+                .map_region(
+                    &format!("r{r}"),
+                    Payload::synthetic(seed ^ r as u64, REGION_BYTES),
+                )
+                .unwrap();
+        }
+        for (region, new_seed) in &mutations {
+            let r = *region as usize % REGIONS;
+            proc.memory()
+                .update_region(
+                    &format!("r{r}"),
+                    Payload::synthetic(*new_seed, REGION_BYTES),
+                )
+                .unwrap();
+        }
+
+        let live = proc.memory().digest();
+        for (store, path) in [(&warm, "/prop/warm"), (&cold, "/prop/cold")] {
+            let mut sink = store.sink(node.id(), path).unwrap();
+            checkpoint(&cfg, &proc, b"state", sink.as_mut()).unwrap();
+            let mut src = store.source(node.id(), path).unwrap();
+            let restored = restart(&cfg, &node, &pids, src.as_mut()).unwrap();
+            assert_eq!(
+                restored.proc.memory().digest(),
+                live,
+                "restore through the {} store diverges from the live process",
+                if store.stats().restore_bytes_avoided > 0 {
+                    "warm"
+                } else {
+                    "cold"
+                }
+            );
+            assert_eq!(restored.runtime_state, b"state");
+            restored.proc.exit();
+        }
+
+        // The capture node's chunks were warmed at commit, so the warm
+        // store's restore skips the transport entirely; the cold store
+        // must account every byte as fetched.
+        assert!(
+            warm.stats().restore_bytes_avoided > 0,
+            "warm restore never hit the cache: {:?}",
+            warm.stats()
+        );
+        assert_eq!(warm.stats().restore_bytes_fetched, 0);
+        assert_eq!(cold.stats().restore_bytes_avoided, 0);
+        assert!(
+            cold.stats().restore_bytes_fetched >= REGIONS as u64 * REGION_BYTES,
+            "cold restore must re-ship the image: {:?}",
+            cold.stats()
+        );
+        proc.exit();
+    });
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
 
@@ -121,5 +201,30 @@ proptest! {
         mutations in prop::collection::vec((any::<u8>(), 0u64..1_000_000), 0..6),
     ) {
         dedup_matches_full_image(SchedPolicy::Random(sched_seed), seed, mutations);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    /// FIFO scheduling: warm (cached) restore equals cold restore equals
+    /// the live process, and the cache demonstrably skipped the wire.
+    #[test]
+    fn warm_restore_matches_cold_fifo(
+        seed in 0u64..1_000_000,
+        mutations in prop::collection::vec((any::<u8>(), 0u64..1_000_000), 0..6),
+    ) {
+        warm_restore_matches_cold(SchedPolicy::Fifo, seed, mutations);
+    }
+
+    /// Randomized wakeup order: the pipelined restore prefetcher may
+    /// interleave with the BLCR replay arbitrarily; bytes must not change.
+    #[test]
+    fn warm_restore_matches_cold_random_sched(
+        sched_seed in 1u64..u64::MAX,
+        seed in 0u64..1_000_000,
+        mutations in prop::collection::vec((any::<u8>(), 0u64..1_000_000), 0..6),
+    ) {
+        warm_restore_matches_cold(SchedPolicy::Random(sched_seed), seed, mutations);
     }
 }
