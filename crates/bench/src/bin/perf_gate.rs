@@ -1,0 +1,264 @@
+//! **perf_gate** — fail CI when the swap plane's key paper metrics
+//! regress more than 10% from the committed baselines.
+//!
+//! The bench harnesses report *virtual* time and byte counts from the
+//! deterministic simulation, so run-to-run values are exact and a
+//! relative gate is sound (no noise margin needed beyond real
+//! regressions). Guarded metrics:
+//!
+//! * `BENCH_dedup.json` — `warm_shipped_bytes` per tenant row must not
+//!   grow above baseline × 1.10 (the dedup store's warm swap-out must
+//!   keep shipping only dirty chunks).
+//! * `BENCH_swapin.json` — `speedup` per tenant row must not drop below
+//!   baseline × 0.90 (the warm restore fast path must keep its edge
+//!   over cold fetches).
+//!
+//! Rows are matched by `name`; quick-mode runs produce a subset of the
+//! baseline rows (same deterministic values), which is fine — but a run
+//! that matches *no* baseline row fails, so the gate can never pass
+//! vacuously.
+//!
+//! Usage (paths relative to the invoking directory):
+//!
+//! ```text
+//! perf_gate [--baselines <dir>] [--dedup <json>] [--swapin <json>]
+//! ```
+//!
+//! With no `--dedup`/`--swapin` both files are checked from the
+//! baselines' sibling directory layout (`crates/bench/BENCH_*.json`).
+
+use std::process::ExitCode;
+
+/// Split the `"benches": [...]` array of a `BENCH_*.json` into one
+/// string per row object. The dumps are flat (one `{...}` per row, no
+/// nested objects), so brace counting is enough.
+fn rows(json: &str) -> Vec<String> {
+    let Some(start) = json
+        .find("\"benches\"")
+        .and_then(|i| json[i..].find('[').map(|j| i + j))
+    else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut row_start = 0usize;
+    for (i, c) in json[start..].char_indices() {
+        match c {
+            '{' => {
+                if depth == 0 {
+                    row_start = start + i;
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    out.push(json[row_start..=start + i].to_string());
+                }
+            }
+            ']' if depth == 0 => break,
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Extract a string field (`"key": "value"`) from a flat row object.
+fn str_field(row: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let rest = &row[row.find(&pat)? + pat.len()..];
+    let rest = &rest[rest.find('"')? + 1..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Extract a numeric field (`"key": 123.4`) from a flat row object.
+fn num_field(row: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let rest = row[row.find(&pat)? + pat.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Look up `metric` for the row named `name`.
+fn metric_for(rows: &[String], name: &str, metric: &str) -> Option<f64> {
+    rows.iter()
+        .find(|r| str_field(r, "name").as_deref() == Some(name))
+        .and_then(|r| num_field(r, metric))
+}
+
+/// The direction a guarded metric is allowed to move.
+enum Bound {
+    /// Regression = the value grew (e.g. bytes shipped).
+    NoGrowthPast10Pct,
+    /// Regression = the value shrank (e.g. a speedup factor).
+    NoDropPast10Pct,
+}
+
+/// Compare every current row against the baseline; returns the number
+/// of comparisons made (0 = nothing matched) and records failures.
+fn check(
+    label: &str,
+    metric: &str,
+    bound: Bound,
+    baseline_json: &str,
+    current_json: &str,
+    failures: &mut Vec<String>,
+) -> usize {
+    let base_rows = rows(baseline_json);
+    let cur_rows = rows(current_json);
+    let mut compared = 0;
+    for row in &cur_rows {
+        let Some(name) = str_field(row, "name") else {
+            continue;
+        };
+        let Some(current) = num_field(row, metric) else {
+            continue;
+        };
+        let Some(baseline) = metric_for(&base_rows, &name, metric) else {
+            println!("{label}/{name}: no baseline row, skipping");
+            continue;
+        };
+        compared += 1;
+        let (ok, limit) = match bound {
+            Bound::NoGrowthPast10Pct => (current <= baseline * 1.10, baseline * 1.10),
+            Bound::NoDropPast10Pct => (current >= baseline * 0.90, baseline * 0.90),
+        };
+        let verdict = if ok { "ok" } else { "REGRESSION" };
+        println!(
+            "{label}/{name}: {metric} {current} vs baseline {baseline} (limit {limit:.1}) {verdict}"
+        );
+        if !ok {
+            failures.push(format!(
+                "{label}/{name}: {metric} regressed past 10%: {current} vs baseline {baseline}"
+            ));
+        }
+    }
+    compared
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let baselines = flag("--baselines").unwrap_or_else(|| "crates/bench/baselines".to_string());
+    let explicit = flag("--dedup").is_some() || flag("--swapin").is_some();
+    let dedup = flag("--dedup")
+        .or_else(|| (!explicit).then(|| "crates/bench/BENCH_dedup.json".to_string()));
+    let swapin = flag("--swapin")
+        .or_else(|| (!explicit).then(|| "crates/bench/BENCH_swapin.json".to_string()));
+
+    let mut failures = Vec::new();
+    let mut compared = 0;
+    let mut run = |label: &str, metric: &str, bound: Bound, current: Option<&String>| {
+        let Some(current) = current else {
+            return Ok(());
+        };
+        let baseline = read(&format!("{baselines}/BENCH_{label}.json"))?;
+        let current = read(current)?;
+        compared += check(label, metric, bound, &baseline, &current, &mut failures);
+        Ok::<(), String>(())
+    };
+    let result = run(
+        "dedup",
+        "warm_shipped_bytes",
+        Bound::NoGrowthPast10Pct,
+        dedup.as_ref(),
+    )
+    .and_then(|()| run("swapin", "speedup", Bound::NoDropPast10Pct, swapin.as_ref()));
+    if let Err(e) = result {
+        eprintln!("perf gate error: {e}");
+        return ExitCode::FAILURE;
+    }
+    if compared == 0 {
+        eprintln!("perf gate error: no rows matched any baseline — gate would be vacuous");
+        return ExitCode::FAILURE;
+    }
+    if failures.is_empty() {
+        println!("perf gate passed ({compared} comparisons)");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("perf gate FAILED:\n  {}", failures.join("\n  "));
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "benches": [
+    {"name": "tenant-512M", "warm_shipped_bytes": 27088, "speedup": 3.0394},
+    {"name": "tenant-1G", "warm_shipped_bytes": 29136, "speedup": 4.1002}
+  ],
+  "quick": false
+}"#;
+
+    #[test]
+    fn parses_rows_and_fields() {
+        let r = rows(SAMPLE);
+        assert_eq!(r.len(), 2);
+        assert_eq!(str_field(&r[0], "name").as_deref(), Some("tenant-512M"));
+        assert_eq!(num_field(&r[0], "warm_shipped_bytes"), Some(27088.0));
+        assert_eq!(metric_for(&r, "tenant-1G", "speedup"), Some(4.1002));
+        assert_eq!(metric_for(&r, "tenant-2G", "speedup"), None);
+    }
+
+    #[test]
+    fn growth_and_drop_bounds() {
+        let mut failures = Vec::new();
+        // 10% growth allowed: 29000 vs 27088 passes, 31000 fails.
+        let current = SAMPLE.replace("27088", "31000");
+        let n = check(
+            "dedup",
+            "warm_shipped_bytes",
+            Bound::NoGrowthPast10Pct,
+            SAMPLE,
+            &current,
+            &mut failures,
+        );
+        assert_eq!(n, 2);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("tenant-512M"));
+
+        failures.clear();
+        // 10% drop allowed: 2.8 passes, 2.6 fails against 3.0394.
+        let current = SAMPLE.replace("3.0394", "2.6");
+        check(
+            "swapin",
+            "speedup",
+            Bound::NoDropPast10Pct,
+            SAMPLE,
+            &current,
+            &mut failures,
+        );
+        assert_eq!(failures.len(), 1);
+    }
+
+    #[test]
+    fn quick_subset_matches_baseline_superset() {
+        let quick = r#"{"benches": [
+            {"name": "tenant-512M", "warm_shipped_bytes": 27088}
+        ], "quick": true}"#;
+        let mut failures = Vec::new();
+        let n = check(
+            "dedup",
+            "warm_shipped_bytes",
+            Bound::NoGrowthPast10Pct,
+            SAMPLE,
+            quick,
+            &mut failures,
+        );
+        assert_eq!(n, 1);
+        assert!(failures.is_empty());
+    }
+}

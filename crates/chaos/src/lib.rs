@@ -56,6 +56,8 @@ use coi_sim::{CoiConfig, DeviceBinary, FunctionRegistry};
 use phi_platform::{
     FaultKind, FaultSchedule, FaultTarget, NodeId, Payload, PhiServer, PlatformParams, MB,
 };
+use simkernel::obs;
+use simkernel::obs::SloSpec;
 use simkernel::time::{ms, us};
 use simkernel::{Kernel, SchedPolicy, SimDuration, SimTime};
 use simproc::SnapshotStorage;
@@ -195,6 +197,25 @@ pub struct ChaosCase {
     /// `RetryPolicy::disabled()`, so transient faults surface instead
     /// of being absorbed.
     pub disable_retries: bool,
+    /// Latency objective evaluated while the case runs. Ops that drive
+    /// the [`SwapScheduler`] attach it to the scheduler's SLO monitor
+    /// and [`ChaosOutcome::slo_breaches`] reports every violated
+    /// window, so a sweep distinguishes "seed crashed" from "seed blew
+    /// the latency budget". `None` for ops with no swap plane.
+    pub slo: Option<SloSpec>,
+}
+
+/// The swap-in latency objective rotate cases evaluate by default. The
+/// simulated platform swaps the largest generated tenant (17 MiB) back
+/// in well under a second — cold fetch included — so a breach in a
+/// green sweep means a real latency regression, not noise.
+const DEFAULT_SWAP_SLO: &str = "swapin.p99 < 2s over 10s";
+
+/// The objective a case carries by construction (overridable, like
+/// `faults`): swap-plane ops get [`DEFAULT_SWAP_SLO`], the rest none.
+fn default_slo(op: ChaosOp) -> Option<SloSpec> {
+    (op == ChaosOp::SwapRotate)
+        .then(|| SloSpec::parse(DEFAULT_SWAP_SLO).expect("DEFAULT_SWAP_SLO parses"))
 }
 
 impl ChaosCase {
@@ -223,6 +244,7 @@ impl ChaosCase {
             payload_mb,
             faults,
             disable_retries: false,
+            slo: default_slo(op),
         }
     }
 
@@ -237,6 +259,7 @@ impl ChaosCase {
         case.op = ChaosOp::SwapRotate;
         let mut rng = ChaosRng::new(seed ^ 0x5377_6170_526f_7461);
         case.faults = generate_faults(&mut rng, ChaosOp::SwapRotate);
+        case.slo = default_slo(ChaosOp::SwapRotate);
         case
     }
 
@@ -252,6 +275,14 @@ impl ChaosCase {
         // `swap_rotate_from_seed`) need an explicit override to replay.
         if self.op != ChaosCase::from_seed(self.seed).op {
             line.push_str(&format!(" SIMCHAOS_OP={}", self.op));
+        }
+        // Only a non-default objective needs replaying; the default is
+        // implied by the op (`SIMCHAOS_SLO=off` disables it entirely).
+        if self.slo != default_slo(self.op) {
+            match &self.slo {
+                Some(spec) => line.push_str(&format!(" SIMCHAOS_SLO='{}'", spec.render())),
+                None => line.push_str(" SIMCHAOS_SLO=off"),
+            }
         }
         if self.disable_retries {
             line.push_str(" SIMCHAOS_NO_RETRY=1");
@@ -276,6 +307,16 @@ impl ChaosCase {
         if let Ok(label) = std::env::var("SIMCHAOS_OP") {
             case.op =
                 ChaosOp::parse(&label).unwrap_or_else(|e| panic!("SIMCHAOS_OP='{label}': {e}"));
+            // The op override implies that op's default objective (the
+            // repro line only records *deviations* from the default).
+            case.slo = default_slo(case.op);
+        }
+        if let Ok(text) = std::env::var("SIMCHAOS_SLO") {
+            case.slo = if text == "off" {
+                None
+            } else {
+                Some(SloSpec::parse(&text).unwrap_or_else(|e| panic!("SIMCHAOS_SLO='{text}': {e}")))
+            };
         }
         if std::env::var("SIMCHAOS_NO_RETRY").is_ok_and(|v| v == "1") {
             case.disable_retries = true;
@@ -356,6 +397,17 @@ pub struct ChaosOutcome {
     pub trace_digest: u64,
     /// How many scheduled faults actually fired.
     pub faults_fired: usize,
+    /// Rendered [SLO](simkernel::obs::SloBreach) violations from the
+    /// swap plane, in evaluation order. Virtual-time evaluation makes
+    /// the list replay byte-identically with the trace, so a sweep can
+    /// report *which seeds violated the SLO*, not just which crashed.
+    /// Empty for ops that carry no objective (`case.slo == None`).
+    pub slo_breaches: Vec<String>,
+    /// The flight recorder's last events, captured at failure time
+    /// (`None` when the case passed). A diagnosis aid, not part of the
+    /// replay contract: the recorder ring is process-global, so
+    /// concurrent cases interleave in it.
+    pub flight_tail: Option<String>,
 }
 
 impl ChaosOutcome {
@@ -371,6 +423,16 @@ impl ChaosOutcome {
 /// (with the kernel's thread dump in the message), so a sweep can keep
 /// going and collect every failing repro line.
 pub fn run_case(case: &ChaosCase) -> ChaosOutcome {
+    // Chaos runs are always self-identifying: stamp the seed, fault
+    // schedule, and repro line into the run metadata (exported in the
+    // Chrome trace's `otherData` block) and turn the flight recorder on
+    // so deadlock/livelock dumps carry the last telemetry events. The
+    // recorder is process-global and deliberately never reset here —
+    // a reset would stomp concurrent cases in the same test binary.
+    obs::set_meta("chaos.seed", &case.seed.to_string());
+    obs::set_meta("chaos.faults", &case.faults.to_string());
+    obs::set_meta("chaos.repro", &case.repro_line());
+    obs::enable();
     let kernel = Kernel::new_with_policy(SchedPolicy::Random(case.seed));
     kernel.enable_trace();
     kernel.set_livelock_threshold(Some(LIVELOCK_EVENTS));
@@ -378,22 +440,29 @@ pub fn run_case(case: &ChaosCase) -> ChaosOutcome {
     let c = case.clone();
     let root = kernel.spawn("chaos-root", move || execute(&c));
     let run = panic::catch_unwind(AssertUnwindSafe(|| kernel.run()));
-    let (failure, faults_fired) = match run {
+    let (failure, faults_fired, slo_breaches) = match run {
         Ok(()) => match root.take_result() {
-            Some((failure, fired)) => (failure, fired),
-            None => (Some("chaos root thread produced no result".to_string()), 0),
+            Some((failure, fired, breaches)) => (failure, fired, breaches),
+            None => (
+                Some("chaos root thread produced no result".to_string()),
+                0,
+                Vec::new(),
+            ),
         },
-        Err(payload) => (Some(panic_text(payload)), 0),
+        Err(payload) => (Some(panic_text(payload)), 0, Vec::new()),
     };
     // Best-effort even after a failed run: the trace identifies the
     // execution for replay comparison.
     let trace_len = panic::catch_unwind(AssertUnwindSafe(|| kernel.trace_len())).unwrap_or(0);
     let trace_digest = panic::catch_unwind(AssertUnwindSafe(|| kernel.trace_digest())).unwrap_or(0);
+    let flight_tail = failure.as_ref().map(|_| obs::flight_tail(32));
     ChaosOutcome {
         failure,
         trace_len,
         trace_digest,
         faults_fired,
+        slo_breaches,
+        flight_tail,
     }
 }
 
@@ -418,18 +487,22 @@ fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 /// Run the case body inside the simulation. Returns
-/// `(failure, faults_fired)`.
-fn execute(case: &ChaosCase) -> (Option<String>, usize) {
-    let result = if case.op == ChaosOp::SwapRotate {
-        swap_rotate_op(case)
-    } else if case.op.is_soak() {
+/// `(failure, faults_fired, rendered_slo_breaches)`.
+fn execute(case: &ChaosCase) -> (Option<String>, usize, Vec<String>) {
+    if case.op == ChaosOp::SwapRotate {
+        return match swap_rotate_op(case) {
+            Ok((fired, breaches)) => (None, fired, breaches),
+            Err(why) => (Some(why), 0, Vec::new()),
+        };
+    }
+    let result = if case.op.is_soak() {
         transport_soak(case)
     } else {
         workload_op(case)
     };
     match result {
-        Ok(fired) => (None, fired),
-        Err(why) => (Some(why), 0),
+        Ok(fired) => (None, fired, Vec::new()),
+        Err(why) => (Some(why), 0, Vec::new()),
     }
 }
 
@@ -642,7 +715,12 @@ fn workload_op(case: &ChaosCase) -> Result<usize, String> {
 /// After each rotation the resident tenant's buffer must verify (the
 /// warm restore fast path must not corrupt state), and retiring both
 /// tenants — one of them while parked — must drain the store.
-fn swap_rotate_op(case: &ChaosCase) -> Result<usize, String> {
+///
+/// Returns `(faults_fired, rendered_slo_breaches)`: the case's SLO (by
+/// default [`DEFAULT_SWAP_SLO`]) rides on the scheduler's monitor, so
+/// the sweep learns which seeds blew the latency budget even when every
+/// consistency invariant held.
+fn swap_rotate_op(case: &ChaosCase) -> Result<(usize, Vec<String>), String> {
     let registry = FunctionRegistry::new();
     registry.register(DeviceBinary::new("tenant.so", MB, 32 * MB));
     let world = SnapifyWorld::boot_dedup_with_faults(
@@ -653,7 +731,10 @@ fn swap_rotate_op(case: &ChaosCase) -> Result<usize, String> {
         case.faults.clone(),
     );
     let store = world.store().expect("dedup world has a store").clone();
-    let sched = SwapScheduler::new(1, format!("/swap/chaos/{}", case.seed)).with_store(&store);
+    let mut sched = SwapScheduler::new(1, format!("/swap/chaos/{}", case.seed)).with_store(&store);
+    if let Some(spec) = &case.slo {
+        sched = sched.with_slo(spec.clone());
+    }
     let bytes = case.payload_mb * MB;
 
     let mut tenants = Vec::new();
@@ -668,7 +749,7 @@ fn swap_rotate_op(case: &ChaosCase) -> Result<usize, String> {
             .map_err(|e| format!("{name} buffer failed: {e:?}"))?;
         h.buffer_write(&buf, Payload::synthetic(case.seed ^ tag, bytes))
             .map_err(|e| format!("{name} write failed: {e:?}"))?;
-        let id = sched.admit(&h, 0);
+        let id = sched.admit_tagged(&h, 0, name);
         if tag == 0 {
             sched
                 .park(id)
@@ -724,7 +805,8 @@ fn swap_rotate_op(case: &ChaosCase) -> Result<usize, String> {
             stats.bytes_stored, stats.manifests
         ));
     }
-    Ok(world.server().faults().fired_count())
+    let breaches = sched.slo_breaches().iter().map(|b| b.render()).collect();
+    Ok((world.server().faults().fired_count(), breaches))
 }
 
 #[cfg(test)]
@@ -826,6 +908,34 @@ mod tests {
         assert!(!ChaosCase::from_seed(77)
             .repro_line()
             .contains("SIMCHAOS_OP"));
+    }
+
+    #[test]
+    fn slo_deviations_ride_the_repro_line() {
+        // Default objectives are implied by the op: no override emitted.
+        let case = ChaosCase::swap_rotate_from_seed(5);
+        assert_eq!(case.slo.as_ref().map(|s| s.render()), {
+            Some(SloSpec::parse(DEFAULT_SWAP_SLO).unwrap().render())
+        });
+        assert!(!case.repro_line().contains("SIMCHAOS_SLO"));
+        assert!(ChaosCase::from_seed(5).slo.is_none());
+
+        // A tightened objective is recorded in its canonical render,
+        // which round-trips through SloSpec::parse.
+        let mut tight = case.clone();
+        tight.slo = Some(SloSpec::parse("swapin.p99 < 10us over 1s").unwrap());
+        let line = tight.repro_line();
+        let quoted = line
+            .split("SIMCHAOS_SLO='")
+            .nth(1)
+            .expect("override present");
+        let text = quoted.split('\'').next().unwrap();
+        assert_eq!(SloSpec::parse(text).unwrap(), tight.slo.clone().unwrap());
+
+        // Disabling the objective is also an explicit deviation.
+        let mut off = case.clone();
+        off.slo = None;
+        assert!(off.repro_line().contains("SIMCHAOS_SLO=off"));
     }
 
     #[test]

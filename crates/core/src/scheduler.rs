@@ -9,9 +9,11 @@
 //! swaps the others out to host storage.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use coi_sim::CoiProcessHandle;
+use simkernel::obs;
+use simkernel::obs::{SloBreach, SloMonitor, SloSpec};
 use simkernel::SimMutex;
 use snapstore::Dedup;
 
@@ -47,6 +49,9 @@ struct Job {
     id: JobId,
     handle: CoiProcessHandle,
     state: JobState,
+    /// Tenant name for dimensional telemetry (`tenant` label); defaults
+    /// to `job{id}` when admitted untagged.
+    tenant: Arc<str>,
 }
 
 struct SchedState {
@@ -68,6 +73,11 @@ pub struct SwapScheduler {
     /// world was booted with dedup. Lets `retire` release a job's
     /// manifests so its chunks can be garbage-collected.
     store: Option<Dedup>,
+    /// Optional SLO monitor fed with per-tenant swap-in latencies. A
+    /// `std::sync::Mutex` is safe here: it is only held for the sketch
+    /// update, never across a simulated block, and the kernel runs one
+    /// simulated thread at a time.
+    slo: Option<Arc<Mutex<SloMonitor>>>,
     state: Arc<SimMutex<SchedState>>,
 }
 
@@ -80,6 +90,7 @@ impl SwapScheduler {
             devices,
             swap_dir: swap_dir.into(),
             store: None,
+            slo: None,
             state: Arc::new(SimMutex::new(
                 "swap-scheduler",
                 SchedState {
@@ -94,17 +105,37 @@ impl SwapScheduler {
     }
 
     /// Register a freshly-created offload process (currently resident on
-    /// `device`) with the scheduler. Returns its job id.
+    /// `device`) with the scheduler. Returns its job id. The tenant
+    /// label for telemetry defaults to `job{id}`; use [`admit_tagged`]
+    /// to name it.
+    ///
+    /// [`admit_tagged`]: SwapScheduler::admit_tagged
     pub fn admit(&self, handle: &CoiProcessHandle, device: usize) -> JobId {
+        self.admit_inner(handle, device, None)
+    }
+
+    /// Like [`admit`](SwapScheduler::admit), but names the tenant for
+    /// dimensional telemetry: swap latencies and byte counters carry
+    /// `tenant=<name>` and the SLO monitor windows per tenant.
+    pub fn admit_tagged(&self, handle: &CoiProcessHandle, device: usize, tenant: &str) -> JobId {
+        self.admit_inner(handle, device, Some(tenant))
+    }
+
+    fn admit_inner(&self, handle: &CoiProcessHandle, device: usize, tenant: Option<&str>) -> JobId {
         let mut st = self.state.lock();
         let id = st.next_id;
         st.next_id += 1;
+        let tenant: Arc<str> = match tenant {
+            Some(t) => Arc::from(t),
+            None => Arc::from(format!("job{id}").as_str()),
+        };
         st.jobs.insert(
             id,
             Job {
                 id,
                 handle: handle.clone(),
                 state: JobState::Resident { device },
+                tenant,
             },
         );
         assert!(
@@ -120,6 +151,50 @@ impl SwapScheduler {
     pub fn with_store(mut self, store: &Dedup) -> SwapScheduler {
         self.store = Some(store.clone());
         self
+    }
+
+    /// Attach an SLO to the swap-in path, e.g.
+    /// `SloSpec::parse("swapin.p99 < 40ms over 1s")`. Every swap-in
+    /// latency feeds a per-tenant window evaluated in virtual time;
+    /// breaches accumulate and are returned by
+    /// [`slo_breaches`](SwapScheduler::slo_breaches).
+    pub fn with_slo(mut self, spec: SloSpec) -> SwapScheduler {
+        self.slo = Some(Arc::new(Mutex::new(SloMonitor::new(spec))));
+        self
+    }
+
+    /// Close the open SLO windows and return every breach recorded so
+    /// far (empty when no SLO is attached). Typically called at end of
+    /// run; observation continues afterwards in fresh windows.
+    pub fn slo_breaches(&self) -> Vec<SloBreach> {
+        match &self.slo {
+            Some(slo) => {
+                let mut m = slo.lock().unwrap();
+                m.flush();
+                m.breaches().to_vec()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Record one swap latency observation: a labeled latency sketch
+    /// (`tenant`/`device`/`op`) plus, for swap-ins, the SLO monitor.
+    fn observe_swap(&self, metric: &str, op: &str, tenant: &str, device: usize, dur_ns: u64) {
+        if obs::is_enabled() {
+            let dev = device.to_string();
+            obs::sketch_observe_labeled(
+                metric,
+                &[("device", &dev), ("op", op), ("tenant", tenant)],
+                dur_ns,
+            );
+        }
+        if metric == "swap.swapin_ns" {
+            if let Some(slo) = &self.slo {
+                slo.lock()
+                    .unwrap()
+                    .observe(tenant, simkernel::now().as_nanos(), dur_ns);
+            }
+        }
     }
 
     /// Remove a finished job from the scheduler (the caller destroys the
@@ -179,6 +254,7 @@ impl SwapScheduler {
     ///
     /// Returns the number of context switches performed.
     pub fn rotate(&self) -> Result<usize, SnapifyError> {
+        let rotate_t0 = simkernel::now();
         let mut switches = 0;
         for device in 0..self.devices {
             // Pick the next waiting job and claim both ends of the
@@ -216,10 +292,22 @@ impl SwapScheduler {
             };
             // Swap the resident job out.
             if let Some(out_id) = outgoing {
-                let handle = self.state.lock().jobs[&out_id].handle.clone();
+                let (handle, out_tenant) = {
+                    let st = self.state.lock();
+                    let job = &st.jobs[&out_id];
+                    (job.handle.clone(), Arc::clone(&job.tenant))
+                };
                 let path = format!("{}/job{}", self.swap_dir, out_id);
+                let t0 = simkernel::now();
                 match snapify_swapout(&handle, &path) {
                     Ok(snapshot) => {
+                        self.observe_swap(
+                            "swap.swapout_ns",
+                            "rotate",
+                            &out_tenant,
+                            device,
+                            (simkernel::now() - t0).as_nanos(),
+                        );
                         let mut st = self.state.lock();
                         st.jobs.get_mut(&out_id).unwrap().state = JobState::SwappedOut(snapshot);
                         st.resident.remove(&device);
@@ -241,8 +329,17 @@ impl SwapScheduler {
                 }
             }
             // Swap the waiting job in.
+            let in_tenant = Arc::clone(&self.state.lock().jobs[&incoming].tenant);
+            let t0 = simkernel::now();
             match snapify_swapin(&in_snapshot, device) {
                 Ok(_) => {
+                    self.observe_swap(
+                        "swap.swapin_ns",
+                        "rotate",
+                        &in_tenant,
+                        device,
+                        (simkernel::now() - t0).as_nanos(),
+                    );
                     let mut st = self.state.lock();
                     st.jobs.get_mut(&incoming).unwrap().state = JobState::Resident { device };
                     st.resident.insert(device, incoming);
@@ -259,21 +356,25 @@ impl SwapScheduler {
                 }
             }
         }
+        if obs::is_enabled() && switches > 0 {
+            obs::sketch_observe("swap.rotate_ns", (simkernel::now() - rotate_t0).as_nanos());
+        }
         Ok(switches)
     }
 
     /// Voluntarily park a resident job (swap it out and queue it), e.g.
     /// when it blocks on host-side work for a long time.
     pub fn park(&self, id: JobId) -> Result<(), SnapifyError> {
-        let (handle, device) = loop {
+        let (handle, device, tenant) = loop {
             let mut st = self.state.lock();
             let job = st.jobs.get_mut(&id).expect("unknown job");
             match &job.state {
                 JobState::Resident { device } => {
                     let device = *device;
                     let handle = job.handle.clone();
+                    let tenant = Arc::clone(&job.tenant);
                     job.state = JobState::SwappingOut;
-                    break (handle, device);
+                    break (handle, device, tenant);
                 }
                 JobState::SwappedOut(_) => return Ok(()), // already parked
                 // Another caller is mid-swap on this job; wait for the
@@ -285,8 +386,16 @@ impl SwapScheduler {
             }
         };
         let path = format!("{}/job{id}", self.swap_dir);
+        let t0 = simkernel::now();
         match snapify_swapout(&handle, &path) {
             Ok(snapshot) => {
+                self.observe_swap(
+                    "swap.swapout_ns",
+                    "park",
+                    &tenant,
+                    device,
+                    (simkernel::now() - t0).as_nanos(),
+                );
                 let mut st = self.state.lock();
                 st.jobs.get_mut(&id).unwrap().state = JobState::SwappedOut(snapshot);
                 st.resident.remove(&device);
@@ -645,6 +754,81 @@ mod tests {
             warm_secs * 2.0 <= cold_secs,
             "warm swap-in must be >=2x faster: warm={warm_secs}s cold={cold_secs}s"
         );
+    }
+
+    #[test]
+    fn per_tenant_swapin_sketches_and_slo_breaches() {
+        Kernel::run_root(|| {
+            let world = SnapifyWorld::boot(registry());
+            // Threshold far below any real swap-in so every window
+            // breaches: the test checks the plumbing, not a tuned SLO.
+            let sched = SwapScheduler::new(1, "/swap/tenants")
+                .with_slo(obs::SloSpec::parse("swapin.p99 < 10us over 1s").unwrap());
+
+            let host = world.coi().create_host_process("tenants");
+            let hs = world.coi().create_process(&host, 0, "tenant.so").unwrap();
+            let sbuf = hs.create_buffer(64 * MB).unwrap();
+            hs.buffer_write(&sbuf, Payload::synthetic(1, 64 * MB))
+                .unwrap();
+            let small = sched.admit_tagged(&hs, 0, "small-tenant");
+            sched.park(small).unwrap();
+
+            let hl = world.coi().create_process(&host, 0, "tenant.so").unwrap();
+            let lbuf = hl.create_buffer(512 * MB).unwrap();
+            hl.buffer_write(&lbuf, Payload::synthetic(2, 512 * MB))
+                .unwrap();
+            let _large = sched.admit_tagged(&hl, 0, "large-tenant");
+
+            obs::enable();
+            // Alternate residency: each rotation swaps one tenant out
+            // and the other in, so both accumulate swap-in latencies.
+            for _ in 0..4 {
+                sched.rotate().unwrap();
+                simkernel::sleep(simkernel::time::ms(5));
+            }
+            obs::disable();
+
+            let s = obs::Summary::capture();
+            let sk_small = s
+                .tenant_sketch("swap.swapin_ns", "small-tenant")
+                .expect("small tenant sketch recorded");
+            let sk_large = s
+                .tenant_sketch("swap.swapin_ns", "large-tenant")
+                .expect("large tenant sketch recorded");
+            assert!(sk_small.count() >= 2 && sk_large.count() >= 2);
+            // 512 MiB ships 8x the bytes of 64 MiB: the tenants' latency
+            // distributions must be clearly distinct at p50 and p99.
+            assert!(
+                sk_large.p50() > sk_small.p50() && sk_large.p99() > sk_small.p99(),
+                "large p50/p99 {}/{} must exceed small {}/{}",
+                sk_large.p50(),
+                sk_large.p99(),
+                sk_small.p50(),
+                sk_small.p99()
+            );
+
+            let json = obs::summary_json();
+            assert!(json.contains("\"tenant_breakdown\""));
+            assert!(json.contains("\"small-tenant\""));
+            assert!(json.contains("\"large-tenant\""));
+
+            // The 10us SLO is impossible for real swap-ins: both tenants
+            // breach, the slow tenant burning hotter.
+            let breaches = sched.slo_breaches();
+            let burn = |tenant: &str| {
+                breaches
+                    .iter()
+                    .filter(|b| b.tenant == tenant)
+                    .map(|b| b.burn_rate_milli)
+                    .max()
+                    .unwrap_or_else(|| panic!("no breach for {tenant}: {breaches:?}"))
+            };
+            assert!(burn("large-tenant") > burn("small-tenant"));
+            for b in &breaches {
+                assert_eq!(b.metric, "swapin");
+                assert!(b.observed_ns > b.threshold_ns);
+            }
+        });
     }
 
     #[test]

@@ -68,4 +68,38 @@ impl Event {
             | Event::Instant { tid, .. } => *tid,
         }
     }
+
+    /// Render the event as one human-readable line:
+    /// `t=<ns> tid=<tid> <kind> <name> [fields]`. Used by the flight
+    /// recorder's dump tail.
+    pub fn one_line(&self) -> String {
+        use std::fmt::Write as _;
+        match self {
+            Event::SpanBegin {
+                id,
+                parent,
+                tid,
+                t_ns,
+                name,
+                fields,
+            } => {
+                let mut s = format!("t={t_ns} tid={tid} B {name} span={id} parent={parent}");
+                for (k, v) in fields {
+                    let _ = write!(s, " {k}={v}");
+                }
+                s
+            }
+            Event::SpanEnd {
+                id,
+                tid,
+                t_ns,
+                name,
+            } => {
+                format!("t={t_ns} tid={tid} E {name} span={id}")
+            }
+            Event::Instant { tid, t_ns, label } => {
+                format!("t={t_ns} tid={tid} i {label}")
+            }
+        }
+    }
 }

@@ -5,13 +5,17 @@
 //! yield byte-identical output. All JSON is hand-emitted (sorted keys,
 //! fixed formatting); no serialization library, no float formatting
 //! surprises (timestamps stay integral nanoseconds split manually into
-//! microsecond ticks).
+//! microsecond ticks). Labeled metrics are exported in sorted
+//! rendered-key order (`name{k=v}`), independent of interning order, so
+//! summaries diff byte-for-byte across identical runs.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::event::Event;
+use crate::labels::{render_key, MetricData};
 use crate::recorder::{recorder, DurationStat, Histogram};
+use crate::sketch::LatencySketch;
 
 /// Canonical order for the paper's stacked-bar phase charts (Fig 9/10):
 /// the snapshot path, then the restart/relocation operations.
@@ -57,12 +61,17 @@ fn micros(ns: u64, out: &mut String) {
 /// Export the recorded events as Chrome trace-event JSON (the
 /// `traceEvents` object form), loadable in Perfetto or
 /// `chrome://tracing`. Span begin/end become `B`/`E` events; instants
-/// become `i` events scoped to their thread.
+/// become `i` events scoped to their thread. Run metadata
+/// ([`crate::set_meta`] — e.g. the chaos seed and fault schedule) is
+/// stamped into the `otherData` block so exported traces are
+/// self-identifying. Only the flight-recorder tail is exported (the
+/// ring is bounded); iteration happens under the recorder lock without
+/// cloning the buffer.
 pub fn chrome_trace() -> String {
     let inner = recorder().lock().unwrap();
-    let mut out = String::with_capacity(64 + inner.events.len() * 96);
+    let mut out = String::with_capacity(64 + inner.flight.len() * 96);
     out.push_str("{\"traceEvents\":[");
-    for (i, ev) in inner.events.iter().enumerate() {
+    for (i, ev) in inner.flight.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
@@ -111,8 +120,71 @@ pub fn chrome_trace() -> String {
             }
         }
     }
-    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out.push_str("\n],\"otherData\":{");
+    for (i, (k, v)) in inner.meta.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        json_escape(k, &mut out);
+        out.push_str("\":\"");
+        json_escape(v, &mut out);
+        out.push('"');
+    }
+    out.push_str("},\"displayTimeUnit\":\"ms\"}\n");
     out
+}
+
+/// The value of one labeled metric in a [`Summary`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic counter.
+    Counter(u64),
+    /// Last-set gauge.
+    Gauge(i64),
+    /// Power-of-two histogram.
+    Histogram(Box<Histogram>),
+    /// Bounded-error percentile sketch (boxed: a sketch's bucket array
+    /// is ~15 KiB, far larger than the other variants).
+    Sketch(Box<LatencySketch>),
+}
+
+impl MetricValue {
+    fn from_data(d: &MetricData) -> MetricValue {
+        match d {
+            MetricData::Counter(c) => MetricValue::Counter(*c),
+            MetricData::Gauge(g) => MetricValue::Gauge(*g),
+            MetricData::Histogram(h) => MetricValue::Histogram(h.clone()),
+            MetricData::Sketch(s) => MetricValue::Sketch(s.clone()),
+        }
+    }
+}
+
+/// One labeled metric in a [`Summary`]: name, sorted label pairs, and
+/// the captured value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LabeledMetric {
+    /// Metric name.
+    pub name: String,
+    /// Label pairs, sorted by key.
+    pub labels: Vec<(String, String)>,
+    /// Captured value.
+    pub value: MetricValue,
+}
+
+impl LabeledMetric {
+    /// The canonical export key, `name{k=v,k2=v2}`.
+    pub fn key(&self) -> String {
+        render_key(&self.name, &self.labels, None)
+    }
+
+    /// The label's value, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// An aggregated view of the recording: per-phase durations plus the
@@ -127,17 +199,40 @@ pub struct Summary {
     pub gauges: BTreeMap<String, i64>,
     /// Fixed-bucket histograms.
     pub histograms: BTreeMap<String, Histogram>,
+    /// Labeled (dimensional) metrics, sorted by rendered key.
+    pub labeled: Vec<LabeledMetric>,
+    /// Run metadata (chaos seed, fault schedule, …).
+    pub meta: BTreeMap<String, String>,
 }
 
 impl Summary {
-    /// Snapshot the current recorder state.
+    /// Snapshot the current recorder state. Labeled metrics are sorted
+    /// by rendered key so the capture (and everything exported from it)
+    /// is independent of interning order.
     pub fn capture() -> Summary {
         let inner = recorder().lock().unwrap();
+        let mut labeled: Vec<LabeledMetric> = inner
+            .labeled
+            .entries
+            .iter()
+            .map(|e| LabeledMetric {
+                name: e.name.clone(),
+                labels: e.labels.clone(),
+                value: MetricValue::from_data(&e.data),
+            })
+            .collect();
+        labeled.sort_by(|a, b| {
+            a.key()
+                .cmp(&b.key())
+                .then_with(|| kind_rank(a).cmp(&kind_rank(b)))
+        });
         Summary {
             durations: inner.durations.clone(),
             counters: inner.counters.clone(),
             gauges: inner.gauges.clone(),
             histograms: inner.histograms.clone(),
+            labeled,
+            meta: inner.meta.clone(),
         }
     }
 
@@ -149,14 +244,108 @@ impl Summary {
             .filter_map(|p| self.durations.get(*p).map(|s| (*p, *s)))
             .collect()
     }
+
+    /// Labeled metrics grouped by their `tenant` label: for each tenant
+    /// (sorted), the metrics carrying that tenant label, keyed by their
+    /// rendered key **without** the tenant pair (sorted). Metrics with
+    /// no `tenant` label are absent.
+    pub fn tenant_breakdown(&self) -> BTreeMap<String, Vec<(String, &LabeledMetric)>> {
+        let mut out: BTreeMap<String, Vec<(String, &LabeledMetric)>> = BTreeMap::new();
+        for m in &self.labeled {
+            if let Some(tenant) = m.label("tenant") {
+                out.entry(tenant.to_string())
+                    .or_default()
+                    .push((render_key(&m.name, &m.labels, Some("tenant")), m));
+            }
+        }
+        // `labeled` is sorted by full key; re-sort each group by the
+        // tenant-stripped key so groups are internally stable too.
+        for group in out.values_mut() {
+            group.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        out
+    }
+
+    /// Convenience: the latency sketch for `(name, tenant)`, if
+    /// recorded. Matches any entry with that name whose `tenant` label
+    /// equals `tenant`.
+    pub fn tenant_sketch(&self, name: &str, tenant: &str) -> Option<&LatencySketch> {
+        self.labeled.iter().find_map(|m| match &m.value {
+            MetricValue::Sketch(s) if m.name == name && m.label("tenant") == Some(tenant) => {
+                Some(s.as_ref())
+            }
+            _ => None,
+        })
+    }
+}
+
+fn kind_rank(m: &LabeledMetric) -> u8 {
+    match m.value {
+        MetricValue::Counter(_) => 0,
+        MetricValue::Gauge(_) => 1,
+        MetricValue::Histogram(_) => 2,
+        MetricValue::Sketch(_) => 3,
+    }
 }
 
 fn ms(ns: u64) -> String {
     format!("{}.{:06}", ns / 1_000_000, ns % 1_000_000)
 }
 
+fn write_histogram_json(h: &Histogram, out: &mut String) {
+    let _ = write!(
+        out,
+        "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [",
+        h.count, h.sum, h.min, h.max
+    );
+    // Emit only non-empty buckets as [index, count] pairs to stay
+    // compact while remaining a fixed function of the data.
+    let mut first = true;
+    for (idx, c) in h.buckets.iter().enumerate() {
+        if *c > 0 {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "[{idx},{c}]");
+        }
+    }
+    out.push_str("]}");
+}
+
+fn write_metric_value_json(v: &MetricValue, out: &mut String) {
+    match v {
+        MetricValue::Counter(c) => {
+            let _ = write!(out, "{{\"type\": \"counter\", \"value\": {c}}}");
+        }
+        MetricValue::Gauge(g) => {
+            let _ = write!(out, "{{\"type\": \"gauge\", \"value\": {g}}}");
+        }
+        MetricValue::Histogram(h) => {
+            out.push_str("{\"type\": \"histogram\", \"value\": ");
+            write_histogram_json(h, out);
+            out.push('}');
+        }
+        MetricValue::Sketch(s) => {
+            let _ = write!(
+                out,
+                "{{\"type\": \"sketch\", \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"p50\": {}, \"p99\": {}, \"p999\": {}}}",
+                s.count(),
+                s.sum(),
+                s.min(),
+                s.max(),
+                s.p50(),
+                s.p99(),
+                s.p999()
+            );
+        }
+    }
+}
+
 /// Export the summary as deterministic JSON: phase breakdown, all span
-/// durations, counters, gauges, and histograms, every map in sorted key
+/// durations, counters, gauges, histograms, labeled metrics, the
+/// per-tenant breakdown, and run metadata — every map in sorted key
 /// order.
 pub fn summary_json() -> String {
     let s = Summary::capture();
@@ -231,37 +420,73 @@ pub fn summary_json() -> String {
         }
         out.push_str("\n    \"");
         json_escape(name, &mut out);
-        let _ = write!(
-            out,
-            "\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [",
-            h.count, h.sum, h.min, h.max
-        );
-        // Emit only non-empty buckets as [index, count] pairs to stay
-        // compact while remaining a fixed function of the data.
-        let mut first = true;
-        for (idx, c) in h.buckets.iter().enumerate() {
-            if *c > 0 {
-                if !first {
-                    out.push(',');
-                }
-                first = false;
-                let _ = write!(out, "[{idx},{c}]");
-            }
-        }
-        out.push_str("]}");
+        out.push_str("\": ");
+        write_histogram_json(h, &mut out);
     }
     out.push_str(if s.histograms.is_empty() {
-        "}\n"
+        "},\n"
     } else {
-        "\n  }\n"
+        "\n  },\n"
     });
+    out.push_str("  \"labeled\": {");
+    for (i, m) in s.labeled.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    \"");
+        json_escape(&m.key(), &mut out);
+        out.push_str("\": ");
+        write_metric_value_json(&m.value, &mut out);
+    }
+    out.push_str(if s.labeled.is_empty() {
+        "},\n"
+    } else {
+        "\n  },\n"
+    });
+    out.push_str("  \"tenant_breakdown\": {");
+    let breakdown = s.tenant_breakdown();
+    for (i, (tenant, metrics)) in breakdown.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    \"");
+        json_escape(tenant, &mut out);
+        out.push_str("\": {");
+        for (j, (key, m)) in metrics.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str("\n      \"");
+            json_escape(key, &mut out);
+            out.push_str("\": ");
+            write_metric_value_json(&m.value, &mut out);
+        }
+        out.push_str("\n    }");
+    }
+    out.push_str(if breakdown.is_empty() {
+        "},\n"
+    } else {
+        "\n  },\n"
+    });
+    out.push_str("  \"meta\": {");
+    for (i, (k, v)) in s.meta.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    \"");
+        json_escape(k, &mut out);
+        out.push_str("\": \"");
+        json_escape(v, &mut out);
+        out.push('"');
+    }
+    out.push_str(if s.meta.is_empty() { "}\n" } else { "\n  }\n" });
     out.push_str("}\n");
     out
 }
 
 /// Export the summary as a plain-text report: the paper-style stacked
 /// phase breakdown first, then every span name, then the metrics
-/// registry.
+/// registry (unlabeled, labeled, and the per-tenant rollup).
 pub fn summary_text() -> String {
     let s = Summary::capture();
     let mut out = String::new();
@@ -314,12 +539,86 @@ pub fn summary_text() -> String {
             }
         }
     }
+    if !s.labeled.is_empty() {
+        out.push_str("\n== labeled metrics ==\n");
+        for m in &s.labeled {
+            match &m.value {
+                MetricValue::Counter(c) => {
+                    let _ = writeln!(out, "  {:<56} {c}", m.key());
+                }
+                MetricValue::Gauge(g) => {
+                    let _ = writeln!(out, "  {:<56} {g}", m.key());
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(
+                        out,
+                        "  {:<56} count {:>8}  sum {:>16}  min {:>12}  max {:>12}",
+                        m.key(),
+                        h.count,
+                        h.sum,
+                        h.min,
+                        h.max
+                    );
+                }
+                MetricValue::Sketch(sk) => {
+                    let _ = writeln!(
+                        out,
+                        "  {:<56} count {:>8}  p50 {:>12}  p99 {:>12}  p999 {:>12}",
+                        m.key(),
+                        sk.count(),
+                        sk.p50(),
+                        sk.p99(),
+                        sk.p999()
+                    );
+                }
+            }
+        }
+    }
+    let breakdown = s.tenant_breakdown();
+    if !breakdown.is_empty() {
+        out.push_str("\n== tenant breakdown ==\n");
+        for (tenant, metrics) in &breakdown {
+            let _ = writeln!(out, "  tenant {tenant}:");
+            for (key, m) in metrics {
+                match &m.value {
+                    MetricValue::Counter(c) => {
+                        let _ = writeln!(out, "    {key:<52} {c}");
+                    }
+                    MetricValue::Gauge(g) => {
+                        let _ = writeln!(out, "    {key:<52} {g}");
+                    }
+                    MetricValue::Histogram(h) => {
+                        let _ =
+                            writeln!(out, "    {key:<52} count {:>8}  sum {:>16}", h.count, h.sum);
+                    }
+                    MetricValue::Sketch(sk) => {
+                        let _ = writeln!(
+                            out,
+                            "    {key:<52} p50 {:>12}  p99 {:>12}  p999 {:>12}",
+                            sk.p50(),
+                            sk.p99(),
+                            sk.p999()
+                        );
+                    }
+                }
+            }
+        }
+    }
+    if !s.meta.is_empty() {
+        out.push_str("\n== run metadata ==\n");
+        for (k, v) in &s.meta {
+            let _ = writeln!(out, "  {k:<40} {v}");
+        }
+    }
     out
 }
 
 #[cfg(test)]
 mod tests {
-    use crate::recorder::{counter_add, disable, enable, histogram_observe, reset, test_guard};
+    use crate::labels::{counter_add_labeled, sketch_observe_labeled};
+    use crate::recorder::{
+        counter_add, disable, enable, histogram_observe, reset, set_meta, test_guard,
+    };
 
     #[test]
     fn chrome_trace_is_valid_shape_and_deterministic() {
@@ -332,6 +631,7 @@ mod tests {
         }
         crate::instant("checkpoint done");
         counter_add("scif.bytes_sent", 4096);
+        set_meta("chaos.seed", "7");
         disable();
         let t1 = super::chrome_trace();
         let t2 = super::chrome_trace();
@@ -341,6 +641,7 @@ mod tests {
         assert!(t1.contains("\"ph\":\"E\""));
         assert!(t1.contains("\"ph\":\"i\""));
         assert!(t1.contains("\"name\":\"snapify.pause\""));
+        assert!(t1.contains("\"otherData\":{\"chaos.seed\":\"7\"}"));
         // Balanced B/E.
         assert_eq!(t1.matches("\"ph\":\"B\"").count(), 2);
         assert_eq!(t1.matches("\"ph\":\"E\"").count(), 2);
@@ -373,6 +674,66 @@ mod tests {
         let resume = json.find("\"snapify.resume\"").unwrap();
         assert!(pause < resume);
         reset();
+    }
+
+    #[test]
+    fn labeled_metrics_and_tenant_breakdown_export() {
+        let _g = test_guard();
+        reset();
+        enable();
+        // Intern deliberately out of sorted order.
+        counter_add_labeled("swap.bytes", &[("tenant", "b"), ("op", "out")], 100);
+        counter_add_labeled("swap.bytes", &[("tenant", "a"), ("op", "out")], 7);
+        sketch_observe_labeled("swap.swapin_ns", &[("tenant", "a")], 1000);
+        sketch_observe_labeled("swap.swapin_ns", &[("tenant", "a")], 2000);
+        counter_add_labeled("node.bytes", &[("node", "mic0")], 9);
+        disable();
+        let json = super::summary_json();
+        assert!(
+            json.contains("\"swap.bytes{op=out,tenant=a}\": {\"type\": \"counter\", \"value\": 7}")
+        );
+        assert!(json.contains("\"tenant_breakdown\""));
+        // Tenant groups strip the tenant label from inner keys.
+        let a = json.find("\"a\": {").expect("tenant a group");
+        let b = json.find("\"b\": {").expect("tenant b group");
+        assert!(a < b, "tenants sorted");
+        assert!(json.contains("\"swap.bytes{op=out}\""));
+        assert!(json.contains("\"p99\": 2000"));
+        // Unlabeled-by-tenant metric stays out of the breakdown.
+        let breakdown_at = json.find("\"tenant_breakdown\"").unwrap();
+        assert!(!json[breakdown_at..].contains("node.bytes"));
+        let s = super::Summary::capture();
+        let sk = s.tenant_sketch("swap.swapin_ns", "a").unwrap();
+        assert_eq!(sk.count(), 2);
+        assert!(s.tenant_sketch("swap.swapin_ns", "b").is_none());
+        reset();
+    }
+
+    #[test]
+    fn identical_runs_serialize_identically() {
+        let _g = test_guard();
+        let run = || {
+            reset();
+            enable();
+            // Interning order differs from sorted order on purpose.
+            counter_add_labeled("m", &[("tenant", "z")], 1);
+            counter_add_labeled("m", &[("tenant", "a")], 2);
+            counter_add("plain", 3);
+            histogram_observe("h", 17);
+            sketch_observe_labeled("lat", &[("tenant", "a"), ("op", "in")], 40);
+            {
+                let _s = crate::span!("snapify.pause");
+            }
+            set_meta("run", "x");
+            disable();
+            let out = (super::summary_json(), super::summary_text());
+            reset();
+            out
+        };
+        let (j1, t1) = run();
+        let (j2, t2) = run();
+        assert_eq!(j1, j2, "summary_json must be byte-stable across runs");
+        assert_eq!(t1, t2, "summary_text must be byte-stable across runs");
     }
 
     #[test]

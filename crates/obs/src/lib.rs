@@ -8,7 +8,14 @@
 //! * **structured spans** ([`span!`]) — typed begin/end events stamped
 //!   with the *virtual* clock, nested parent/child per simulated thread;
 //! * a **metrics registry** — named counters, gauges, and fixed-bucket
-//!   (power-of-two) histograms;
+//!   (power-of-two) histograms, plus **dimensional metrics** keyed by
+//!   `(name, labels)` with interned label sets ([`labels`]) and
+//!   bounded-error percentile sketches ([`LatencySketch`]);
+//! * a **bounded flight recorder** — the event log is a fixed-capacity
+//!   ring (`OBS_FLIGHT_CAPACITY`, default 65536) so always-on runs cost
+//!   O(capacity) memory and failure dumps carry the last-N events;
+//! * an **SLO monitor** ([`SloMonitor`]) — windowed per-tenant quantile
+//!   checks in virtual time, emitting typed [`SloBreach`] records;
 //! * **exporters** — Chrome trace-event JSON (loadable in Perfetto /
 //!   `chrome://tracing`) and a plain-text / JSON summary reproducing the
 //!   paper's stacked-bar phase breakdowns and per-backend I/O tables.
@@ -34,14 +41,25 @@
 
 pub mod event;
 pub mod export;
+pub mod labels;
 pub mod recorder;
+pub mod sketch;
+pub mod slo;
 
 pub use event::{Event, SpanId};
-pub use export::{chrome_trace, summary_json, summary_text, Summary};
-pub use recorder::{
-    counter_add, disable, enable, events, gauge_set, histogram_observe, install_clock, instant,
-    is_enabled, reset, span_begin, Clock, DurationStat, Histogram, SpanGuard,
+pub use export::{chrome_trace, summary_json, summary_text, LabeledMetric, MetricValue, Summary};
+pub use labels::{
+    counter_add_at, counter_add_labeled, counter_id, gauge_id, gauge_set_at, gauge_set_labeled,
+    histogram_id, histogram_observe_at, histogram_observe_labeled, render_key, sketch_id,
+    sketch_observe, sketch_observe_at, sketch_observe_labeled, MetricId,
 };
+pub use recorder::{
+    counter_add, disable, enable, events, events_since, events_total, flight_capacity, flight_tail,
+    gauge_set, histogram_observe, install_clock, instant, is_enabled, meta, reset, set_meta,
+    span_begin, Clock, DurationStat, Histogram, SpanGuard, DEFAULT_FLIGHT_CAPACITY,
+};
+pub use sketch::LatencySketch;
+pub use slo::{SloBreach, SloMonitor, SloSpec};
 
 /// Open a span: records a typed begin event now and the matching end
 /// event when the returned guard is dropped, both stamped with the

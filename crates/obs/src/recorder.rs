@@ -1,16 +1,23 @@
-//! The global recorder: span stacks, the event log, and the metrics
-//! registry.
+//! The global recorder: span stacks, the bounded flight recorder, and
+//! the metrics registry.
 //!
 //! One process-wide recorder is enough because the simulation kernel
 //! runs exactly one simulated thread at a time: recording happens in
 //! scheduler order, the internal `std::sync::Mutex` is uncontended, and
 //! the resulting event log is deterministic.
+//!
+//! The event log is a **flight recorder**: a fixed-capacity ring
+//! (default 65536 events, configurable with `OBS_FLIGHT_CAPACITY`) that
+//! keeps the most recent events and a monotonic total count. Long
+//! always-on runs therefore cost O(capacity) memory, and failure dumps
+//! can always append the last-N events that led up to the crash.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 use crate::event::{Event, SpanId};
+use crate::labels::LabeledRegistry;
 
 /// A virtual-clock source: returns `(now_ns, tid)` for the calling
 /// thread. Installed once per process by the simulation kernel.
@@ -22,6 +29,10 @@ fn default_clock() -> (u64, u32) {
 
 static CLOCK: OnceLock<Clock> = OnceLock::new();
 static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Default flight-recorder capacity when `OBS_FLIGHT_CAPACITY` is
+/// unset.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 65_536;
 
 /// Install the virtual-clock source. The first installation wins;
 /// subsequent calls are ignored (the kernel re-installs the same
@@ -51,12 +62,15 @@ pub fn disable() {
     ENABLED.store(false, Ordering::Relaxed);
 }
 
-/// Discard all recorded events, open-span state, and metrics. Call
-/// between independent recording sessions (e.g. two runs whose exports
-/// are compared byte-for-byte).
+/// Discard all recorded events, open-span state, metadata, and metrics
+/// (including the labeled registry — cached
+/// [`crate::labels::MetricId`]s become stale and observations through
+/// them are dropped). Re-reads `OBS_FLIGHT_CAPACITY`. Call between
+/// independent recording sessions (e.g. two runs whose exports are
+/// compared byte-for-byte).
 pub fn reset() {
     let mut inner = recorder().lock().unwrap();
-    *inner = Inner::default();
+    *inner = Inner::new();
 }
 
 /// Statistics of one span name's closed instances.
@@ -84,6 +98,23 @@ impl DurationStat {
         self.count += 1;
         self.total_ns += d;
     }
+
+    /// Fold `other` into this stat. Merging an empty stat is a no-op
+    /// (its zero min does not pollute the merged minimum); merging into
+    /// an empty stat copies `other`.
+    pub fn merge(&mut self, other: &DurationStat) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
 }
 
 /// A fixed-bucket histogram: bucket `i` counts values `v` with
@@ -97,7 +128,7 @@ pub struct Histogram {
     pub buckets: [u64; 65],
     /// Number of observations.
     pub count: u64,
-    /// Sum of observed values.
+    /// Sum of observed values (saturating at `u64::MAX`).
     pub sum: u64,
     /// Smallest observed value.
     pub min: u64,
@@ -118,7 +149,8 @@ impl Default for Histogram {
 }
 
 impl Histogram {
-    fn observe(&mut self, v: u64) {
+    /// Record one observation.
+    pub fn observe(&mut self, v: u64) {
         let idx = if v == 0 {
             0
         } else {
@@ -133,7 +165,7 @@ impl Histogram {
             self.max = self.max.max(v);
         }
         self.count += 1;
-        self.sum += v;
+        self.sum = self.sum.saturating_add(v);
     }
 }
 
@@ -143,21 +175,103 @@ struct OpenSpan {
     t_begin_ns: u64,
 }
 
-#[derive(Default)]
+/// The bounded event log: a ring of the most recent `capacity` events
+/// plus a monotonic sequence counter. The sequence number of the oldest
+/// retained event is `next_seq - buf.len()`.
+pub(crate) struct FlightRing {
+    buf: VecDeque<Event>,
+    capacity: usize,
+    /// Sequence number the next recorded event will get; equals the
+    /// total number of events ever recorded since the last reset.
+    next_seq: u64,
+}
+
+impl FlightRing {
+    fn with_capacity(capacity: usize) -> FlightRing {
+        FlightRing {
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            capacity: capacity.max(1),
+            next_seq: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, ev: Event) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(ev);
+        self.next_seq += 1;
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub(crate) fn total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Sequence number of the oldest retained event.
+    fn oldest_seq(&self) -> u64 {
+        self.next_seq - self.buf.len() as u64
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.buf.iter()
+    }
+
+    /// Events with sequence `>= cursor` that are still retained, oldest
+    /// first. Events evicted before the cursor caught up are silently
+    /// skipped (the caller can detect the gap by comparing the cursor it
+    /// passed with `oldest_seq`).
+    fn since(&self, cursor: u64) -> Vec<Event> {
+        let skip = cursor.saturating_sub(self.oldest_seq()) as usize;
+        self.buf.iter().skip(skip).cloned().collect()
+    }
+}
+
+fn flight_capacity_from_env() -> usize {
+    std::env::var("OBS_FLIGHT_CAPACITY")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&c| c > 0)
+        .unwrap_or(DEFAULT_FLIGHT_CAPACITY)
+}
+
 pub(crate) struct Inner {
-    pub(crate) events: Vec<Event>,
+    pub(crate) flight: FlightRing,
     /// Per-tid stack of open spans (innermost last).
     stacks: HashMap<u32, Vec<OpenSpan>>,
     next_span: SpanId,
-    pub(crate) durations: std::collections::BTreeMap<String, DurationStat>,
-    pub(crate) counters: std::collections::BTreeMap<String, u64>,
-    pub(crate) gauges: std::collections::BTreeMap<String, i64>,
-    pub(crate) histograms: std::collections::BTreeMap<String, Histogram>,
+    pub(crate) durations: BTreeMap<String, DurationStat>,
+    pub(crate) counters: BTreeMap<String, u64>,
+    pub(crate) gauges: BTreeMap<String, i64>,
+    pub(crate) histograms: BTreeMap<String, Histogram>,
+    pub(crate) labeled: LabeledRegistry,
+    /// Run metadata stamped into exported traces (chaos seed, fault
+    /// schedule, …).
+    pub(crate) meta: BTreeMap<String, String>,
+}
+
+impl Inner {
+    fn new() -> Inner {
+        Inner {
+            flight: FlightRing::with_capacity(flight_capacity_from_env()),
+            stacks: HashMap::new(),
+            next_span: 0,
+            durations: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            labeled: LabeledRegistry::default(),
+            meta: BTreeMap::new(),
+        }
+    }
 }
 
 pub(crate) fn recorder() -> &'static Mutex<Inner> {
     static RECORDER: OnceLock<Mutex<Inner>> = OnceLock::new();
-    RECORDER.get_or_init(|| Mutex::new(Inner::default()))
+    RECORDER.get_or_init(|| Mutex::new(Inner::new()))
 }
 
 /// Guard for an open span; records the end event on drop. Obtain via
@@ -198,7 +312,7 @@ impl Drop for SpanGuard {
             .entry(open.name.to_string())
             .or_default()
             .observe(d);
-        inner.events.push(Event::SpanEnd {
+        inner.flight.push(Event::SpanEnd {
             id,
             tid,
             t_ns,
@@ -225,7 +339,7 @@ pub fn span_begin(name: &'static str, fields: Vec<(&'static str, String)>) -> Sp
         name,
         t_begin_ns: t_ns,
     });
-    inner.events.push(Event::SpanBegin {
+    inner.flight.push(Event::SpanBegin {
         id,
         parent,
         tid,
@@ -243,7 +357,7 @@ pub fn instant(label: &str) {
     }
     let (t_ns, tid) = clock_now();
     let mut inner = recorder().lock().unwrap();
-    inner.events.push(Event::Instant {
+    inner.flight.push(Event::Instant {
         tid,
         t_ns,
         label: label.to_string(),
@@ -281,9 +395,78 @@ pub fn histogram_observe(name: &str, value: u64) {
         .observe(value);
 }
 
-/// Snapshot of the typed event log, in recording order.
+/// Stamp a metadata key/value onto the recording (e.g. the active chaos
+/// seed). Metadata is exported in the Chrome-trace `otherData` block and
+/// the summary, and cleared by [`reset`]. Recorded even while recording
+/// is disabled so a repro run is always self-identifying.
+pub fn set_meta(key: &str, value: &str) {
+    let mut inner = recorder().lock().unwrap();
+    inner.meta.insert(key.to_string(), value.to_string());
+}
+
+/// Snapshot of the current run metadata, sorted by key.
+pub fn meta() -> Vec<(String, String)> {
+    let inner = recorder().lock().unwrap();
+    inner
+        .meta
+        .iter()
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect()
+}
+
+/// Snapshot of the retained flight-recorder events, oldest first. Note
+/// this is the ring **tail** — at most [`flight_capacity`] events; use
+/// [`events_total`] for the monotonic count and [`events_since`] for
+/// incremental reads that do not re-clone already-seen events.
 pub fn events() -> Vec<Event> {
-    recorder().lock().unwrap().events.clone()
+    let inner = recorder().lock().unwrap();
+    inner.flight.iter().cloned().collect()
+}
+
+/// Total number of events recorded since the last [`reset`], including
+/// events already evicted from the ring.
+pub fn events_total() -> u64 {
+    recorder().lock().unwrap().flight.total()
+}
+
+/// The flight recorder's current capacity (events retained).
+pub fn flight_capacity() -> usize {
+    recorder().lock().unwrap().flight.capacity
+}
+
+/// Incremental event read: returns the retained events with sequence
+/// `>= cursor` and the next cursor to pass. Start with cursor 0; each
+/// call returns only events not seen by the previous call, so pollers
+/// never re-clone the whole buffer. If more than `capacity` events were
+/// recorded between calls the evicted ones are skipped (compare the
+/// returned cursor delta with the returned length to detect the gap).
+pub fn events_since(cursor: u64) -> (Vec<Event>, u64) {
+    let inner = recorder().lock().unwrap();
+    (inner.flight.since(cursor), inner.flight.total())
+}
+
+/// The last `n` flight-recorder events rendered one per line (oldest
+/// first), prefixed with a header naming how many of the total they are.
+/// Used by deadlock/livelock dumps and chaos failure reports; returns an
+/// empty string when nothing was recorded.
+pub fn flight_tail(n: usize) -> String {
+    use std::fmt::Write as _;
+    let inner = recorder().lock().unwrap();
+    let len = inner.flight.len();
+    if len == 0 {
+        return String::new();
+    }
+    let take = n.min(len);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "flight recorder (last {take} of {} events):",
+        inner.flight.total()
+    );
+    for ev in inner.flight.iter().skip(len - take) {
+        let _ = writeln!(out, "  {}", ev.one_line());
+    }
+    out
 }
 
 #[cfg(test)]
@@ -310,6 +493,7 @@ mod tests {
         histogram_observe("h", 17);
         instant("nothing");
         assert!(events().is_empty());
+        assert_eq!(events_total(), 0);
         let inner = recorder().lock().unwrap();
         assert!(inner.counters.is_empty());
         assert!(inner.gauges.is_empty());
@@ -382,5 +566,149 @@ mod tests {
         assert_eq!(h.buckets[2], 2); // [2, 4): 2, 3
         assert_eq!(h.buckets[3], 2); // [4, 8): 4, 7
         assert_eq!(h.buckets[4], 1); // [8, 16): 8
+    }
+
+    #[test]
+    fn histogram_pow2_boundaries_and_extremes() {
+        let mut h = Histogram::default();
+        h.observe(0);
+        assert_eq!(h.buckets[0], 1, "0 lands in the zero bucket");
+        h.observe(1);
+        assert_eq!(h.buckets[1], 1, "1 lands in [1,2)");
+        // Exact powers of two open their own bucket: 2^k -> bucket k+1.
+        for k in [1u32, 2, 10, 32, 62] {
+            let mut p = Histogram::default();
+            p.observe(1u64 << k);
+            assert_eq!(p.buckets[k as usize + 1], 1, "2^{k}");
+            // One below the power stays in the previous bucket.
+            p.observe((1u64 << k) - 1);
+            assert_eq!(p.buckets[k as usize], 1, "2^{k}-1");
+        }
+        // u64::MAX lands in the last bucket and the sum saturates
+        // instead of overflowing.
+        let mut m = Histogram::default();
+        m.observe(u64::MAX);
+        m.observe(u64::MAX);
+        assert_eq!(m.buckets[64], 2);
+        assert_eq!(m.sum, u64::MAX, "sum saturates at u64::MAX");
+        assert_eq!((m.min, m.max, m.count), (u64::MAX, u64::MAX, 2));
+    }
+
+    #[test]
+    fn duration_stat_merge_handles_empty_sides() {
+        let mut a = DurationStat::default();
+        let empty = DurationStat::default();
+        a.merge(&empty);
+        assert_eq!(a, DurationStat::default(), "empty + empty stays empty");
+        let full = DurationStat {
+            count: 2,
+            total_ns: 30,
+            min_ns: 10,
+            max_ns: 20,
+        };
+        a.merge(&full);
+        assert_eq!(a, full, "empty absorbs other verbatim");
+        let mut b = DurationStat {
+            count: 1,
+            total_ns: 5,
+            min_ns: 5,
+            max_ns: 5,
+        };
+        b.merge(&full);
+        assert_eq!(
+            b,
+            DurationStat {
+                count: 3,
+                total_ns: 35,
+                min_ns: 5,
+                max_ns: 20
+            }
+        );
+        b.merge(&empty);
+        assert_eq!(b.count, 3, "merging empty is a no-op");
+        assert_eq!(b.min_ns, 5, "empty stat's zero min must not leak in");
+    }
+
+    #[test]
+    fn flight_ring_is_bounded_with_monotonic_sequence() {
+        let mut ring = FlightRing::with_capacity(4);
+        for i in 0..10u64 {
+            ring.push(Event::Instant {
+                tid: 0,
+                t_ns: i,
+                label: format!("e{i}"),
+            });
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.total(), 10);
+        assert_eq!(ring.oldest_seq(), 6);
+        let tail: Vec<u64> = ring.iter().map(|e| e.t_ns()).collect();
+        assert_eq!(tail, vec![6, 7, 8, 9]);
+        // Cursor before the oldest retained event skips the gap.
+        assert_eq!(ring.since(0).len(), 4);
+        assert_eq!(ring.since(8).len(), 2);
+        assert_eq!(ring.since(10).len(), 0);
+    }
+
+    #[test]
+    fn events_since_is_incremental() {
+        let _g = test_guard();
+        reset();
+        enable();
+        instant("a");
+        instant("b");
+        let (batch, cursor) = events_since(0);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(cursor, 2);
+        let (batch, cursor) = events_since(cursor);
+        assert!(batch.is_empty());
+        instant("c");
+        let (batch, cursor) = events_since(cursor);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(cursor, 3);
+        disable();
+        reset();
+    }
+
+    /// The acceptance bound for the flight recorder: a run emitting a
+    /// million events at `OBS_FLIGHT_CAPACITY=4096` holds at most 4096
+    /// in memory while the monotonic total still counts every one.
+    #[test]
+    fn million_events_stay_bounded_by_configured_capacity() {
+        let _g = test_guard();
+        std::env::set_var("OBS_FLIGHT_CAPACITY", "4096");
+        reset(); // re-reads the env var
+        std::env::remove_var("OBS_FLIGHT_CAPACITY");
+        assert_eq!(flight_capacity(), 4096);
+        enable();
+        const N: u64 = 1_000_000;
+        for i in 0..N {
+            instant(if i % 2 == 0 { "tick" } else { "tock" });
+        }
+        disable();
+        assert_eq!(events_total(), N, "every event is counted");
+        let tail = events();
+        assert_eq!(tail.len(), 4096, "but only capacity are retained");
+        // The retained window is exactly the newest 4096: a cursor at
+        // the oldest retained sequence returns the full window.
+        let (batch, cursor) = events_since(N - 4096);
+        assert_eq!(batch.len(), 4096);
+        assert_eq!(cursor, N);
+        // flight_tail renders from the same bounded window.
+        let dump = flight_tail(8);
+        assert!(dump.starts_with("flight recorder (last 8 of 1000000 events):"));
+        reset(); // env var is gone: capacity returns to the default
+        assert_eq!(flight_capacity(), DEFAULT_FLIGHT_CAPACITY);
+    }
+
+    #[test]
+    fn meta_survives_disable_and_clears_on_reset() {
+        let _g = test_guard();
+        reset();
+        disable();
+        set_meta("chaos.seed", "42");
+        assert_eq!(meta(), vec![("chaos.seed".into(), "42".into())]);
+        reset();
+        assert!(meta().is_empty());
     }
 }

@@ -1,0 +1,278 @@
+//! `LatencySketch` — an HDR-histogram-style percentile sketch with
+//! bounded relative error.
+//!
+//! Values are binned log-linearly: the first octaves (values below
+//! `2^SUB_BITS`) are recorded exactly, and every octave `[2^e, 2^(e+1))`
+//! above that is split into `2^SUB_BITS` equal-width sub-buckets. A
+//! reported quantile is therefore off from the true value by at most one
+//! sub-bucket width, i.e. a relative error of `2^-SUB_BITS` (~3.1% at
+//! the default 5 sub-bucket bits) — tight enough to assert p50/p99/p999
+//! tail-latency SLOs while the bucket layout stays a fixed function of
+//! the value, never of the data, so merged and exported output is
+//! deterministic.
+
+/// Sub-bucket bits per octave: each power-of-two range is split into
+/// `2^SUB_BITS` linear buckets.
+const SUB_BITS: usize = 5;
+/// Sub-buckets per octave.
+const SUB: usize = 1 << SUB_BITS;
+/// Octaves above the exact range (`e` in `SUB_BITS..=63`).
+const OCTAVES: usize = 64 - SUB_BITS;
+/// Total bucket count.
+const BUCKETS: usize = SUB + OCTAVES * SUB;
+
+/// A bounded-error percentile sketch over `u64` observations
+/// (typically latencies in nanoseconds). See the module docs for the
+/// binning scheme and error bound.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatencySketch {
+    /// Per-bucket observation counts (log-linear layout).
+    counts: Vec<u64>,
+    /// Number of observations.
+    count: u64,
+    /// Sum of observations (saturating).
+    sum: u64,
+    /// Smallest observation.
+    min: u64,
+    /// Largest observation.
+    max: u64,
+}
+
+impl Default for LatencySketch {
+    fn default() -> LatencySketch {
+        LatencySketch {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        }
+    }
+}
+
+/// Bucket index of a value. Values below `SUB` map to themselves;
+/// larger values map to `SUB + (e - SUB_BITS) * SUB + sub` where `e`
+/// is the value's octave and `sub` its top `SUB_BITS` mantissa bits.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let e = 63 - v.leading_zeros() as usize;
+        let sub = ((v >> (e - SUB_BITS)) as usize) & (SUB - 1);
+        SUB + (e - SUB_BITS) * SUB + sub
+    }
+}
+
+/// Largest value that lands in bucket `idx` (the reported quantile
+/// value, so reported quantiles never under-estimate).
+fn bucket_upper(idx: usize) -> u64 {
+    if idx < SUB {
+        idx as u64
+    } else {
+        let rel = idx - SUB;
+        let e = rel / SUB + SUB_BITS;
+        let sub = (rel % SUB) as u64;
+        let width = 1u64 << (e - SUB_BITS);
+        (1u64 << e) + sub * width + (width - 1)
+    }
+}
+
+impl LatencySketch {
+    /// New empty sketch.
+    pub fn new() -> LatencySketch {
+        LatencySketch::default()
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations (saturating at `u64::MAX`).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Maximum relative error of a reported quantile.
+    pub fn max_relative_error() -> f64 {
+        1.0 / SUB as f64
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) of the recorded distribution,
+    /// within [`LatencySketch::max_relative_error`] of the true value.
+    /// Returns 0 for an empty sketch. The extreme quantiles are exact:
+    /// `q = 0` reports the recorded minimum and the top rank reports
+    /// the recorded maximum.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, c) in self.counts.iter().enumerate() {
+            if *c == 0 {
+                continue;
+            }
+            seen += c;
+            if seen >= rank {
+                // Clamp into the recorded range: the edge buckets may
+                // extend past the true min/max.
+                return bucket_upper(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Merge another sketch into this one. Merging an empty sketch is
+    /// a no-op; merging into an empty sketch copies `other`.
+    pub fn merge(&mut self, other: &LatencySketch) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Reset to empty without reallocating the bucket array.
+    pub fn clear(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = 0;
+        self.max = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_contiguous_and_cover_u64() {
+        // Bucket index is monotone in the value and the last bucket is
+        // exactly the final slot.
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(SUB as u64 - 1), SUB - 1);
+        assert_eq!(bucket_of(SUB as u64), SUB);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        let mut prev = 0;
+        for v in [1u64, 31, 32, 63, 64, 1000, 1 << 20, 1 << 40, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(b >= prev, "bucket index must be monotone");
+            assert!(bucket_upper(b) >= v, "upper bound below the value");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn quantiles_have_bounded_relative_error() {
+        let mut s = LatencySketch::new();
+        for v in 1..=100_000u64 {
+            s.observe(v * 17);
+        }
+        for q in [0.5f64, 0.9, 0.99, 0.999] {
+            let truth = ((q * 100_000.0).ceil() as u64) * 17;
+            let got = s.quantile(q);
+            let err = (got as f64 - truth as f64).abs() / truth as f64;
+            assert!(
+                err <= LatencySketch::max_relative_error(),
+                "q={q}: got {got}, truth {truth}, err {err}"
+            );
+            assert!(got >= truth, "reported quantile must not under-estimate");
+        }
+        assert_eq!(s.quantile(0.0), 17);
+        assert_eq!(s.quantile(1.0), 1_700_000);
+    }
+
+    #[test]
+    fn empty_and_single_value() {
+        let s = LatencySketch::new();
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.count(), 0);
+        let mut s = LatencySketch::new();
+        s.observe(42);
+        assert_eq!((s.p50(), s.p99(), s.p999()), (42, 42, 42));
+        assert_eq!((s.min(), s.max(), s.sum()), (42, 42, 42));
+    }
+
+    #[test]
+    fn merge_handles_empty_sides() {
+        let mut a = LatencySketch::new();
+        let empty = LatencySketch::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 0);
+        let mut b = LatencySketch::new();
+        b.observe(10);
+        b.observe(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!((a.min(), a.max()), (10, 1000));
+        let mut c = LatencySketch::new();
+        c.observe(5);
+        a.merge(&c);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 5);
+        assert_eq!(a.p999(), 1000);
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow() {
+        let mut s = LatencySketch::new();
+        s.observe(u64::MAX);
+        s.observe(u64::MAX);
+        s.observe(0);
+        assert_eq!(s.sum(), u64::MAX, "sum saturates");
+        assert_eq!(s.max(), u64::MAX);
+        assert_eq!(s.p999(), u64::MAX);
+    }
+}

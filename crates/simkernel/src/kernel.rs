@@ -1084,6 +1084,22 @@ fn push_dump_note(out: &mut String, s: &Sched) {
         out.push_str(note);
         out.push('\n');
     }
+    push_flight_tail(out);
+}
+
+/// Append the observability flight-recorder tail (the last events that
+/// led up to the failure) so every deadlock/livelock dump doubles as a
+/// black-box recording. Empty (and silent) when recording is off.
+fn push_flight_tail(out: &mut String) {
+    let tail = snapify_obs::flight_tail(32);
+    if !tail.is_empty() {
+        out.push_str("  ");
+        out.push_str(&tail.replace('\n', "\n  "));
+        // replace() leaves two trailing spaces after the final newline.
+        while out.ends_with(' ') {
+            out.pop();
+        }
+    }
 }
 
 fn payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
@@ -1521,6 +1537,24 @@ mod tests {
             .expect_err("deadlock must abort the run");
         let msg = payload_to_string(err.as_ref());
         assert!(msg.contains("context: schedule=S1"), "{msg}");
+    }
+
+    #[test]
+    fn deadlock_dump_includes_flight_recorder_tail() {
+        let k = Kernel::new();
+        snapify_obs::enable();
+        let k2 = k.clone();
+        k.spawn("stuck", move || {
+            snapify_obs::instant("last breadcrumb before hang");
+            let (_, me) = current();
+            k2.block(me, BlockReason::fixed("waiting"));
+        });
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| k.run()))
+            .expect_err("deadlock must abort the run");
+        snapify_obs::disable();
+        let msg = payload_to_string(err.as_ref());
+        assert!(msg.contains("flight recorder (last"), "{msg}");
+        assert!(msg.contains("last breadcrumb before hang"), "{msg}");
     }
 
     #[test]

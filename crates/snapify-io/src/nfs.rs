@@ -93,6 +93,9 @@ impl Nfs {
     /// [`IoError::Timeout`] to the caller.
     fn absorb_faults(&self, op: &str) -> Result<(), IoError> {
         let retry = self.inner.config.retry;
+        // Label with the verb only ("write", not "write /path"): paths
+        // would explode label cardinality.
+        let verb = op.split_whitespace().next().unwrap_or(op);
         let mut attempt = 0u32;
         while let Some(fault) = self.inner.server.faults().take(FaultTarget::Nfs) {
             let stall = match fault {
@@ -108,14 +111,21 @@ impl Nfs {
             };
             simkernel::sleep(stall);
             obs::counter_add("chaos.nfs.timeouts", 1);
+            obs::counter_add_labeled("io.timeouts", &[("op", verb), ("transport", "nfs")], 1);
             if attempt >= retry.max_retries {
                 obs::counter_add("chaos.surfaced", 1);
+                obs::counter_add_labeled(
+                    "io.errors_surfaced",
+                    &[("op", verb), ("transport", "nfs")],
+                    1,
+                );
                 return Err(IoError::Timeout(format!(
                     "nfs {op}: no server response after {} attempt(s)",
                     attempt + 1
                 )));
             }
             obs::counter_add("chaos.retried", 1);
+            obs::counter_add_labeled("io.retries", &[("op", verb), ("transport", "nfs")], 1);
             simkernel::sleep(retry.backoff_for(attempt));
             attempt += 1;
         }
@@ -160,6 +170,7 @@ impl ByteSink for NfsSink {
         // Chaos plane: absorb (or surface) any due RPC timeout before
         // side effects, so a surfaced error leaves no partial append.
         self.nfs.absorb_faults(&format!("write {}", self.path))?;
+        let t0 = simkernel::now();
         let server = &self.nfs.inner.server;
         let logical = self.granularity.unwrap_or(len).min(len).max(1);
         match self.nfs.inner.mode {
@@ -205,6 +216,13 @@ impl ByteSink for NfsSink {
         // Server-side write-back (asynchronous, like any NFS server).
         server.host().fs().append_async(&self.path, data)?;
         obs::counter_add(&format!("io.{}.bytes_written", self.nfs.label()), len);
+        if obs::is_enabled() {
+            obs::sketch_observe_labeled(
+                "io.write_ns",
+                &[("op", "write"), ("transport", "nfs")],
+                (simkernel::now() - t0).as_nanos(),
+            );
+        }
         Ok(())
     }
 

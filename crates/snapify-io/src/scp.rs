@@ -62,17 +62,31 @@ impl Scp {
     /// caller resumes from the last fully-shipped chunk.
     fn absorb_resets(&self, resets: &mut u32, context: &str) -> Result<(), IoError> {
         let retry = self.inner.config.retry;
+        // Label with the verb only ("push", not "push /path"): paths
+        // would explode label cardinality.
+        let verb = context.split_whitespace().next().unwrap_or(context);
         loop {
             match self.inner.server.faults().take(FaultTarget::Scp) {
                 Some(FaultKind::ConnReset) => {
                     obs::counter_add("chaos.scp.resets", 1);
+                    obs::counter_add_labeled("io.resets", &[("op", verb), ("transport", "scp")], 1);
                     if *resets >= retry.max_retries {
                         obs::counter_add("chaos.surfaced", 1);
+                        obs::counter_add_labeled(
+                            "io.errors_surfaced",
+                            &[("op", verb), ("transport", "scp")],
+                            1,
+                        );
                         return Err(IoError::ConnReset(format!(
                             "scp {context}: connection reset, retry budget exhausted"
                         )));
                     }
                     obs::counter_add("chaos.retried", 1);
+                    obs::counter_add_labeled(
+                        "io.retries",
+                        &[("op", verb), ("transport", "scp")],
+                        1,
+                    );
                     simkernel::sleep(retry.backoff_for(*resets));
                     // Reconnect: pay the ssh handshake again.
                     simkernel::sleep(self.inner.config.setup);
@@ -119,6 +133,7 @@ impl ByteSink for ScpSink {
             return Err(IoError::Closed);
         }
         let total = data.len();
+        let t0 = simkernel::now();
         let mut shipped = 0u64;
         let mut resets = 0u32;
         for chunk in data.chunks(self.scp.inner.config.chunk) {
@@ -140,6 +155,13 @@ impl ByteSink for ScpSink {
                 .append_async(&self.path, chunk)?;
             shipped += chunk_len;
             obs::counter_add("io.scp.bytes_written", chunk_len);
+        }
+        if obs::is_enabled() {
+            obs::sketch_observe_labeled(
+                "io.write_ns",
+                &[("op", "write"), ("transport", "scp")],
+                (simkernel::now() - t0).as_nanos(),
+            );
         }
         Ok(())
     }

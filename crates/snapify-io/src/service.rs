@@ -183,6 +183,7 @@ impl SnapifyIo {
         chunk: Payload,
     ) -> Result<(), IoError> {
         let server = &self.inner.server;
+        let t0 = simkernel::now();
         // Copy through the UNIX socket into the registered buffer.
         server
             .node(local)
@@ -199,6 +200,13 @@ impl SnapifyIo {
         obs::counter_add("io.Snapify-IO.bytes_written", chunk.len());
         obs::counter_add("io.Snapify-IO.chunks_written", 1);
         server.node(target).fs().append_async(path, chunk)?;
+        if obs::is_enabled() {
+            obs::sketch_observe_labeled(
+                "io.chunk_ns",
+                &[("op", "write"), ("transport", "snapify-io")],
+                (simkernel::now() - t0).as_nanos(),
+            );
+        }
         Ok(())
     }
 
@@ -213,6 +221,7 @@ impl SnapifyIo {
         len: u64,
     ) -> Result<Payload, IoError> {
         let server = &self.inner.server;
+        let t0 = simkernel::now();
         let chunk = server.node(target).fs().read(path, offset, len)?;
         if local != target {
             server
@@ -225,6 +234,13 @@ impl SnapifyIo {
             .memcpy((chunk.len() as f64 * self.inner.config.socket_copies) as u64);
         obs::counter_add("io.Snapify-IO.bytes_read", chunk.len());
         obs::counter_add("io.Snapify-IO.chunks_read", 1);
+        if obs::is_enabled() {
+            obs::sketch_observe_labeled(
+                "io.chunk_ns",
+                &[("op", "read"), ("transport", "snapify-io")],
+                (simkernel::now() - t0).as_nanos(),
+            );
+        }
         Ok(chunk)
     }
 }

@@ -303,22 +303,32 @@ impl Dedup {
         self.inner.index.lock().unwrap().chunks.contains_key(key)
     }
 
-    fn note_hit(&self, len: u64) {
+    fn note_hit(&self, node: NodeId, len: u64) {
         let mut idx = self.inner.index.lock().unwrap();
         idx.stats.chunks_hit += 1;
         idx.stats.bytes_deduped += len;
         drop(idx);
         obs::counter_add("store.chunks_hit", 1);
         obs::counter_add("store.bytes_deduped", len);
+        if obs::is_enabled() {
+            let n = node.to_string();
+            obs::counter_add_labeled("store.chunks_hit", &[("node", &n)], 1);
+            obs::counter_add_labeled("store.bytes_deduped", &[("node", &n)], len);
+        }
     }
 
-    fn note_miss(&self, len: u64) {
+    fn note_miss(&self, node: NodeId, len: u64) {
         let mut idx = self.inner.index.lock().unwrap();
         idx.stats.chunks_miss += 1;
         idx.stats.bytes_shipped += len;
         drop(idx);
         obs::counter_add("store.chunks_miss", 1);
         obs::counter_add("store.bytes_shipped", len);
+        if obs::is_enabled() {
+            let n = node.to_string();
+            obs::counter_add_labeled("store.chunks_miss", &[("node", &n)], 1);
+            obs::counter_add_labeled("store.bytes_shipped", &[("node", &n)], len);
+        }
     }
 
     /// Reserve a pack id + path for a snapshot's novel chunks.
@@ -742,10 +752,10 @@ impl DedupSink {
         self.refs.push(key);
         self.image.append(chunk.clone());
         if self.fresh.contains_key(&key) || self.store.has_chunk(&key) {
-            self.store.note_hit(len);
+            self.store.note_hit(self.local, len);
             return Ok(());
         }
-        self.store.note_miss(len);
+        self.store.note_miss(self.local, len);
         self.fresh.insert(key, chunk.clone());
         self.ship_chunk(chunk)
     }
@@ -1007,6 +1017,11 @@ impl DedupSource {
             drop(idx);
             obs::counter_add("snapify.restore.cache_hits", 1);
             obs::counter_add("snapify.restore.bytes_avoided", len);
+            if obs::is_enabled() {
+                let n = self.local.to_string();
+                obs::counter_add_labeled("snapify.restore.cache_hits", &[("node", &n)], 1);
+                obs::counter_add_labeled("snapify.restore.bytes_avoided", &[("node", &n)], len);
+            }
             self.pending.append(content);
             return Ok(());
         }
@@ -1066,6 +1081,10 @@ impl DedupSource {
         idx.stats.restore_bytes_fetched += len;
         drop(idx);
         obs::counter_add("snapify.restore.bytes_fetched", len);
+        if obs::is_enabled() {
+            let n = self.local.to_string();
+            obs::counter_add_labeled("snapify.restore.bytes_fetched", &[("node", &n)], len);
+        }
         self.pending.append(chunk);
         Ok(())
     }

@@ -49,16 +49,32 @@ fn record_repro(lines: &[String]) {
 }
 
 fn sweep_cases(n: u64, expand: impl Fn(u64) -> ChaosCase) {
+    let mut repro_lines = Vec::new();
     let mut failures = Vec::new();
+    let mut violators = Vec::new();
     for seed in 0..n {
         let case = expand(seed);
         let outcome = run_case(&case);
+        // SLO violations don't fail the sweep (the consistency contract
+        // held) but the sweep reports exactly which seeds blew the
+        // latency budget, with the breached windows.
+        for breach in &outcome.slo_breaches {
+            violators.push(format!("seed {}: {breach}", case.seed));
+        }
         if let Some(why) = outcome.failure {
-            failures.push(format!("{} # {case}: {why}", case.repro_line()));
+            repro_lines.push(format!("{} # {case}: {why}", case.repro_line()));
+            let tail = outcome.flight_tail.unwrap_or_default();
+            failures.push(format!("{} # {case}: {why}\n{tail}", case.repro_line()));
         }
     }
+    if !violators.is_empty() {
+        println!(
+            "SLO violations in this sweep:\n  {}",
+            violators.join("\n  ")
+        );
+    }
     if !failures.is_empty() {
-        record_repro(&failures);
+        record_repro(&repro_lines);
         panic!(
             "{} of {} chaos cases failed; repro lines:\n{}",
             failures.len(),
@@ -118,7 +134,71 @@ fn swap_rotate_cases_replay_byte_identical() {
     assert_eq!(first.trace_len, second.trace_len);
     assert_eq!(first.trace_digest, second.trace_digest);
     assert_eq!(first.faults_fired, second.faults_fired);
+    // SLO evaluation runs on the virtual clock, so the breach list is
+    // part of the replay contract too.
+    assert_eq!(first.slo_breaches, second.slo_breaches);
     assert!(first.trace_len > 0, "tracing must actually be on");
+}
+
+/// A fault sweep reports which seeds violated the SLO, not just which
+/// crashed: under an impossibly tight objective every rotation breaches
+/// (with the tenant and window named), while the default objective
+/// stays green for the same case.
+#[test]
+fn swap_rotate_sweep_reports_slo_violating_seeds() {
+    let mut case = ChaosCase::swap_rotate_from_seed(BASE_SEED + 4000);
+    case.slo = Some(simkernel::obs::SloSpec::parse("swapin.p99 < 1us over 1s").unwrap());
+    let outcome = run_case(&case);
+    assert!(outcome.ok(), "{:?}", outcome.failure);
+    assert!(
+        !outcome.slo_breaches.is_empty(),
+        "a 1us swap-in objective must breach"
+    );
+    for breach in &outcome.slo_breaches {
+        assert!(
+            breach.contains("tenant-"),
+            "breach names the tenant: {breach}"
+        );
+        assert!(breach.contains("swapin"), "{breach}");
+    }
+    // The tightened objective rides the repro line, so the violating
+    // run replays as-is.
+    assert!(
+        case.repro_line().contains("SIMCHAOS_SLO='"),
+        "{}",
+        case.repro_line()
+    );
+
+    // The same seed under the default objective is breach-free.
+    let healthy = run_case(&ChaosCase::swap_rotate_from_seed(BASE_SEED + 4000));
+    assert!(healthy.ok(), "{:?}", healthy.failure);
+    assert!(
+        healthy.slo_breaches.is_empty(),
+        "default objective must hold: {:?}",
+        healthy.slo_breaches
+    );
+}
+
+/// Every chaos run stamps its seed and fault schedule into the run
+/// metadata, which the Chrome-trace exporter carries in `otherData`:
+/// any trace pulled from a chaos run is self-identifying. (Values may
+/// belong to a concurrently-running case — the recorder is global — so
+/// this only asserts the keys are stamped.)
+#[test]
+fn chaos_runs_stamp_seed_and_faults_into_trace_metadata() {
+    let case = ChaosCase::swap_rotate_from_seed(BASE_SEED + 4001);
+    let outcome = run_case(&case);
+    assert!(outcome.ok(), "{:?}", outcome.failure);
+    let meta = simkernel::obs::meta();
+    for key in ["chaos.seed", "chaos.faults", "chaos.repro"] {
+        assert!(
+            meta.iter().any(|(k, _)| k == key),
+            "meta must carry {key}: {meta:?}"
+        );
+    }
+    let trace = simkernel::obs::chrome_trace();
+    assert!(trace.contains("\"otherData\""), "trace carries metadata");
+    assert!(trace.contains("chaos.seed"), "trace identifies the seed");
 }
 
 /// The replay contract, end to end: the same case executed twice is
@@ -184,11 +264,18 @@ fn disabled_retry_bug_is_caught_with_replayable_repro() {
     let outcome = run_case(&case);
     let why = outcome
         .failure
+        .clone()
         .expect("a reset with retries disabled must surface");
     assert!(
         why.contains("ConnReset"),
         "failure must carry the typed error, got: {why}"
     );
+    // Failures come with the flight recorder's last events attached.
+    let tail = outcome
+        .flight_tail
+        .as_deref()
+        .expect("failed case captures the tail");
+    assert!(tail.contains("flight recorder (last"), "{tail}");
     let repro = case.repro_line();
     assert!(repro.contains("SIMCHAOS_NO_RETRY=1"));
     assert!(repro.contains("SIMCHAOS_FAULTS='0:scp:connreset'"));

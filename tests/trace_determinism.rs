@@ -137,7 +137,9 @@ fn identical_runs_export_byte_identical_artifacts() {
 #[test]
 fn disabled_recording_stays_empty() {
     let _g = recorder_lock();
-    let before = obs::events().len();
+    // events_total() counts even events later evicted from the bounded
+    // flight ring, so it can't be fooled by a full buffer.
+    let before = obs::events_total();
     Kernel::run_root(|| {
         let spec = by_name("MC").unwrap().scaled(128, 10);
         let registry = FunctionRegistry::new();
@@ -155,6 +157,6 @@ fn disabled_recording_stays_empty() {
         assert!(driver.join().unwrap().verified);
         run.destroy().unwrap();
     });
-    let after = obs::events().len();
+    let after = obs::events_total();
     assert_eq!(before, after, "disabled recorder must not record events");
 }
