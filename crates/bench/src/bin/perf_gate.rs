@@ -12,19 +12,28 @@
 //! * `BENCH_swapin.json` — `speedup` per tenant row must not drop below
 //!   baseline × 0.90 (the warm restore fast path must keep its edge
 //!   over cold fetches).
+//! * `BENCH_simkernel.json` — `events_per_sec` per scenario must not
+//!   drop below baseline × 0.35. Unlike the virtual-time metrics above
+//!   this one is *wall clock*, so the margin is deliberately generous:
+//!   it only catches order-of-magnitude collapses of the dispatch hot
+//!   path (an accidental O(n) scan, a lost fast path), not machine or
+//!   scheduler noise. Because wall-clock rates also depend on workload
+//!   size, the comparison is skipped (with a note) when the run's
+//!   top-level `"quick"` flag differs from the baseline's.
 //!
 //! Rows are matched by `name`; quick-mode runs produce a subset of the
 //! baseline rows (same deterministic values), which is fine — but a run
 //! that matches *no* baseline row fails, so the gate can never pass
-//! vacuously.
+//! vacuously. (A wall-clock file skipped for quick-flag mismatch counts
+//! as intentionally skipped, not vacuous.)
 //!
 //! Usage (paths relative to the invoking directory):
 //!
 //! ```text
-//! perf_gate [--baselines <dir>] [--dedup <json>] [--swapin <json>]
+//! perf_gate [--baselines <dir>] [--dedup <json>] [--swapin <json>] [--simkernel <json>]
 //! ```
 //!
-//! With no `--dedup`/`--swapin` both files are checked from the
+//! With no selection flags all three files are checked from the
 //! baselines' sibling directory layout (`crates/bench/BENCH_*.json`).
 
 use std::process::ExitCode;
@@ -88,12 +97,14 @@ fn metric_for(rows: &[String], name: &str, metric: &str) -> Option<f64> {
         .and_then(|r| num_field(r, metric))
 }
 
-/// The direction a guarded metric is allowed to move.
+/// The direction a guarded metric is allowed to move, with the factor
+/// of the baseline it must stay within. Deterministic virtual-time
+/// metrics use tight 10% factors; wall-clock metrics use wide ones.
 enum Bound {
-    /// Regression = the value grew (e.g. bytes shipped).
-    NoGrowthPast10Pct,
-    /// Regression = the value shrank (e.g. a speedup factor).
-    NoDropPast10Pct,
+    /// Regression = the value grew; fail when `current > baseline * f`.
+    NoGrowthPast(f64),
+    /// Regression = the value shrank; fail when `current < baseline * f`.
+    NoDropPast(f64),
 }
 
 /// Compare every current row against the baseline; returns the number
@@ -122,8 +133,8 @@ fn check(
         };
         compared += 1;
         let (ok, limit) = match bound {
-            Bound::NoGrowthPast10Pct => (current <= baseline * 1.10, baseline * 1.10),
-            Bound::NoDropPast10Pct => (current >= baseline * 0.90, baseline * 0.90),
+            Bound::NoGrowthPast(f) => (current <= baseline * f, baseline * f),
+            Bound::NoDropPast(f) => (current >= baseline * f, baseline * f),
         };
         let verdict = if ok { "ok" } else { "REGRESSION" };
         println!(
@@ -131,11 +142,27 @@ fn check(
         );
         if !ok {
             failures.push(format!(
-                "{label}/{name}: {metric} regressed past 10%: {current} vs baseline {baseline}"
+                "{label}/{name}: {metric} regressed past limit {limit:.1}: \
+                 {current} vs baseline {baseline}"
             ));
         }
     }
     compared
+}
+
+/// The top-level `"quick"` flag of a `BENCH_*.json` dump (outside the
+/// `"benches"` array, so a plain search on the tail is safe).
+fn quick_flag(json: &str) -> Option<bool> {
+    let tail = &json[json.rfind(']')?..];
+    let rest = tail[tail.find("\"quick\"")?..].trim_start_matches("\"quick\"");
+    let rest = rest.trim_start_matches(':').trim_start();
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
 }
 
 fn read(path: &str) -> Result<String, String> {
@@ -150,37 +177,74 @@ fn main() -> ExitCode {
             .and_then(|i| args.get(i + 1).cloned())
     };
     let baselines = flag("--baselines").unwrap_or_else(|| "crates/bench/baselines".to_string());
-    let explicit = flag("--dedup").is_some() || flag("--swapin").is_some();
+    let explicit =
+        flag("--dedup").is_some() || flag("--swapin").is_some() || flag("--simkernel").is_some();
     let dedup = flag("--dedup")
         .or_else(|| (!explicit).then(|| "crates/bench/BENCH_dedup.json".to_string()));
     let swapin = flag("--swapin")
         .or_else(|| (!explicit).then(|| "crates/bench/BENCH_swapin.json".to_string()));
+    let simkernel = flag("--simkernel")
+        .or_else(|| (!explicit).then(|| "crates/bench/BENCH_simkernel.json".to_string()));
 
     let mut failures = Vec::new();
     let mut compared = 0;
-    let mut run = |label: &str, metric: &str, bound: Bound, current: Option<&String>| {
-        let Some(current) = current else {
-            return Ok(());
+    let mut quick_skips = 0;
+    let mut run =
+        |label: &str, metric: &str, bound: Bound, current: Option<&String>, wall_clock: bool| {
+            let Some(current) = current else {
+                return Ok(());
+            };
+            let baseline = read(&format!("{baselines}/BENCH_{label}.json"))?;
+            let current = read(current)?;
+            if wall_clock && quick_flag(&baseline) != quick_flag(&current) {
+                println!(
+                    "{label}: quick flag differs from baseline ({:?} vs {:?}) — wall-clock rates \
+                 are not comparable across workload sizes, skipping",
+                    quick_flag(&current),
+                    quick_flag(&baseline)
+                );
+                quick_skips += 1;
+                return Ok(());
+            }
+            compared += check(label, metric, bound, &baseline, &current, &mut failures);
+            Ok::<(), String>(())
         };
-        let baseline = read(&format!("{baselines}/BENCH_{label}.json"))?;
-        let current = read(current)?;
-        compared += check(label, metric, bound, &baseline, &current, &mut failures);
-        Ok::<(), String>(())
-    };
     let result = run(
         "dedup",
         "warm_shipped_bytes",
-        Bound::NoGrowthPast10Pct,
+        Bound::NoGrowthPast(1.10),
         dedup.as_ref(),
+        false,
     )
-    .and_then(|()| run("swapin", "speedup", Bound::NoDropPast10Pct, swapin.as_ref()));
+    .and_then(|()| {
+        run(
+            "swapin",
+            "speedup",
+            Bound::NoDropPast(0.90),
+            swapin.as_ref(),
+            false,
+        )
+    })
+    .and_then(|()| {
+        run(
+            "simkernel",
+            "events_per_sec",
+            Bound::NoDropPast(0.35),
+            simkernel.as_ref(),
+            true,
+        )
+    });
     if let Err(e) = result {
         eprintln!("perf gate error: {e}");
         return ExitCode::FAILURE;
     }
-    if compared == 0 {
+    if compared == 0 && quick_skips == 0 {
         eprintln!("perf gate error: no rows matched any baseline — gate would be vacuous");
         return ExitCode::FAILURE;
+    }
+    if compared == 0 {
+        println!("perf gate passed (all files skipped for quick-flag mismatch)");
+        return ExitCode::SUCCESS;
     }
     if failures.is_empty() {
         println!("perf gate passed ({compared} comparisons)");
@@ -221,7 +285,7 @@ mod tests {
         let n = check(
             "dedup",
             "warm_shipped_bytes",
-            Bound::NoGrowthPast10Pct,
+            Bound::NoGrowthPast(1.10),
             SAMPLE,
             &current,
             &mut failures,
@@ -236,12 +300,52 @@ mod tests {
         check(
             "swapin",
             "speedup",
-            Bound::NoDropPast10Pct,
+            Bound::NoDropPast(0.90),
             SAMPLE,
             &current,
             &mut failures,
         );
         assert_eq!(failures.len(), 1);
+    }
+
+    #[test]
+    fn wall_clock_factor_is_generous() {
+        const WALL: &str = r#"{
+  "benches": [
+    {"name": "ping_pong_64", "events": 128000, "wall_secs": 0.1, "events_per_sec": 1280000.0}
+  ],
+  "quick": true
+}"#;
+        // A 50% drop passes the 0.35 factor; a 75% drop fails it.
+        let mut failures = Vec::new();
+        let halved = WALL.replace("1280000.0", "640000.0");
+        let n = check(
+            "simkernel",
+            "events_per_sec",
+            Bound::NoDropPast(0.35),
+            WALL,
+            &halved,
+            &mut failures,
+        );
+        assert_eq!(n, 1);
+        assert!(failures.is_empty(), "50% wall-clock drop must be tolerated");
+        let collapsed = WALL.replace("1280000.0", "320000.0");
+        check(
+            "simkernel",
+            "events_per_sec",
+            Bound::NoDropPast(0.35),
+            WALL,
+            &collapsed,
+            &mut failures,
+        );
+        assert_eq!(failures.len(), 1, "4x collapse must be caught");
+    }
+
+    #[test]
+    fn quick_flag_parses_outside_rows() {
+        assert_eq!(quick_flag(SAMPLE), Some(false));
+        assert_eq!(quick_flag(&SAMPLE.replace("false", "true")), Some(true));
+        assert_eq!(quick_flag("{\"benches\": []}"), None);
     }
 
     #[test]
@@ -253,7 +357,7 @@ mod tests {
         let n = check(
             "dedup",
             "warm_shipped_bytes",
-            Bound::NoGrowthPast10Pct,
+            Bound::NoGrowthPast(1.10),
             SAMPLE,
             quick,
             &mut failures,

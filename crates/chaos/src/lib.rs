@@ -54,12 +54,15 @@ use std::sync::Arc;
 
 use coi_sim::{CoiConfig, DeviceBinary, FunctionRegistry};
 use phi_platform::{
-    FaultKind, FaultSchedule, FaultTarget, NodeId, Payload, PhiServer, PlatformParams, MB,
+    cluster_lookahead, FaultKind, FaultSchedule, FaultTarget, NodeId, Payload, PhiServer,
+    PlatformParams, MB,
 };
+use scif_sim::cluster_link;
+use simkernel::domain::{MultiDomainConfig, MultiKernel};
 use simkernel::obs;
 use simkernel::obs::SloSpec;
 use simkernel::time::{ms, us};
-use simkernel::{Kernel, SchedPolicy, SimDuration, SimTime};
+use simkernel::{SchedPolicy, SimDuration, SimTime};
 use simproc::SnapshotStorage;
 use snapify::{
     checkpoint_application, restart_application, snapify_migrate, snapify_swapin, snapify_swapout,
@@ -203,6 +206,14 @@ pub struct ChaosCase {
     /// window, so a sweep distinguishes "seed crashed" from "seed blew
     /// the latency budget". `None` for ops with no swap plane.
     pub slo: Option<SloSpec>,
+    /// Time domains the case runs on (≥ 1). Never drawn by
+    /// [`ChaosCase::from_seed`] — that would re-roll every historical
+    /// seed — only set by the `SIMCHAOS_DOMAINS` override or by a sweep
+    /// directly. With `domains > 1` the case body runs in domain 0 of a
+    /// multi-domain kernel while peer domains exchange bounded
+    /// cluster-link pings with it, so the conservative sync engine is
+    /// under the same random scheduling as the case itself.
+    pub domains: u32,
 }
 
 /// The swap-in latency objective rotate cases evaluate by default. The
@@ -245,6 +256,7 @@ impl ChaosCase {
             faults,
             disable_retries: false,
             slo: default_slo(op),
+            domains: 1,
         }
     }
 
@@ -271,6 +283,10 @@ impl ChaosCase {
             "SIMCHAOS_SEED={} SIMCHAOS_FAULTS='{}'",
             self.seed, self.faults
         );
+        // Like the op: only a deviation from the default (1) replays.
+        if self.domains != 1 {
+            line.push_str(&format!(" SIMCHAOS_DOMAINS={}", self.domains));
+        }
         // Ops not drawn by `from_seed` (pinned constructors such as
         // `swap_rotate_from_seed`) need an explicit override to replay.
         if self.op != ChaosCase::from_seed(self.seed).op {
@@ -318,6 +334,13 @@ impl ChaosCase {
                 Some(SloSpec::parse(&text).unwrap_or_else(|e| panic!("SIMCHAOS_SLO='{text}': {e}")))
             };
         }
+        if let Ok(text) = std::env::var("SIMCHAOS_DOMAINS") {
+            case.domains = text
+                .parse()
+                .ok()
+                .filter(|&d| d >= 1)
+                .unwrap_or_else(|| panic!("SIMCHAOS_DOMAINS='{text}' is not a positive u32"));
+        }
         if std::env::var("SIMCHAOS_NO_RETRY").is_ok_and(|v| v == "1") {
             case.disable_retries = true;
         }
@@ -329,12 +352,17 @@ impl fmt::Display for ChaosCase {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "seed={} op={} workload={} t_snap={}us faults=[{}]{}",
+            "seed={} op={} workload={} t_snap={}us faults=[{}]{}{}",
             self.seed,
             self.op,
             self.workload,
             self.snapshot_time.as_nanos() / 1_000,
             self.faults,
+            if self.domains != 1 {
+                format!(" domains={}", self.domains)
+            } else {
+                String::new()
+            },
             if self.disable_retries {
                 " NO_RETRY"
             } else {
@@ -417,11 +445,25 @@ impl ChaosOutcome {
     }
 }
 
+/// Pings each peer domain exchanges with domain 0 during a
+/// multi-domain case. Small: the peers exist to run the conservative
+/// sync engine under the case's random scheduling, not to outlast the
+/// case body.
+const PEER_PINGS: u64 = 8;
+
 /// Execute one case under `SchedPolicy::Random(case.seed)` with kernel
 /// tracing on, and report the outcome. Deadlocks, livelocks, and
 /// panics inside the simulation are caught and reported as failures
 /// (with the kernel's thread dump in the message), so a sweep can keep
 /// going and collect every failing repro line.
+///
+/// With `case.domains > 1` the case body runs in domain 0 of a
+/// multi-domain kernel (lookahead = the platform's network latency)
+/// while every other domain runs a peer exchanging bounded
+/// cluster-link pings with an echo thread in domain 0; a stuck domain
+/// then surfaces as a cross-domain deadlock dump listing every
+/// domain's clock and safe horizon. `domains = 1` is exactly the
+/// single-kernel execution — historical repro lines replay unchanged.
 pub fn run_case(case: &ChaosCase) -> ChaosOutcome {
     // Chaos runs are always self-identifying: stamp the seed, fault
     // schedule, and repro line into the run metadata (exported in the
@@ -433,13 +475,44 @@ pub fn run_case(case: &ChaosCase) -> ChaosOutcome {
     obs::set_meta("chaos.faults", &case.faults.to_string());
     obs::set_meta("chaos.repro", &case.repro_line());
     obs::enable();
-    let kernel = Kernel::new_with_policy(SchedPolicy::Random(case.seed));
-    kernel.enable_trace();
-    kernel.set_livelock_threshold(Some(LIVELOCK_EVENTS));
-    kernel.set_dump_note(format!("chaos repro: {}", case.repro_line()));
+    let params = PlatformParams::default();
+    let mk = MultiKernel::new(
+        MultiDomainConfig::new(case.domains, cluster_lookahead(&params))
+            .with_policy(SchedPolicy::Random(case.seed)),
+    );
+    mk.enable_trace();
+    mk.set_livelock_threshold(Some(LIVELOCK_EVENTS));
+    mk.set_dump_note(format!("chaos repro: {}", case.repro_line()));
+
+    for d in 1..case.domains {
+        let (ptx, prx) = cluster_link(&mk, format!("peer{d}-req"), d, 0, &params);
+        let (etx, erx) = cluster_link(&mk, format!("peer{d}-rsp"), 0, d, &params);
+        mk.domain(0).spawn(format!("echo{d}"), move || {
+            while let Ok(p) = prx.recv() {
+                etx.send(p).unwrap();
+            }
+            etx.close();
+        });
+        mk.domain(d).spawn(format!("peer{d}"), move || {
+            for i in 0..PEER_PINGS {
+                simkernel::sleep(us(200));
+                let ping = Payload::synthetic(i, 64);
+                let digest = ping.digest();
+                ptx.send(ping).unwrap();
+                match erx.recv_deadline(simkernel::now() + ms(5)) {
+                    Ok(Some(p)) => assert_eq!(p.digest(), digest, "echo corrupted the ping"),
+                    Ok(None) => {} // domain 0 busy; the echo drains below
+                    Err(_) => break,
+                }
+            }
+            ptx.close();
+            while erx.recv().is_ok() {}
+        });
+    }
+
     let c = case.clone();
-    let root = kernel.spawn("chaos-root", move || execute(&c));
-    let run = panic::catch_unwind(AssertUnwindSafe(|| kernel.run()));
+    let root = mk.domain(0).spawn("chaos-root", move || execute(&c));
+    let run = panic::catch_unwind(AssertUnwindSafe(|| mk.run()));
     let (failure, faults_fired, slo_breaches) = match run {
         Ok(()) => match root.take_result() {
             Some((failure, fired, breaches)) => (failure, fired, breaches),
@@ -452,9 +525,10 @@ pub fn run_case(case: &ChaosCase) -> ChaosOutcome {
         Err(payload) => (Some(panic_text(payload)), 0, Vec::new()),
     };
     // Best-effort even after a failed run: the trace identifies the
-    // execution for replay comparison.
-    let trace_len = panic::catch_unwind(AssertUnwindSafe(|| kernel.trace_len())).unwrap_or(0);
-    let trace_digest = panic::catch_unwind(AssertUnwindSafe(|| kernel.trace_digest())).unwrap_or(0);
+    // execution for replay comparison. (`fingerprint` is the plain
+    // kernel's `(trace_len, trace_digest)` when `domains = 1`.)
+    let (trace_len, trace_digest) =
+        panic::catch_unwind(AssertUnwindSafe(|| mk.fingerprint())).unwrap_or((0, 0));
     let flight_tail = failure.as_ref().map(|_| obs::flight_tail(32));
     ChaosOutcome {
         failure,
@@ -936,6 +1010,25 @@ mod tests {
         let mut off = case.clone();
         off.slo = None;
         assert!(off.repro_line().contains("SIMCHAOS_SLO=off"));
+    }
+
+    #[test]
+    fn domains_default_to_one_and_ride_the_repro_line() {
+        // `from_seed` must stay byte-stable: domains are never drawn.
+        for seed in [0u64, 42, u64::MAX] {
+            assert_eq!(ChaosCase::from_seed(seed).domains, 1);
+        }
+        let case = ChaosCase::from_seed(7);
+        assert!(!case.repro_line().contains("SIMCHAOS_DOMAINS"));
+        assert!(!case.to_string().contains("domains="));
+        let mut multi = case.clone();
+        multi.domains = 4;
+        assert!(
+            multi.repro_line().contains("SIMCHAOS_DOMAINS=4"),
+            "{}",
+            multi.repro_line()
+        );
+        assert!(multi.to_string().contains("domains=4"));
     }
 
     #[test]

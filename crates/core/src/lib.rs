@@ -65,6 +65,7 @@
 
 pub mod api;
 pub mod cli;
+pub mod cluster;
 pub mod cr;
 pub mod scheduler;
 pub mod world;
@@ -76,6 +77,7 @@ pub use api::{
     snapify_swapin, snapify_swapout, snapify_wait, SnapifyT,
 };
 pub use cli::{Command, SnapifyCli};
+pub use cluster::MultiNodeCluster;
 pub use cr::{
     checkpoint_application, restart_application, CheckpointReport, CrTool, RestartReport,
     RestartedApp,

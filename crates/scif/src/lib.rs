@@ -34,6 +34,9 @@ use simkernel::obs;
 use simkernel::{RecvError, SimChannel, SimDuration, SimMutex};
 use simproc::SimProcess;
 
+pub mod cluster;
+pub use cluster::{cluster_link, ClusterRx, ClusterTx};
+
 /// Well-known SCIF ports (mirroring MPSS conventions).
 pub mod ports {
     /// The COI daemon's listening port on every coprocessor.

@@ -67,7 +67,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread;
 
@@ -106,7 +106,7 @@ pub enum SchedPolicy {
 /// proptest stub's `TestRng`), so scheduler interleavings and
 /// property-test inputs share a single, documented PRNG.
 #[inline]
-fn splitmix64(state: &mut u64) -> u64 {
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -323,6 +323,20 @@ struct Sched {
     /// Free-form context (e.g. the active fault schedule) appended to
     /// deadlock/livelock dumps.
     dump_note: Option<String>,
+    /// Multi-domain stepping (see [`crate::domain`]): when `bounded`,
+    /// an empty run queue with live threads pauses the domain instead
+    /// of declaring a local deadlock (a cross-domain delivery may still
+    /// arrive at the next window barrier), and dispatch refuses to
+    /// advance to `horizon` or beyond.
+    bounded: bool,
+    /// Exclusive upper bound on event times this domain may execute.
+    horizon: Option<SimTime>,
+    /// Set when dispatch stops at the horizon (or on an empty queue in
+    /// bounded mode); cleared by the next `step_until`.
+    paused: bool,
+    /// Wake time of the earliest pending entry at pause (`None` = this
+    /// domain has no pending events at all).
+    paused_next: Option<SimTime>,
 }
 
 impl Sched {
@@ -347,6 +361,11 @@ struct Inner {
     trace_on: AtomicBool,
     /// The driver of `Kernel::run` parks here waiting for completion.
     driver_cv: Condvar,
+    /// Domain id of this kernel in a multi-domain run (0 outside one),
+    /// mixed into observability thread ids (`tid | domain << 24`) so
+    /// per-domain event streams stay distinct in the shared flight
+    /// recorder and Chrome trace.
+    domain_tag: AtomicU32,
 }
 
 /// Handle to a simulation kernel. Cheap to clone; all clones refer to the
@@ -451,10 +470,15 @@ impl Kernel {
                     livelock_threshold: None,
                     same_time_streak: 0,
                     dump_note: None,
+                    bounded: false,
+                    horizon: None,
+                    paused: false,
+                    paused_next: None,
                 }),
                 now_ns: AtomicU64::new(0),
                 trace_on: AtomicBool::new(false),
                 driver_cv: Condvar::new(),
+                domain_tag: AtomicU32::new(0),
             }),
         }
     }
@@ -843,7 +867,7 @@ impl Kernel {
             SchedPolicy::Random(_) => pop_random_tie(s),
         };
         match next {
-            Some((t, tid)) => {
+            Picked::Run(t, tid) => {
                 debug_assert!(t >= s.now, "time went backwards");
                 if t > s.now {
                     s.same_time_streak = 0;
@@ -868,9 +892,28 @@ impl Kernel {
                 info.block_deadline = None;
                 info.slot.grant();
             }
-            None => {
+            Picked::Horizon(t) => {
+                // The earliest pending event is at or past the safe
+                // horizon: park this domain at the window barrier. The
+                // entry stays queued with its original ordering keys,
+                // so resuming with a larger horizon replays exactly the
+                // schedule an unbounded run would have produced.
+                s.paused = true;
+                s.paused_next = Some(t);
+                self.inner.driver_cv.notify_all();
+            }
+            Picked::Empty => {
                 if s.live == 0 {
                     s.done = true;
+                } else if s.bounded {
+                    // Not yet a deadlock: a cross-domain delivery may
+                    // arrive at the next window barrier. The coordinator
+                    // escalates when every domain stalls with nothing
+                    // in flight (see `crate::domain`).
+                    s.paused = true;
+                    s.paused_next = None;
+                    self.inner.driver_cv.notify_all();
+                    return;
                 } else {
                     s.failure = Some(deadlock_dump(s));
                     s.done = true;
@@ -949,13 +992,174 @@ impl Kernel {
         // target cannot finish in between.
         self.block(me, BlockReason::fixed("join"));
     }
+
+    // ------------------------------------------------------------------
+    // Bounded (multi-domain) stepping, used by `crate::domain`. A kernel
+    // acting as one time domain never runs an event at or past the safe
+    // horizon handed to `step_until`; cross-domain deliveries enter via
+    // `wake_external_at` at window barriers, when no thread is running.
+    // ------------------------------------------------------------------
+
+    /// Whether `other` is a handle to the same kernel (same scheduler
+    /// and clock). Used to assert that a [`crate::domain`] port is only
+    /// driven from its own domain.
+    pub(crate) fn same_kernel(&self, other: &Kernel) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Tag this kernel with its domain id (see `Inner::domain_tag`).
+    pub(crate) fn set_domain_tag(&self, domain: u32) {
+        debug_assert!(domain < 256, "domain id must fit the obs tid tag");
+        self.inner.domain_tag.store(domain, Ordering::Relaxed);
+    }
+
+    /// Advance the simulation until every pending event strictly before
+    /// `horizon` has executed, then pause at the window barrier. Puts
+    /// the kernel in bounded mode: an empty run queue with live threads
+    /// pauses (reporting `next: None`) instead of declaring a local
+    /// deadlock, since a cross-domain delivery may still arrive.
+    pub(crate) fn step_until(&self, horizon: SimTime) -> StepOutcome {
+        let mut s = self.inner.sched.lock().unwrap();
+        s.bounded = true;
+        s.horizon = Some(horizon);
+        if !s.done {
+            debug_assert!(
+                s.running.is_none(),
+                "step_until while a simulated thread is running"
+            );
+            s.paused = false;
+            s.paused_next = None;
+            if s.live == 0 {
+                // Same contract as `run` on a threadless kernel: daemons
+                // alone do not keep a domain alive.
+                s.done = true;
+                self.shutdown_all(&mut s);
+            } else {
+                self.dispatch(&mut s);
+                while !s.done && !s.paused {
+                    s = self.inner.driver_cv.wait(s).unwrap();
+                }
+            }
+        }
+        if s.done {
+            match s.failure.clone() {
+                Some(msg) => StepOutcome::Failed(msg),
+                None => StepOutcome::Done,
+            }
+        } else {
+            StepOutcome::Paused {
+                next: s.paused_next,
+            }
+        }
+    }
+
+    /// Wake a thread at virtual time `at` on behalf of a cross-domain
+    /// delivery performed at a window barrier (no thread of this domain
+    /// is running). The receiver resumes exactly at `max(now, at)`, so
+    /// it can never observe a clock earlier than the message timestamp.
+    /// For a thread in a timed wait, the earlier of the delivery time
+    /// and its deadline wins; if the deadline is earlier the delivery
+    /// does not wake it (the timeout fires first and the message stays
+    /// queued for a later receive).
+    pub(crate) fn wake_external_at(&self, tid: Tid, at: SimTime) {
+        let mut s = self.inner.sched.lock().unwrap();
+        debug_assert!(
+            s.running.is_none(),
+            "external wake while the domain is running"
+        );
+        if s.done || s.shutdown {
+            return;
+        }
+        let t = s.now.max(at);
+        let seq = s.seq;
+        s.seq += 1;
+        let info = s.info_mut(tid);
+        match info.state {
+            TState::Blocked => {
+                info.state = TState::Runnable;
+                info.generation += 1;
+                let generation = info.generation;
+                s.runq.push(Reverse((t, seq, tid, generation)));
+                trace(&mut s, tid, "wake");
+            }
+            TState::Runnable => {
+                // Timed wait (`block_until`): supersede its timer entry
+                // only when the delivery lands before the deadline.
+                if info.block_deadline.is_none_or(|d| t < d) {
+                    info.generation += 1;
+                    let generation = info.generation;
+                    s.runq.push(Reverse((t, seq, tid, generation)));
+                    trace(&mut s, tid, "wake");
+                }
+            }
+            other => panic!("wake_external_at on thread {tid} in state {other:?}"),
+        }
+    }
+
+    /// Earliest valid pending wake time, discarding superseded entries.
+    /// Used by the multi-domain coordinator to size the next window;
+    /// only meaningful while the domain is paused or not yet started.
+    pub(crate) fn next_pending_time(&self) -> Option<SimTime> {
+        let mut s = self.inner.sched.lock().unwrap();
+        if s.done {
+            return None;
+        }
+        loop {
+            let (t, tid, generation) = match s.runq.peek() {
+                Some(&Reverse((t, _, tid, g))) => (t, tid, g),
+                None => return None,
+            };
+            let info = s.info(tid);
+            if info.generation == generation && info.state == TState::Runnable {
+                return Some(t);
+            }
+            s.runq.pop();
+        }
+    }
+
+    /// Abort a paused domain from outside the simulation (e.g. the
+    /// coordinator tearing down peers after another domain failed, or
+    /// declaring a cross-domain deadlock). Idempotent; does nothing on
+    /// a finished kernel.
+    pub(crate) fn abort_external(&self, msg: &str) {
+        let mut s = self.inner.sched.lock().unwrap();
+        if s.done {
+            return;
+        }
+        s.failure = Some(msg.to_string());
+        s.done = true;
+        self.shutdown_all(&mut s);
+    }
+
+    /// Render this domain's blocked threads in deadlock-dump format
+    /// (without the header/note), for the cross-domain stall dump.
+    pub(crate) fn blocked_report(&self) -> String {
+        let s = self.inner.sched.lock().unwrap();
+        let mut out = String::new();
+        push_blocked_threads(&mut out, &s);
+        out
+    }
+}
+
+/// Outcome of one bounded scheduling round (see [`Kernel::step_until`]).
+pub(crate) enum StepOutcome {
+    /// The last non-daemon thread finished; the domain is complete.
+    Done,
+    /// Every event before the horizon executed; `next` is the earliest
+    /// pending wake time (`None` = nothing pending in this domain).
+    Paused { next: Option<SimTime> },
+    /// The domain aborted (thread panic or livelock dump).
+    Failed(String),
 }
 
 /// Observability timestamp source: virtual time + simulated thread id
 /// of the caller, or `(0, 0)` outside a simulated thread.
 fn obs_clock() -> (u64, u32) {
     CTX.with(|c| match c.borrow().as_ref() {
-        Some((k, tid)) => (k.now().as_nanos(), *tid),
+        Some((k, tid)) => {
+            let domain = k.inner.domain_tag.load(Ordering::Relaxed);
+            (k.now().as_nanos(), *tid | (domain << 24))
+        }
         None => (0, 0),
     })
 }
@@ -971,36 +1175,65 @@ fn trace(s: &mut Sched, tid: Tid, label: &str) {
     }
 }
 
+/// Result of selecting the next run-queue entry under the (optional)
+/// horizon bound.
+enum Picked {
+    /// Run this thread at this wake time.
+    Run(SimTime, Tid),
+    /// The earliest valid entry is at/past the horizon; it was re-queued
+    /// untouched and the domain must pause at the window barrier.
+    Horizon(SimTime),
+    /// No valid entry pending.
+    Empty,
+}
+
 /// Pop the earliest valid run-queue entry (FIFO tie-break), skipping
-/// entries superseded by an early wake. Returns `(wake time, tid)`.
-fn pop_valid(s: &mut Sched) -> Option<(SimTime, Tid)> {
-    while let Some(Reverse((t, _seq, tid, generation))) = s.runq.pop() {
+/// entries superseded by an early wake and stopping at the horizon.
+fn pop_valid(s: &mut Sched) -> Picked {
+    while let Some(Reverse((t, seq, tid, generation))) = s.runq.pop() {
         let info = s.info(tid);
         if info.generation == generation && info.state == TState::Runnable {
-            return Some((t, tid));
+            if let Some(h) = s.horizon {
+                if t >= h {
+                    s.runq.push(Reverse((t, seq, tid, generation)));
+                    return Picked::Horizon(t);
+                }
+            }
+            return Picked::Run(t, tid);
         }
         // stale entry superseded by an early wake
     }
-    None
+    Picked::Empty
 }
 
 /// Pop one valid run-queue entry at the *minimum* wake time, choosing
 /// uniformly among all valid entries tied at that time with the
 /// scheduler's splitmix64 state, and re-queueing the rest untouched.
 /// Because only the tie-break is randomized, virtual time still
-/// advances monotonically exactly as under FIFO.
-fn pop_random_tie(s: &mut Sched) -> Option<(SimTime, Tid)> {
+/// advances monotonically exactly as under FIFO. The horizon check
+/// happens before any tie collection, so pausing at a window barrier
+/// consumes no PRNG state and the resumed schedule is unchanged.
+fn pop_random_tie(s: &mut Sched) -> Picked {
     let Reverse(first) = {
         // Inline pop_valid, but keep (seq, generation) so non-chosen
         // ties can be re-queued with their original ordering keys.
         loop {
-            let Reverse(e) = s.runq.pop()?;
+            let Some(Reverse(e)) = s.runq.pop() else {
+                return Picked::Empty;
+            };
             let info = s.info(e.2);
             if info.generation == e.3 && info.state == TState::Runnable {
                 break Reverse(e);
             }
         }
     };
+    if let Some(h) = s.horizon {
+        if first.0 >= h {
+            let t = first.0;
+            s.runq.push(Reverse(first));
+            return Picked::Horizon(t);
+        }
+    }
     let t0 = first.0;
     let mut ties = vec![first];
     while let Some(&Reverse((t, ..))) = s.runq.peek() {
@@ -1022,7 +1255,7 @@ fn pop_random_tie(s: &mut Sched) -> Option<(SimTime, Tid)> {
     for e in ties {
         s.runq.push(Reverse(e));
     }
-    Some((chosen.0, chosen.2))
+    Picked::Run(chosen.0, chosen.2)
 }
 
 fn deadlock_dump(s: &Sched) -> String {
@@ -1030,6 +1263,14 @@ fn deadlock_dump(s: &Sched) -> String {
         "deadlock at {}: {} live thread(s) blocked with no pending wake-up:\n",
         s.now, s.live
     );
+    push_blocked_threads(&mut out, s);
+    push_dump_note(&mut out, s);
+    out
+}
+
+/// Append one line per blocked thread (shared between the local
+/// deadlock dump and the cross-domain stall dump in `crate::domain`).
+fn push_blocked_threads(out: &mut String, s: &Sched) {
     for (i, info) in s.threads.iter().enumerate() {
         if info.state != TState::Blocked {
             continue;
@@ -1048,8 +1289,6 @@ fn deadlock_dump(s: &Sched) -> String {
             deadline,
         ));
     }
-    push_dump_note(&mut out, s);
-    out
 }
 
 /// Like [`deadlock_dump`], but for the complementary failure: the run
@@ -1090,7 +1329,7 @@ fn push_dump_note(out: &mut String, s: &Sched) {
 /// Append the observability flight-recorder tail (the last events that
 /// led up to the failure) so every deadlock/livelock dump doubles as a
 /// black-box recording. Empty (and silent) when recording is off.
-fn push_flight_tail(out: &mut String) {
+pub(crate) fn push_flight_tail(out: &mut String) {
     let tail = snapify_obs::flight_tail(32);
     if !tail.is_empty() {
         out.push_str("  ");

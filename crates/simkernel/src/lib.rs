@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod domain;
 pub mod kernel;
 pub mod resource;
 pub mod sync;
@@ -63,6 +64,7 @@ pub mod obs {
 }
 
 pub use channel::{RecvError, SendError, SimChannel};
+pub use domain::{DomainId, MultiDomainConfig, MultiKernel, PortRx, PortTx};
 pub use kernel::{
     current, in_simulation, now, sleep, spawn, yield_now, JoinHandle, Kernel, SchedPolicy, Tid,
     TraceEvent,

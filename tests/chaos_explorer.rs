@@ -123,6 +123,56 @@ fn chaos_sweep_block_swap_rotate() {
     });
 }
 
+/// The multi-domain sweep: 16 seeds (fewer if `SIMCHAOS_CASES_PER_BLOCK`
+/// is tighter, as in CI smoke) whose cases run on a 4-domain kernel —
+/// the case body in domain 0, peers in domains 1..4 exchanging
+/// cluster-link pings through the conservative sync engine. Repro lines
+/// gain `SIMCHAOS_DOMAINS=4`, and `replay_case_from_env` honors it.
+#[test]
+fn chaos_sweep_multidomain() {
+    let base = BASE_SEED + 5000;
+    let n = cases_per_block().min(16);
+    sweep_cases(n, |i| {
+        let mut case = ChaosCase::from_seed(base + i);
+        case.domains = 4;
+        assert!(
+            case.repro_line().contains("SIMCHAOS_DOMAINS=4"),
+            "multi-domain cases must replay with their domain count: {}",
+            case.repro_line()
+        );
+        case
+    });
+}
+
+/// The replay contract extends to multi-domain cases: the same 4-domain
+/// case executed twice yields the identical merged trace fingerprint —
+/// parallel domain execution must never leak wall-clock interleaving
+/// into simulation state.
+#[test]
+fn multidomain_cases_replay_byte_identical() {
+    let seeds = [
+        find_seed(BASE_SEED + 5000, |c| {
+            !c.op.is_soak() && !c.faults.is_empty()
+        }),
+        find_seed(BASE_SEED + 5000, |c| c.op.is_soak()),
+    ];
+    for seed in seeds {
+        let mut case = ChaosCase::from_seed(seed);
+        case.domains = 4;
+        let first = run_case(&case);
+        let second = run_case(&case);
+        assert!(first.ok(), "{case}: {:?}", first.failure);
+        assert_eq!(first.failure, second.failure, "{case}: verdict must replay");
+        assert_eq!(
+            (first.trace_len, first.trace_digest),
+            (second.trace_len, second.trace_digest),
+            "{case}: 4-domain fingerprint must replay byte-identically"
+        );
+        assert_eq!(first.faults_fired, second.faults_fired);
+        assert!(first.trace_len > 0, "tracing must actually be on");
+    }
+}
+
 /// The replay contract holds for the pinned swap-rotate op too.
 #[test]
 fn swap_rotate_cases_replay_byte_identical() {
