@@ -1,0 +1,230 @@
+//! FaaS-style multi-tenant serving: open-loop Zipf traffic over a
+//! swapped-out tenant population, per-policy cold vs. warm
+//! time-to-first-compute.
+//!
+//! Two scenarios per eviction policy:
+//!
+//! * `zipf1k` — 1000 tenants with Zipf 1.1 popularity skew behind 8
+//!   coprocessors, one row per eviction policy. The paper's §6
+//!   time-sharing pitch at population scale: most requests hit the
+//!   skewed head and serve warm, the tail demand-swaps in. Both
+//!   committed assertions live here: warm p99 time-to-first-compute
+//!   beats cold p99 by ≥ 2× for every policy, and popularity-aware
+//!   eviction beats LRU on overall p99 (it keeps the skewed head
+//!   resident, so fewer requests pay a demand swap-in).
+//! * `overload` — a uniform (no-skew) burst far beyond device
+//!   throughput with a 2-deep admission limit: the limiter must shed
+//!   load instead of letting the cold queue grow without bound.
+//!
+//! Quick mode (`--quick` / `BENCH_QUICK=1`) runs a shorter `zipf1k`
+//! schedule under distinct row names (`zipf1k-quick-*`), so quick and
+//! full rows coexist in the committed baseline and `perf_gate` is never
+//! vacuous in either mode. Dumps `BENCH_serving.json`.
+
+use phi_platform::PlatformParams;
+use serving::{run_scenario, EvictionPolicy, ServingConfig, ServingReport, TrafficConfig};
+use simkernel::Kernel;
+use snapify_bench::{header, Table};
+
+struct Row {
+    name: String,
+    report: ServingReport,
+}
+
+impl Row {
+    /// Cold p99 over warm p99: how much a demand swap-in costs relative
+    /// to hitting a resident tenant.
+    fn warm_speedup_p99(&self) -> f64 {
+        if self.report.warm.p99_ns == 0 {
+            return 0.0;
+        }
+        self.report.cold.p99_ns as f64 / self.report.warm.p99_ns as f64
+    }
+}
+
+/// The population-scale scenario: 1000 tenants, Zipf 1.1, 8 devices.
+fn zipf1k(policy: EvictionPolicy, requests: usize) -> ServingConfig {
+    ServingConfig {
+        devices: 8,
+        swap_workers: 4,
+        policy,
+        traffic: TrafficConfig {
+            tenants: 1000,
+            zipf_s: 1.1,
+            rate_per_sec: 20.0,
+            requests,
+            ..TrafficConfig::default()
+        },
+        ..ServingConfig::default()
+    }
+}
+
+/// The admission-policy scenario: uniform overload against a 2-deep
+/// cold backlog limit.
+fn overload() -> ServingConfig {
+    ServingConfig {
+        devices: 2,
+        swap_workers: 1,
+        policy: EvictionPolicy::Lru,
+        admission_limit: Some(2),
+        traffic: TrafficConfig {
+            tenants: 16,
+            zipf_s: 0.0,
+            rate_per_sec: 100.0,
+            requests: 200,
+            ..TrafficConfig::default()
+        },
+        ..ServingConfig::default()
+    }
+}
+
+fn run(name: &str, cfg: ServingConfig) -> Row {
+    let report = Kernel::run_root(move || run_scenario(&cfg));
+    assert_eq!(
+        report.cold.count + report.warm.count,
+        report.admitted,
+        "{name}: every admitted request must reach first-compute"
+    );
+    assert!(
+        report.max_resident <= report.devices,
+        "{name}: residency exceeded device capacity"
+    );
+    Row {
+        name: name.to_string(),
+        report,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("BENCH_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+    let params = PlatformParams::default();
+    header(
+        if quick {
+            "FaaS-style serving: cold vs warm time-to-first-compute (quick)"
+        } else {
+            "FaaS-style serving: cold vs warm time-to-first-compute"
+        },
+        &params,
+    );
+
+    let (zipf_prefix, zipf_requests) = if quick {
+        ("zipf1k-quick", 600)
+    } else {
+        ("zipf1k", 2000)
+    };
+    let mut rows = Vec::new();
+    for policy in EvictionPolicy::ALL {
+        rows.push(run(
+            &format!("{zipf_prefix}-{}", policy.label()),
+            zipf1k(policy, zipf_requests),
+        ));
+    }
+    rows.push(run("overload-limit2", overload()));
+
+    let ms = |ns: u64| format!("{:.2}", ns as f64 / 1e6);
+    let mut t = Table::new(vec![
+        "scenario",
+        "cold n",
+        "cold p50 ms",
+        "cold p99 ms",
+        "warm n",
+        "warm p50 ms",
+        "warm p99 ms",
+        "overall p99 ms",
+        "speedup p99",
+        "breaches",
+    ]);
+    for r in &rows {
+        let rep = &r.report;
+        t.row(vec![
+            r.name.clone(),
+            rep.cold.count.to_string(),
+            ms(rep.cold.p50_ns),
+            ms(rep.cold.p99_ns),
+            rep.warm.count.to_string(),
+            ms(rep.warm.p50_ns),
+            ms(rep.warm.p99_ns),
+            ms(rep.overall.p99_ns),
+            format!("{:.1}x", r.warm_speedup_p99()),
+            rep.breaches.len().to_string(),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("shape checks: at 1k tenants with Zipf skew, warm p99 time-to-first-compute");
+    println!("beats cold p99 by >=2x for every policy, popularity-aware eviction beats");
+    println!("LRU on overall p99, and uniform overload trips the admission limiter.");
+
+    for r in rows.iter().filter(|r| r.name.starts_with(zipf_prefix)) {
+        assert!(
+            r.warm_speedup_p99() >= 2.0,
+            "{}: warm p99 must be >=2x better than cold (got {:.2}x)\n{}",
+            r.name,
+            r.warm_speedup_p99(),
+            r.report.summary()
+        );
+    }
+    let p99_of = |name: String| {
+        rows.iter()
+            .find(|r| r.name == name)
+            .map(|r| r.report.overall.p99_ns)
+            .expect("zipf1k row present")
+    };
+    let lru = p99_of(format!("{zipf_prefix}-lru"));
+    let pop = p99_of(format!("{zipf_prefix}-popularity"));
+    assert!(
+        pop < lru,
+        "popularity-aware eviction must beat LRU on overall p99 under Zipf skew \
+         (popularity {pop}ns vs lru {lru}ns)"
+    );
+    let shed = &rows.last().unwrap().report;
+    assert!(
+        shed.rejected > 0,
+        "uniform overload must trip the admission limiter\n{}",
+        shed.summary()
+    );
+
+    dump_json("BENCH_serving.json", &rows, quick);
+}
+
+fn dump_json(path: &str, rows: &[Row], quick: bool) {
+    let mut out = String::from("{\n  \"benches\": [");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let rep = &r.report;
+        out.push_str(&format!(
+            "\n    {{\"name\": \"{}\", \"policy\": \"{}\", \"requests\": {}, \
+             \"admitted\": {}, \"cold_count\": {}, \"warm_count\": {}, \
+             \"cold_p50_ns\": {}, \"cold_p99_ns\": {}, \"warm_p50_ns\": {}, \
+             \"warm_p99_ns\": {}, \"overall_p99_ns\": {}, \"warm_speedup_p99\": {:.4}, \
+             \"swaps\": {}, \"max_resident\": {}, \"restore_bytes_avoided\": {}, \
+             \"slo_breaches\": {}}}",
+            r.name,
+            rep.policy,
+            rep.requests,
+            rep.admitted,
+            rep.cold.count,
+            rep.warm.count,
+            rep.cold.p50_ns,
+            rep.cold.p99_ns,
+            rep.warm.p50_ns,
+            rep.warm.p99_ns,
+            rep.overall.p99_ns,
+            r.warm_speedup_p99(),
+            rep.swaps,
+            rep.max_resident,
+            rep.restore_bytes_avoided,
+            rep.breaches.len(),
+        ));
+    }
+    out.push_str(&format!("\n  ],\n  \"quick\": {quick}\n}}\n"));
+    match std::fs::write(path, out) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
+}

@@ -12,6 +12,11 @@
 //! * `BENCH_swapin.json` — `speedup` per tenant row must not drop below
 //!   baseline × 0.90 (the warm restore fast path must keep its edge
 //!   over cold fetches).
+//! * `BENCH_serving.json` — `warm_speedup_p99` per scenario row must
+//!   not drop below baseline × 0.90 (warm time-to-first-compute must
+//!   keep its edge over cold demand swap-ins). The committed baseline
+//!   carries both the full rows and the `zipf1k-quick-*` rows, so the
+//!   gate is non-vacuous in either bench mode.
 //! * `BENCH_simkernel.json` — `events_per_sec` per scenario must not
 //!   drop below baseline × 0.35. Unlike the virtual-time metrics above
 //!   this one is *wall clock*, so the margin is deliberately generous:
@@ -30,10 +35,11 @@
 //! Usage (paths relative to the invoking directory):
 //!
 //! ```text
-//! perf_gate [--baselines <dir>] [--dedup <json>] [--swapin <json>] [--simkernel <json>]
+//! perf_gate [--baselines <dir>] [--dedup <json>] [--swapin <json>]
+//!           [--serving <json>] [--simkernel <json>]
 //! ```
 //!
-//! With no selection flags all three files are checked from the
+//! With no selection flags all four files are checked from the
 //! baselines' sibling directory layout (`crates/bench/BENCH_*.json`).
 
 use std::process::ExitCode;
@@ -177,12 +183,16 @@ fn main() -> ExitCode {
             .and_then(|i| args.get(i + 1).cloned())
     };
     let baselines = flag("--baselines").unwrap_or_else(|| "crates/bench/baselines".to_string());
-    let explicit =
-        flag("--dedup").is_some() || flag("--swapin").is_some() || flag("--simkernel").is_some();
+    let explicit = flag("--dedup").is_some()
+        || flag("--swapin").is_some()
+        || flag("--serving").is_some()
+        || flag("--simkernel").is_some();
     let dedup = flag("--dedup")
         .or_else(|| (!explicit).then(|| "crates/bench/BENCH_dedup.json".to_string()));
     let swapin = flag("--swapin")
         .or_else(|| (!explicit).then(|| "crates/bench/BENCH_swapin.json".to_string()));
+    let serving = flag("--serving")
+        .or_else(|| (!explicit).then(|| "crates/bench/BENCH_serving.json".to_string()));
     let simkernel = flag("--simkernel")
         .or_else(|| (!explicit).then(|| "crates/bench/BENCH_simkernel.json".to_string()));
 
@@ -222,6 +232,15 @@ fn main() -> ExitCode {
             "speedup",
             Bound::NoDropPast(0.90),
             swapin.as_ref(),
+            false,
+        )
+    })
+    .and_then(|()| {
+        run(
+            "serving",
+            "warm_speedup_p99",
+            Bound::NoDropPast(0.90),
+            serving.as_ref(),
             false,
         )
     })

@@ -131,6 +131,14 @@ pub enum ChaosOp {
     /// by [`ChaosCase::from_seed`] (that would re-roll every historical
     /// seed); built with [`ChaosCase::swap_rotate_from_seed`].
     SwapRotate,
+    /// An open-loop multi-tenant serving run (`serving::run_scenario`)
+    /// under injected bus faults: seed-chosen eviction policy, arrival
+    /// process, and Zipf skew, with the invariant that every admitted
+    /// request reaches first-compute and residency never exceeds device
+    /// capacity. Like [`ChaosOp::SwapRotate`], never drawn by
+    /// [`ChaosCase::from_seed`]; built with
+    /// [`ChaosCase::serve_from_seed`].
+    Serve,
 }
 
 impl ChaosOp {
@@ -144,6 +152,7 @@ impl ChaosOp {
             ChaosOp::NfsSoak => "nfs-soak",
             ChaosOp::ScpSoak => "scp-soak",
             ChaosOp::SwapRotate => "swap-rotate",
+            ChaosOp::Serve => "serve",
         }
     }
 
@@ -158,6 +167,7 @@ impl ChaosOp {
             ChaosOp::NfsSoak,
             ChaosOp::ScpSoak,
             ChaosOp::SwapRotate,
+            ChaosOp::Serve,
         ]
         .into_iter()
         .find(|op| op.label() == label)
@@ -222,11 +232,25 @@ pub struct ChaosCase {
 /// green sweep means a real latency regression, not noise.
 const DEFAULT_SWAP_SLO: &str = "swapin.p99 < 2s over 10s";
 
+/// The time-to-first-compute objective serve cases attach to every
+/// tenant class by default. Deliberately tight enough that some seeds
+/// breach it under faults and queueing: the sweep's point is to report
+/// SLO-breach seeds separately from crash seeds, not to stay green.
+const DEFAULT_SERVE_SLO: &str = "ttfc.p99 < 3s over 10s";
+
 /// The objective a case carries by construction (overridable, like
-/// `faults`): swap-plane ops get [`DEFAULT_SWAP_SLO`], the rest none.
+/// `faults`): swap-plane ops get [`DEFAULT_SWAP_SLO`], serve cases get
+/// [`DEFAULT_SERVE_SLO`], the rest none.
 fn default_slo(op: ChaosOp) -> Option<SloSpec> {
-    (op == ChaosOp::SwapRotate)
-        .then(|| SloSpec::parse(DEFAULT_SWAP_SLO).expect("DEFAULT_SWAP_SLO parses"))
+    match op {
+        ChaosOp::SwapRotate => {
+            Some(SloSpec::parse(DEFAULT_SWAP_SLO).expect("DEFAULT_SWAP_SLO parses"))
+        }
+        ChaosOp::Serve => {
+            Some(SloSpec::parse(DEFAULT_SERVE_SLO).expect("DEFAULT_SERVE_SLO parses"))
+        }
+        _ => None,
+    }
 }
 
 impl ChaosCase {
@@ -272,6 +296,21 @@ impl ChaosCase {
         let mut rng = ChaosRng::new(seed ^ 0x5377_6170_526f_7461);
         case.faults = generate_faults(&mut rng, ChaosOp::SwapRotate);
         case.slo = default_slo(ChaosOp::SwapRotate);
+        case
+    }
+
+    /// Expand `seed` into a serving case: op pinned to
+    /// [`ChaosOp::Serve`], faults regenerated from a derived stream
+    /// (same rationale as [`ChaosCase::swap_rotate_from_seed`] — base
+    /// expansion stays byte-stable). The serving shape itself (policy,
+    /// arrival process, skew) is drawn inside `serve_op` from another
+    /// derived stream, so it replays from the seed alone.
+    pub fn serve_from_seed(seed: u64) -> ChaosCase {
+        let mut case = ChaosCase::from_seed(seed);
+        case.op = ChaosOp::Serve;
+        let mut rng = ChaosRng::new(seed ^ 0x5365_7276_6546_6161); // "ServeFaa"
+        case.faults = generate_faults(&mut rng, ChaosOp::Serve);
+        case.slo = default_slo(ChaosOp::Serve);
         case
     }
 
@@ -569,6 +608,12 @@ fn execute(case: &ChaosCase) -> (Option<String>, usize, Vec<String>) {
             Err(why) => (Some(why), 0, Vec::new()),
         };
     }
+    if case.op == ChaosOp::Serve {
+        return match serve_op(case) {
+            Ok((fired, breaches)) => (None, fired, breaches),
+            Err(why) => (Some(why), 0, Vec::new()),
+        };
+    }
     let result = if case.op.is_soak() {
         transport_soak(case)
     } else {
@@ -776,7 +821,7 @@ fn workload_op(case: &ChaosCase) -> Result<usize, String> {
                 .destroy()
                 .map_err(|e| format!("post-rescue destroy failed: {e:?}"))?;
         }
-        ChaosOp::NfsSoak | ChaosOp::ScpSoak | ChaosOp::SwapRotate => {
+        ChaosOp::NfsSoak | ChaosOp::ScpSoak | ChaosOp::SwapRotate | ChaosOp::Serve => {
             unreachable!("handled separately")
         }
     }
@@ -883,6 +928,77 @@ fn swap_rotate_op(case: &ChaosCase) -> Result<(usize, Vec<String>), String> {
     Ok((world.server().faults().fired_count(), breaches))
 }
 
+/// An open-loop serving run under the case's bus faults. The serving
+/// shape — eviction policy, arrival process, Zipf exponent — is drawn
+/// from a stream derived from the seed, so `SIMCHAOS_SEED` +
+/// `SIMCHAOS_OP=serve` replays the exact scenario. Invariants: nothing
+/// is rejected (no admission limit is set), every admitted request
+/// reaches first-compute, residency never exceeds device capacity, and
+/// the skewed population always produces cold starts (every tenant
+/// begins parked). The case SLO is attached to *every* tenant class;
+/// its rendered breaches come back for separate reporting.
+fn serve_op(case: &ChaosCase) -> Result<(usize, Vec<String>), String> {
+    use serving::{
+        run_scenario_with_faults, ArrivalProcess, EvictionPolicy, ServingConfig, TenantClass,
+        TrafficConfig,
+    };
+    let mut rng = ChaosRng::new(case.seed ^ 0x5365_7276_6553_6870); // "ServeShp"
+    let policy = EvictionPolicy::ALL[rng.below(3) as usize];
+    let process = if rng.below(2) == 0 {
+        ArrivalProcess::Poisson
+    } else {
+        ArrivalProcess::Bursty {
+            burst_len: 4 + rng.below(5) as u32,
+            burst_factor: 4.0,
+        }
+    };
+    let zipf_s = 0.8 + rng.below(9) as f64 / 10.0;
+    let mut classes = TenantClass::defaults();
+    for class in &mut classes {
+        class.slo = case.slo.clone();
+    }
+    let cfg = ServingConfig {
+        devices: 2,
+        swap_workers: 2,
+        policy,
+        traffic: TrafficConfig {
+            tenants: 10,
+            zipf_s,
+            rate_per_sec: 20.0,
+            requests: 60,
+            process,
+            seed: case.seed,
+        },
+        classes,
+        admission_limit: None,
+        ..ServingConfig::default()
+    };
+    let (report, fired) = run_scenario_with_faults(&cfg, case.faults.clone());
+    if report.rejected != 0 {
+        return Err(format!(
+            "{} requests rejected with no admission limit set",
+            report.rejected
+        ));
+    }
+    if report.cold.count + report.warm.count != report.admitted {
+        return Err(format!(
+            "served {} of {} admitted requests",
+            report.cold.count + report.warm.count,
+            report.admitted
+        ));
+    }
+    if report.max_resident > report.devices {
+        return Err(format!(
+            "{} tenants resident on {} devices",
+            report.max_resident, report.devices
+        ));
+    }
+    if report.cold.count == 0 {
+        return Err("an all-parked population produced no cold starts".to_string());
+    }
+    Ok((fired, report.breaches))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -982,6 +1098,29 @@ mod tests {
         assert!(!ChaosCase::from_seed(77)
             .repro_line()
             .contains("SIMCHAOS_OP"));
+    }
+
+    #[test]
+    fn serve_cases_are_deterministic_and_pinned() {
+        for seed in [0u64, 9, 1234, u64::MAX] {
+            let a = ChaosCase::serve_from_seed(seed);
+            let b = ChaosCase::serve_from_seed(seed);
+            assert_eq!(a.op, ChaosOp::Serve);
+            assert_eq!(a.faults, b.faults);
+            // Serve cases draw only transparently-survivable bus faults.
+            for entry in &a.faults.entries {
+                assert!(matches!(entry.target, FaultTarget::Bus(_)));
+            }
+            // Pinning the op must not disturb the base expansion.
+            assert_eq!(a.seed, ChaosCase::from_seed(seed).seed);
+            assert_eq!(
+                a.slo.as_ref().map(|s| s.render()),
+                Some(SloSpec::parse(DEFAULT_SERVE_SLO).unwrap().render())
+            );
+        }
+        let line = ChaosCase::serve_from_seed(3).repro_line();
+        assert!(line.contains("SIMCHAOS_OP=serve"), "{line}");
+        assert_eq!(ChaosOp::parse("serve").unwrap(), ChaosOp::Serve);
     }
 
     #[test]

@@ -52,6 +52,10 @@ struct Job {
     /// Tenant name for dimensional telemetry (`tenant` label); defaults
     /// to `job{id}` when admitted untagged.
     tenant: Arc<str>,
+    /// Size of the job's last captured swap snapshot, if it has ever
+    /// been swapped out. Survives the swap-in, so cost-aware eviction
+    /// policies can estimate what parking a *resident* job would cost.
+    snapshot_bytes: Option<u64>,
 }
 
 struct SchedState {
@@ -136,6 +140,7 @@ impl SwapScheduler {
                 handle: handle.clone(),
                 state: JobState::Resident { device },
                 tenant,
+                snapshot_bytes: None,
             },
         );
         assert!(
@@ -308,8 +313,11 @@ impl SwapScheduler {
                             device,
                             (simkernel::now() - t0).as_nanos(),
                         );
+                        let size = snapshot.snapshot_bytes();
                         let mut st = self.state.lock();
-                        st.jobs.get_mut(&out_id).unwrap().state = JobState::SwappedOut(snapshot);
+                        let job = st.jobs.get_mut(&out_id).unwrap();
+                        job.state = JobState::SwappedOut(snapshot);
+                        job.snapshot_bytes = size;
                         st.resident.remove(&device);
                         st.ready.push_back(out_id);
                         st.swaps += 1;
@@ -396,8 +404,11 @@ impl SwapScheduler {
                     device,
                     (simkernel::now() - t0).as_nanos(),
                 );
+                let size = snapshot.snapshot_bytes();
                 let mut st = self.state.lock();
-                st.jobs.get_mut(&id).unwrap().state = JobState::SwappedOut(snapshot);
+                let job = st.jobs.get_mut(&id).unwrap();
+                job.state = JobState::SwappedOut(snapshot);
+                job.snapshot_bytes = size;
                 st.resident.remove(&device);
                 st.ready.push_back(id);
                 st.swaps += 1;
@@ -411,6 +422,127 @@ impl SwapScheduler {
                 Err(e)
             }
         }
+    }
+
+    /// Swap a specific parked job back in on `device`, on demand — the
+    /// serving layer's admission hook. Where [`rotate`] gives the
+    /// longest-waiting job the next turn, `swap_in` restores exactly
+    /// the job a request arrived for: it leaves the FIFO queue and
+    /// lands on the named device, which must be free (evict a resident
+    /// job first with [`park`]). A job already resident on `device` is
+    /// a no-op; resident elsewhere, or a busy device, is a protocol
+    /// error. An in-flight swap on the same job is waited out.
+    ///
+    /// The device is reserved under the claim lock, so concurrent
+    /// `swap_in` calls can never target the same device; the
+    /// reservation shows up in [`resident_jobs`] while the transport
+    /// runs and is rolled back if the restore fails.
+    ///
+    /// [`rotate`]: SwapScheduler::rotate
+    /// [`park`]: SwapScheduler::park
+    /// [`resident_jobs`]: SwapScheduler::resident_jobs
+    pub fn swap_in(&self, id: JobId, device: usize) -> Result<(), SnapifyError> {
+        assert!(device < self.devices, "device {device} out of range");
+        enum Step {
+            AlreadyThere,
+            Elsewhere(usize),
+            Ready,
+            Wait,
+        }
+        let (snapshot, tenant) = loop {
+            let mut st = self.state.lock();
+            let step = match &st.jobs.get(&id).expect("unknown job").state {
+                JobState::Resident { device: d } if *d == device => Step::AlreadyThere,
+                JobState::Resident { device: d } => Step::Elsewhere(*d),
+                JobState::SwappedOut(_) => Step::Ready,
+                _ => Step::Wait,
+            };
+            match step {
+                Step::AlreadyThere => return Ok(()),
+                Step::Elsewhere(d) => {
+                    return Err(SnapifyError::Protocol(format!(
+                        "job {id} is resident on device {d}, not {device}"
+                    )))
+                }
+                Step::Ready => {
+                    if let Some(occupant) = st.resident.get(&device) {
+                        return Err(SnapifyError::Protocol(format!(
+                            "device {device} is occupied by job {occupant}"
+                        )));
+                    }
+                    st.resident.insert(device, id);
+                    st.ready.retain(|j| *j != id);
+                    let job = st.jobs.get_mut(&id).unwrap();
+                    let snapshot = match std::mem::replace(&mut job.state, JobState::SwappingIn) {
+                        JobState::SwappedOut(s) => s,
+                        _ => unreachable!("state re-checked under the same lock"),
+                    };
+                    break (snapshot, Arc::clone(&job.tenant));
+                }
+                Step::Wait => {
+                    drop(st);
+                    simkernel::sleep(simkernel::time::ms(1));
+                }
+            }
+        };
+        let t0 = simkernel::now();
+        match snapify_swapin(&snapshot, device) {
+            Ok(_) => {
+                self.observe_swap(
+                    "swap.swapin_ns",
+                    "demand",
+                    &tenant,
+                    device,
+                    (simkernel::now() - t0).as_nanos(),
+                );
+                let mut st = self.state.lock();
+                st.jobs.get_mut(&id).unwrap().state = JobState::Resident { device };
+                st.swaps += 1;
+                Ok(())
+            }
+            Err(e) => {
+                // Roll back both the claim and the device reservation;
+                // the job keeps its snapshot and rejoins the queue.
+                let mut st = self.state.lock();
+                st.jobs.get_mut(&id).unwrap().state = JobState::SwappedOut(snapshot);
+                st.resident.remove(&device);
+                st.ready.push_back(id);
+                Err(e)
+            }
+        }
+    }
+
+    /// Number of coprocessors this scheduler manages.
+    pub fn devices(&self) -> usize {
+        self.devices
+    }
+
+    /// The resident job of every occupied device, as `(device, job)`
+    /// pairs sorted by device — the candidate set an eviction policy
+    /// chooses its victim from. Includes devices reserved by an
+    /// in-flight [`swap_in`](SwapScheduler::swap_in).
+    pub fn resident_jobs(&self) -> Vec<(usize, JobId)> {
+        let st = self.state.lock();
+        let mut v: Vec<(usize, JobId)> = st.resident.iter().map(|(d, j)| (*d, *j)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Lowest-numbered device with no resident (or reserved) job.
+    pub fn free_device(&self) -> Option<usize> {
+        let st = self.state.lock();
+        (0..self.devices).find(|d| !st.resident.contains_key(d))
+    }
+
+    /// Size of the job's last captured swap snapshot — the cost a
+    /// cost-aware eviction policy charges for parking it again. `None`
+    /// until the job's first swap-out.
+    pub fn swap_size_estimate(&self, id: JobId) -> Option<u64> {
+        self.state
+            .lock()
+            .jobs
+            .get(&id)
+            .and_then(|j| j.snapshot_bytes)
     }
 }
 
@@ -585,6 +717,62 @@ mod tests {
             sched.retire(id).unwrap();
             h.destroy().unwrap();
             assert_eq!(sched.swap_count(), 0);
+        });
+    }
+
+    #[test]
+    fn demand_swap_in_places_a_specific_job() {
+        Kernel::run_root(|| {
+            let world = SnapifyWorld::boot(registry());
+            let sched = SwapScheduler::new(2, "/swap/demand");
+            let mut handles = Vec::new();
+            let mut ids = Vec::new();
+            for i in 0..2 {
+                let host = world.coi().create_host_process(&format!("t{i}"));
+                let h = world.coi().create_process(&host, 0, "tenant.so").unwrap();
+                let buf = h.create_buffer(64 * MB).unwrap();
+                h.buffer_write(&buf, Payload::synthetic(i, 64 * MB))
+                    .unwrap();
+                ids.push(sched.admit_tagged(&h, 0, &format!("t{i}")));
+                handles.push((h, buf));
+                if i == 0 {
+                    sched.park(ids[0]).unwrap();
+                }
+            }
+            // t0 parked, t1 resident on device 0; device 1 is free.
+            assert_eq!(sched.devices(), 2);
+            assert_eq!(sched.resident_jobs(), vec![(0, ids[1])]);
+            assert_eq!(sched.free_device(), Some(1));
+            assert!(sched.swap_size_estimate(ids[0]).unwrap() > 0);
+            assert_eq!(sched.swap_size_estimate(ids[1]), None);
+
+            // Device 0 is occupied: targeting it is a protocol error.
+            assert!(matches!(
+                sched.swap_in(ids[0], 0),
+                Err(SnapifyError::Protocol(_))
+            ));
+            // Demand-restore t0 onto the free device.
+            sched.swap_in(ids[0], 1).unwrap();
+            assert_eq!(sched.resident_jobs(), vec![(0, ids[1]), (1, ids[0])]);
+            assert_eq!(sched.free_device(), None);
+            // Re-requesting the same placement is a no-op; a different
+            // device for a resident job is an error.
+            sched.swap_in(ids[0], 1).unwrap();
+            assert!(matches!(
+                sched.swap_in(ids[0], 0),
+                Err(SnapifyError::Protocol(_))
+            ));
+            // The size estimate survives the swap-in, and the restored
+            // tenant's state is intact.
+            assert!(sched.swap_size_estimate(ids[0]).is_some());
+            assert_eq!(
+                handles[0].0.buffer_read(&handles[0].1).unwrap().digest(),
+                Payload::synthetic(0, 64 * MB).digest(),
+                "tenant state corrupted by demand swap-in"
+            );
+            for id in ids {
+                sched.retire(id).unwrap();
+            }
         });
     }
 

@@ -277,6 +277,28 @@ impl Summary {
             _ => None,
         })
     }
+
+    /// The merge of every `name` sketch whose labels contain all of
+    /// `labels` as a subset — e.g. the one `("start", "cold")` pair
+    /// rolls every tenant's cold-start sketch into a single
+    /// distribution. `None` if nothing matched; an empty `labels`
+    /// merges every sketch with that name.
+    pub fn sketch_where(&self, name: &str, labels: &[(&str, &str)]) -> Option<LatencySketch> {
+        let mut merged: Option<LatencySketch> = None;
+        for m in &self.labeled {
+            let MetricValue::Sketch(s) = &m.value else {
+                continue;
+            };
+            if m.name != name || !labels.iter().all(|(k, v)| m.label(k) == Some(*v)) {
+                continue;
+            }
+            match &mut merged {
+                Some(acc) => acc.merge(s),
+                None => merged = Some(s.as_ref().clone()),
+            }
+        }
+        merged
+    }
 }
 
 fn kind_rank(m: &LabeledMetric) -> u8 {
@@ -706,6 +728,33 @@ mod tests {
         let sk = s.tenant_sketch("swap.swapin_ns", "a").unwrap();
         assert_eq!(sk.count(), 2);
         assert!(s.tenant_sketch("swap.swapin_ns", "b").is_none());
+        reset();
+    }
+
+    #[test]
+    fn sketch_where_merges_by_label_subset() {
+        let _g = test_guard();
+        reset();
+        enable();
+        sketch_observe_labeled("ttfc", &[("tenant", "a"), ("start", "cold")], 4_000_000);
+        sketch_observe_labeled("ttfc", &[("tenant", "b"), ("start", "cold")], 4_000_000);
+        sketch_observe_labeled("ttfc", &[("tenant", "a"), ("start", "warm")], 1_000);
+        sketch_observe_labeled("other", &[("start", "cold")], 77);
+        disable();
+        let s = super::Summary::capture();
+        // One label pair rolls both cold tenants together...
+        let cold = s.sketch_where("ttfc", &[("start", "cold")]).unwrap();
+        assert_eq!(cold.count(), 2);
+        assert!(cold.p50() >= 3_800_000, "p50={}", cold.p50());
+        // ...two pairs narrow to one series, no labels merges them all.
+        let a_cold = s
+            .sketch_where("ttfc", &[("start", "cold"), ("tenant", "a")])
+            .unwrap();
+        assert_eq!(a_cold.count(), 1);
+        assert_eq!(s.sketch_where("ttfc", &[]).unwrap().count(), 3);
+        // Name mismatch and label-value mismatch both yield nothing.
+        assert!(s.sketch_where("missing", &[]).is_none());
+        assert!(s.sketch_where("ttfc", &[("start", "tepid")]).is_none());
         reset();
     }
 

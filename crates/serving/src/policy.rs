@@ -1,0 +1,128 @@
+//! Eviction policies: which resident tenant yields its device when a
+//! cold request needs memory, and (mirrored onto the snapstore warm
+//! cache) which restore-cache chunks survive.
+
+use snapstore::CachePolicy;
+
+/// How the serving layer picks a victim among resident tenants.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Evict the least-recently-requested tenant.
+    #[default]
+    Lru,
+    /// Evict the least-requested tenant (ties fall back to LRU). Under
+    /// Zipf skew this keeps the hot set resident even when a burst of
+    /// one-off tenants sweeps through.
+    Popularity,
+    /// Evict the tenant whose eviction forfeits the least restore
+    /// work: requests × swap-size estimate, ties falling back to LRU.
+    CostAware,
+}
+
+impl EvictionPolicy {
+    /// All policies, in bench/report order.
+    pub const ALL: [EvictionPolicy; 3] = [
+        EvictionPolicy::Lru,
+        EvictionPolicy::Popularity,
+        EvictionPolicy::CostAware,
+    ];
+
+    /// Stable label used in reports, bench rows and repro lines.
+    pub fn label(self) -> &'static str {
+        match self {
+            EvictionPolicy::Lru => "lru",
+            EvictionPolicy::Popularity => "popularity",
+            EvictionPolicy::CostAware => "cost",
+        }
+    }
+
+    /// Parse a [`EvictionPolicy::label`] back.
+    pub fn parse(s: &str) -> Option<EvictionPolicy> {
+        EvictionPolicy::ALL.into_iter().find(|p| p.label() == s)
+    }
+
+    /// The snapstore warm-cache policy this serving policy pairs with.
+    pub fn cache_policy(self) -> CachePolicy {
+        match self {
+            EvictionPolicy::Lru => CachePolicy::Lru,
+            EvictionPolicy::Popularity => CachePolicy::Popularity,
+            EvictionPolicy::CostAware => CachePolicy::CostAware,
+        }
+    }
+}
+
+/// One eviction candidate: a resident, unpinned tenant.
+#[derive(Clone, Copy, Debug)]
+pub struct VictimInfo {
+    /// Tenant id.
+    pub tenant: usize,
+    /// Engine tick of the tenant's most recent request.
+    pub last_tick: u64,
+    /// Requests the tenant has received so far.
+    pub requests: u64,
+    /// Estimated bytes a future swap-in of this tenant would move.
+    pub swap_cost: u64,
+}
+
+/// Pick the victim: the candidate with the smallest policy score. Ticks
+/// are unique, so the choice is total and deterministic.
+pub fn choose_victim(policy: EvictionPolicy, candidates: &[VictimInfo]) -> Option<usize> {
+    candidates
+        .iter()
+        .min_by_key(|c| match policy {
+            EvictionPolicy::Lru => (0, c.last_tick),
+            EvictionPolicy::Popularity => (c.requests as u128, c.last_tick),
+            EvictionPolicy::CostAware => (c.requests as u128 * c.swap_cost as u128, c.last_tick),
+        })
+        .map(|c| c.tenant)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_round_trips() {
+        for p in EvictionPolicy::ALL {
+            assert_eq!(EvictionPolicy::parse(p.label()), Some(p));
+        }
+        assert_eq!(EvictionPolicy::parse("nope"), None);
+    }
+
+    #[test]
+    fn policies_rank_victims_differently() {
+        let candidates = [
+            // Old but hot and heavy.
+            VictimInfo {
+                tenant: 0,
+                last_tick: 1,
+                requests: 50,
+                swap_cost: 100,
+            },
+            // Recent one-hit-wonder, heavy image.
+            VictimInfo {
+                tenant: 1,
+                last_tick: 9,
+                requests: 1,
+                swap_cost: 1000,
+            },
+            // Middling recency, few requests, tiny image.
+            VictimInfo {
+                tenant: 2,
+                last_tick: 5,
+                requests: 3,
+                swap_cost: 10,
+            },
+        ];
+        assert_eq!(choose_victim(EvictionPolicy::Lru, &candidates), Some(0));
+        assert_eq!(
+            choose_victim(EvictionPolicy::Popularity, &candidates),
+            Some(1)
+        );
+        assert_eq!(
+            choose_victim(EvictionPolicy::CostAware, &candidates),
+            Some(2)
+        );
+        assert_eq!(choose_victim(EvictionPolicy::Lru, &[]), None);
+    }
+}

@@ -1,0 +1,226 @@
+//! Deterministic serving-run reports.
+
+use simkernel::obs::LatencySketch;
+
+/// Percentiles of one start-kind's time-to-first-compute distribution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StartStats {
+    /// Requests in the distribution.
+    pub count: u64,
+    /// Median, ns.
+    pub p50_ns: u64,
+    /// 99th percentile, ns.
+    pub p99_ns: u64,
+    /// 99.9th percentile, ns.
+    pub p999_ns: u64,
+}
+
+impl StartStats {
+    /// Snapshot a sketch's percentiles.
+    pub fn from_sketch(s: &LatencySketch) -> StartStats {
+        StartStats {
+            count: s.count(),
+            p50_ns: s.p50(),
+            p99_ns: s.p99(),
+            p999_ns: s.p999(),
+        }
+    }
+}
+
+/// One tenant class's slice of the report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClassReport {
+    /// Class (workload) name.
+    pub class: String,
+    /// Cold-start time-to-first-compute.
+    pub cold: StartStats,
+    /// Warm-start time-to-first-compute.
+    pub warm: StartStats,
+    /// The class SLO, rendered, if one was configured.
+    pub slo: Option<String>,
+    /// Windows that breached the class SLO.
+    pub breaches: usize,
+}
+
+/// Everything one serving run produced. `PartialEq` + [`summary`] make
+/// determinism checks trivial: two runs of the same config must compare
+/// equal and render byte-identically.
+///
+/// [`summary`]: ServingReport::summary
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServingReport {
+    /// Eviction policy label.
+    pub policy: String,
+    /// Traffic seed the run replayed.
+    pub seed: u64,
+    /// Tenant population size.
+    pub tenants: usize,
+    /// Coprocessors behind the serving layer.
+    pub devices: usize,
+    /// Requests generated.
+    pub requests: u64,
+    /// Requests admitted (generated − rejected).
+    pub admitted: u64,
+    /// Requests rejected by the admission limit.
+    pub rejected: u64,
+    /// Cold-start (demand swap-in) time-to-first-compute.
+    pub cold: StartStats,
+    /// Warm-start (already resident) time-to-first-compute.
+    pub warm: StartStats,
+    /// Time-to-first-compute over *all* served requests (cold and warm
+    /// merged) — the distribution a tenant actually experiences, and
+    /// the one eviction policies compete on.
+    pub overall: StartStats,
+    /// Per-class breakdown, in class order.
+    pub classes: Vec<ClassReport>,
+    /// Rendered SLO breaches across every class, in class order.
+    pub breaches: Vec<String>,
+    /// Swap operations (outs + ins) the scheduler performed.
+    pub swaps: u64,
+    /// Peak concurrently-resident tenants (must never exceed
+    /// `devices`).
+    pub max_resident: usize,
+    /// Snapstore restore-cache chunk hits during the run's swap-ins.
+    pub restore_chunks_warm: u64,
+    /// Snapstore chunks fetched cold during the run's swap-ins.
+    pub restore_chunks_cold: u64,
+    /// Transport bytes the restore cache avoided.
+    pub restore_bytes_avoided: u64,
+}
+
+impl ServingReport {
+    /// Fraction of served requests that started cold, in thousandths
+    /// (integer, so comparisons stay exact).
+    pub fn cold_fraction_milli(&self) -> u64 {
+        let served = self.cold.count + self.warm.count;
+        if served == 0 {
+            return 0;
+        }
+        self.cold.count * 1000 / served
+    }
+
+    /// Byte-stable multi-line rendering — the `BENCH_serving`-style
+    /// summary the determinism tests compare across runs and domain
+    /// counts.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "serving policy={} seed={:#x} tenants={} devices={} requests={}\n",
+            self.policy, self.seed, self.tenants, self.devices, self.requests
+        ));
+        out.push_str(&format!(
+            "admitted={} rejected={} swaps={} max_resident={}\n",
+            self.admitted, self.rejected, self.swaps, self.max_resident
+        ));
+        let line = |label: &str, s: &StartStats| {
+            format!(
+                "{label}: count={} p50={}ns p99={}ns p999={}ns\n",
+                s.count, s.p50_ns, s.p99_ns, s.p999_ns
+            )
+        };
+        out.push_str(&line("cold", &self.cold));
+        out.push_str(&line("warm", &self.warm));
+        out.push_str(&line("overall", &self.overall));
+        out.push_str(&format!(
+            "restore_cache: warm_chunks={} cold_chunks={} bytes_avoided={}\n",
+            self.restore_chunks_warm, self.restore_chunks_cold, self.restore_bytes_avoided
+        ));
+        for c in &self.classes {
+            out.push_str(&format!(
+                "class {}: cold(count={} p99={}ns) warm(count={} p99={}ns) slo={} breaches={}\n",
+                c.class,
+                c.cold.count,
+                c.cold.p99_ns,
+                c.warm.count,
+                c.warm.p99_ns,
+                c.slo.as_deref().unwrap_or("-"),
+                c.breaches
+            ));
+        }
+        for b in &self.breaches {
+            out.push_str(&format!("breach: {b}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ServingReport {
+        ServingReport {
+            policy: "lru".into(),
+            seed: 0x5eed,
+            tenants: 10,
+            devices: 2,
+            requests: 100,
+            admitted: 98,
+            rejected: 2,
+            cold: StartStats {
+                count: 30,
+                p50_ns: 200_000_000,
+                p99_ns: 900_000_000,
+                p999_ns: 950_000_000,
+            },
+            warm: StartStats {
+                count: 68,
+                p50_ns: 3_000_000,
+                p99_ns: 9_000_000,
+                p999_ns: 9_500_000,
+            },
+            overall: StartStats {
+                count: 98,
+                p50_ns: 4_000_000,
+                p99_ns: 890_000_000,
+                p999_ns: 940_000_000,
+            },
+            classes: vec![ClassReport {
+                class: "MC".into(),
+                cold: StartStats::default(),
+                warm: StartStats::default(),
+                slo: Some("ttfc.p99 < 4000000000ns over 10000000000ns".into()),
+                breaches: 1,
+            }],
+            breaches: vec!["tenant=MC ...".into()],
+            swaps: 60,
+            max_resident: 2,
+            restore_chunks_warm: 5,
+            restore_chunks_cold: 7,
+            restore_bytes_avoided: 123,
+        }
+    }
+
+    #[test]
+    fn summary_is_stable_and_complete() {
+        let r = report();
+        assert_eq!(r.summary(), r.summary());
+        let s = r.summary();
+        for needle in [
+            "policy=lru",
+            "seed=0x5eed",
+            "admitted=98",
+            "cold: count=30",
+            "warm: count=68",
+            "overall: count=98",
+            "class MC:",
+            "breach: tenant=MC",
+            "max_resident=2",
+        ] {
+            assert!(s.contains(needle), "summary missing `{needle}`:\n{s}");
+        }
+    }
+
+    #[test]
+    fn cold_fraction_is_integer_thousandths() {
+        let r = report();
+        assert_eq!(r.cold_fraction_milli(), 30 * 1000 / 98);
+        let empty = ServingReport {
+            cold: StartStats::default(),
+            warm: StartStats::default(),
+            overall: StartStats::default(),
+            ..r
+        };
+        assert_eq!(empty.cold_fraction_milli(), 0);
+    }
+}

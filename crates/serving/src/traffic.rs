@@ -1,0 +1,289 @@
+//! Deterministic open-loop traffic generation.
+//!
+//! The generator turns one `u64` seed into a complete arrival schedule
+//! before the simulation starts: every request's virtual arrival time
+//! and target tenant is fixed up front, so the load does not slow down
+//! when the system falls behind (open loop) and two runs with the same
+//! seed replay byte-identically.
+
+/// splitmix64 — the repo's standard small PRNG (same update as the
+/// chaos plane and the simkernel tie-breaker).
+pub struct TrafficRng(u64);
+
+impl TrafficRng {
+    /// New stream seeded with `seed`.
+    pub fn new(seed: u64) -> TrafficRng {
+        TrafficRng(seed)
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `(0, 1]` — never zero, so `ln` is always finite.
+    fn unit(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+    }
+
+    /// Exponential inter-arrival gap with mean `1/rate` seconds, in ns.
+    fn exp_gap_ns(&mut self, rate_per_sec: f64) -> u64 {
+        (-self.unit().ln() / rate_per_sec * 1e9) as u64
+    }
+}
+
+/// Shape of the arrival process.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at the configured mean rate.
+    Poisson,
+    /// Arrivals come in bursts: `burst_len` requests arrive at
+    /// `burst_factor ×` the mean rate, then the gap to the next burst
+    /// is drawn at `rate / burst_factor` — the long-run mean rate stays
+    /// near the configured one, but the instantaneous load whipsaws.
+    Bursty {
+        /// Requests per burst.
+        burst_len: u32,
+        /// How much faster than the mean rate a burst arrives (and how
+        /// much slower the inter-burst gap is). Must be > 0.
+        burst_factor: f64,
+    },
+}
+
+/// One generated traffic schedule's parameters.
+#[derive(Clone, Debug)]
+pub struct TrafficConfig {
+    /// Tenant population size.
+    pub tenants: usize,
+    /// Zipf popularity exponent: tenant of popularity rank `r` (0-based)
+    /// is requested proportionally to `1/(r+1)^s`. `0.0` = uniform.
+    /// Rank order is itself a seeded permutation of the tenant ids, so
+    /// tenant 0 is not always the hottest.
+    pub zipf_s: f64,
+    /// Mean request rate across the whole population, per second.
+    pub rate_per_sec: f64,
+    /// Total requests to generate.
+    pub requests: usize,
+    /// Arrival process shape.
+    pub process: ArrivalProcess,
+    /// The single seed every draw derives from.
+    pub seed: u64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> TrafficConfig {
+        TrafficConfig {
+            tenants: 1000,
+            zipf_s: 1.1,
+            rate_per_sec: 20.0,
+            requests: 2000,
+            process: ArrivalProcess::Poisson,
+            seed: 0x5eed_f00d,
+        }
+    }
+}
+
+/// One request: arrival instant (virtual ns from scenario start) and
+/// target tenant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Arrival {
+    /// Virtual arrival time, ns from the start of the open-loop phase.
+    pub at_ns: u64,
+    /// Target tenant id, `0..tenants`.
+    pub tenant: usize,
+}
+
+/// Zipf sampler over `n` ranks: cumulative weights + binary search.
+struct Zipf {
+    cumulative: Vec<f64>,
+    /// rank → tenant id (seeded permutation).
+    rank_to_tenant: Vec<usize>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64, rng: &mut TrafficRng) -> Zipf {
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for r in 0..n {
+            total += 1.0 / ((r + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        // Fisher-Yates over the tenant ids so popularity rank is not
+        // correlated with creation order (and thus initial placement).
+        let mut rank_to_tenant: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            rank_to_tenant.swap(i, j);
+        }
+        Zipf {
+            cumulative,
+            rank_to_tenant,
+        }
+    }
+
+    fn sample(&self, rng: &mut TrafficRng) -> usize {
+        let total = *self.cumulative.last().expect("n >= 1");
+        let u = rng.unit() * total;
+        let rank = self.cumulative.partition_point(|&c| c < u);
+        self.rank_to_tenant[rank.min(self.rank_to_tenant.len() - 1)]
+    }
+}
+
+/// Expand `cfg` into its full arrival schedule, sorted by arrival time
+/// (the generator emits in time order by construction).
+pub fn generate(cfg: &TrafficConfig) -> Vec<Arrival> {
+    assert!(cfg.tenants >= 1, "need at least one tenant");
+    assert!(cfg.rate_per_sec > 0.0, "rate must be positive");
+    let mut rng = TrafficRng::new(cfg.seed);
+    let zipf = Zipf::new(cfg.tenants, cfg.zipf_s, &mut rng);
+    let mut out = Vec::with_capacity(cfg.requests);
+    let mut t = 0u64;
+    for i in 0..cfg.requests {
+        let gap = match cfg.process {
+            ArrivalProcess::Poisson => rng.exp_gap_ns(cfg.rate_per_sec),
+            ArrivalProcess::Bursty {
+                burst_len,
+                burst_factor,
+            } => {
+                assert!(burst_factor > 0.0, "burst_factor must be positive");
+                if (i as u32).is_multiple_of(burst_len) && i > 0 {
+                    rng.exp_gap_ns(cfg.rate_per_sec / burst_factor)
+                } else {
+                    rng.exp_gap_ns(cfg.rate_per_sec * burst_factor)
+                }
+            }
+        };
+        t += gap;
+        out.push(Arrival {
+            at_ns: t,
+            tenant: zipf.sample(&mut rng),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let cfg = TrafficConfig::default();
+        assert_eq!(generate(&cfg), generate(&cfg));
+        let other = TrafficConfig {
+            seed: cfg.seed + 1,
+            ..cfg.clone()
+        };
+        assert_ne!(generate(&cfg), generate(&other));
+    }
+
+    #[test]
+    fn arrivals_are_time_ordered() {
+        let arrivals = generate(&TrafficConfig {
+            process: ArrivalProcess::Bursty {
+                burst_len: 8,
+                burst_factor: 10.0,
+            },
+            ..TrafficConfig::default()
+        });
+        assert!(arrivals.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        assert!(arrivals.iter().all(|a| a.tenant < 1000));
+    }
+
+    /// Golden regression for the default schedule: the generator is
+    /// deterministic, so we pin exact values instead of statistical
+    /// bounds (no flakiness) and separately check those values have the
+    /// statistical shape the config promises.
+    #[test]
+    fn default_schedule_matches_goldens() {
+        let cfg = TrafficConfig::default();
+        let arrivals = generate(&cfg);
+        assert_eq!(arrivals.len(), 2000);
+
+        // Poisson inter-arrival mean: 20 req/s ⇒ 50ms expected; the
+        // seeded draw lands at 51.32ms (within 3%). Pinned exactly.
+        let last = arrivals.last().unwrap().at_ns;
+        assert_eq!(last, 102_648_371_216);
+        let mean_gap = last / arrivals.len() as u64;
+        assert_eq!(mean_gap, 51_324_185);
+        let expected = (1e9 / cfg.rate_per_sec) as i64;
+        assert!(
+            (mean_gap as i64 - expected).abs() * 100 < expected * 3,
+            "mean gap {mean_gap}ns drifted >3% from {expected}ns"
+        );
+
+        // Zipf rank-frequency: golden counts for the head of the
+        // popularity distribution, and a shape check — each of the top
+        // ranks beats the next, the head holds a healthy share, and the
+        // tail is long (many tenants seen once or never).
+        let mut counts = std::collections::HashMap::new();
+        for a in &arrivals {
+            *counts.entry(a.tenant).or_insert(0u64) += 1;
+        }
+        let mut ranked: Vec<(usize, u64)> = counts.into_iter().collect();
+        ranked.sort_by_key(|&(t, c)| (std::cmp::Reverse(c), t));
+        assert_eq!(ranked.len(), 425, "distinct tenants hit");
+        let top: Vec<(usize, u64)> = ranked[..4].to_vec();
+        assert_eq!(top, vec![(678, 319), (274, 185), (334, 105), (805, 67)]);
+        assert!(top.windows(2).all(|w| w[0].1 > w[1].1));
+        assert!(
+            top[0].1 >= arrivals.len() as u64 / 10,
+            "head share too small"
+        );
+    }
+
+    /// Tiny schedule pinned arrival-by-arrival: catches any change to
+    /// the draw order (gap first, then tenant) or the RNG stream.
+    #[test]
+    fn small_schedule_is_pinned_exactly() {
+        let cfg = TrafficConfig {
+            tenants: 16,
+            zipf_s: 1.2,
+            rate_per_sec: 50.0,
+            requests: 12,
+            process: ArrivalProcess::Poisson,
+            seed: 0xabcd_1234,
+        };
+        let got: Vec<(u64, usize)> = generate(&cfg).iter().map(|a| (a.at_ns, a.tenant)).collect();
+        assert_eq!(
+            got,
+            vec![
+                (4_867_446, 11),
+                (26_330_434, 10),
+                (33_163_900, 11),
+                (51_680_260, 2),
+                (80_322_151, 9),
+                (95_087_915, 11),
+                (103_345_917, 2),
+                (105_677_880, 11),
+                (107_791_929, 5),
+                (219_366_171, 2),
+                (238_140_046, 5),
+                (260_915_143, 11),
+            ]
+        );
+    }
+
+    #[test]
+    fn uniform_zipf_spreads_load() {
+        // s = 0 is uniform: with 4 tenants and 4000 requests every
+        // tenant sees a healthy share.
+        let arrivals = generate(&TrafficConfig {
+            tenants: 4,
+            zipf_s: 0.0,
+            requests: 4000,
+            ..TrafficConfig::default()
+        });
+        let mut counts = [0usize; 4];
+        for a in &arrivals {
+            counts[a.tenant] += 1;
+        }
+        for (t, c) in counts.iter().enumerate() {
+            assert!((800..1200).contains(c), "tenant {t} got {c} of 4000");
+        }
+    }
+}

@@ -297,6 +297,11 @@ impl ThreadInfo {
     }
 }
 
+/// Minimum `spawned_os` length before a reap sweep runs (see
+/// `Sched::reap_at`). Small runs never sweep; large runs sweep with
+/// frequency inversely proportional to the live-thread count.
+const REAP_FLOOR: usize = 256;
+
 struct Sched {
     now: SimTime,
     seq: u64,
@@ -312,6 +317,11 @@ struct Sched {
     failure: Option<String>,
     trace: Option<Vec<TraceEvent>>,
     spawned_os: Vec<(thread::JoinHandle<()>, bool)>,
+    /// Reap finished OS threads once `spawned_os` reaches this length.
+    /// Finished-but-unjoined threads keep their stack mappings alive, and
+    /// long runs with many short-lived simulated threads exhaust the
+    /// process mapping budget (`vm.max_map_count`) without reaping.
+    reap_at: usize,
     /// Tie-break policy; `rng` is the splitmix64 state for `Random`.
     policy: SchedPolicy,
     rng: u64,
@@ -465,6 +475,7 @@ impl Kernel {
                     failure: None,
                     trace: None,
                     spawned_os: Vec::new(),
+                    reap_at: REAP_FLOOR,
                     policy,
                     rng,
                     livelock_threshold: None,
@@ -644,12 +655,30 @@ impl Kernel {
             })
             .expect("failed to spawn OS thread for simulated thread");
 
-        self.inner
-            .sched
-            .lock()
-            .unwrap()
-            .spawned_os
-            .push((os, daemon));
+        {
+            let mut s = self.inner.sched.lock().unwrap();
+            s.spawned_os.push((os, daemon));
+            if s.spawned_os.len() >= s.reap_at {
+                // Join OS threads whose simulated thread has exited so their
+                // stacks are unmapped mid-run. A finished thread has already
+                // passed `thread_exit` (it runs inside the closure), so the
+                // join cannot wait on anything that needs the sched lock.
+                let handles = std::mem::take(&mut s.spawned_os);
+                let mut keep = Vec::with_capacity(handles.len());
+                for (h, d) in handles {
+                    if h.is_finished() {
+                        let _ = h.join();
+                    } else {
+                        keep.push((h, d));
+                    }
+                }
+                s.spawned_os = keep;
+                // Double the threshold relative to the surviving set so the
+                // sweep stays amortized O(1) per spawn even when thousands of
+                // threads are long-lived.
+                s.reap_at = (s.spawned_os.len() * 2).max(REAP_FLOOR);
+            }
+        }
 
         JoinHandle {
             kernel: self.clone(),

@@ -47,6 +47,24 @@ use simproc::{ByteSink, ByteSource, IoError, SnapshotStorage};
 /// (already unlikely) digest collision across different-size chunks.
 pub type ChunkKey = (u64, u64);
 
+/// Eviction policy of the per-node warm chunk caches. Ticks are unique
+/// per cache, so every policy's victim choice is deterministic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CachePolicy {
+    /// Evict the least-recently-touched chunk (capture, restore hit and
+    /// cold arrival all count as touches).
+    #[default]
+    Lru,
+    /// Evict the least-touched chunk; ties fall back to LRU. Keeps the
+    /// chunks hot tenants restore over and over, even when a burst of
+    /// one-off captures sweeps the cache.
+    Popularity,
+    /// Evict the chunk whose retention avoids the least transport:
+    /// touches × size, ties falling back to LRU. A big chunk restored
+    /// twice outranks a small chunk restored three times.
+    CostAware,
+}
+
 /// Store configuration.
 #[derive(Clone, Debug)]
 pub struct DedupConfig {
@@ -79,6 +97,8 @@ pub struct DedupConfig {
     pub restore_pipelined: bool,
     /// Bounded depth of the prefetch → replay queue.
     pub restore_prefetch_depth: usize,
+    /// Which chunks the warm caches keep when over budget.
+    pub cache_policy: CachePolicy,
 }
 
 impl Default for DedupConfig {
@@ -92,6 +112,7 @@ impl Default for DedupConfig {
             restore_cache_bytes: 4 << 30,
             restore_pipelined: true,
             restore_prefetch_depth: 4,
+            cache_policy: CachePolicy::default(),
         }
     }
 }
@@ -144,39 +165,59 @@ struct ManifestRecord {
     node: NodeId,
 }
 
+/// One warm chunk's bookkeeping: recency for LRU, touch count for the
+/// popularity/cost policies.
+#[derive(Clone, Copy)]
+struct WarmEntry {
+    tick: u64,
+    hits: u64,
+}
+
 /// Which chunks are still materialized on one node since it last
-/// captured or restored them. Holds *keys only* (plus LRU ticks) — the
-/// content lives in the refcounted chunk index, and no node memory is
-/// charged for cache membership.
+/// captured or restored them. Holds *keys only* (plus per-entry ticks
+/// and touch counts) — the content lives in the refcounted chunk index,
+/// and no node memory is charged for cache membership.
 #[derive(Default)]
 struct WarmCache {
-    chunks: HashMap<ChunkKey, u64>,
+    chunks: HashMap<ChunkKey, WarmEntry>,
     bytes: u64,
     tick: u64,
 }
 
 impl WarmCache {
-    /// Touch or insert `key`, then evict least-recently-used entries
-    /// until the cache fits `cap`. Ticks are unique, so eviction order
-    /// is deterministic.
-    fn insert(&mut self, key: ChunkKey, cap: u64) {
+    /// Touch or insert `key`, then evict the policy's victims until the
+    /// cache fits `cap`. Ticks are unique, so every policy's eviction
+    /// order is deterministic (ties break toward least-recently-used).
+    fn insert(&mut self, key: ChunkKey, cap: u64, policy: CachePolicy) {
         if key.1 > cap {
             return;
         }
         self.tick += 1;
-        let tick = self.tick;
-        if self.chunks.insert(key, tick).is_none() {
+        let entry = self.chunks.entry(key).or_insert_with(|| {
             self.bytes += key.1;
-        }
+            WarmEntry { tick: 0, hits: 0 }
+        });
+        entry.tick = self.tick;
+        entry.hits += 1;
         while self.bytes > cap {
-            let oldest = *self
+            let victim = *self
                 .chunks
                 .iter()
-                .min_by_key(|(_, t)| **t)
+                .min_by_key(|(key, e)| WarmCache::score(key, e, policy))
                 .expect("bytes > 0 implies entries")
                 .0;
-            self.chunks.remove(&oldest);
-            self.bytes -= oldest.1;
+            self.chunks.remove(&victim);
+            self.bytes -= victim.1;
+        }
+    }
+
+    /// Eviction rank — the smallest score goes first. The tick
+    /// tie-break makes the choice total and deterministic.
+    fn score(key: &ChunkKey, e: &WarmEntry, policy: CachePolicy) -> (u128, u64) {
+        match policy {
+            CachePolicy::Lru => (0, e.tick),
+            CachePolicy::Popularity => (e.hits as u128, e.tick),
+            CachePolicy::CostAware => (e.hits as u128 * key.1 as u128, e.tick),
         }
     }
 
@@ -201,12 +242,16 @@ struct Index {
 impl Index {
     /// Mark `key` warm on `node`: the node holds a verified copy of the
     /// chunk's content right now (it just captured or restored it).
-    fn warm_insert(&mut self, node: NodeId, key: ChunkKey, cap: u64) {
+    fn warm_insert(&mut self, node: NodeId, key: ChunkKey, config: &DedupConfig) {
+        let cap = config.restore_cache_bytes;
         if cap == 0 {
             return;
         }
         debug_assert!(self.chunks.contains_key(&key), "warm chunk must be live");
-        self.warm.entry(node).or_default().insert(key, cap);
+        self.warm
+            .entry(node)
+            .or_default()
+            .insert(key, cap, config.cache_policy);
     }
 
     fn is_warm(&self, node: NodeId, key: &ChunkKey) -> bool {
@@ -401,9 +446,8 @@ impl Dedup {
             }
             // Everything the capture just streamed is materialized on
             // the capturing node right now: warm it for the swap-in.
-            let cap = self.inner.config.restore_cache_bytes;
             for key in refs {
-                idx.warm_insert(node, *key, cap);
+                idx.warm_insert(node, *key, &self.inner.config);
             }
             if let Some(old) = old {
                 release_manifest(&mut idx, old, &mut dead_files);
@@ -1007,11 +1051,7 @@ impl DedupSource {
             // cached copy was verified when it entered the cache).
             self.store.server().host().memcpy(len);
             let mut idx = self.store.inner.index.lock().unwrap();
-            idx.warm_insert(
-                self.local,
-                step.key,
-                self.store.inner.config.restore_cache_bytes,
-            );
+            idx.warm_insert(self.local, step.key, &self.store.inner.config);
             idx.stats.restore_chunks_warm += 1;
             idx.stats.restore_bytes_avoided += len;
             drop(idx);
@@ -1071,11 +1111,7 @@ impl DedupSource {
         }
         let mut idx = self.store.inner.index.lock().unwrap();
         if idx.chunks.contains_key(&step.key) {
-            idx.warm_insert(
-                self.local,
-                step.key,
-                self.store.inner.config.restore_cache_bytes,
-            );
+            idx.warm_insert(self.local, step.key, &self.store.inner.config);
         }
         idx.stats.restore_chunks_cold += 1;
         idx.stats.restore_bytes_fetched += len;
@@ -1587,6 +1623,54 @@ mod tests {
             // keep accounting for them.
             assert_eq!(st.warm_bytes(NodeId::device(0)), 0);
         });
+    }
+
+    #[test]
+    fn cache_policies_pick_distinct_deterministic_victims() {
+        let keys = |c: &WarmCache| {
+            let mut v: Vec<ChunkKey> = c.chunks.keys().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        // Three 4-byte chunks under a 8-byte budget: A touched three
+        // times long ago, B touched once recently, then C arrives.
+        let fill = |policy: CachePolicy| {
+            let mut c = WarmCache::default();
+            for _ in 0..3 {
+                c.insert((0xa, 4), 8, policy);
+            }
+            c.insert((0xb, 4), 8, policy);
+            c.insert((0xc, 4), 8, policy);
+            c
+        };
+        // LRU keeps the two most recent (B, C)...
+        assert_eq!(keys(&fill(CachePolicy::Lru)), vec![(0xb, 4), (0xc, 4)]);
+        // ...popularity keeps thrice-touched A and evicts B (C survives
+        // its own insert: one touch like B, but a later tick).
+        assert_eq!(
+            keys(&fill(CachePolicy::Popularity)),
+            vec![(0xa, 4), (0xc, 4)]
+        );
+        // Cost-aware weighs touches by size: a big once-touched chunk
+        // outranks a small twice-touched one.
+        let mut c = WarmCache::default();
+        c.insert((0xd, 2), 10, CachePolicy::CostAware);
+        c.insert((0xd, 2), 10, CachePolicy::CostAware); // 2 hits × 2 B = 4
+        c.insert((0xe, 6), 10, CachePolicy::CostAware); // 1 hit × 6 B = 6
+        c.insert((0xf, 4), 10, CachePolicy::CostAware); // evicts D, not E
+        assert_eq!(keys(&c), vec![(0xe, 6), (0xf, 4)]);
+        // An entry re-inserted after eviction starts its count over —
+        // and when that insert itself overflows the budget, ties on the
+        // fresh count spare the newcomer (later tick).
+        let mut c = fill(CachePolicy::Popularity);
+        c.insert((0xb, 4), 8, CachePolicy::Popularity);
+        assert_eq!(c.chunks[&(0xb, 4)].hits, 1);
+        assert_eq!(keys(&c), vec![(0xa, 4), (0xb, 4)]);
+        // Replayed histories land in the same state (determinism).
+        assert_eq!(
+            keys(&fill(CachePolicy::Popularity)),
+            keys(&fill(CachePolicy::Popularity))
+        );
     }
 
     #[test]

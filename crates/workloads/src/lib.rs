@@ -17,4 +17,4 @@ pub mod spec;
 
 pub use driver::{WorkloadResult, WorkloadRun};
 pub use kernel::{build_binary, out_tag, register_suite};
-pub use spec::{by_name, suite, WorkloadSpec};
+pub use spec::{by_name, serving_classes, suite, WorkloadSpec};

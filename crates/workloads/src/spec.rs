@@ -190,6 +190,20 @@ pub fn by_name(name: &str) -> Option<WorkloadSpec> {
     suite().into_iter().find(|s| s.name == name)
 }
 
+/// Function-sized tenant classes for the FaaS-style serving scenario:
+/// three suite workloads scaled down to serverless-function images
+/// (megabytes, not gigabytes), ordered smallest to largest. A serving
+/// run packs 1k+ of these behind a handful of coprocessors, so the
+/// per-tenant state must be small enough that swap-ins are fast and the
+/// host can hold every parked image.
+pub fn serving_classes() -> Vec<WorkloadSpec> {
+    vec![
+        by_name("MC").unwrap().scaled(16, 10),   // ~2 MB snapshot
+        by_name("MD").unwrap().scaled(32, 1000), // ~6 MB snapshot
+        by_name("FFT").unwrap().scaled(64, 200), // ~6 MB + store
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,6 +263,20 @@ mod tests {
         assert!(w.in_bytes >= KB);
         assert!(w.iterations >= 2);
         assert!(w.local_store_bytes() < by_name("SS").unwrap().local_store_bytes());
+    }
+
+    #[test]
+    fn serving_classes_are_function_sized() {
+        let classes = serving_classes();
+        assert_eq!(classes.len(), 3);
+        for c in &classes {
+            assert!(
+                c.device_resident_bytes + c.local_store_bytes() <= 64 * MB,
+                "{} serving image too large for 1k-tenant packing",
+                c.name
+            );
+            assert!(c.iterations >= 2);
+        }
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub use coi_sim;
 pub use mpi_sim;
 pub use phi_platform;
 pub use scif_sim;
+pub use serving;
 pub use simkernel;
 pub use simproc;
 pub use snapify;

@@ -123,6 +123,47 @@ fn chaos_sweep_block_swap_rotate() {
     });
 }
 
+/// FaaS-style serving under chaos: 16 seeds (fewer under a tighter
+/// `SIMCHAOS_CASES_PER_BLOCK`, as in CI smoke), each an open-loop
+/// multi-tenant serving run — seed-drawn eviction policy, arrival
+/// process, and Zipf skew — under generated bus faults and a random
+/// scheduler. The consistency contract (every admitted request reaches
+/// first-compute, residency ≤ devices) must hold for every seed; seeds
+/// that merely blow the default time-to-first-compute SLO are reported
+/// separately by `sweep_cases`, not failed. Repro lines carry
+/// `SIMCHAOS_OP=serve`.
+#[test]
+fn chaos_sweep_block_serve() {
+    let base = BASE_SEED + 6000;
+    let n = cases_per_block().min(16);
+    sweep_cases(n, |i| {
+        let case = ChaosCase::serve_from_seed(base + i);
+        assert!(
+            case.repro_line().contains("SIMCHAOS_OP=serve"),
+            "pinned serve cases must replay with their op: {}",
+            case.repro_line()
+        );
+        case
+    });
+}
+
+/// The replay contract holds for the pinned serve op too: verdict,
+/// trace fingerprint, fault firings, and the SLO breach list all replay
+/// byte-identically.
+#[test]
+fn serve_cases_replay_byte_identical() {
+    let case = ChaosCase::serve_from_seed(BASE_SEED + 6000);
+    let first = run_case(&case);
+    let second = run_case(&case);
+    assert!(first.ok(), "{:?}", first.failure);
+    assert_eq!(first.failure, second.failure);
+    assert_eq!(first.trace_len, second.trace_len);
+    assert_eq!(first.trace_digest, second.trace_digest);
+    assert_eq!(first.faults_fired, second.faults_fired);
+    assert_eq!(first.slo_breaches, second.slo_breaches);
+    assert!(first.trace_len > 0, "tracing must actually be on");
+}
+
 /// The multi-domain sweep: 16 seeds (fewer if `SIMCHAOS_CASES_PER_BLOCK`
 /// is tighter, as in CI smoke) whose cases run on a 4-domain kernel —
 /// the case body in domain 0, peers in domains 1..4 exchanging

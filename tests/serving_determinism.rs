@@ -1,0 +1,93 @@
+//! Serving determinism: the same seed + config replays byte-identically.
+//!
+//! * Two plain-kernel runs of one config produce the identical kernel
+//!   trace digest and the identical `BENCH_serving`-style summary.
+//! * The scenario run as a cluster node body yields the identical
+//!   report (and summary bytes) on a 1-domain and a 4-domain
+//!   `MultiNodeCluster` — parallel domain execution must never leak
+//!   wall-clock interleaving into serving results.
+
+use serving::{run_scenario, EvictionPolicy, ServingConfig, ServingReport, TrafficConfig};
+use snapify_repro::phi_platform::PlatformParams;
+use snapify_repro::prelude::Kernel;
+use snapify_repro::snapify::MultiNodeCluster;
+
+fn config() -> ServingConfig {
+    ServingConfig {
+        devices: 2,
+        swap_workers: 2,
+        policy: EvictionPolicy::Popularity,
+        traffic: TrafficConfig {
+            tenants: 8,
+            zipf_s: 1.2,
+            rate_per_sec: 10.0,
+            requests: 100,
+            ..TrafficConfig::default()
+        },
+        ..ServingConfig::default()
+    }
+}
+
+/// One traced run: report plus the kernel's `(trace_len, trace_digest)`.
+fn traced_run() -> (ServingReport, usize, u64) {
+    let kernel = Kernel::new();
+    kernel.enable_trace();
+    let h = kernel.spawn("serving-root", || run_scenario(&config()));
+    kernel.run();
+    let report = h.take_result().expect("serving root finished");
+    (report, kernel.trace_len(), kernel.trace_digest())
+}
+
+#[test]
+fn same_seed_and_config_replays_byte_identically() {
+    let (first, len1, digest1) = traced_run();
+    let (second, len2, digest2) = traced_run();
+    assert_eq!(
+        (len1, digest1),
+        (len2, digest2),
+        "kernel trace must replay byte-identically"
+    );
+    assert!(len1 > 0, "tracing must actually be on");
+    assert_eq!(first, second, "reports must be structurally identical");
+    assert_eq!(
+        first.summary(),
+        second.summary(),
+        "summaries must be byte-identical"
+    );
+    // The summary really carries the distribution, not just counts.
+    assert!(first.summary().contains("cold: count="));
+    assert!(first.cold.count > 0 && first.warm.count > 0);
+}
+
+/// Run the scenario as node 0 of an n-node cluster split over
+/// `domains` time domains; peer nodes run small sleeping bodies so
+/// every domain has work.
+fn cluster_run(domains: u32) -> ServingReport {
+    let cluster = MultiNodeCluster::new(4, domains, PlatformParams::default());
+    let serve = cluster.spawn_node(0, "serving", || run_scenario(&config()));
+    let peers: Vec<_> = (1..4)
+        .map(|n| {
+            cluster.spawn_node(n, "peer", move || {
+                simkernel::sleep(simkernel::time::ms(5 * n as u64));
+                n
+            })
+        })
+        .collect();
+    cluster.run();
+    for (i, p) in peers.into_iter().enumerate() {
+        assert_eq!(p.take_result(), Some(i + 1));
+    }
+    serve.take_result().expect("serving node finished")
+}
+
+#[test]
+fn report_is_identical_across_domain_counts() {
+    let serial = cluster_run(1);
+    let parallel = cluster_run(4);
+    assert_eq!(
+        serial, parallel,
+        "4 domains must not change serving results"
+    );
+    assert_eq!(serial.summary(), parallel.summary());
+    assert!(serial.cold.count > 0 && serial.warm.count > 0);
+}
