@@ -12,6 +12,9 @@
 //! * `BENCH_swapin.json` — `speedup` per tenant row must not drop below
 //!   baseline × 0.90 (the warm restore fast path must keep its edge
 //!   over cold fetches).
+//! * `BENCH_incremental.json` — `speedup` per tenant row must not drop
+//!   below baseline × 0.90 (the O(dirty) warm capture must keep its
+//!   edge over the always-full baseline).
 //! * `BENCH_serving.json` — `warm_speedup_p99` per scenario row must
 //!   not drop below baseline × 0.90 (warm time-to-first-compute must
 //!   keep its edge over cold demand swap-ins). The committed baseline
@@ -36,10 +39,10 @@
 //!
 //! ```text
 //! perf_gate [--baselines <dir>] [--dedup <json>] [--swapin <json>]
-//!           [--serving <json>] [--simkernel <json>]
+//!           [--incremental <json>] [--serving <json>] [--simkernel <json>]
 //! ```
 //!
-//! With no selection flags all four files are checked from the
+//! With no selection flags all five files are checked from the
 //! baselines' sibling directory layout (`crates/bench/BENCH_*.json`).
 
 use std::process::ExitCode;
@@ -185,12 +188,15 @@ fn main() -> ExitCode {
     let baselines = flag("--baselines").unwrap_or_else(|| "crates/bench/baselines".to_string());
     let explicit = flag("--dedup").is_some()
         || flag("--swapin").is_some()
+        || flag("--incremental").is_some()
         || flag("--serving").is_some()
         || flag("--simkernel").is_some();
     let dedup = flag("--dedup")
         .or_else(|| (!explicit).then(|| "crates/bench/BENCH_dedup.json".to_string()));
     let swapin = flag("--swapin")
         .or_else(|| (!explicit).then(|| "crates/bench/BENCH_swapin.json".to_string()));
+    let incremental = flag("--incremental")
+        .or_else(|| (!explicit).then(|| "crates/bench/BENCH_incremental.json".to_string()));
     let serving = flag("--serving")
         .or_else(|| (!explicit).then(|| "crates/bench/BENCH_serving.json".to_string()));
     let simkernel = flag("--simkernel")
@@ -232,6 +238,15 @@ fn main() -> ExitCode {
             "speedup",
             Bound::NoDropPast(0.90),
             swapin.as_ref(),
+            false,
+        )
+    })
+    .and_then(|()| {
+        run(
+            "incremental",
+            "speedup",
+            Bound::NoDropPast(0.90),
+            incremental.as_ref(),
             false,
         )
     })

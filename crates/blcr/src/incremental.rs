@@ -46,6 +46,11 @@ pub struct IncrementalCheckpointer {
     /// Region versions at the previous checkpoint.
     last_versions: Option<HashMap<String, u64>>,
     chain_index: u64,
+    /// Rebase period: after this many links the chain restarts with a
+    /// fresh full image (0 = never rebase). Without it chains grow
+    /// unbounded, restart cost is O(chain length), and one corrupted
+    /// mid-chain link makes every later delta unrecoverable.
+    rebase_every: u64,
 }
 
 impl IncrementalCheckpointer {
@@ -55,7 +60,16 @@ impl IncrementalCheckpointer {
             config,
             last_versions: None,
             chain_index: 0,
+            rebase_every: 0,
         }
+    }
+
+    /// Rebase the chain with a fresh full image every `n` links (so a
+    /// restart never replays more than `n` sources). `0` disables
+    /// rebasing.
+    pub fn with_rebase_every(mut self, n: u64) -> IncrementalCheckpointer {
+        self.rebase_every = n;
+        self
     }
 
     /// Write the next link of the chain into `sink`. Captures only the
@@ -68,6 +82,12 @@ impl IncrementalCheckpointer {
         sink: &mut dyn ByteSink,
         include: &dyn Fn(&str) -> bool,
     ) -> Result<IncrementalStats, BlcrError> {
+        if self.rebase_every > 0 && self.chain_index >= self.rebase_every {
+            // Rebase: forget the previous versions so this link is a
+            // full image at chain index 0 — a new, short chain.
+            self.last_versions = None;
+            self.chain_index = 0;
+        }
         simkernel::sleep(self.config.checkpoint_setup);
         sink.set_write_granularity(Some(PAGE_SIZE));
 
@@ -96,12 +116,15 @@ impl IncrementalCheckpointer {
         // Dirty/new regions.
         let mut written = 0usize;
         let mut skipped = 0usize;
+        let mut clean_bytes = 0u64;
+        let mut dirty_bytes = 0u64;
         let dirty: Vec<&(String, Payload, u64)> = regions
             .iter()
-            .filter(|(name, _, version)| {
+            .filter(|(name, content, version)| {
                 let changed = full || prev.get(name) != Some(version);
                 if !changed {
                     skipped += 1;
+                    clean_bytes += content.len();
                 }
                 changed
             })
@@ -115,6 +138,7 @@ impl IncrementalCheckpointer {
             w.write_u64(*version)?;
             w.write_payload(content)?;
             total += 8 + 8 + name.len() as u64 + 8 + 8 + content.len();
+            dirty_bytes += content.len();
             written += 1;
         }
 
@@ -141,6 +165,8 @@ impl IncrementalCheckpointer {
                 snapshot_bytes: total,
                 regions: written,
                 image_digest,
+                clean_bytes,
+                dirty_bytes,
             },
             full,
             chain_index: self.chain_index,
@@ -368,7 +394,7 @@ mod tests {
                 .unwrap();
             let (_, d1) = take(&mut ck, &proc, b"p1");
 
-            proc.memory().unmap_region("b");
+            proc.memory().unmap_region("b").unwrap();
             let (_, d2) = take(&mut ck, &proc, b"p2");
             let want_digest = proc.memory().digest();
             proc.exit();
@@ -384,7 +410,7 @@ mod tests {
             assert_eq!(restored.runtime_state, b"p2");
             assert_eq!(restored.proc.memory().digest(), want_digest);
             assert_eq!(
-                restored.proc.memory().region("a").to_bytes(),
+                restored.proc.memory().region("a").unwrap().to_bytes(),
                 vec![9u8; 4096]
             );
             assert!(!restored.proc.memory().has_region("b"), "tombstone applied");
@@ -426,6 +452,61 @@ mod tests {
             let err = restart_chain(&BlcrConfig::default(), &phi(), &pids, "x", &mut sources)
                 .unwrap_err();
             assert!(matches!(err, BlcrError::BadImage(_)));
+        });
+    }
+
+    #[test]
+    fn rebase_bounds_chain_length_and_restart_cost() {
+        // Regression: without rebasing, a long-running tenant's chain —
+        // and therefore its restart cost — grew without bound. With
+        // rebase-every-4, link 4 is a fresh full image and a restart
+        // replays at most 4 sources no matter how long the app ran.
+        Kernel::run_root(|| {
+            let node = phi();
+            let proc = SimProcess::new(Pid(1), "app", &node);
+            proc.memory()
+                .map_region("hot", Payload::bytes(vec![0u8; 4096]))
+                .unwrap();
+            proc.memory()
+                .map_region("cold", Payload::synthetic(3, 16 * MB))
+                .unwrap();
+
+            let mut ck = IncrementalCheckpointer::new(BlcrConfig::default()).with_rebase_every(4);
+            let mut links: Vec<(IncrementalStats, Payload)> = Vec::new();
+            for i in 0..10u8 {
+                proc.memory()
+                    .update_region("hot", Payload::bytes(vec![i + 1; 4096]))
+                    .unwrap();
+                links.push(take(&mut ck, &proc, &[i]));
+            }
+
+            // Links 0, 4 and 8 are full rebases; everything else deltas.
+            let fulls: Vec<usize> = links
+                .iter()
+                .enumerate()
+                .filter(|(_, (s, _))| s.full)
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(fulls, vec![0, 4, 8]);
+            // Chain indices restart at each rebase: restart never needs
+            // more than rebase_every sources.
+            let max_index = links.iter().map(|(s, _)| s.chain_index).max().unwrap();
+            assert_eq!(max_index, 3);
+
+            // A restart from the latest rebase (links 8..10) restores the
+            // final state without touching the 8 older links.
+            let want = proc.memory().digest();
+            proc.exit();
+            let pids = PidAllocator::new();
+            let mut sources: Vec<Box<dyn ByteSource>> = links
+                .drain(8..)
+                .map(|(_, p)| Box::new(PayloadSource::new(p)) as Box<dyn ByteSource>)
+                .collect();
+            assert_eq!(sources.len(), 2);
+            let restored =
+                restart_chain(&BlcrConfig::default(), &phi(), &pids, "app", &mut sources).unwrap();
+            assert_eq!(restored.proc.memory().digest(), want);
+            assert_eq!(restored.runtime_state, vec![9u8]);
         });
     }
 

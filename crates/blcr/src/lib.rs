@@ -117,6 +117,11 @@ pub struct CheckpointStats {
     pub regions: usize,
     /// Digest of the captured memory image.
     pub image_digest: u64,
+    /// Region-content bytes satisfied from the sink's cache of the prior
+    /// snapshot (clean regions an O(dirty) capture never read or hashed).
+    pub clean_bytes: u64,
+    /// Region-content bytes actually streamed through the sink.
+    pub dirty_bytes: u64,
 }
 
 /// Checkpoint `proc` into `sink`.
@@ -148,19 +153,48 @@ pub fn checkpoint_filtered(
     sink: &mut dyn ByteSink,
     include: &dyn Fn(&str) -> bool,
 ) -> Result<CheckpointStats, BlcrError> {
+    checkpoint_impl(config, proc, runtime_state, sink, include, false)
+}
+
+/// Like [`checkpoint_filtered`], but O(dirty): regions whose dirty flag
+/// is clear are offered to the sink as *cached records*
+/// ([`ByteSink::write_cached_record`]) keyed by name + content digest. A
+/// record-aware sink (the content-addressed snapshot store) that still
+/// holds the prior snapshot's chunks for that region emits them without
+/// the region ever being read, chunked, or hashed; any other sink — or a
+/// changed region — falls back to plain streaming, so the produced image
+/// is byte-equivalent to a full [`checkpoint_filtered`] in every case.
+pub fn checkpoint_incremental(
+    config: &BlcrConfig,
+    proc: &SimProcess,
+    runtime_state: &[u8],
+    sink: &mut dyn ByteSink,
+    include: &dyn Fn(&str) -> bool,
+) -> Result<CheckpointStats, BlcrError> {
+    checkpoint_impl(config, proc, runtime_state, sink, include, true)
+}
+
+fn checkpoint_impl(
+    config: &BlcrConfig,
+    proc: &SimProcess,
+    runtime_state: &[u8],
+    sink: &mut dyn ByteSink,
+    include: &dyn Fn(&str) -> bool,
+    incremental: bool,
+) -> Result<CheckpointStats, BlcrError> {
     let _span = obs::span!("blcr.checkpoint", pid = proc.pid());
     simkernel::sleep(config.checkpoint_setup);
     sink.set_write_granularity(Some(PAGE_SIZE));
 
-    let regions: Vec<(String, Payload)> = proc
+    let regions: Vec<(String, Payload, bool)> = proc
         .memory()
-        .snapshot_regions()
+        .snapshot_regions_dirty()
         .into_iter()
-        .filter(|(name, _)| include(name))
+        .filter(|(name, _, _)| include(name))
         .collect();
     let image_digest = {
         let mut combined = Payload::empty();
-        for (name, content) in &regions {
+        for (name, content, _) in &regions {
             combined.append(Payload::bytes(name.as_bytes().to_vec()));
             combined.append(content.clone());
         }
@@ -169,6 +203,8 @@ pub fn checkpoint_filtered(
 
     let mut w = FrameWriter::new(sink);
     let mut total: u64 = 0;
+    let mut clean_bytes: u64 = 0;
+    let mut dirty_bytes: u64 = 0;
 
     // Preamble: many small metadata writes (the NFS killer).
     w.write_bytes(MAGIC)?;
@@ -187,17 +223,45 @@ pub fn checkpoint_filtered(
 
     w.write_u64(regions.len() as u64)?;
     total += 8;
-    for (name, content) in &regions {
+    for (name, content, dirty) in &regions {
         simkernel::sleep(config.per_region_cost);
+        let record_bytes = 8 + name.len() as u64 + 8 + content.len();
+        if incremental {
+            // `Payload::digest` is free in virtual time — it stands in
+            // for the dirty-bit hardware a real tracker would consult.
+            let digest = content.digest();
+            if !*dirty && w.sink().write_cached_record(name, digest, content.len())? {
+                total += record_bytes;
+                clean_bytes += content.len();
+                continue;
+            }
+            w.sink().begin_record(name, digest, content.len());
+        }
         w.write_string(name)?;
         total += 8 + name.len() as u64;
         w.write_payload(content)?;
         total += 8 + content.len();
+        dirty_bytes += content.len();
+    }
+    if incremental {
+        // Terminate the last record: the trailing digest differs
+        // between captures and must not ride inside a reusable record.
+        w.sink().begin_record("", 0, 0);
     }
     w.write_u64(image_digest)?;
     total += 8;
 
     sink.close()?;
+    if incremental {
+        // Only the regions this capture covered become clean; filtered
+        // ones (COI local-store buffers) are captured — and marked —
+        // by their own path.
+        for (name, _, _) in &regions {
+            let _ = proc.memory().mark_region_captured(name);
+        }
+        obs::counter_add("snapify.capture.clean_bytes", clean_bytes);
+        obs::counter_add("snapify.capture.dirty_bytes", dirty_bytes);
+    }
     obs::counter_add("blcr.checkpoints", 1);
     obs::counter_add("blcr.snapshot_bytes", total);
     obs::counter_add("blcr.pages_written", total.div_ceil(PAGE_SIZE));
@@ -206,6 +270,8 @@ pub fn checkpoint_filtered(
         snapshot_bytes: total,
         regions: regions.len(),
         image_digest,
+        clean_bytes,
+        dirty_bytes,
     })
 }
 
@@ -298,6 +364,10 @@ pub fn restart(
             "image digest mismatch: stream says {expect_digest:#x}, rebuilt {got_digest:#x}"
         )));
     }
+    // The rebuilt regions are byte-identical to the snapshot they came
+    // from: start the restored process clean so its next incremental
+    // capture only pays for what it writes after the restore.
+    proc.memory().mark_captured();
     Ok(RestartedProcess {
         proc,
         runtime_state,
@@ -354,7 +424,7 @@ mod tests {
             assert_eq!(restored.proc.memory().digest(), digest_before);
             assert_eq!(restored.proc.name(), "offload_proc");
             assert_eq!(
-                restored.proc.memory().region("stack").to_bytes(),
+                restored.proc.memory().region("stack").unwrap().to_bytes(),
                 vec![7u8; 4096]
             );
         });

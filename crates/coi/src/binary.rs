@@ -81,11 +81,7 @@ impl OffloadCtx<'_> {
     /// in the device snapshot.
     pub fn private(&self, name: &str) -> Option<Payload> {
         let full = format!("app/{name}");
-        if self.rt.proc().memory().has_region(&full) {
-            Some(self.rt.proc().memory().region(&full))
-        } else {
-            None
-        }
+        self.rt.proc().memory().region(&full).ok()
     }
 
     /// Create or replace a private region.

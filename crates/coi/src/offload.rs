@@ -417,7 +417,13 @@ impl OffloadRuntime {
         let mut combined = Payload::empty();
         for (id, _) in bufs.iter() {
             combined.append(Payload::bytes(id.to_le_bytes().to_vec()));
-            combined.append(self.inner.proc.memory().region(&buf_region(*id)));
+            combined.append(
+                self.inner
+                    .proc
+                    .memory()
+                    .region(&buf_region(*id))
+                    .expect("buffer table entry implies a backing region"),
+            );
         }
         combined.digest()
     }
@@ -427,7 +433,11 @@ impl OffloadRuntime {
     // ------------------------------------------------------------------
 
     pub(crate) fn buffer_payload(&self, id: u64) -> Payload {
-        self.inner.proc.memory().region(&buf_region(id))
+        self.inner
+            .proc
+            .memory()
+            .region(&buf_region(id))
+            .expect("buffer table entry implies a backing region")
     }
 
     pub(crate) fn buffer_store(&self, id: u64, data: Payload) {
@@ -661,7 +671,11 @@ impl OffloadRuntime {
                 CmdMsg::DestroyBuffer { id } => {
                     if let Some(meta) = self.inner.buffers.lock().remove(&id) {
                         self.inner.scif.unregister(meta.addr);
-                        self.inner.proc.memory().unmap_region(&buf_region(id));
+                        self.inner
+                            .proc
+                            .memory()
+                            .unmap_region(&buf_region(id))
+                            .expect("buffer table entry implies a backing region");
                         self.enqueue_event(format!("buffer:{id}:destroyed").into_bytes());
                     }
                     let _ = ep.send(CmdMsg::BufferDestroyed { id }.encode());
@@ -856,8 +870,15 @@ impl OffloadRuntime {
         sink.write(Payload::bytes(manifest))
             .and_then(|_| sink.close())
             .map_err(|e| CoiError::Io(e.to_string()))?;
+        let mem = self.inner.proc.memory();
+        let mut clean_bytes = 0u64;
+        let mut dirty_bytes = 0u64;
         for (id, _, _) in &bufs {
+            let region = buf_region(*id);
             let content = self.buffer_payload(*id);
+            let digest = content.digest();
+            let len = content.len();
+            let dirty = mem.region_is_dirty(&region).unwrap_or(true);
             let mut sink = self
                 .inner
                 .storage
@@ -866,11 +887,27 @@ impl OffloadRuntime {
                     &format!("{path}/local_store/buf_{id}"),
                 )
                 .map_err(|e| CoiError::Io(e.to_string()))?;
-            for chunk in content.chunks(IO_CHUNK) {
-                sink.write(chunk).map_err(|e| CoiError::Io(e.to_string()))?;
+            // O(dirty): an untouched buffer whose prior snapshot the
+            // store can still replay is never read or streamed again —
+            // the sink rebuilds it from the previous capture's chunks.
+            let cached = !dirty
+                && sink
+                    .write_cached_record(&region, digest, len)
+                    .map_err(|e| CoiError::Io(e.to_string()))?;
+            if cached {
+                clean_bytes += len;
+            } else {
+                sink.begin_record(&region, digest, len);
+                for chunk in content.chunks(IO_CHUNK) {
+                    sink.write(chunk).map_err(|e| CoiError::Io(e.to_string()))?;
+                }
+                dirty_bytes += len;
             }
             sink.close().map_err(|e| CoiError::Io(e.to_string()))?;
+            let _ = mem.mark_region_captured(&region);
         }
+        obs::counter_add("snapify.capture.clean_bytes", clean_bytes);
+        obs::counter_add("snapify.capture.dirty_bytes", dirty_bytes);
         Ok(())
     }
 
@@ -907,7 +944,7 @@ impl OffloadRuntime {
             .storage
             .sink(self.inner.node.id(), &format!("{path}/device_snapshot"))
             .map_err(|e| CoiError::Io(e.to_string()))?;
-        let stats = blcr_sim::checkpoint_filtered(
+        let stats = blcr_sim::checkpoint_incremental(
             &self.inner.blcr,
             &self.inner.proc,
             &runtime_state,
@@ -1111,6 +1148,10 @@ impl OffloadRuntime {
             );
             addr_table.push((id, size, old_addr, new_addr.0));
         }
+        // Every region now holds exactly what the snapshot holds (the
+        // BLCR image and the re-mapped local store both came from it),
+        // so a warm capture right after restore starts from all-clean.
+        proc.memory().mark_captured();
         breakdown.reregistration_ns = (simkernel::now() - t0).as_nanos();
         drop(rereg_span);
 

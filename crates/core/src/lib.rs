@@ -328,7 +328,12 @@ mod tests {
             let restarted = restart_application(&world, "/snap/cr", "app.so", 1).unwrap();
             assert_eq!(restarted.host_state, b"phase=3");
             assert_eq!(
-                restarted.host_proc.memory().region("host_data").to_bytes(),
+                restarted
+                    .host_proc
+                    .memory()
+                    .region("host_data")
+                    .unwrap()
+                    .to_bytes(),
                 vec![42u8; 1024]
             );
             // The restored offload process has the buffer with its

@@ -681,6 +681,88 @@ mod tests {
     }
 
     #[test]
+    fn incremental_warm_park_hashes_only_dirty_bytes_and_runs_faster() {
+        Kernel::run_root(|| {
+            // One warm-park cycle of a lightly-touched tenant (8 buffers,
+            // 1 rewritten between parks): cold park, swap back in, dirty
+            // one buffer, park again. Returns the warm park's virtual
+            // duration and its dirty/clean capture byte counts.
+            let cycle = |rebase_every: u32| -> (u64, u64, u64) {
+                let world = SnapifyWorld::boot_dedup_with(
+                    PlatformParams::default(),
+                    CoiConfig::default(),
+                    registry(),
+                    DedupConfig {
+                        incremental_rebase_every: rebase_every,
+                        ..DedupConfig::default()
+                    },
+                );
+                let store = world.store().unwrap().clone();
+                let sched = SwapScheduler::new(1, "/swap/incr").with_store(&store);
+                let host = world.coi().create_host_process("t");
+                let h = world.coi().create_process(&host, 0, "tenant.so").unwrap();
+                let mut bufs = Vec::new();
+                for i in 0..8u64 {
+                    let b = h.create_buffer(256 * MB).unwrap();
+                    h.buffer_write(&b, Payload::synthetic(100 + i, 256 * MB))
+                        .unwrap();
+                    bufs.push(b);
+                }
+                let id = sched.admit(&h, 0);
+                sched.park(id).unwrap();
+                sched.rotate().unwrap();
+                h.buffer_write(&bufs[0], Payload::synthetic(999, 256 * MB))
+                    .unwrap();
+                let s0 = store.stats();
+                let t0 = simkernel::now();
+                sched.park(id).unwrap();
+                let warm_ns = (simkernel::now() - t0).as_nanos();
+                let s1 = store.stats();
+                // Whatever the capture strategy, the tenant restores
+                // bit-identically, dirty buffer included.
+                sched.rotate().unwrap();
+                for (i, b) in bufs.iter().enumerate() {
+                    let want = if i == 0 {
+                        Payload::synthetic(999, 256 * MB)
+                    } else {
+                        Payload::synthetic(100 + i as u64, 256 * MB)
+                    };
+                    assert_eq!(
+                        h.buffer_read(b).unwrap().digest(),
+                        want.digest(),
+                        "buffer {i} corrupted (rebase_every={rebase_every})"
+                    );
+                }
+                (
+                    warm_ns,
+                    s1.capture_dirty_bytes - s0.capture_dirty_bytes,
+                    s1.capture_clean_bytes - s0.capture_clean_bytes,
+                )
+            };
+
+            // rebase_every=1 is the always-full baseline; 0 never rebases.
+            let (full_ns, full_dirty, full_clean) = cycle(1);
+            let (inc_ns, inc_dirty, inc_clean) = cycle(0);
+            assert_eq!(full_clean, 0, "the full baseline never reuses");
+            assert!(
+                inc_dirty < full_dirty,
+                "incremental hashes less: inc={inc_dirty} full={full_dirty}"
+            );
+            // With 1 of 8 buffers touched, at most 20% of the image may
+            // enter the read/chunk/digest pipeline.
+            let image = inc_dirty + inc_clean;
+            assert!(
+                inc_dirty * 5 <= image,
+                "hashed fraction too high: dirty={inc_dirty} of {image}"
+            );
+            assert!(
+                full_ns >= inc_ns * 2,
+                "incremental warm park must be at least 2x faster: inc={inc_ns}ns full={full_ns}ns"
+            );
+        });
+    }
+
+    #[test]
     fn retire_releases_swap_snapshots_from_the_store() {
         Kernel::run_root(|| {
             let world = SnapifyWorld::boot_dedup(registry());

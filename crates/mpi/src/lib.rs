@@ -350,7 +350,11 @@ mod tests {
             for (r, app) in restarted.iter().enumerate() {
                 assert_eq!(app.host_state, format!("rank{r}:iter=5").into_bytes());
                 assert_eq!(
-                    app.host_proc.memory().region("rank_data").to_bytes(),
+                    app.host_proc
+                        .memory()
+                        .region("rank_data")
+                        .unwrap()
+                        .to_bytes(),
                     vec![r as u8; 512]
                 );
                 let bufs = app.handle.buffers();

@@ -294,7 +294,13 @@ impl Scif {
         data: Payload,
     ) -> Result<(), ScifError> {
         let (proc, region) = self.resolve_window(addr)?;
-        let window = proc.memory().region(&region);
+        // The region can be unmapped between window resolution and the
+        // DMA (process teardown racing a transfer): a typed error, not
+        // a panic.
+        let window = proc
+            .memory()
+            .region(&region)
+            .map_err(|_| ScifError::BadAddress(addr))?;
         let len = data.len();
         if offset + len > window.len() {
             return Err(ScifError::OutOfRange {
@@ -308,7 +314,7 @@ impl Scif {
         let updated = window.replace(offset, data);
         proc.memory()
             .update_region(&region, updated)
-            .expect("same-size region update cannot OOM");
+            .map_err(|_| ScifError::BadAddress(addr))?;
         Ok(())
     }
 
@@ -322,7 +328,10 @@ impl Scif {
         len: u64,
     ) -> Result<Payload, ScifError> {
         let (proc, region) = self.resolve_window(addr)?;
-        let window = proc.memory().region(&region);
+        let window = proc
+            .memory()
+            .region(&region)
+            .map_err(|_| ScifError::BadAddress(addr))?;
         if offset + len > window.len() {
             return Err(ScifError::OutOfRange {
                 addr,
@@ -432,7 +441,10 @@ impl ScifEndpoint {
     /// (`scif_vwriteto`). Blocks for the DMA time.
     pub fn rdma_write(&self, addr: RdmaAddr, offset: u64, data: Payload) -> Result<(), ScifError> {
         let (proc, region) = self.scif.resolve_window(addr)?;
-        let window = proc.memory().region(&region);
+        let window = proc
+            .memory()
+            .region(&region)
+            .map_err(|_| ScifError::BadAddress(addr))?;
         let len = data.len();
         if offset + len > window.len() {
             return Err(ScifError::OutOfRange {
@@ -447,7 +459,7 @@ impl ScifEndpoint {
         let updated = window.replace(offset, data);
         proc.memory()
             .update_region(&region, updated)
-            .expect("same-size region update cannot OOM");
+            .map_err(|_| ScifError::BadAddress(addr))?;
         Ok(())
     }
 
@@ -455,7 +467,10 @@ impl ScifEndpoint {
     /// (`scif_vreadfrom`). Blocks for the DMA time.
     pub fn rdma_read(&self, addr: RdmaAddr, offset: u64, len: u64) -> Result<Payload, ScifError> {
         let (proc, region) = self.scif.resolve_window(addr)?;
-        let window = proc.memory().region(&region);
+        let window = proc
+            .memory()
+            .region(&region)
+            .map_err(|_| ScifError::BadAddress(addr))?;
         if offset + len > window.len() {
             return Err(ScifError::OutOfRange {
                 addr,
@@ -615,7 +630,7 @@ mod tests {
             ep.rdma_write(addr, 2, Payload::bytes(vec![7, 8, 9]))
                 .unwrap();
             assert_eq!(
-                proc.memory().region("coibuf").to_bytes(),
+                proc.memory().region("coibuf").unwrap().to_bytes(),
                 vec![0, 0, 7, 8, 9, 0, 0, 0]
             );
             let read = ep.rdma_read(addr, 1, 4).unwrap();

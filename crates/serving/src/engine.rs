@@ -502,6 +502,8 @@ pub fn run_scenario_with_faults(
         restore_chunks_warm: stats.restore_chunks_warm,
         restore_chunks_cold: stats.restore_chunks_cold,
         restore_bytes_avoided: stats.restore_bytes_avoided,
+        capture_dirty_bytes: stats.capture_dirty_bytes,
+        capture_clean_bytes: stats.capture_clean_bytes,
     };
     (report, fired)
 }

@@ -86,6 +86,12 @@ pub struct ServingReport {
     pub restore_chunks_cold: u64,
     /// Transport bytes the restore cache avoided.
     pub restore_bytes_avoided: u64,
+    /// Capture bytes that entered the store's chunk/digest pipeline
+    /// across the run's swap-outs (the dirty portion).
+    pub capture_dirty_bytes: u64,
+    /// Capture bytes incremental capture replayed from prior snapshots
+    /// without reading, chunking or digesting them.
+    pub capture_clean_bytes: u64,
 }
 
 impl ServingReport {
@@ -124,6 +130,10 @@ impl ServingReport {
         out.push_str(&format!(
             "restore_cache: warm_chunks={} cold_chunks={} bytes_avoided={}\n",
             self.restore_chunks_warm, self.restore_chunks_cold, self.restore_bytes_avoided
+        ));
+        out.push_str(&format!(
+            "capture: dirty_bytes={} clean_bytes={}\n",
+            self.capture_dirty_bytes, self.capture_clean_bytes
         ));
         for c in &self.classes {
             out.push_str(&format!(
@@ -188,6 +198,8 @@ mod tests {
             restore_chunks_warm: 5,
             restore_chunks_cold: 7,
             restore_bytes_avoided: 123,
+            capture_dirty_bytes: 456,
+            capture_clean_bytes: 789,
         }
     }
 
@@ -206,6 +218,7 @@ mod tests {
             "class MC:",
             "breach: tenant=MC",
             "max_resident=2",
+            "capture: dirty_bytes=456 clean_bytes=789",
         ] {
             assert!(s.contains(needle), "summary missing `{needle}`:\n{s}");
         }

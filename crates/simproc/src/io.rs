@@ -83,6 +83,32 @@ pub trait ByteSink: Send {
     /// identical regions dedup even when their offsets shift between
     /// snapshots. Non-chunking sinks ignore this. Default: no-op.
     fn mark_boundary(&mut self) {}
+
+    /// Declare that the bytes written from here on form one logical
+    /// *record* (e.g. one BLCR region frame) whose payload content has
+    /// the given digest and length. Record-aware sinks (the snapshot
+    /// store) remember which chunks the record produced so a later
+    /// capture of the same stream can reuse them via
+    /// [`ByteSink::write_cached_record`]. An empty `name` terminates the
+    /// current record without starting a new one (trailer bytes follow).
+    /// Default: no-op.
+    fn begin_record(&mut self, name: &str, digest: u64, len: u64) {
+        let _ = (name, digest, len);
+    }
+
+    /// Ask the sink to emit the named record from content it already
+    /// holds (a prior snapshot at the same path), skipping the byte
+    /// stream entirely. Returns `Ok(true)` if the sink satisfied the
+    /// record — the caller must then *not* stream the record's bytes —
+    /// or `Ok(false)` if it cannot (no prior capture, content changed,
+    /// rebase due, or the sink does not cache); the caller falls back to
+    /// [`ByteSink::begin_record`] + [`ByteSink::write`]. This is what
+    /// makes warm capture O(dirty): clean regions cost neither a read
+    /// nor a hash. Default: `Ok(false)` — plain sinks always stream.
+    fn write_cached_record(&mut self, name: &str, digest: u64, len: u64) -> Result<bool, IoError> {
+        let _ = (name, digest, len);
+        Ok(false)
+    }
 }
 
 /// A readable byte stream (simulated `read(2)` source).

@@ -21,5 +21,5 @@ pub mod signal;
 pub use io::{
     copy, ByteSink, ByteSource, FsSink, FsSource, IoError, PayloadSource, SnapshotStorage, VecSink,
 };
-pub use proc::{Pid, PidAllocator, ProcMemory, Region, SimProcess};
+pub use proc::{Pid, PidAllocator, ProcMemory, Region, RegionError, SimProcess};
 pub use signal::{signum, Signals};

@@ -66,14 +66,48 @@ impl PidAllocator {
     }
 }
 
+/// Error from a region operation naming a region that is not mapped (or
+/// a grow the node's pool cannot satisfy).
+///
+/// Historically the accessors panicked on a missing name; under the
+/// chaos plane an injected unmap can race a capture, and that must
+/// surface as a recoverable error, not a sim abort.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RegionError {
+    /// No region with this name is mapped.
+    Missing(String),
+    /// The node's memory pool could not satisfy a region grow.
+    OutOfMemory(OutOfMemory),
+}
+
+impl fmt::Display for RegionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegionError::Missing(name) => write!(f, "no region '{name}'"),
+            RegionError::OutOfMemory(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegionError {}
+
+impl From<OutOfMemory> for RegionError {
+    fn from(e: OutOfMemory) -> RegionError {
+        RegionError::OutOfMemory(e)
+    }
+}
+
 /// One memory region of a process.
 #[derive(Clone)]
 pub struct Region {
     /// Region contents (length == region size).
     pub content: Payload,
-    /// Mutation counter: bumped on every update. Incremental
-    /// checkpointing uses it to find dirty regions.
+    /// Mutation counter: bumped on every content-changing update.
+    /// Incremental checkpointing uses it to find dirty regions.
     pub version: u64,
+    /// Whether the region has been written since the last capture
+    /// (dirty-page tracking, cleared by [`ProcMemory::mark_captured`]).
+    pub dirty: bool,
 }
 
 struct MemState {
@@ -118,20 +152,27 @@ impl ProcMemory {
             Region {
                 content,
                 version: 0,
+                dirty: true,
             },
         );
         Ok(())
     }
 
-    /// Replace a region's contents (size may change).
-    pub fn update_region(&self, name: &str, content: Payload) -> Result<(), OutOfMemory> {
+    /// Replace a region's contents (size may change). A byte-identical
+    /// replacement is a no-op: the mutation counter is not bumped and
+    /// the region stays clean, so dirty tracking does not over-capture
+    /// regions an application rewrites with unchanged data.
+    pub fn update_region(&self, name: &str, content: Payload) -> Result<(), RegionError> {
         let mut st = self.state.lock();
         let region = st
             .regions
             .get_mut(name)
-            .unwrap_or_else(|| panic!("no region '{name}'"));
+            .ok_or_else(|| RegionError::Missing(name.to_string()))?;
         let old = region.content.len();
         let new = content.len();
+        if new == old && region.content.digest() == content.digest() {
+            return Ok(());
+        }
         if new > old {
             self.pool.alloc(new - old)?;
         } else {
@@ -139,19 +180,19 @@ impl ProcMemory {
         }
         region.content = content;
         region.version += 1;
+        region.dirty = true;
         st.total = st.total + new - old;
         Ok(())
     }
 
     /// Read a region's contents.
-    pub fn region(&self, name: &str) -> Payload {
+    pub fn region(&self, name: &str) -> Result<Payload, RegionError> {
         self.state
             .lock()
             .regions
             .get(name)
-            .unwrap_or_else(|| panic!("no region '{name}'"))
-            .content
-            .clone()
+            .map(|r| r.content.clone())
+            .ok_or_else(|| RegionError::Missing(name.to_string()))
     }
 
     /// Whether a region exists.
@@ -159,17 +200,27 @@ impl ProcMemory {
         self.state.lock().regions.contains_key(name)
     }
 
+    /// Whether a region has been written since the last capture.
+    pub fn region_is_dirty(&self, name: &str) -> Result<bool, RegionError> {
+        self.state
+            .lock()
+            .regions
+            .get(name)
+            .map(|r| r.dirty)
+            .ok_or_else(|| RegionError::Missing(name.to_string()))
+    }
+
     /// Unmap a region, returning its memory to the pool.
-    pub fn unmap_region(&self, name: &str) -> Payload {
+    pub fn unmap_region(&self, name: &str) -> Result<Payload, RegionError> {
         let mut st = self.state.lock();
         let region = st
             .regions
             .remove(name)
-            .unwrap_or_else(|| panic!("no region '{name}'"));
+            .ok_or_else(|| RegionError::Missing(name.to_string()))?;
         let len = region.content.len();
         st.total -= len;
         self.pool.free(len);
-        region.content
+        Ok(region.content)
     }
 
     /// Total mapped bytes.
@@ -197,6 +248,38 @@ impl ProcMemory {
             .iter()
             .map(|(k, v)| (k.clone(), v.content.clone(), v.version))
             .collect()
+    }
+
+    /// Region names, contents and dirty flags, in sorted order — what an
+    /// O(dirty) capture consults to skip untouched regions.
+    pub fn snapshot_regions_dirty(&self) -> Vec<(String, Payload, bool)> {
+        self.state
+            .lock()
+            .regions
+            .iter()
+            .map(|(k, v)| (k.clone(), v.content.clone(), v.dirty))
+            .collect()
+    }
+
+    /// Record a successful capture: every region's dirty flag is
+    /// cleared, so the next capture only pays for regions written in
+    /// between. Also used after a restore, whose freshly-mapped regions
+    /// are byte-identical to the snapshot they came from.
+    pub fn mark_captured(&self) {
+        for region in self.state.lock().regions.values_mut() {
+            region.dirty = false;
+        }
+    }
+
+    /// Record a successful capture of a single region (the local-store
+    /// path saves buffers one file at a time).
+    pub fn mark_region_captured(&self, name: &str) -> Result<(), RegionError> {
+        self.state
+            .lock()
+            .regions
+            .get_mut(name)
+            .map(|r| r.dirty = false)
+            .ok_or_else(|| RegionError::Missing(name.to_string()))
     }
 
     /// Drop every region, returning all memory to the pool (process exit).
@@ -360,7 +443,7 @@ mod tests {
                 .unwrap();
             assert_eq!(node.mem().used(), GB);
             assert_eq!(proc.memory().total_bytes(), GB);
-            proc.memory().unmap_region("heap");
+            proc.memory().unmap_region("heap").unwrap();
             assert_eq!(node.mem().used(), 0);
         });
     }
@@ -395,6 +478,92 @@ mod tests {
                 .update_region("buf", Payload::synthetic(3, 20 * MB))
                 .unwrap();
             assert_eq!(node.mem().used(), 20 * MB);
+        });
+    }
+
+    #[test]
+    fn missing_region_ops_are_typed_errors() {
+        // Regression: these were `panic!("no region ...")` and aborted
+        // the simulation when a chaos-injected unmap raced an accessor.
+        Kernel::run_root(|| {
+            let node = phi_node();
+            let proc = SimProcess::new(Pid(1), "p", &node);
+            let missing = RegionError::Missing("ghost".to_string());
+            assert_eq!(
+                proc.memory()
+                    .update_region("ghost", Payload::empty())
+                    .unwrap_err(),
+                missing
+            );
+            assert_eq!(proc.memory().region("ghost").unwrap_err(), missing);
+            assert_eq!(proc.memory().unmap_region("ghost").unwrap_err(), missing);
+            assert_eq!(proc.memory().region_is_dirty("ghost").unwrap_err(), missing);
+            assert_eq!(
+                proc.memory().mark_region_captured("ghost").unwrap_err(),
+                missing
+            );
+            assert_eq!(format!("{missing}"), "no region 'ghost'");
+        });
+    }
+
+    #[test]
+    fn identical_update_skips_version_bump_and_stays_clean() {
+        // Regression: rewriting a region with byte-identical content
+        // bumped `version`, which would make dirty tracking over-capture
+        // clean regions.
+        Kernel::run_root(|| {
+            let node = phi_node();
+            let proc = SimProcess::new(Pid(1), "p", &node);
+            proc.memory()
+                .map_region("buf", Payload::synthetic(7, MB))
+                .unwrap();
+            proc.memory().mark_captured();
+            proc.memory()
+                .update_region("buf", Payload::synthetic(7, MB))
+                .unwrap();
+            let snap = proc.memory().snapshot_regions_versioned();
+            assert_eq!(snap[0].2, 0, "identical rewrite must not bump version");
+            assert!(!proc.memory().region_is_dirty("buf").unwrap());
+            // A real change still bumps and dirties.
+            proc.memory()
+                .update_region("buf", Payload::synthetic(8, MB))
+                .unwrap();
+            assert_eq!(proc.memory().snapshot_regions_versioned()[0].2, 1);
+            assert!(proc.memory().region_is_dirty("buf").unwrap());
+        });
+    }
+
+    #[test]
+    fn capture_clears_dirty_flags() {
+        Kernel::run_root(|| {
+            let node = phi_node();
+            let proc = SimProcess::new(Pid(1), "p", &node);
+            proc.memory()
+                .map_region("a", Payload::synthetic(1, MB))
+                .unwrap();
+            proc.memory()
+                .map_region("b", Payload::synthetic(2, MB))
+                .unwrap();
+            // Freshly mapped regions are dirty: nothing captured yet.
+            assert!(proc.memory().region_is_dirty("a").unwrap());
+            proc.memory().mark_captured();
+            assert!(!proc.memory().region_is_dirty("a").unwrap());
+            assert!(!proc.memory().region_is_dirty("b").unwrap());
+            proc.memory()
+                .update_region("a", Payload::synthetic(3, MB))
+                .unwrap();
+            let dirty: Vec<(String, bool)> = proc
+                .memory()
+                .snapshot_regions_dirty()
+                .into_iter()
+                .map(|(n, _, d)| (n, d))
+                .collect();
+            assert_eq!(
+                dirty,
+                vec![("a".to_string(), true), ("b".to_string(), false)]
+            );
+            proc.memory().mark_region_captured("a").unwrap();
+            assert!(!proc.memory().region_is_dirty("a").unwrap());
         });
     }
 

@@ -99,6 +99,16 @@ pub struct DedupConfig {
     pub restore_prefetch_depth: usize,
     /// Which chunks the warm caches keep when over budget.
     pub cache_policy: CachePolicy,
+    /// Rebase period of the *incremental capture* fast path. An
+    /// incremental capture (driven by the caller through
+    /// [`ByteSink::write_cached_record`]) reconstructs clean regions
+    /// from the previous snapshot's chunks at the same path, skipping
+    /// the read + chunk + digest work entirely. Every such reuse
+    /// lengthens the logical delta chain; every `incremental_rebase_every`
+    /// captures the store withholds the prior snapshot's region ledger,
+    /// forcing a full re-stream that resets the chain. `1` makes every
+    /// capture full (the no-incremental baseline); `0` never rebases.
+    pub incremental_rebase_every: u32,
 }
 
 impl Default for DedupConfig {
@@ -113,6 +123,7 @@ impl Default for DedupConfig {
             restore_pipelined: true,
             restore_prefetch_depth: 4,
             cache_policy: CachePolicy::default(),
+            incremental_rebase_every: 16,
         }
     }
 }
@@ -146,6 +157,13 @@ pub struct StoreStats {
     pub restore_bytes_avoided: u64,
     /// Restore bytes that crossed the transport (cold fetches).
     pub restore_bytes_fetched: u64,
+    /// Capture bytes that entered the chunk/digest pipeline (the dirty
+    /// portion of incremental captures; everything, for full captures).
+    pub capture_dirty_bytes: u64,
+    /// Capture bytes reconstructed from the prior snapshot's ledger
+    /// without being read, chunked or digested (clean regions of
+    /// incremental captures).
+    pub capture_clean_bytes: u64,
 }
 
 struct ChunkEntry {
@@ -163,6 +181,27 @@ struct PackInfo {
 struct ManifestRecord {
     chunks: Vec<ChunkKey>,
     node: NodeId,
+}
+
+/// One record's slice of a snapshot stream, as cut by the capture-side
+/// `begin_record` boundaries: every chunk from the record's cut to the
+/// next one (name header, length prefix and payload — a deterministic
+/// function of the record's name and content). `digest`/`len` identify
+/// the record *content* the caller advertised, which is what a later
+/// capture matches against before replaying the chunks.
+#[derive(Clone)]
+struct RegionSpan {
+    digest: u64,
+    len: u64,
+    chunks: Vec<ChunkKey>,
+}
+
+/// Per-path record ledger: which spans the snapshot currently stored at
+/// a path is made of, plus how many consecutive incremental captures
+/// led to it (the logical delta-chain length, reset by a rebase).
+struct Ledger {
+    age: u64,
+    spans: HashMap<String, RegionSpan>,
 }
 
 /// One warm chunk's bookkeeping: recency for LRU, touch count for the
@@ -233,6 +272,8 @@ struct Index {
     chunks: HashMap<ChunkKey, ChunkEntry>,
     packs: HashMap<u64, PackInfo>,
     manifests: HashMap<String, ManifestRecord>,
+    /// Per-path record ledgers (incremental capture fast path).
+    ledgers: HashMap<String, Ledger>,
     next_pack: u64,
     stats: StoreStats,
     /// Per-node warm chunk caches (restore fast path).
@@ -352,6 +393,7 @@ impl Dedup {
         let mut idx = self.inner.index.lock().unwrap();
         idx.stats.chunks_hit += 1;
         idx.stats.bytes_deduped += len;
+        idx.stats.capture_dirty_bytes += len;
         drop(idx);
         obs::counter_add("store.chunks_hit", 1);
         obs::counter_add("store.bytes_deduped", len);
@@ -366,6 +408,7 @@ impl Dedup {
         let mut idx = self.inner.index.lock().unwrap();
         idx.stats.chunks_miss += 1;
         idx.stats.bytes_shipped += len;
+        idx.stats.capture_dirty_bytes += len;
         drop(idx);
         obs::counter_add("store.chunks_miss", 1);
         obs::counter_add("store.bytes_shipped", len);
@@ -414,6 +457,8 @@ impl Dedup {
         refs: &[ChunkKey],
         fresh: &mut HashMap<ChunkKey, Payload>,
         manifest_len: u64,
+        spans: HashMap<String, RegionSpan>,
+        reused: bool,
     ) {
         let mut dead_files = Vec::new();
         {
@@ -468,6 +513,18 @@ impl Dedup {
                     node,
                 },
             );
+            // Install the new ledger: a capture that reused prior spans
+            // lengthens the logical delta chain; one that streamed
+            // everything is a fresh base. A capture with no record
+            // boundaries at all leaves no ledger (and drops any stale
+            // one) — the next capture at this path streams in full.
+            let prior_age = idx.ledgers.get(path).map_or(0, |l| l.age);
+            if spans.is_empty() {
+                idx.ledgers.remove(path);
+            } else {
+                let age = if reused { prior_age + 1 } else { 0 };
+                idx.ledgers.insert(path.to_string(), Ledger { age, spans });
+            }
             idx.stats.manifests = idx.manifests.len() as u64;
             idx.stats.bytes_shipped += manifest_len;
         }
@@ -483,6 +540,7 @@ impl Dedup {
             let mut idx = self.inner.index.lock().unwrap();
             match idx.manifests.remove(path) {
                 Some(old) => {
+                    idx.ledgers.remove(path);
                     dead_files.push((old.node, path.to_string()));
                     release_manifest(&mut idx, old, &mut dead_files);
                     idx.stats.manifests = idx.manifests.len() as u64;
@@ -561,6 +619,20 @@ fn release_manifest(idx: &mut Index, old: ManifestRecord, dead_files: &mut Vec<(
 
 impl SnapshotStorage for Dedup {
     fn sink(&self, local: NodeId, path: &str) -> Result<Box<dyn ByteSink>, IoError> {
+        // Offer the prior snapshot's record ledger to the new capture —
+        // unless the delta chain is due for a rebase, in which case the
+        // ledger is withheld and every record streams in full.
+        let prior_spans = {
+            let idx = self.inner.index.lock().unwrap();
+            idx.ledgers.get(path).and_then(|ledger| {
+                let rebase = u64::from(self.inner.config.incremental_rebase_every);
+                if rebase > 0 && ledger.age + 1 >= rebase {
+                    None
+                } else {
+                    Some(ledger.spans.clone())
+                }
+            })
+        };
         Ok(Box::new(DedupSink {
             store: self.clone(),
             local,
@@ -572,6 +644,10 @@ impl SnapshotStorage for Dedup {
             ship: None,
             failed: None,
             closed: false,
+            prior_spans,
+            next_spans: HashMap::new(),
+            current_span: None,
+            reused: false,
         }))
     }
 
@@ -784,6 +860,18 @@ pub struct DedupSink {
     /// surfaced by the next fallible call.
     failed: Option<IoError>,
     closed: bool,
+    /// The prior snapshot's record ledger at this path, if one exists
+    /// and the delta chain is not due for a rebase. What
+    /// `write_cached_record` replays from.
+    prior_spans: Option<HashMap<String, RegionSpan>>,
+    /// The ledger this capture is building (installed at commit).
+    next_spans: HashMap<String, RegionSpan>,
+    /// The record currently being streamed: name, advertised content
+    /// digest/len, and where in `refs` its chunks start.
+    current_span: Option<(String, u64, u64, usize)>,
+    /// Whether any record was replayed from the prior ledger (decides
+    /// whether the committed ledger extends the delta chain).
+    reused: bool,
 }
 
 impl DedupSink {
@@ -905,6 +993,26 @@ impl DedupSink {
         }
     }
 
+    /// Terminate the record in progress: cut the pending tail so the
+    /// record's bytes occupy whole chunks, then (if the capture named
+    /// the record) remember its chunk run in the ledger being built.
+    fn close_span(&mut self) -> Result<(), IoError> {
+        self.cut_pending(true)?;
+        if let Some((name, digest, len, start)) = self.current_span.take() {
+            if !name.is_empty() && start <= self.refs.len() {
+                self.next_spans.insert(
+                    name,
+                    RegionSpan {
+                        digest,
+                        len,
+                        chunks: self.refs[start..].to_vec(),
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+
     fn cut_pending(&mut self, boundary: bool) -> Result<(), IoError> {
         let chunk_size = self.store.inner.config.chunk_size;
         while self.pending.len() >= chunk_size {
@@ -947,6 +1055,57 @@ impl ByteSink for DedupSink {
         }
     }
 
+    fn begin_record(&mut self, name: &str, digest: u64, len: u64) {
+        if self.closed || self.failed.is_some() {
+            return;
+        }
+        if let Err(e) = self.close_span() {
+            self.failed = Some(e);
+            return;
+        }
+        if !name.is_empty() {
+            self.current_span = Some((name.to_string(), digest, len, self.refs.len()));
+        }
+    }
+
+    fn write_cached_record(&mut self, name: &str, digest: u64, len: u64) -> Result<bool, IoError> {
+        if self.closed {
+            return Err(IoError::Closed);
+        }
+        if let Some(e) = self.failed.take() {
+            return Err(e);
+        }
+        self.close_span()?;
+        let span = match self.prior_spans.as_ref().and_then(|s| s.get(name)) {
+            Some(s) if s.digest == digest && s.len == len => s.clone(),
+            _ => return Ok(false),
+        };
+        // Replay the prior snapshot's chunk run for this record. Every
+        // chunk must still be live in the index — the prior manifest at
+        // this path pins them until commit, but a ledger can outlive
+        // content in edge cases (concurrent deletes), and a stale span
+        // must fall back to streaming, never fabricate bytes.
+        {
+            let mut idx = self.store.inner.index.lock().unwrap();
+            if !span.chunks.iter().all(|k| idx.chunks.contains_key(k)) {
+                return Ok(false);
+            }
+            let mut bytes = 0u64;
+            for key in &span.chunks {
+                let entry = &idx.chunks[key];
+                self.image.append(entry.content.clone());
+                self.refs.push(*key);
+                bytes += key.1;
+            }
+            idx.stats.capture_clean_bytes += bytes;
+        }
+        // No read, no chunking, no digest pass, no transport: the whole
+        // record costs index metadata only. That is the O(dirty) claim.
+        self.next_spans.insert(name.to_string(), span);
+        self.reused = true;
+        Ok(true)
+    }
+
     fn close(&mut self) -> Result<(), IoError> {
         if self.closed {
             return Ok(());
@@ -954,7 +1113,7 @@ impl ByteSink for DedupSink {
         if let Some(e) = self.failed.take() {
             return Err(e);
         }
-        self.cut_pending(true)?;
+        self.close_span()?;
         let (pack, _shipped) = self.finish_shipper()?;
         // The manifest is the durable artifact the backend stores under
         // the snapshot path.
@@ -990,6 +1149,8 @@ impl ByteSink for DedupSink {
             &self.refs,
             &mut self.fresh,
             manifest_len,
+            std::mem::take(&mut self.next_spans),
+            self.reused,
         );
         self.closed = true;
         Ok(())
@@ -1449,6 +1610,199 @@ mod tests {
             assert_eq!(st.delete_prefix("/swap/job1/"), 2);
             assert_eq!(st.stats().bytes_stored, 8 * MB);
             assert_eq!(st.stats().manifests, 1);
+        });
+    }
+
+    /// Capture `records` through the incremental record API: a record
+    /// flagged clean tries the prior snapshot's ledger first, anything
+    /// else streams. `trailer` rides after the final record cut (the
+    /// stream's image-digest position). Returns which records were
+    /// replayed from the ledger.
+    fn write_records(
+        st: &Dedup,
+        path: &str,
+        records: &[(&str, Payload, bool)],
+        trailer: &[u8],
+    ) -> Vec<bool> {
+        let mut sink = st.sink(NodeId::device(0), path).unwrap();
+        let mut cached = Vec::new();
+        for (name, content, clean) in records {
+            let hit = *clean
+                && sink
+                    .write_cached_record(name, content.digest(), content.len())
+                    .unwrap();
+            if !hit {
+                sink.begin_record(name, content.digest(), content.len());
+                for chunk in content.chunks(8 << 20) {
+                    sink.write(chunk).unwrap();
+                }
+            }
+            cached.push(hit);
+        }
+        sink.begin_record("", 0, 0);
+        sink.write(Payload::bytes(trailer.to_vec())).unwrap();
+        sink.close().unwrap();
+        cached
+    }
+
+    /// The image `write_records` produces for `records` + `trailer`.
+    fn image_of(records: &[(&str, Payload, bool)], trailer: &[u8]) -> Payload {
+        let mut p = Payload::empty();
+        for (_, content, _) in records {
+            p.append(content.clone());
+        }
+        p.append(Payload::bytes(trailer.to_vec()));
+        p
+    }
+
+    #[test]
+    fn incremental_capture_reuses_clean_records_and_restores_identically() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            let st = store(&server, DedupConfig::default());
+            let a = Payload::synthetic(1, 32 * MB);
+            let b1 = Payload::synthetic(2, 32 * MB);
+            let b2 = Payload::synthetic(3, 32 * MB);
+            let v1 = [("a", a.clone(), false), ("b", b1, false)];
+            write_records(&st, "/snap/inc", &v1, b"t1");
+            let s1 = st.stats();
+            assert_eq!(s1.capture_dirty_bytes, 64 * MB + 2);
+            assert_eq!(s1.capture_clean_bytes, 0);
+            assert_eq!(
+                read_stream(&st, "/snap/inc").digest(),
+                image_of(&v1, b"t1").digest()
+            );
+
+            // Second capture: `a` untouched, `b` rewritten. Only `b` and
+            // the new trailer enter the chunk/digest pipeline; `a` is
+            // rebuilt from the prior snapshot's chunks.
+            let v2 = [("a", a, true), ("b", b2, false)];
+            let hits = write_records(&st, "/snap/inc", &v2, b"t2");
+            assert_eq!(hits, vec![true, false]);
+            let s2 = st.stats();
+            assert_eq!(s2.capture_clean_bytes, 32 * MB);
+            assert_eq!(s2.capture_dirty_bytes - s1.capture_dirty_bytes, 32 * MB + 2);
+            assert_eq!(
+                read_stream(&st, "/snap/inc").digest(),
+                image_of(&v2, b"t2").digest()
+            );
+        });
+    }
+
+    #[test]
+    fn cached_record_with_changed_content_falls_back_to_streaming() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            let st = store(&server, DedupConfig::default());
+            let v1 = [("a", Payload::synthetic(1, 16 * MB), false)];
+            write_records(&st, "/snap/chg", &v1, b"t");
+            // Same name, different bytes: the ledger's digest check
+            // rejects the replay and the record streams in full.
+            let v2 = [("a", Payload::synthetic(2, 16 * MB), true)];
+            assert_eq!(write_records(&st, "/snap/chg", &v2, b"t"), vec![false]);
+            assert_eq!(
+                read_stream(&st, "/snap/chg").digest(),
+                image_of(&v2, b"t").digest()
+            );
+        });
+    }
+
+    #[test]
+    fn rebase_period_forces_a_full_restream() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            let st = store(
+                &server,
+                DedupConfig {
+                    incremental_rebase_every: 2,
+                    ..DedupConfig::default()
+                },
+            );
+            let recs = [("a", Payload::synthetic(4, 16 * MB), true)];
+            // Base, delta, rebase (ledger withheld), delta again.
+            assert_eq!(write_records(&st, "/snap/rb", &recs, b"t"), vec![false]);
+            assert_eq!(write_records(&st, "/snap/rb", &recs, b"t"), vec![true]);
+            assert_eq!(write_records(&st, "/snap/rb", &recs, b"t"), vec![false]);
+            assert_eq!(write_records(&st, "/snap/rb", &recs, b"t"), vec![true]);
+        });
+    }
+
+    #[test]
+    fn failed_incremental_capture_leaves_prior_snapshot_restorable() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            let st = store(
+                &server,
+                DedupConfig {
+                    pipelined: false,
+                    ..DedupConfig::default()
+                },
+            );
+            let a = Payload::synthetic(5, 16 * MB);
+            let b = Payload::synthetic(6, 16 * MB);
+            let v1 = [("a", a.clone(), false), ("b", b.clone(), false)];
+            write_records(&st, "/snap/fail", &v1, b"t1");
+
+            // A capture that dies after replaying the clean record and
+            // streaming half the dirty one: nothing was committed, so
+            // the prior manifest, its chunks and its ledger survive.
+            {
+                let mut sink = st.sink(NodeId::device(0), "/snap/fail").unwrap();
+                assert!(sink.write_cached_record("a", a.digest(), a.len()).unwrap());
+                sink.begin_record("b", 7, 8 * MB);
+                sink.write(Payload::synthetic(7, 8 * MB)).unwrap();
+                // Dropped without close(): the failure path.
+            }
+            assert_eq!(st.stats().manifests, 1);
+            assert_eq!(
+                read_stream(&st, "/snap/fail").digest(),
+                image_of(&v1, b"t1").digest()
+            );
+
+            // The chain was not corrupted: the next capture still goes
+            // O(dirty) and restores bit-identically.
+            let v2 = [("a", a, true), ("b", b, true)];
+            assert_eq!(
+                write_records(&st, "/snap/fail", &v2, b"t1"),
+                vec![true, true]
+            );
+            assert_eq!(
+                read_stream(&st, "/snap/fail").digest(),
+                image_of(&v2, b"t1").digest()
+            );
+        });
+    }
+
+    #[test]
+    fn plain_capture_at_a_path_drops_its_ledger() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            let st = store(&server, DedupConfig::default());
+            let a = Payload::synthetic(8, 16 * MB);
+            write_records(&st, "/snap/pl", &[("a", a.clone(), false)], b"t");
+            // A capture with no record boundaries (old-style stream)
+            // invalidates the ledger: the next cached attempt must fall
+            // back rather than resurrect records of a replaced snapshot.
+            write_stream(&st, "/snap/pl", std::slice::from_ref(&a));
+            assert_eq!(
+                write_records(&st, "/snap/pl", &[("a", a, true)], b"t"),
+                vec![false]
+            );
+        });
+    }
+
+    #[test]
+    fn delete_snapshot_purges_the_ledger() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            let st = store(&server, DedupConfig::default());
+            let a = Payload::synthetic(9, 16 * MB);
+            write_records(&st, "/snap/dl", &[("a", a.clone(), false)], b"t");
+            assert!(st.delete_snapshot("/snap/dl"));
+            assert_eq!(
+                write_records(&st, "/snap/dl", &[("a", a, true)], b"t"),
+                vec![false]
+            );
         });
     }
 
