@@ -1,0 +1,164 @@
+//! BENCH_cluster — the fleet-wide swap control plane at scale.
+//!
+//! Ten nodes × hundreds of tenants under one [`snapify::FleetScheduler`]:
+//! skewed placement bin-packed through each node's swap scheduler, then
+//! proactive load-driven migrations whose device state flows through
+//! the shared cross-node snapstore pool. Two claims are measured and
+//! asserted inline:
+//!
+//! * **Warm cross-node restore** — a migrating tenant restores from
+//!   chunks the destination already holds; the pool ships ≥80% fewer
+//!   bytes than a cold restore fetching everything.
+//! * **Domain-count invariance** — the fleet's observable digest is
+//!   byte-identical whether the simulation ran on 1 domain or several.
+//!
+//! `--quick` (or `BENCH_QUICK=1`) runs a smaller fleet under distinct
+//! row names, so quick and full rows coexist in the committed baseline
+//! and the perf gate is never vacuous in either mode.
+
+use snapify::{FleetConfig, FleetReport, FleetScheduler};
+use snapify_bench::{header, Table};
+
+struct Row {
+    name: String,
+    report: FleetReport,
+}
+
+fn run(name: &str, cfg: FleetConfig) -> Row {
+    let report = FleetScheduler::new(cfg).run();
+    Row {
+        name: name.to_string(),
+        report,
+    }
+}
+
+fn fleet_cfg(nodes: usize, tenants: usize, max_migrations: usize, domains: u32) -> FleetConfig {
+    FleetConfig {
+        nodes,
+        domains,
+        tenants,
+        base_bytes: if nodes >= 10 { 48 << 20 } else { 8 << 20 },
+        unique_bytes: if nodes >= 10 { 4 << 20 } else { 1 << 20 },
+        max_migrations,
+        ..FleetConfig::default()
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("BENCH_QUICK").is_ok_and(|v| v == "1");
+    let cfg = FleetConfig::default();
+    header(
+        "BENCH_cluster: fleet control plane over the shared pool",
+        &cfg.params,
+    );
+    println!(
+        "mode: {} (quick rows keep their own names; the baseline holds both)",
+        if quick { "quick" } else { "full" }
+    );
+
+    let (prefix, nodes, tenants, migs, par_domains) = if quick {
+        ("fleet-quick", 4, 24, 3, 2)
+    } else {
+        ("fleet10x200", 10, 200, 12, 4)
+    };
+    let serial = run(&format!("{prefix}-d1"), fleet_cfg(nodes, tenants, migs, 1));
+    let parallel = run(
+        &format!("{prefix}-d{par_domains}"),
+        fleet_cfg(nodes, tenants, migs, par_domains),
+    );
+    let rows = [serial, parallel];
+
+    let mut t = Table::new(vec![
+        "scenario",
+        "nodes",
+        "tenants",
+        "domains",
+        "committed",
+        "failed",
+        "fetched",
+        "avoided",
+        "saved",
+        "digest",
+    ]);
+    for r in &rows {
+        let rep = &r.report;
+        t.row(vec![
+            r.name.clone(),
+            rep.nodes.to_string(),
+            rep.tenants.to_string(),
+            r.name[r.name.rfind("-d").unwrap() + 2..].to_string(),
+            rep.committed().to_string(),
+            rep.failed_back().to_string(),
+            snapify_bench::bytes(rep.pool.bytes_fetched_remote),
+            snapify_bench::bytes(rep.pool.bytes_avoided_remote),
+            format!("{:.1}%", rep.warm_saved_fraction() * 100.0),
+            format!("{:016x}", rep.digest()),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("shape checks: every planned migration commits, warm cross-node restores");
+    println!("ship >=80% fewer bytes than cold, the observable digest is identical at");
+    println!("every domain count, and a clean shutdown leaves the pool empty.");
+
+    for r in &rows {
+        let rep = &r.report;
+        assert_eq!(
+            rep.committed(),
+            migs,
+            "{}: every planned migration must commit: {:?}",
+            r.name,
+            rep.migrations
+        );
+        assert_eq!(rep.failed_back(), 0, "{}: no rollbacks expected", r.name);
+        assert!(
+            rep.warm_saved_fraction() > 0.8,
+            "{}: warm migration must ship >=80% fewer bytes than cold \
+             (saved {:.3}, pool {:?})",
+            r.name,
+            rep.warm_saved_fraction(),
+            rep.pool
+        );
+        assert_eq!(rep.pool_live_manifests, 0, "{}: leaked manifests", r.name);
+        assert_eq!(rep.pool_live_chunks, 0, "{}: leaked chunks", r.name);
+    }
+    assert_eq!(
+        rows[0].report.digest(),
+        rows[1].report.digest(),
+        "fleet digest must be byte-identical across domain counts"
+    );
+
+    dump_json("BENCH_cluster.json", &rows, quick);
+}
+
+fn dump_json(path: &str, rows: &[Row], quick: bool) {
+    let mut out = String::from("{\n  \"benches\": [");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let rep = &r.report;
+        out.push_str(&format!(
+            "\n    {{\"name\": \"{}\", \"nodes\": {}, \"tenants\": {}, \
+             \"committed\": {}, \"failed\": {}, \"bytes_fetched_remote\": {}, \
+             \"bytes_avoided_remote\": {}, \"saved_fraction\": {:.4}, \
+             \"digest\": {}, \"virtual_ns\": {}}}",
+            r.name,
+            rep.nodes,
+            rep.tenants,
+            rep.committed(),
+            rep.failed_back(),
+            rep.pool.bytes_fetched_remote,
+            rep.pool.bytes_avoided_remote,
+            rep.warm_saved_fraction(),
+            rep.digest(),
+            rep.virtual_ns,
+        ));
+    }
+    out.push_str(&format!("\n  ],\n  \"quick\": {quick}\n}}\n"));
+    match std::fs::write(path, out) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
+}

@@ -20,6 +20,11 @@
 //!   keep its edge over cold demand swap-ins). The committed baseline
 //!   carries both the full rows and the `zipf1k-quick-*` rows, so the
 //!   gate is non-vacuous in either bench mode.
+//! * `BENCH_cluster.json` — `saved_fraction` per fleet row must not
+//!   drop below baseline × 0.95 (cross-node warm migration must keep
+//!   shipping only the chunks the destination does not already hold).
+//!   Quick rows live under their own `fleet-quick-*` names, so the
+//!   gate is non-vacuous in either bench mode.
 //! * `BENCH_simkernel.json` — `events_per_sec` per scenario must not
 //!   drop below baseline × 0.35. Unlike the virtual-time metrics above
 //!   this one is *wall clock*, so the margin is deliberately generous:
@@ -39,10 +44,11 @@
 //!
 //! ```text
 //! perf_gate [--baselines <dir>] [--dedup <json>] [--swapin <json>]
-//!           [--incremental <json>] [--serving <json>] [--simkernel <json>]
+//!           [--incremental <json>] [--serving <json>] [--cluster <json>]
+//!           [--simkernel <json>]
 //! ```
 //!
-//! With no selection flags all five files are checked from the
+//! With no selection flags all six files are checked from the
 //! baselines' sibling directory layout (`crates/bench/BENCH_*.json`).
 
 use std::process::ExitCode;
@@ -190,6 +196,7 @@ fn main() -> ExitCode {
         || flag("--swapin").is_some()
         || flag("--incremental").is_some()
         || flag("--serving").is_some()
+        || flag("--cluster").is_some()
         || flag("--simkernel").is_some();
     let dedup = flag("--dedup")
         .or_else(|| (!explicit).then(|| "crates/bench/BENCH_dedup.json".to_string()));
@@ -199,6 +206,8 @@ fn main() -> ExitCode {
         .or_else(|| (!explicit).then(|| "crates/bench/BENCH_incremental.json".to_string()));
     let serving = flag("--serving")
         .or_else(|| (!explicit).then(|| "crates/bench/BENCH_serving.json".to_string()));
+    let cluster = flag("--cluster")
+        .or_else(|| (!explicit).then(|| "crates/bench/BENCH_cluster.json".to_string()));
     let simkernel = flag("--simkernel")
         .or_else(|| (!explicit).then(|| "crates/bench/BENCH_simkernel.json".to_string()));
 
@@ -256,6 +265,15 @@ fn main() -> ExitCode {
             "warm_speedup_p99",
             Bound::NoDropPast(0.90),
             serving.as_ref(),
+            false,
+        )
+    })
+    .and_then(|()| {
+        run(
+            "cluster",
+            "saved_fraction",
+            Bound::NoDropPast(0.95),
+            cluster.as_ref(),
             false,
         )
     })

@@ -66,7 +66,7 @@ use simkernel::{SchedPolicy, SimDuration, SimTime};
 use simproc::SnapshotStorage;
 use snapify::{
     checkpoint_application, restart_application, snapify_migrate, snapify_swapin, snapify_swapout,
-    SnapifyWorld, SwapScheduler,
+    FleetConfig, FleetReport, FleetScheduler, SnapifyWorld, SwapScheduler,
 };
 use snapify_io::{Nfs, NfsConfig, NfsMode, RetryPolicy, Scp, ScpConfig};
 use snapstore::DedupConfig;
@@ -139,6 +139,15 @@ pub enum ChaosOp {
     /// [`ChaosCase::from_seed`]; built with
     /// [`ChaosCase::serve_from_seed`].
     Serve,
+    /// A whole fleet run ([`snapify::FleetScheduler`]) — skewed
+    /// placement, swap bin-packing, and cross-node migrations through
+    /// the shared snapstore pool — under injected pool-NIC connection
+    /// resets. A reset mid-migration must fail the in-migration at the
+    /// destination and roll the tenant back to its source, leaving it
+    /// resumable with nothing leaked in the pool. Like
+    /// [`ChaosOp::SwapRotate`], never drawn by [`ChaosCase::from_seed`];
+    /// built with [`ChaosCase::fleet_migrate_from_seed`].
+    FleetMigrate,
 }
 
 impl ChaosOp {
@@ -153,6 +162,7 @@ impl ChaosOp {
             ChaosOp::ScpSoak => "scp-soak",
             ChaosOp::SwapRotate => "swap-rotate",
             ChaosOp::Serve => "serve",
+            ChaosOp::FleetMigrate => "fleet-migrate",
         }
     }
 
@@ -168,6 +178,7 @@ impl ChaosOp {
             ChaosOp::ScpSoak,
             ChaosOp::SwapRotate,
             ChaosOp::Serve,
+            ChaosOp::FleetMigrate,
         ]
         .into_iter()
         .find(|op| op.label() == label)
@@ -314,6 +325,21 @@ impl ChaosCase {
         case
     }
 
+    /// Expand `seed` into a fleet-migrate case: op pinned to
+    /// [`ChaosOp::FleetMigrate`], faults regenerated from a derived
+    /// stream (same rationale as [`ChaosCase::swap_rotate_from_seed`] —
+    /// the base expansion stays byte-stable). The fleet shape is fixed
+    /// ([`FLEET_CHAOS_NODES`] nodes); the scheduler seed and the fault
+    /// timings carry all the per-seed variation.
+    pub fn fleet_migrate_from_seed(seed: u64) -> ChaosCase {
+        let mut case = ChaosCase::from_seed(seed);
+        case.op = ChaosOp::FleetMigrate;
+        let mut rng = ChaosRng::new(seed ^ 0x466c_6565_744d_6967); // "FleetMig"
+        case.faults = generate_faults(&mut rng, ChaosOp::FleetMigrate);
+        case.slo = default_slo(ChaosOp::FleetMigrate);
+        case
+    }
+
     /// The one-line repro for this case: paste it in front of
     /// `cargo test --test chaos_explorer` (or export the variables) and
     /// the `replay_case_from_env` test re-executes this exact case.
@@ -435,6 +461,19 @@ fn generate_faults(rng: &mut ChaosRng, op: ChaosOp) -> FaultSchedule {
                 schedule = schedule.with(at, target, kind);
             }
         }
+        ChaosOp::FleetMigrate => {
+            // 1..=2 pool-NIC connection resets on non-hot nodes (the
+            // rebalancer's candidate destinations; node 0 holds the
+            // parked overflow and only ever migrates *out*). `at` is
+            // early so the node's first cross-node import consult trips
+            // the fault: the reset must fail that in-migration and roll
+            // the tenant back to its source.
+            for _ in 0..(1 + rng.below(2)) {
+                let at = SimTime::ZERO + us(rng.below(1_000));
+                let node = 1 + rng.below(FLEET_CHAOS_NODES as u64 - 1) as usize;
+                schedule = schedule.with(at, FaultTarget::Net(node), FaultKind::ConnReset);
+            }
+        }
         _ => {
             // 0..=2 link-level faults, both cards eligible.
             for _ in 0..rng.below(3) {
@@ -484,6 +523,11 @@ impl ChaosOutcome {
     }
 }
 
+/// Fleet size of a [`ChaosOp::FleetMigrate`] case. Fixed so the
+/// generated `net{n}` fault targets always name a real node; the
+/// per-seed variation lives in the scheduler seed and fault timings.
+pub const FLEET_CHAOS_NODES: usize = 4;
+
 /// Pings each peer domain exchanges with domain 0 during a
 /// multi-domain case. Small: the peers exist to run the conservative
 /// sync engine under the case's random scheduling, not to outlast the
@@ -514,6 +558,14 @@ pub fn run_case(case: &ChaosCase) -> ChaosOutcome {
     obs::set_meta("chaos.faults", &case.faults.to_string());
     obs::set_meta("chaos.repro", &case.repro_line());
     obs::enable();
+    // A fleet case cannot run *inside* this function's kernel: the
+    // FleetScheduler owns its own multi-node cluster (and therefore its
+    // own kernel), so it executes directly and the outcome derives from
+    // the fleet report. `SIMCHAOS_DOMAINS` maps onto the fleet's domain
+    // count; the scheduler policy is `Random(case.seed)` as everywhere.
+    if case.op == ChaosOp::FleetMigrate {
+        return run_fleet_migrate_case(case);
+    }
     let params = PlatformParams::default();
     let mk = MultiKernel::new(
         MultiDomainConfig::new(case.domains, cluster_lookahead(&params))
@@ -587,6 +639,92 @@ pub fn find_seed(base: u64, pred: impl Fn(&ChaosCase) -> bool) -> u64 {
     (base..base.saturating_add(100_000))
         .find(|s| pred(&ChaosCase::from_seed(*s)))
         .expect("no matching case within 100k seeds of base")
+}
+
+/// Execute a [`ChaosOp::FleetMigrate`] case: run the whole fleet under
+/// `Random(case.seed)` with every node handed the case's fault schedule
+/// (a `net{n}` entry only ever fires on node `n` — each node consults
+/// its own pool NIC), then check the fleet invariants. `faults_fired`
+/// reports the rolled-back migrations: every pool-NIC reset that fires
+/// on the import path fails exactly one in-migration.
+fn run_fleet_migrate_case(case: &ChaosCase) -> ChaosOutcome {
+    let cfg = FleetConfig {
+        nodes: FLEET_CHAOS_NODES,
+        domains: case.domains,
+        tenants: 12,
+        base_bytes: 8 * MB,
+        unique_bytes: MB,
+        max_migrations: 3,
+        policy: SchedPolicy::Random(case.seed),
+        node_faults: vec![case.faults.clone(); FLEET_CHAOS_NODES],
+        ..FleetConfig::default()
+    };
+    match panic::catch_unwind(AssertUnwindSafe(|| FleetScheduler::new(cfg).run())) {
+        Ok(report) => {
+            let failure = fleet_invariants(&report).err();
+            let flight_tail = failure.as_ref().map(|_| obs::flight_tail(32));
+            ChaosOutcome {
+                failure,
+                trace_len: report.fingerprint.0,
+                trace_digest: report.fingerprint.1,
+                faults_fired: report.failed_back(),
+                slo_breaches: Vec::new(),
+                flight_tail,
+            }
+        }
+        Err(payload) => ChaosOutcome {
+            failure: Some(panic_text(payload)),
+            trace_len: 0,
+            trace_digest: 0,
+            faults_fired: 0,
+            slo_breaches: Vec::new(),
+            flight_tail: Some(obs::flight_tail(32)),
+        },
+    }
+}
+
+/// The invariants every fleet-migrate case must uphold, faults or not:
+/// no tenant lost or duplicated, every failed migration rolled back at
+/// its source, nothing left referenced in the shared pool, and any
+/// committed migration restored warm (it found local chunks to dedup
+/// against).
+fn fleet_invariants(r: &FleetReport) -> Result<(), String> {
+    let launched: u64 = r.agents.iter().map(|a| a.launched).sum();
+    if launched != r.tenants as u64 {
+        return Err(format!("{launched} of {} tenants launched", r.tenants));
+    }
+    let before: u64 = r.loads_before.iter().map(|l| l.resident + l.parked).sum();
+    let after: u64 = r.loads_after.iter().map(|l| l.resident + l.parked).sum();
+    if before != after {
+        return Err(format!(
+            "tenant population changed across rebalancing: {before} before, {after} after"
+        ));
+    }
+    let rolled_back: u64 = r.agents.iter().map(|a| a.restored_back).sum();
+    if rolled_back != r.failed_back() as u64 {
+        return Err(format!(
+            "{} failed migrations but {rolled_back} source rollbacks",
+            r.failed_back()
+        ));
+    }
+    if r.pool_live_manifests != 0 || r.pool_live_chunks != 0 {
+        return Err(format!(
+            "shutdown leaked pool state: {} manifests, {} chunks",
+            r.pool_live_manifests, r.pool_live_chunks
+        ));
+    }
+    for m in r.migrations.iter().filter(|m| m.committed) {
+        if m.dev_bytes == 0 {
+            return Err(format!(
+                "committed migration of t{} captured no device state",
+                m.tenant
+            ));
+        }
+    }
+    if r.committed() >= 1 && r.pool.bytes_avoided_remote == 0 {
+        return Err("committed migrations never restored warm".to_string());
+    }
+    Ok(())
 }
 
 fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -821,7 +959,11 @@ fn workload_op(case: &ChaosCase) -> Result<usize, String> {
                 .destroy()
                 .map_err(|e| format!("post-rescue destroy failed: {e:?}"))?;
         }
-        ChaosOp::NfsSoak | ChaosOp::ScpSoak | ChaosOp::SwapRotate | ChaosOp::Serve => {
+        ChaosOp::NfsSoak
+        | ChaosOp::ScpSoak
+        | ChaosOp::SwapRotate
+        | ChaosOp::Serve
+        | ChaosOp::FleetMigrate => {
             unreachable!("handled separately")
         }
     }
@@ -1121,6 +1263,37 @@ mod tests {
         let line = ChaosCase::serve_from_seed(3).repro_line();
         assert!(line.contains("SIMCHAOS_OP=serve"), "{line}");
         assert_eq!(ChaosOp::parse("serve").unwrap(), ChaosOp::Serve);
+    }
+
+    #[test]
+    fn fleet_migrate_cases_are_deterministic_and_pinned() {
+        for seed in [0u64, 9, 1234, u64::MAX] {
+            let a = ChaosCase::fleet_migrate_from_seed(seed);
+            let b = ChaosCase::fleet_migrate_from_seed(seed);
+            assert_eq!(a.op, ChaosOp::FleetMigrate);
+            assert_eq!(a.faults, b.faults);
+            assert!(!a.faults.is_empty(), "fleet cases always inject");
+            // Fleet cases draw only pool-NIC resets on real, non-hot
+            // nodes: the rebalancer's candidate destinations.
+            for entry in &a.faults.entries {
+                match entry.target {
+                    FaultTarget::Net(n) => {
+                        assert!((1..FLEET_CHAOS_NODES).contains(&n), "net{n} out of range")
+                    }
+                    other => panic!("fleet cases draw only net faults, got {other:?}"),
+                }
+                assert_eq!(entry.fault, FaultKind::ConnReset);
+            }
+            // Pinning the op must not disturb the base expansion.
+            assert_eq!(a.seed, ChaosCase::from_seed(seed).seed);
+            assert!(a.slo.is_none());
+        }
+        let line = ChaosCase::fleet_migrate_from_seed(3).repro_line();
+        assert!(line.contains("SIMCHAOS_OP=fleet-migrate"), "{line}");
+        assert_eq!(
+            ChaosOp::parse("fleet-migrate").unwrap(),
+            ChaosOp::FleetMigrate
+        );
     }
 
     #[test]

@@ -333,6 +333,12 @@ impl CoiProcessHandle {
         self.inner.scif.server().host().fs().clone()
     }
 
+    /// The platform parameters of the host this process runs on
+    /// (hostname, link speeds, …).
+    pub fn host_params(&self) -> phi_platform::PlatformParams {
+        self.inner.scif.server().params().clone()
+    }
+
     /// Create a COI buffer of `size` bytes (`COIBufferCreate`).
     pub fn create_buffer(&self, size: u64) -> Result<Arc<CoiBuffer>, CoiError> {
         let id = {

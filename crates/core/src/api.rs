@@ -319,19 +319,45 @@ pub fn snapify_swapin(snapshot: &SnapifyT, device_to: usize) -> Result<(), Snapi
 
 /// Migrate the offload process to coprocessor `device_to` (Fig 7):
 /// swap-out to a scratch directory, swap-in on the target device.
+///
+/// The scratch directory is namespaced by *host + tenant*
+/// (`/tmp/snapify-migrate-<hostname>-h<host_pid>-p<pid>`): offload pids
+/// are only unique within one node, so two tenants with colliding pids
+/// on different hosts of a fleet must never share a staging path. If
+/// the swap-in half fails, the process is restored onto its original
+/// device and the scratch directory is removed from the host fs before
+/// the error surfaces, so a retry never sees half of this attempt's
+/// image (store-managed chunks under the same prefix are released by
+/// the owning store's prefix GC, e.g. `SwapScheduler::with_store`).
 pub fn snapify_migrate(
     proc: &CoiProcessHandle,
     device_to: usize,
 ) -> Result<SnapifyT, SnapifyError> {
+    let device_from = proc.device();
     let _span = obs::span!(
         "snapify.migrate",
         pid = proc.pid(),
-        from = proc.device(),
+        from = device_from,
         to = device_to
     );
-    let path = format!("/tmp/snapify-migrate-{}", proc.pid());
+    let path = format!(
+        "/tmp/snapify-migrate-{}-h{}-p{}",
+        proc.host_params().hostname,
+        proc.host_proc().pid().0,
+        proc.pid()
+    );
     let snapshot = snapify_swapout(proc, &path)?;
-    snapify_swapin(&snapshot, device_to)?;
+    if let Err(e) = snapify_swapin(&snapshot, device_to) {
+        // Failed mid-migration: the swap-out already terminated the
+        // offload process, so put the tenant back where it came from
+        // (every chunk is still warm at the source), then drop the
+        // scratch image. If even the restore-back fails the snapshot is
+        // the only copy left — keep it and surface the original error.
+        if snapify_swapin(&snapshot, device_from).is_ok() {
+            proc.host_fs().delete_prefix(&format!("{path}/"));
+        }
+        return Err(e);
+    }
     Ok(snapshot)
 }
 

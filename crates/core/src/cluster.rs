@@ -19,6 +19,7 @@
 
 use std::sync::Arc;
 
+use crate::SnapifyError;
 use phi_platform::{DomainPlacement, PlatformParams};
 use scif_sim::{cluster_link, ClusterRx, ClusterTx};
 use simkernel::domain::{MultiDomainConfig, MultiKernel};
@@ -83,22 +84,40 @@ impl MultiNodeCluster {
 
     /// A unidirectional network link from node `src` to node `dst`,
     /// with the endpoints placed in the nodes' respective domains.
-    pub fn link(&self, src: usize, dst: usize) -> (ClusterTx, ClusterRx) {
-        assert!(src < self.nodes && dst < self.nodes, "node out of range");
-        cluster_link(
+    ///
+    /// Referencing a node outside `0..nodes` returns
+    /// [`SnapifyError::NodeOutOfRange`] (it used to panic, which took
+    /// the whole simulation down from inside library code). `src == dst`
+    /// is a valid *loopback* link: both endpoints land in the same
+    /// domain and traffic still pays the full network latency — exactly
+    /// what a node talking to its own co-located fleet agent observes,
+    /// and what a one-node ring degenerates to.
+    pub fn link(&self, src: usize, dst: usize) -> Result<(ClusterTx, ClusterRx), SnapifyError> {
+        for node in [src, dst] {
+            if node >= self.nodes {
+                return Err(SnapifyError::NodeOutOfRange {
+                    node,
+                    nodes: self.nodes,
+                });
+            }
+        }
+        Ok(cluster_link(
             &self.mk,
             format!("n{src}-n{dst}"),
             self.placement.node_domain(src),
             self.placement.node_domain(dst),
             &self.params,
-        )
+        ))
     }
 
     /// Links forming a unidirectional ring `0 → 1 → … → n-1 → 0`;
     /// entry `i` is the link *from* node `i` to node `(i+1) % n`.
     pub fn ring(&self) -> Vec<(ClusterTx, ClusterRx)> {
         (0..self.nodes)
-            .map(|i| self.link(i, (i + 1) % self.nodes))
+            .map(|i| {
+                self.link(i, (i + 1) % self.nodes)
+                    .expect("ring nodes are in range by construction")
+            })
             .collect()
     }
 
@@ -219,5 +238,49 @@ mod tests {
     #[test]
     fn multi_domain_cluster_runs_are_deterministic() {
         assert_eq!(ring_run(4, 2), ring_run(4, 2));
+    }
+
+    /// Regression: `link` used to `assert!` on out-of-range nodes,
+    /// panicking from inside library code. It now reports which index
+    /// was bad and how big the cluster is.
+    #[test]
+    fn link_out_of_range_is_a_typed_error() {
+        let cluster = MultiNodeCluster::new(3, 1, PlatformParams::default());
+        match cluster.link(0, 3) {
+            Err(SnapifyError::NodeOutOfRange { node: 3, nodes: 3 }) => {}
+            Err(other) => panic!("expected NodeOutOfRange for dst, got {other:?}"),
+            Ok(_) => panic!("out-of-range dst must not produce a link"),
+        }
+        match cluster.link(7, 0) {
+            Err(SnapifyError::NodeOutOfRange { node: 7, nodes: 3 }) => {}
+            Err(other) => panic!("expected NodeOutOfRange for src, got {other:?}"),
+            Ok(_) => panic!("out-of-range src must not produce a link"),
+        }
+        let msg = match cluster.link(0, 3) {
+            Err(e) => e.to_string(),
+            Ok(_) => unreachable!(),
+        };
+        assert!(msg.contains("node 3"), "{msg}");
+        assert!(msg.contains("3-node"), "{msg}");
+        cluster.kernel().domain(0).spawn("noop", || {});
+        cluster.run();
+    }
+
+    /// `src == dst` is defined behaviour: a loopback link that still
+    /// pays the network latency. A 1-node ring degenerates to exactly
+    /// this, and messages round-trip through it.
+    #[test]
+    fn self_link_is_a_valid_loopback() {
+        let cluster = MultiNodeCluster::new(1, 1, PlatformParams::default());
+        let (tx, rx) = cluster.link(0, 0).expect("loopback link is valid");
+        cluster.spawn_node(0, "loop", move || {
+            let t0 = now();
+            tx.send(Payload::synthetic(1, 64)).unwrap();
+            tx.close();
+            let got = rx.recv().unwrap();
+            assert_eq!(got.digest(), Payload::synthetic(1, 64).digest());
+            assert!(now() > t0, "loopback still pays network latency");
+        });
+        cluster.run();
     }
 }

@@ -67,6 +67,7 @@ pub mod api;
 pub mod cli;
 pub mod cluster;
 pub mod cr;
+pub mod fleet;
 pub mod scheduler;
 pub mod world;
 
@@ -82,6 +83,7 @@ pub use cr::{
     checkpoint_application, restart_application, CheckpointReport, CrTool, RestartReport,
     RestartedApp,
 };
+pub use fleet::{AgentStats, FleetConfig, FleetReport, FleetScheduler, MigrationOutcome, NodeLoad};
 pub use scheduler::{JobId, SwapScheduler};
 pub use world::SnapifyWorld;
 
@@ -96,6 +98,13 @@ pub enum SnapifyError {
     RestoreFailed(String),
     /// Protocol violation.
     Protocol(String),
+    /// A cluster operation referenced a node outside the cluster.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// Cluster size — valid node indices are `0..nodes`.
+        nodes: usize,
+    },
 }
 
 impl fmt::Display for SnapifyError {
@@ -105,6 +114,9 @@ impl fmt::Display for SnapifyError {
             SnapifyError::Io(m) => write!(f, "snapshot i/o: {m}"),
             SnapifyError::RestoreFailed(m) => write!(f, "restore failed: {m}"),
             SnapifyError::Protocol(m) => write!(f, "protocol error: {m}"),
+            SnapifyError::NodeOutOfRange { node, nodes } => {
+                write!(f, "node {node} out of range for a {nodes}-node cluster")
+            }
         }
     }
 }
@@ -278,6 +290,60 @@ mod tests {
             // And the process still executes on the new device.
             h.run_sync("fill", Vec::new(), &[&buf]).unwrap();
             assert_eq!(h.buffer_read(&buf).unwrap().to_bytes(), vec![7u8; 32]);
+            h.destroy().unwrap();
+        });
+    }
+
+    #[test]
+    fn migrate_scratch_path_is_namespaced_by_host_and_tenant() {
+        Kernel::run_root(|| {
+            let (_world, h) = setup();
+            let pid = h.pid();
+            let host_pid = h.host_proc().pid().0;
+            let snap = snapify_migrate(&h, 1).unwrap();
+            // Regression: the path used to be `/tmp/snapify-migrate-<pid>`,
+            // which collides across hosts of a fleet that hand out the
+            // same offload pids. It now carries hostname + host pid too.
+            assert_eq!(
+                snap.snapshot_path,
+                format!("/tmp/snapify-migrate-host0-h{host_pid}-p{pid}")
+            );
+            h.destroy().unwrap();
+        });
+    }
+
+    #[test]
+    fn failed_migration_restores_source_and_cleans_scratch() {
+        Kernel::run_root(|| {
+            let (world, h) = setup();
+            let buf = h.create_buffer(16).unwrap();
+            h.buffer_write(&buf, Payload::bytes(vec![4u8; 16])).unwrap();
+            // Fill device 1 so the swap-in half of the migration dies.
+            world
+                .server()
+                .device(1)
+                .mem()
+                .alloc(world.server().device(1).mem().available() - MB)
+                .unwrap();
+
+            let err = snapify_migrate(&h, 1).unwrap_err();
+            assert!(matches!(err, SnapifyError::RestoreFailed(_)), "got {err:?}");
+
+            // The tenant is back on its source device with its state...
+            assert_eq!(h.device(), 0);
+            assert_eq!(world.coi().daemon(0).live_processes(), 1);
+            assert_eq!(h.buffer_read(&buf).unwrap().to_bytes(), vec![4u8; 16]);
+            h.run_sync("fill", Vec::new(), &[&buf]).unwrap();
+            // ...and the scratch image is gone from the host fs.
+            assert!(
+                world
+                    .server()
+                    .host()
+                    .fs()
+                    .list("/tmp/snapify-migrate-")
+                    .is_empty(),
+                "failed migration must not leak its staging directory"
+            );
             h.destroy().unwrap();
         });
     }

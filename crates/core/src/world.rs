@@ -5,7 +5,7 @@ use std::sync::Arc;
 use coi_sim::{CoiConfig, CoiWorld, FunctionRegistry};
 use phi_platform::{FaultSchedule, PhiServer, PlatformParams};
 use snapify_io::{SnapifyIo, SnapifyIoConfig};
-use snapstore::{Dedup, DedupConfig};
+use snapstore::{ClusterPool, Dedup, DedupConfig};
 
 /// A fully-assembled world: simulated server + COI (with Snapify
 /// modifications) + Snapify-IO as the snapshot transport, optionally
@@ -103,6 +103,37 @@ impl SnapifyWorld {
             coi,
             store: Some(store),
         }
+    }
+
+    /// Boot one node of a fleet: a dedup world whose store is attached
+    /// to the shared cross-node [`ClusterPool`] as cluster node
+    /// `cluster_node`. Snapshot commits publish their chunk manifests
+    /// to the pool, deletes release them, and a restore that misses the
+    /// local backend imports the manifest from the pool, shipping only
+    /// the chunks this node does not already hold. Must be called from
+    /// a simulated thread of the node's own time domain (it prices the
+    /// pool NIC against this node's platform parameters).
+    pub fn boot_fleet_node(
+        params: PlatformParams,
+        coi_config: CoiConfig,
+        registry: FunctionRegistry,
+        dedup_config: DedupConfig,
+        schedule: FaultSchedule,
+        pool: &ClusterPool,
+        cluster_node: usize,
+    ) -> SnapifyWorld {
+        let world = SnapifyWorld::boot_dedup_with_faults(
+            params,
+            coi_config,
+            registry,
+            dedup_config,
+            schedule,
+        );
+        world
+            .store()
+            .expect("fleet nodes always boot with the dedup store")
+            .attach_pool(pool, cluster_node);
+        world
     }
 
     /// Boot on an existing server (used by `mpi-sim`, whose cluster owns

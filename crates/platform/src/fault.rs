@@ -123,6 +123,9 @@ pub enum FaultTarget {
     Nfs,
     /// The scp transport (any stream).
     Scp,
+    /// The cluster network interface of fleet node `index` (chunk-pool
+    /// transfers and control traffic to/from that node).
+    Net(usize),
 }
 
 impl fmt::Display for FaultTarget {
@@ -133,6 +136,7 @@ impl fmt::Display for FaultTarget {
             FaultTarget::Mem(n) => write!(f, "mem.{n}"),
             FaultTarget::Nfs => write!(f, "nfs"),
             FaultTarget::Scp => write!(f, "scp"),
+            FaultTarget::Net(i) => write!(f, "net{i}"),
         }
     }
 }
@@ -160,6 +164,9 @@ impl FaultTarget {
             Ok(FaultTarget::Nfs)
         } else if s == "scp" {
             Ok(FaultTarget::Scp)
+        } else if let Some(i) = s.strip_prefix("net") {
+            let i: usize = i.parse().map_err(|_| format!("bad net index in '{s}'"))?;
+            Ok(FaultTarget::Net(i))
         } else {
             Err(format!("unknown fault target '{s}'"))
         }
@@ -405,11 +412,16 @@ mod tests {
                 SimTime::ZERO + us(9),
                 FaultTarget::Bus(1),
                 FaultKind::BusDelay(ms(2)),
+            )
+            .with(
+                SimTime::ZERO + us(11),
+                FaultTarget::Net(3),
+                FaultKind::ConnReset,
             );
         let text = s.to_string();
         assert_eq!(
             text,
-            "1500:bus0:buserr;20000:fs.mic0:diskfull;30000:nfs:nfstimeout=500;0:mem.host:oom;7:scp:connreset;9:bus1:busdelay=2000"
+            "1500:bus0:buserr;20000:fs.mic0:diskfull;30000:nfs:nfstimeout=500;0:mem.host:oom;7:scp:connreset;9:bus1:busdelay=2000;11:net3:connreset"
         );
         assert_eq!(FaultSchedule::parse(&text).unwrap(), s);
         assert_eq!(FaultSchedule::parse("").unwrap(), FaultSchedule::none());

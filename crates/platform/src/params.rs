@@ -28,6 +28,11 @@ pub const GB: u64 = 1 << 30;
 #[derive(Clone, Debug)]
 pub struct PlatformParams {
     // ----- topology -----
+    /// Host name of this server — distinguishes nodes in a multi-node
+    /// cluster so host-side scratch paths (e.g. migration staging
+    /// directories) never collide across machines that happen to hand
+    /// out the same pids.
+    pub hostname: String,
     /// Number of Xeon Phi coprocessors per server.
     pub num_devices: usize,
     /// Host physical memory in bytes.
@@ -95,6 +100,7 @@ pub struct PlatformParams {
 impl Default for PlatformParams {
     fn default() -> PlatformParams {
         PlatformParams {
+            hostname: "host0".into(),
             num_devices: 2,
             host_mem: 32 * GB,
             phi_mem: 8 * GB,
@@ -131,6 +137,16 @@ impl Default for PlatformParams {
 }
 
 impl PlatformParams {
+    /// The default parameter set renamed for cluster node `n` — every
+    /// node of a fleet gets a distinct `hostname` (`node0`, `node1`, …)
+    /// while sharing the Table 2 hardware configuration.
+    pub fn for_cluster_node(n: usize) -> PlatformParams {
+        PlatformParams {
+            hostname: format!("node{n}"),
+            ..PlatformParams::default()
+        }
+    }
+
     /// Effective parallel compute throughput of one Phi card, in FLOPS.
     pub fn phi_flops(&self) -> f64 {
         self.phi_cores as f64 * self.phi_gflops_per_core * 1e9

@@ -36,12 +36,16 @@
 //! dead are deleted from the backing fs.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
-use phi_platform::{NodeId, Payload, PhiServer, SimFs};
+use phi_platform::{FaultKind, FaultTarget, NodeId, Payload, PhiServer, SimFs};
 use simkernel::obs;
 use simkernel::{now, Bandwidth, BandwidthResource, SimChannel, SimDuration, SimTime};
 use simproc::{ByteSink, ByteSource, IoError, SnapshotStorage};
+
+pub mod pool;
+
+pub use pool::{ClusterPool, PoolManifestInfo, PoolStats};
 
 /// Identity of a chunk: (content digest, length). The length guards the
 /// (already unlikely) digest collision across different-size chunks.
@@ -310,6 +314,14 @@ impl Index {
     }
 }
 
+/// Membership of this store in a fleet: the shared pool, this node's
+/// fleet index, and the cluster NIC the imports are priced on.
+struct PoolAttachment {
+    pool: ClusterPool,
+    node: usize,
+    nic: BandwidthResource,
+}
+
 struct StoreInner {
     server: PhiServer,
     backend: Arc<dyn SnapshotStorage>,
@@ -318,6 +330,8 @@ struct StoreInner {
     index: Mutex<Index>,
     /// Per-node digest engines, created lazily.
     hashers: Mutex<HashMap<NodeId, BandwidthResource>>,
+    /// Shared cross-node pool, if this store joined a fleet.
+    pool: OnceLock<PoolAttachment>,
 }
 
 /// The content-addressed store, wrapping a [`SnapshotStorage`] backend.
@@ -342,8 +356,34 @@ impl Dedup {
                 config,
                 index: Mutex::new(Index::default()),
                 hashers: Mutex::new(HashMap::new()),
+                pool: OnceLock::new(),
             }),
         }
+    }
+
+    /// Join a fleet: every manifest this store commits is published to
+    /// `pool` under fleet node `cluster_node`, deletions release the
+    /// node's pool holds, and a restore that misses locally imports the
+    /// snapshot from the pool — paying the cluster network only for
+    /// chunks this store has never seen. Must be called from a sim
+    /// thread (it builds the cluster NIC), at most once per store.
+    pub fn attach_pool(&self, pool: &ClusterPool, cluster_node: usize) {
+        let params = self.inner.server.params();
+        let nic = BandwidthResource::new(
+            format!("snapstore-nic{cluster_node}"),
+            params.net_bw,
+            params.net_latency,
+        );
+        let ok = self
+            .inner
+            .pool
+            .set(PoolAttachment {
+                pool: pool.clone(),
+                node: cluster_node,
+                nic,
+            })
+            .is_ok();
+        assert!(ok, "cluster pool already attached to this store");
     }
 
     /// The store configuration.
@@ -447,7 +487,8 @@ impl Dedup {
 
     /// Commit a completed snapshot: install novel chunks, bump refs for
     /// every manifest entry, and (if the path is being re-snapshotted)
-    /// release the manifest it replaces.
+    /// release the manifest it replaces. In a fleet, the committed
+    /// manifest is then published to the shared cross-node pool.
     #[allow(clippy::too_many_arguments)]
     fn commit(
         &self,
@@ -457,10 +498,13 @@ impl Dedup {
         refs: &[ChunkKey],
         fresh: &mut HashMap<ChunkKey, Payload>,
         manifest_len: u64,
+        total: u64,
+        image_digest: u64,
         spans: HashMap<String, RegionSpan>,
         reused: bool,
     ) {
         let mut dead_files = Vec::new();
+        let mut pool_contents: Vec<Payload> = Vec::new();
         {
             let mut idx = self.inner.index.lock().unwrap();
             // Install the new manifest's references BEFORE releasing the
@@ -527,9 +571,16 @@ impl Dedup {
             }
             idx.stats.manifests = idx.manifests.len() as u64;
             idx.stats.bytes_shipped += manifest_len;
+            if self.inner.pool.get().is_some() {
+                pool_contents = refs.iter().map(|k| idx.chunks[k].content.clone()).collect();
+            }
         }
         obs::counter_add("store.bytes_shipped", manifest_len);
         self.delete_files(dead_files);
+        if let Some(att) = self.inner.pool.get() {
+            att.pool
+                .publish(path, att.node, refs, &pool_contents, total, image_digest);
+        }
     }
 
     /// Delete one snapshot's manifest from the store, releasing its
@@ -550,6 +601,11 @@ impl Dedup {
             }
         };
         self.delete_files(dead_files);
+        if existed {
+            if let Some(att) = self.inner.pool.get() {
+                att.pool.release(path, att.node);
+            }
+        }
         existed
     }
 
@@ -664,7 +720,19 @@ impl Dedup {
     fn open_source(&self, local: NodeId, path: &str) -> Result<Box<dyn ByteSource>, IoError> {
         // 1. Fetch the manifest through the backend (missing snapshot =
         //    backend's NotFound; a non-manifest file = typed corruption).
-        let mut msrc = self.backend().source(local, path)?;
+        //    A local miss in a fleet falls back to the shared pool:
+        //    import the snapshot from whichever nodes hold it, then
+        //    retry.
+        let mut msrc = match self.backend().source(local, path) {
+            Ok(s) => s,
+            Err(e) => {
+                if self.pool_import(local, path)? {
+                    self.backend().source(local, path)?
+                } else {
+                    return Err(e);
+                }
+            }
+        };
         let mut bytes = Vec::new();
         while let Some(c) = msrc.read(64 << 10)? {
             bytes.extend_from_slice(&c.to_bytes());
@@ -802,6 +870,160 @@ impl Dedup {
             opened_at: now(),
             stalled: SimDuration::ZERO,
         }))
+    }
+
+    /// Import `path` from the shared cross-node pool into this store:
+    /// pin the manifest's chunks for the duration of the transfer (so
+    /// no other node's GC can collect them mid-flight), fetch the
+    /// chunks this store has never seen over the cluster NIC, install
+    /// everything locally (manifest artifact, chunk index entries,
+    /// warm-cache membership for the bytes that just landed), and
+    /// register this node as a pool holder so the content outlives the
+    /// original publisher. Returns `Ok(false)` when there is no pool or
+    /// the pool has no visible manifest at `path` — the caller's local
+    /// miss then stands.
+    fn pool_import(&self, local: NodeId, path: &str) -> Result<bool, IoError> {
+        let Some(att) = self.inner.pool.get() else {
+            return Ok(false);
+        };
+        let Some(pm) = att.pool.manifest(path) else {
+            return Ok(false);
+        };
+        let _span = obs::span!(
+            "snapstore.pool.import",
+            path = path,
+            chunks = pm.chunks.len(),
+        );
+        // The satellite GC-race fix: pins keep every referenced chunk
+        // alive for the whole import, however long the transfer takes
+        // and whoever releases the manifest meanwhile.
+        let pins = att.pool.pin(&pm.chunks).map_err(|key| {
+            IoError::Other(format!(
+                "snapstore {path}: cluster pool chunk {:#x}+{} collected before import",
+                key.0, key.1
+            ))
+        })?;
+        let mut unique: Vec<ChunkKey> = Vec::new();
+        for key in &pm.chunks {
+            if !unique.contains(key) {
+                unique.push(*key);
+            }
+        }
+        let mut fetched: HashMap<ChunkKey, Payload> = HashMap::new();
+        let mut fetched_bytes = 0u64;
+        let mut avoided_bytes = 0u64;
+        for key in &unique {
+            if self.inner.index.lock().unwrap().chunks.contains_key(key) {
+                // This node already holds the content — the whole point
+                // of a content-addressed fleet pool: nothing ships.
+                avoided_bytes += key.1;
+                continue;
+            }
+            // The transfer rides this node's cluster NIC; the chaos
+            // plane can fault it like any other transport.
+            match self.inner.server.faults().take(FaultTarget::Net(att.node)) {
+                Some(FaultKind::ConnReset) => {
+                    return Err(IoError::Other(format!(
+                        "snapstore {path}: cluster fetch reset by peer (net{})",
+                        att.node
+                    )));
+                }
+                Some(FaultKind::NfsTimeout(d)) => {
+                    simkernel::sleep(d);
+                    return Err(IoError::Other(format!(
+                        "snapstore {path}: cluster fetch timed out (net{})",
+                        att.node
+                    )));
+                }
+                Some(FaultKind::BusDelay(d)) => simkernel::sleep(d),
+                _ => {}
+            }
+            att.nic.transfer(key.1);
+            let content = att.pool.chunk(key).ok_or_else(|| {
+                IoError::Other(format!(
+                    "snapstore {path}: cluster pool chunk {:#x}+{} vanished while pinned",
+                    key.0, key.1
+                ))
+            })?;
+            fetched_bytes += key.1;
+            fetched.insert(*key, content);
+        }
+        // The manifest artifact itself crosses the network too, and
+        // becomes this node's durable copy through the backend.
+        let manifest = Manifest {
+            chunks: pm.chunks.clone(),
+            total: pm.total,
+            image_digest: pm.image_digest,
+        };
+        let bytes = manifest.encode();
+        fetched_bytes += bytes.len() as u64;
+        let mut msink = self.backend().sink(local, path)?;
+        msink
+            .write(Payload::bytes(bytes))
+            .and_then(|_| msink.close())?;
+        // Install into the local index, mirroring `commit`.
+        let pack = if fetched.is_empty() {
+            None
+        } else {
+            Some(self.new_pack(path, local).0)
+        };
+        let mut dead_files = Vec::new();
+        {
+            let mut idx = self.inner.index.lock().unwrap();
+            let old = idx.manifests.remove(path);
+            for key in &pm.chunks {
+                if let Some(entry) = idx.chunks.get_mut(key) {
+                    entry.refs += 1;
+                    continue;
+                }
+                let content = fetched.get(key).expect("novel chunk fetched").clone();
+                let pack = pack.expect("novel chunks imply a pack");
+                idx.chunks.insert(
+                    *key,
+                    ChunkEntry {
+                        content: content.normalize(),
+                        refs: 1,
+                        pack,
+                    },
+                );
+                idx.packs.get_mut(&pack).expect("pack registered").live += 1;
+                idx.stats.bytes_stored += key.1;
+            }
+            // Fetched bytes just landed on the importing node: they are
+            // warm for the restore about to replay them. Chunks the
+            // node merely indexes elsewhere stay cold.
+            for key in &pm.chunks {
+                if fetched.contains_key(key) {
+                    idx.warm_insert(local, *key, &self.inner.config);
+                }
+            }
+            if let Some(old) = old {
+                release_manifest(&mut idx, old, &mut dead_files);
+            }
+            if let Some(pack) = pack {
+                if idx.packs.get(&pack).map(|p| p.live) == Some(0) {
+                    let info = idx.packs.remove(&pack).unwrap();
+                    dead_files.push((info.node, info.path));
+                }
+            }
+            idx.manifests.insert(
+                path.to_string(),
+                ManifestRecord {
+                    chunks: pm.chunks.clone(),
+                    node: local,
+                },
+            );
+            idx.stats.manifests = idx.manifests.len() as u64;
+        }
+        self.delete_files(dead_files);
+        // This node now holds the manifest: its pool references keep
+        // the chunks alive after the publisher releases its own.
+        att.pool.add_holder(path, att.node);
+        att.pool.note_import(fetched_bytes, avoided_bytes);
+        drop(pins);
+        obs::counter_add("snapstore.pool.bytes_fetched", fetched_bytes);
+        obs::counter_add("snapstore.pool.bytes_avoided", avoided_bytes);
+        Ok(true)
     }
 }
 
@@ -1149,6 +1371,8 @@ impl ByteSink for DedupSink {
             &self.refs,
             &mut self.fresh,
             manifest_len,
+            manifest.total,
+            manifest.image_digest,
             std::mem::take(&mut self.next_spans),
             self.reused,
         );
@@ -2075,6 +2299,131 @@ mod tests {
                 warm * 2.0 < cold,
                 "warm restore skips the transport: warm={warm} cold={cold}"
             );
+        });
+    }
+
+    /// Two fleet stores sharing one pool: node 1 restores a snapshot it
+    /// never held by importing it from the pool, paying the cluster
+    /// network for the bytes.
+    #[test]
+    fn pool_import_restores_across_nodes() {
+        Kernel::run_root(|| {
+            use simkernel::time::{ms, us};
+            let server_a = PhiServer::default_server();
+            let server_b = PhiServer::default_server();
+            let pool = ClusterPool::new(us(50));
+            let sa = store(&server_a, DedupConfig::default());
+            let sb = store(&server_b, DedupConfig::default());
+            sa.attach_pool(&pool, 0);
+            sb.attach_pool(&pool, 1);
+            let data = Payload::synthetic(31, 32 * MB);
+            write_stream(&sa, "/fleet/t0/img", std::slice::from_ref(&data));
+            simkernel::sleep(ms(1)); // past the publication delay
+            let t0 = now();
+            assert_eq!(read_stream(&sb, "/fleet/t0/img").digest(), data.digest());
+            assert!(now() > t0);
+            let st = pool.stats();
+            assert!(
+                st.bytes_fetched_remote >= 32 * MB,
+                "a cold import ships the image: {}",
+                st.bytes_fetched_remote
+            );
+            // A second import-shaped restore on node 1 is free: the
+            // content is local now.
+            assert_eq!(read_stream(&sb, "/fleet/t0/img").digest(), data.digest());
+            assert_eq!(pool.stats().bytes_fetched_remote, st.bytes_fetched_remote);
+        });
+    }
+
+    /// A node that already holds most of a snapshot's content (the
+    /// shared base image) imports only the novel chunks.
+    #[test]
+    fn pool_import_ships_only_chunks_the_node_lacks() {
+        Kernel::run_root(|| {
+            use simkernel::time::ms;
+            use simkernel::time::us;
+            let server_a = PhiServer::default_server();
+            let server_b = PhiServer::default_server();
+            let pool = ClusterPool::new(us(50));
+            let sa = store(&server_a, DedupConfig::default());
+            let sb = store(&server_b, DedupConfig::default());
+            sa.attach_pool(&pool, 0);
+            sb.attach_pool(&pool, 1);
+            let base = Payload::synthetic(0xBA5E, 48 * MB);
+            let unique = Payload::synthetic(41, 4 * MB);
+            // Node 1 captures its own tenant sharing the base region…
+            write_stream(&sb, "/fleet/warm/seed", std::slice::from_ref(&base));
+            // …and node 0 captures the tenant about to migrate.
+            write_stream(&sa, "/fleet/t1/img", &[base.clone(), unique.clone()]);
+            simkernel::sleep(ms(1));
+            let mut want = base.clone();
+            want.append(unique);
+            assert_eq!(read_stream(&sb, "/fleet/t1/img").digest(), want.digest());
+            let st = pool.stats();
+            assert!(
+                st.bytes_avoided_remote >= 48 * MB,
+                "the shared base never ships: avoided={}",
+                st.bytes_avoided_remote
+            );
+            assert!(
+                st.bytes_fetched_remote < 5 * MB,
+                "only the unique region ships: fetched={}",
+                st.bytes_fetched_remote
+            );
+            assert!(st.saved_fraction() > 0.8, "{:?}", st);
+        });
+    }
+
+    /// Regression (cross-node GC race): node 0 deletes its manifest
+    /// while node 1's import is still streaming the chunks. Before
+    /// restore pins, the release collected the pool entries mid-flight
+    /// and node 1's restore died with "collected before import" /
+    /// "missing from store (collected?)"; the pins now hold every
+    /// referenced chunk for the whole transfer.
+    #[test]
+    fn cross_node_release_does_not_collect_an_in_flight_import() {
+        Kernel::run_root(|| {
+            use simkernel::time::{ms, us};
+            let server_a = PhiServer::default_server();
+            let server_b = PhiServer::default_server();
+            let pool = ClusterPool::new(us(50));
+            let sa = store(&server_a, DedupConfig::default());
+            let sb = store(&server_b, DedupConfig::default());
+            sa.attach_pool(&pool, 0);
+            sb.attach_pool(&pool, 1);
+            let data = Payload::synthetic(51, 64 * MB);
+            write_stream(&sa, "/fleet/race/img", std::slice::from_ref(&data));
+            simkernel::sleep(ms(1));
+            // 64 MB over a 1.25 GB/s NIC ≈ 50 ms of transfer: plenty of
+            // window for the race.
+            let sb2 = sb.clone();
+            let restore = simkernel::spawn("import-b", move || {
+                read_stream_from(&sb2, NodeId::device(0), "/fleet/race/img").digest()
+            });
+            simkernel::sleep(ms(5));
+            // Mid-transfer, the publisher deletes the only snapshot
+            // referencing these chunks — far more than one grace period
+            // before the import finishes.
+            assert!(sa.delete_snapshot("/fleet/race/img"));
+            assert_eq!(restore.join(), data.digest());
+            // Node 1's imported copy holds the chunks now…
+            assert!(pool.live_chunks() > 0, "importer's holds keep chunks live");
+            assert_eq!(pool.live_manifests(), 1);
+            // …and releasing it really does collect them.
+            assert!(sb.delete_snapshot("/fleet/race/img"));
+            assert_eq!(pool.live_chunks(), 0);
+            assert_eq!(pool.live_manifests(), 0);
+        });
+    }
+
+    /// A pool-less store behaves exactly as before (no publications, no
+    /// import fallback).
+    #[test]
+    fn store_without_pool_misses_stay_misses() {
+        Kernel::run_root(|| {
+            let server = PhiServer::default_server();
+            let st = store(&server, DedupConfig::default());
+            assert!(st.source(NodeId::device(0), "/nope").is_err());
         });
     }
 
